@@ -1,0 +1,138 @@
+"""Paper §4 future-work extensions: pruning, int8 quantization, DAQ sizing.
+
+The conclusion lists "network pruning, quantization, and sparse CNN
+techniques" as the next throughput levers.  This bench quantifies them with
+the same substrates used for the main results:
+
+* magnitude pruning of the BCAE-2D encoder → ideal-sparse FLOP reduction
+  and the roofline throughput it would unlock;
+* post-training W8A8 quantization → emulated accuracy delta plus the
+  modeled INT8-Tensor-Core throughput (309.7 TOPS on the A6000 = 2× fp16);
+* the streaming-DAQ sizing argument (§1): GPUs required to sustain the
+  sPHENIX 77 kHz × 24-wedge stream per model, before/after the extensions.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from conftest import report
+
+from repro import nn
+from repro.core import build_model
+from repro.daq import SPHENIX_FRAME_RATE_HZ, WEDGES_PER_FRAME, DAQConfig, StreamingCompressionSim, gpus_required
+from repro.nn import Tensor
+from repro.nn.pruning import prune_module, sparse_flops_factor
+from repro.nn.quantization import calibrate_int8, int8_forward, quantize_weights_int8
+from repro.perf import RTX_A6000, estimate_throughput, trace_encoder
+
+
+def test_ext_pruning_throughput(benchmark):
+    """Prune the BCAE-2D encoder and project the ideal sparse speedup."""
+
+    def run():
+        out = {}
+        for amount in (0.0, 0.5, 0.8):
+            nn.init.seed(0)
+            model = build_model("bcae_2d", wedge_spatial=(16, 192, 249), seed=0)
+            if amount:
+                prune_module(model.encoder, amount)
+            factor = sparse_flops_factor(model.encoder)
+            trace = trace_encoder(model, (16, 192, 256), name=f"prune{amount}")
+            dense = estimate_throughput(trace, 64, half=True)
+            # Ideal sparse engine: GEMM FLOPs scale by the weight density.
+            sparse_trace = dataclasses.replace(
+                trace,
+                layers=[
+                    dataclasses.replace(
+                        l, flops=l.flops * (factor if l.kind.startswith("Conv") else 1.0)
+                    )
+                    for l in trace.layers
+                ],
+            )
+            sparse = estimate_throughput(sparse_trace, 64, half=True)
+            out[amount] = (factor, dense, sparse)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report()
+    report("Extension §4a — magnitude pruning of the BCAE-2D encoder")
+    report(f"  {'sparsity':>9s} {'FLOP factor':>12s} {'dense w/s':>10s} {'ideal-sparse w/s':>17s}")
+    for amount, (factor, dense, sparse) in results.items():
+        report(f"  {amount:9.1f} {factor:12.3f} {dense:10.0f} {sparse:17.0f}")
+    report("  (dense kernels cannot exploit the zeros; the gain needs sparse kernels,")
+    report("   which is exactly why the paper defers this to future work)")
+    assert results[0.8][2] > results[0.0][1]
+
+
+def test_ext_int8_quantization(benchmark, bench_datasets):
+    """W8A8 post-training quantization of the encoder: accuracy + speed."""
+
+    train, _test = bench_datasets
+
+    def run():
+        nn.init.seed(0)
+        model = build_model(
+            "bcae_2d", wedge_spatial=train.geometry.wedge_shape, m=2, n=2, d=2, seed=0
+        )
+        x, _ = train.batch(np.arange(6))
+        with nn.no_grad():
+            ref = model.encode(Tensor(x)).data.copy()
+        result = calibrate_int8(model.encoder, x)
+        quantize_weights_int8(model.encoder, result)
+        out = int8_forward(model.encoder, x, result)
+        rel = float(np.abs(out - ref).max() / max(np.abs(ref).max(), 1e-9))
+
+        # Throughput: int8 Tensor Cores double the fp16 peak on Ampere.
+        paper_model = build_model("bcae_2d", wedge_spatial=(16, 192, 249), seed=0)
+        trace = trace_encoder(paper_model, (16, 192, 256), name="bcae_2d")
+        fp16 = estimate_throughput(trace, 64, half=True)
+        int8_gpu = dataclasses.replace(
+            RTX_A6000, fp16_tc_tflops=RTX_A6000.fp16_tc_tflops * 2.0
+        )
+        int8 = estimate_throughput(trace, 64, half=True, gpu=int8_gpu)
+        return rel, fp16, int8, result.n_layers
+
+    rel, fp16, int8, n_layers = benchmark.pedantic(run, rounds=1, iterations=1)
+    report()
+    report("Extension §4b — post-training INT8 quantization (W8A8, emulated)")
+    report(f"  quantized conv layers: {n_layers}")
+    report(f"  max relative code error vs fp32: {rel:.4f}")
+    report(f"  modeled throughput: fp16 {fp16:.0f} w/s → int8 {int8:.0f} w/s "
+           f"({int8 / fp16:.2f}x; upper bound from 2x TC peak)")
+    assert rel < 0.2
+    assert int8 > fp16
+
+
+def test_ext_daq_sizing(benchmark):
+    """§1 sizing: sustaining 77 kHz × 24 wedges with each BCAE variant."""
+
+    rates = {"bcae_2d": 6900.0, "bcae_ht": 4600.0, "bcae_pp": 2600.0}
+
+    def run():
+        out = {}
+        for name, rate in rates.items():
+            n = gpus_required(rate, headroom=1.2)
+            # Verify the sizing with the discrete-event simulation at a
+            # 1/1000 scale (the queue dynamics are rate-scale-invariant).
+            cfg = DAQConfig(
+                frame_rate_hz=SPHENIX_FRAME_RATE_HZ / 1000.0,
+                server_rate_wps=rate,
+                n_servers=max(1, n // 1000 + 1),
+                buffer_wedges=8192,
+            )
+            stats = StreamingCompressionSim(cfg, seed=0).run(n_frames=3000)
+            out[name] = (n, stats)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report()
+    report("Extension §1 — streaming-DAQ sizing (77 kHz × 24 wedges = 1.848 M w/s)")
+    for name, (n, stats) in results.items():
+        report(f"  {name:9s} needs ~{n:4d} GPUs (20% headroom); "
+               f"scaled sim: {stats.row()}")
+    report("  the 3x BCAE-2D speedup cuts the farm size accordingly — the paper's")
+    report("  core motivation for the 2D redesign")
+    assert results["bcae_2d"][0] < results["bcae_pp"][0]
+    for _name, (_n, stats) in results.items():
+        assert stats.drop_fraction < 0.05

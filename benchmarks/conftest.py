@@ -1,0 +1,105 @@
+"""Benchmark fixtures and the paper-vs-measured reporting plumbing.
+
+Every benchmark module regenerates one table or figure of the paper (see
+DESIGN.md §4).  Reported comparison lines are accumulated through
+:func:`report` and printed in the terminal summary so they survive pytest's
+output capture (they appear in ``bench_output.txt``).
+
+Scale: statistical benches train on the ``TINY`` geometry (wedges
+``(16, 24, 32)``) for a handful of epochs — enough for the paper's
+*qualitative* shapes.  Set ``REPRO_BENCH_EPOCHS`` to raise the budget, or
+``REPRO_FULL=1`` for paper-sized wedges in the throughput measurements.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+_REPORT_LINES: list[str] = []
+
+
+def report(line: str = "") -> None:
+    """Queue a line for the end-of-run summary (survives output capture)."""
+
+    _REPORT_LINES.append(line)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORT_LINES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 78)
+    terminalreporter.write_line("PAPER-VS-MEASURED REPORT (see EXPERIMENTS.md for discussion)")
+    terminalreporter.write_line("=" * 78)
+    for line in _REPORT_LINES:
+        terminalreporter.write_line(line)
+
+
+def bench_epochs(default: int) -> int:
+    return int(os.environ.get("REPRO_BENCH_EPOCHS", default))
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+# ----------------------------------------------------------------------
+# shared data / model fixtures
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="session")
+def bench_datasets():
+    """(train, test) wedge datasets for the statistical benches."""
+
+    from repro.tpc import TINY_GEOMETRY, generate_wedge_dataset
+
+    return generate_wedge_dataset(2, geometry=TINY_GEOMETRY, seed=42)
+
+
+@pytest.fixture(scope="session")
+def trained_models(bench_datasets):
+    """All four BCAE variants trained briefly on the shared dataset.
+
+    Returns ``{name: Trainer}`` — the trainer keeps the model, history and
+    evaluation entry points.
+    """
+
+    from repro.core import build_model
+    from repro.train import TrainConfig, Trainer
+
+    train, _test = bench_datasets
+    budgets = {
+        "bcae_2d": (bench_epochs(12), dict(m=4, n=8, d=3)),
+        "bcae_pp": (bench_epochs(6), {}),
+        "bcae_ht": (bench_epochs(12), {}),
+        "bcae": (bench_epochs(6), {}),
+    }
+    out = {}
+    for name, (epochs, kwargs) in budgets.items():
+        model = build_model(
+            name, wedge_spatial=train.geometry.wedge_shape, seed=0, **kwargs
+        )
+        trainer = Trainer(
+            model,
+            TrainConfig(epochs=epochs, batch_size=4, warmup_epochs=epochs, seed=0),
+        )
+        trainer.fit(train)
+        out[name] = trainer
+    return out
+
+
+@pytest.fixture(scope="session")
+def encoder_traces():
+    """Paper-scale FLOP traces of the three fast variants (for the roofline)."""
+
+    from repro.core import build_model
+    from repro.perf import trace_encoder
+
+    traces = {}
+    for name in ("bcae_2d", "bcae_pp", "bcae_ht"):
+        model = build_model(name, wedge_spatial=(16, 192, 249), seed=0)
+        traces[name] = trace_encoder(model, (16, 192, 256), name=name)
+    return traces

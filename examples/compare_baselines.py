@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""BCAE vs SZ/ZFP/MGARD-like codecs on sparse TPC wedges (paper §1 claim).
+
+Trains a small BCAE-2D, then sweeps each learning-free codec family across
+its quality knob on the same wedges, printing the rate–distortion frontier.
+The paper's point reproduces at any scale: error-bounded predictive codecs
+keep accuracy but stall at single-digit ratios on ~10% occupancy data;
+fixed-rate block codecs reach high ratios only by destroying the signal.
+
+Usage::
+
+    python examples/compare_baselines.py [--epochs 8]
+"""
+
+import argparse
+
+from repro.baselines import DecimationCodec, MGARDLikeCodec, SZLikeCodec, ZFPLikeCodec, evaluate_codec
+from repro.core import BCAECompressor, build_model
+from repro.metrics import mae
+from repro.tpc import TINY_GEOMETRY, generate_wedge_dataset, log_transform
+from repro.train import TrainConfig, Trainer
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=8)
+    args = parser.parse_args()
+
+    train, test = generate_wedge_dataset(2, geometry=TINY_GEOMETRY, seed=5)
+    wedges = log_transform(test.wedges[:4])
+    print(f"== {wedges.shape[0]} test wedges {wedges.shape[1:]}, "
+          f"occupancy {(wedges > 0).mean():.4f} ==\n")
+
+    print("-- learning-free codecs (vectorized NumPy implementations) --")
+    print(f"{'codec':24s} {'ratio':>8s} {'MAE':>8s} {'PSNR':>8s} {'max err':>9s} {'comp s':>7s}")
+    for codec in (
+        SZLikeCodec(0.25), SZLikeCodec(1.0), SZLikeCodec(2.0),
+        ZFPLikeCodec(1), ZFPLikeCodec(2), ZFPLikeCodec(4),
+        MGARDLikeCodec(0.25), MGARDLikeCodec(1.0),
+        DecimationCodec((1, 2, 2)), DecimationCodec((2, 2, 2)),
+    ):
+        r = evaluate_codec(codec, wedges)
+        print(f"{r.name:24s} {r.ratio:8.2f} {r.mae:8.4f} {r.psnr:8.2f} "
+              f"{r.max_error:9.3f} {r.compress_seconds:7.3f}")
+
+    print(f"\n-- BCAE-2D, trained {args.epochs} epochs --")
+    model = build_model(
+        "bcae_2d", wedge_spatial=train.geometry.wedge_shape, m=2, n=4, d=2, seed=0
+    )
+    trainer = Trainer(
+        model, TrainConfig(epochs=args.epochs, batch_size=4, warmup_epochs=args.epochs)
+    )
+    trainer.fit(train)
+    comp = BCAECompressor(model, half=True)
+    recon, compressed = comp.roundtrip(test.wedges[:4])
+    ratio = 2.0 * wedges.size / compressed.nbytes
+    print(f"{'bcae_2d (trained)':24s} {ratio:8.2f} {mae(recon, wedges):8.4f}")
+    print("\npaper reference (full grid, full training): ratio 31.125 at MAE 0.112-0.152")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Throughput study: Figure 6 with the A6000 roofline model + CPU timing.
+
+Prints, for each encoder (BCAE-2D / BCAE++ / BCAE-HT at paper-exact
+architecture and wedge size):
+
+* exact per-layer FLOP/byte/Tensor-Core accounting,
+* modeled A6000 throughput curves over batch size in both precisions,
+* the fp16 speedup (paper: 76–79% for 2D/++, none for HT),
+* measured CPU throughput of this NumPy implementation.
+
+Usage::
+
+    python examples/throughput_study.py [--measure] [--batches 1,16,64]
+"""
+
+import argparse
+
+from repro.core import build_model
+from repro.perf import (
+    estimate_throughput,
+    measure_encoder_throughput,
+    speedup_half,
+    throughput_curve,
+    trace_encoder,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--measure", action="store_true",
+                        help="also measure this CPU implementation (slow at paper size)")
+    parser.add_argument("--batches", default="1,4,16,64,96")
+    args = parser.parse_args()
+    batches = [int(b) for b in args.batches.split(",")]
+
+    paper = {"bcae_2d": 6900, "bcae_pp": 2600, "bcae_ht": 4600}
+    for name in ("bcae_2d", "bcae_pp", "bcae_ht"):
+        model = build_model(name, wedge_spatial=(16, 192, 249), seed=0)
+        trace = trace_encoder(model, (16, 192, 256), name=name)
+        print(f"\n== {name} ==")
+        print(f"   {trace.summary()}")
+        print(f"   encoder parameters: {model.encoder_parameters():,}")
+
+        half = throughput_curve(trace, batches, half=True)
+        full = throughput_curve(trace, batches, half=False)
+        print(f"   {'batch':>6s} {'half [w/s]':>11s} {'full [w/s]':>11s}")
+        for b in batches:
+            print(f"   {b:6d} {half[b]:11.0f} {full[b]:11.0f}")
+        print(f"   fp16 speedup @64: {speedup_half(trace, 64):.2f}x "
+              f"(paper plateau: ~{paper[name]}/s, speedup ~1.76-1.79x for 2D/++, ~1x HT)")
+
+        if args.measure:
+            r = measure_encoder_throughput(model, (16, 192, 256), 1, half=True, repeats=1)
+            print(f"   measured CPU (batch 1, fp16 mode): {r.wedges_per_second:.2f} w/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The reproduction environment is offline (no ``wheel`` wheel available), so
+``pip install -e .`` must use the legacy ``setup.py develop`` code path; all
+real metadata lives in pyproject.toml and is read by setuptools>=61.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Reproduction of *Fast 2D Bicephalous Convolutional Autoencoder for
+Compressing 3D Time Projection Chamber Data* (Huang, Ren, Yoo, Huang —
+SC-W 2023, DOI 10.1145/3624062.3625127).
+
+Package layout (see DESIGN.md for the full inventory):
+
+* :mod:`repro.nn` — from-scratch NumPy deep-learning substrate (autograd,
+  2D/3D convolutions, AdamW, AMP emulation);
+* :mod:`repro.tpc` — synthetic sPHENIX TPC data (HIJING/Geant4 substitute);
+* :mod:`repro.core` — BCAE / BCAE++ / BCAE-HT / BCAE-2D and the compressor;
+* :mod:`repro.train` — the paper's training procedure;
+* :mod:`repro.baselines` — SZ/ZFP/MGARD-like learning-free codecs;
+* :mod:`repro.metrics` — MAE / PSNR / precision / recall;
+* :mod:`repro.perf` — per-layer FLOP traces, A6000 roofline model, timing.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "tpc",
+    "core",
+    "train",
+    "baselines",
+    "metrics",
+    "perf",
+    "io",
+]

@@ -1,0 +1,98 @@
+"""Common interface and evaluation harness for the learning-free codecs.
+
+The paper's introduction positions BCAE against SZ, ZFP and MGARD on sparse
+TPC data; ``repro.baselines`` implements one codec per family so the
+comparison bench (``benchmarks/bench_baselines.py``) can regenerate that
+claim.  Every codec maps float32 arrays to bytes and back:
+
+* compression ratios use the paper's fp16 convention
+  (``2 · n_elements / n_bytes``) so they are directly comparable to the
+  BCAE's 31.125;
+* codecs operate on the same log-ADC wedges the networks see.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..metrics.reconstruction import mae, precision_recall, psnr
+
+__all__ = ["Codec", "CodecResult", "evaluate_codec", "fp16_ratio"]
+
+
+@runtime_checkable
+class Codec(Protocol):
+    """Protocol implemented by every baseline codec."""
+
+    name: str
+
+    def compress(self, array: np.ndarray) -> bytes:  # pragma: no cover - protocol
+        """Encode a float32 array into a self-describing byte payload."""
+        ...
+
+    def decompress(self, payload: bytes) -> np.ndarray:  # pragma: no cover - protocol
+        """Decode a payload back into the original-shaped float32 array."""
+        ...
+
+
+def fp16_ratio(array: np.ndarray, payload: bytes) -> float:
+    """Compression ratio with the paper's 16-bit-input convention (§3.1)."""
+
+    return (2.0 * array.size) / max(len(payload), 1)
+
+
+@dataclasses.dataclass
+class CodecResult:
+    """Evaluation record for one codec on one wedge batch."""
+
+    name: str
+    ratio: float
+    mae: float
+    psnr: float
+    precision: float
+    recall: float
+    compress_seconds: float
+    decompress_seconds: float
+    max_error: float
+
+    def row(self) -> str:
+        """One-line summary for comparison tables."""
+
+        return (
+            f"{self.name:14s} ratio={self.ratio:8.3f}  MAE={self.mae:.4f}  "
+            f"PSNR={self.psnr:7.3f}  prec={self.precision:.4f}  rec={self.recall:.4f}  "
+            f"maxerr={self.max_error:.4f}"
+        )
+
+
+def evaluate_codec(codec: Codec, wedges_log: np.ndarray, seg_threshold: float = 3.0) -> CodecResult:
+    """Round-trip a log-ADC wedge batch through ``codec`` and score it.
+
+    ``precision``/``recall`` treat reconstructed values above
+    ``seg_threshold`` as predicted-nonzero so the learning-free codecs get
+    the same classification metrics as the BCAE's segmentation head.
+    """
+
+    t0 = time.perf_counter()
+    payload = codec.compress(wedges_log)
+    t1 = time.perf_counter()
+    recon = codec.decompress(payload)
+    t2 = time.perf_counter()
+    if recon.shape != wedges_log.shape:
+        raise ValueError(f"{codec.name}: decompressed shape {recon.shape} != {wedges_log.shape}")
+    p, r = precision_recall(recon, wedges_log, threshold=seg_threshold, truth_threshold=6.0)
+    return CodecResult(
+        name=codec.name,
+        ratio=fp16_ratio(wedges_log, payload),
+        mae=mae(recon, wedges_log),
+        psnr=psnr(recon, wedges_log),
+        precision=p,
+        recall=r,
+        compress_seconds=t1 - t0,
+        decompress_seconds=t2 - t1,
+        max_error=float(np.max(np.abs(recon.astype(np.float64) - wedges_log))),
+    )

@@ -1,0 +1,94 @@
+"""Decimation baseline: the naive fixed-rate compressor.
+
+Average-pool by an integer factor, store the coarse grid as fp16, upsample
+on decompression.  This is the "do nothing clever" reference point every
+compression study needs: its ratio is exactly the pooling volume and its
+error on sparse data is dominated by smearing the occupied/empty boundary —
+the same failure mode as the transform codecs, in its purest form.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+__all__ = ["DecimationCodec"]
+
+
+class DecimationCodec:
+    """Block-average downsampling + fp16 storage.
+
+    Parameters
+    ----------
+    factors:
+        Integer pooling factor per axis (applied to the trailing axes of
+        the input; leading axes are preserved).  The fp16-vs-fp16
+        compression ratio equals ``prod(factors)`` exactly for aligned
+        shapes.
+    """
+
+    def __init__(self, factors: tuple[int, ...] = (1, 2, 2)) -> None:
+        if any(f < 1 for f in factors):
+            raise ValueError("factors must be >= 1")
+        self.factors = tuple(int(f) for f in factors)
+        self.name = f"decimate{self.factors}"
+
+    # ------------------------------------------------------------------
+    def _check(self, shape: tuple[int, ...]) -> None:
+        if len(shape) < len(self.factors):
+            raise ValueError(f"input rank {len(shape)} < factors rank {len(self.factors)}")
+        trailing = shape[-len(self.factors):]
+        for s, f in zip(trailing, self.factors):
+            if s % f:
+                raise ValueError(f"axis size {s} not divisible by factor {f}")
+
+    def compress(self, array: np.ndarray) -> bytes:
+        """Block-average the trailing axes and store the coarse grid as fp16."""
+
+        arr = np.asarray(array, dtype=np.float32)
+        self._check(arr.shape)
+        nd = arr.ndim
+        k = len(self.factors)
+        lead = nd - k
+        # Reshape (…, s_i/f_i, f_i, …) and mean over the f axes.
+        shape: list[int] = list(arr.shape[:lead])
+        for s, f in zip(arr.shape[lead:], self.factors):
+            shape.extend([s // f, f])
+        pooled = arr.reshape(shape).mean(axis=tuple(range(lead + 1, lead + 2 * k, 2)))
+
+        header = struct.pack("<B", nd)
+        header += struct.pack(f"<{nd}I", *arr.shape)
+        header += struct.pack("<B", k)
+        header += struct.pack(f"<{k}I", *self.factors)
+        return header + pooled.astype(np.float16).tobytes()
+
+    def decompress(self, payload: bytes) -> np.ndarray:
+        """Nearest-neighbour upsample back to the original shape."""
+
+        view = memoryview(payload)
+        (nd,) = struct.unpack_from("<B", view, 0)
+        offset = 1
+        shape = struct.unpack_from(f"<{nd}I", view, offset)
+        offset += 4 * nd
+        (k,) = struct.unpack_from("<B", view, offset)
+        offset += 1
+        factors = struct.unpack_from(f"<{k}I", view, offset)
+        offset += 4 * k
+
+        lead = nd - k
+        coarse_shape = tuple(shape[:lead]) + tuple(
+            s // f for s, f in zip(shape[lead:], factors)
+        )
+        coarse = np.frombuffer(view, dtype=np.float16, offset=offset).astype(np.float32)
+        coarse = coarse.reshape(coarse_shape)
+        out = coarse
+        for axis, f in zip(range(lead, nd), factors):
+            out = np.repeat(out, f, axis=axis)
+        return np.ascontiguousarray(out)
+
+    # ------------------------------------------------------------------
+    def expected_ratio(self) -> float:
+        """fp16-vs-fp16 ratio = the pooled volume."""
+
+        return float(np.prod(self.factors))

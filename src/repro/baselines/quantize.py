@@ -1,0 +1,72 @@
+"""Scalar quantizers for the baseline codecs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ErrorBoundedQuantizer", "UniformQuantizer"]
+
+
+class ErrorBoundedQuantizer:
+    """Mid-tread uniform quantizer with a hard absolute error bound.
+
+    ``quantize`` maps to integer bin indices with step ``2·eb``; dequantized
+    values satisfy ``|x - x̂| ≤ eb`` in exact arithmetic (the SZ-style
+    guarantee).  Because reconstructions are returned as float32, the
+    realized bound carries one extra float32 ulp of the value magnitude:
+    ``|x - x̂| ≤ eb·(1+1e-5) + |x|·2⁻²³``.
+    """
+
+    def __init__(self, error_bound: float) -> None:
+        if error_bound <= 0:
+            raise ValueError("error bound must be positive")
+        self.error_bound = float(error_bound)
+        self.step = 2.0 * self.error_bound
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Values → int64 bin indices."""
+
+        return np.rint(values / self.step).astype(np.int64)
+
+    def dequantize(self, bins: np.ndarray) -> np.ndarray:
+        """Bin indices → reconstructed float32 values."""
+
+        return (bins.astype(np.float64) * self.step).astype(np.float32)
+
+    def roundtrip(self, values: np.ndarray) -> np.ndarray:
+        """quantize → dequantize (the lossy map applied to the data)."""
+
+        return self.dequantize(self.quantize(values))
+
+
+class UniformQuantizer:
+    """Fixed-width signed quantizer over a known symmetric range.
+
+    Used by the ZFP-like block codec: coefficients in ``[-amax, amax]`` map
+    to ``bits``-bit signed integers (two's-complement offset form).
+    """
+
+    def __init__(self, amax: float, bits: int) -> None:
+        if bits < 1 or bits > 32:
+            raise ValueError("bits must be in [1, 32]")
+        self.amax = float(max(amax, 1e-30))
+        self.bits = int(bits)
+        self.levels = (1 << bits) - 1
+        self.step = 2.0 * self.amax / self.levels
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Values → unsigned codes in ``[0, 2^bits - 1]``."""
+
+        q = np.rint((values + self.amax) / self.step)
+        return np.clip(q, 0, self.levels).astype(np.uint64)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        """Unsigned codes → reconstructed float32 values."""
+
+        return (codes.astype(np.float64) * self.step - self.amax).astype(np.float32)
+
+    @property
+    def max_error(self) -> float:
+        """Half a step — the in-range quantization error bound."""
+
+        return 0.5 * self.step

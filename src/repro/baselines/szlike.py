@@ -1,0 +1,133 @@
+"""SZ-like error-bounded predictive codec.
+
+SZ [Di & Cappello, IPDPS'16; Tao et al., IPDPS'17] combines a spatial
+predictor with error-bounded linear-scaling quantization and an entropy
+stage.  This reproduction keeps the family's three defining properties —
+
+1. **hard absolute error bound** ``|x - x̂| ≤ eb`` on every sample,
+2. **Lorenzo prediction** for spatial decorrelation,
+3. **Huffman-coded quantization symbols**,
+
+— with one documented simplification: values are quantized *first* and the
+Lorenzo transform runs losslessly on the integer lattice (SZ proper predicts
+from previously decoded values).  The closed-loop variant is strictly
+sequential per voxel and infeasible in vectorized NumPy; the lattice variant
+preserves the error bound exactly and the same qualitative behaviour on
+sparse data (long zero runs become cheap symbols; sharp occupied/empty
+boundaries inflate the residual alphabet — the paper's §1 argument for why
+generic compressors struggle on TPC wedges).
+
+Stream layout::
+
+    [u8 ndim][u32 shape…][f32 eb][u32 n_escapes]
+    [table: u16 n_entries][(u16 symbol, u8 length)…]
+    [u64 n_bits][huffman payload][escape values: i64…]
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from .bitstream import unpack_bits
+from .huffman import HuffmanCode, build_huffman, huffman_decode, huffman_encode
+from .lorenzo import lorenzo_forward, lorenzo_inverse
+from .quantize import ErrorBoundedQuantizer
+
+__all__ = ["SZLikeCodec"]
+
+#: Residuals in (-RADIUS, RADIUS) map to the dense symbol alphabet;
+#: anything outside escapes to a raw 64-bit side channel.
+_RADIUS = 1 << 15
+_ESCAPE = 2 * _RADIUS  # symbol reserved for escapes
+
+
+class SZLikeCodec:
+    """Error-bounded SZ-family codec (see module docstring).
+
+    Parameters
+    ----------
+    error_bound:
+        Absolute error bound on the log-ADC scale.  The paper's networks
+        reach MAE ≈ 0.112–0.198 with mostly-classification errors, so the
+        comparison bench sweeps ``eb`` around that scale.
+    """
+
+    def __init__(self, error_bound: float = 0.25) -> None:
+        self.quantizer = ErrorBoundedQuantizer(error_bound)
+        self.name = f"sz_like(eb={error_bound:g})"
+
+    # ------------------------------------------------------------------
+    def compress(self, array: np.ndarray) -> bytes:
+        """Quantize → Lorenzo → Huffman; returns the self-describing payload."""
+
+        arr = np.asarray(array, dtype=np.float32)
+        bins = self.quantizer.quantize(arr)
+        residual = lorenzo_forward(bins).ravel()
+
+        escape_mask = np.abs(residual) >= _RADIUS
+        escapes = residual[escape_mask]
+        symbols = np.where(escape_mask, _ESCAPE, residual + _RADIUS)
+
+        freqs = np.bincount(symbols, minlength=_ESCAPE + 1)
+        code = build_huffman(freqs)
+        payload, n_bits = huffman_encode(symbols, code)
+
+        header = struct.pack("<B", arr.ndim)
+        header += struct.pack(f"<{arr.ndim}I", *arr.shape)
+        header += struct.pack("<fI", self.quantizer.error_bound, escapes.size)
+        header += _pack_table(code)
+        header += struct.pack("<Q", n_bits)
+        return header + payload + escapes.astype("<i8").tobytes()
+
+    # ------------------------------------------------------------------
+    def decompress(self, payload: bytes) -> np.ndarray:
+        """Exact inverse of :meth:`compress` up to the error bound."""
+
+        view = memoryview(payload)
+        (ndim,) = struct.unpack_from("<B", view, 0)
+        offset = 1
+        shape = struct.unpack_from(f"<{ndim}I", view, offset)
+        offset += 4 * ndim
+        eb, n_escapes = struct.unpack_from("<fI", view, offset)
+        offset += 8
+        code, offset = _unpack_table(view, offset)
+        (n_bits,) = struct.unpack_from("<Q", view, offset)
+        offset += 8
+
+        n_payload_bytes = (n_bits + 7) // 8
+        bits = unpack_bits(bytes(view[offset : offset + n_payload_bytes]), n_bits)
+        offset += n_payload_bytes
+
+        n_symbols = int(np.prod(shape))
+        symbols, _pos = huffman_decode(bits, n_symbols, code)
+        escapes = np.frombuffer(view, dtype="<i8", count=n_escapes, offset=offset)
+
+        residual = symbols - _RADIUS
+        esc_sites = symbols == _ESCAPE
+        residual[esc_sites] = escapes
+        bins = lorenzo_inverse(residual.reshape(shape))
+        return ErrorBoundedQuantizer(eb).dequantize(bins)
+
+
+def _pack_table(code: HuffmanCode) -> bytes:
+    present = np.nonzero(code.lengths)[0]
+    blob = struct.pack("<I", present.size)
+    sym = present.astype("<u4").tobytes()
+    lng = code.lengths[present].astype("<u1").tobytes()
+    return blob + sym + lng
+
+
+def _unpack_table(view: memoryview, offset: int) -> tuple[HuffmanCode, int]:
+    (n,) = struct.unpack_from("<I", view, offset)
+    offset += 4
+    symbols = np.frombuffer(view, dtype="<u4", count=n, offset=offset).astype(np.int64)
+    offset += 4 * n
+    lengths_present = np.frombuffer(view, dtype="<u1", count=n, offset=offset)
+    offset += n
+    lengths = np.zeros(_ESCAPE + 1, dtype=np.uint8)
+    lengths[symbols] = lengths_present
+    from .huffman import _canonical_codes
+
+    return HuffmanCode(lengths=lengths, codes=_canonical_codes(lengths)), offset

@@ -1,0 +1,68 @@
+"""BCAE-2D(m, n, d) — the paper's fast 2D model (§2.4).
+
+``m`` encoder blocks (Algorithm 1), ``n`` decoder blocks per head
+(Algorithm 2), ``d`` down/up-samplings.  The paper keeps ``d = 3`` so the
+code shape ``(32, A/8, H/8)`` matches the 3D variants' 31.125 compression
+ratio, and selects ``BCAE-2D(m=4, n=8, d=3)`` as the default after the
+Figure 6E/7 grid search.  Both decoders share ``n`` for simplicity (§2.4).
+"""
+
+from __future__ import annotations
+
+from .decoder2d import BCAEDecoder2D
+from .encoder2d import BCAEEncoder2D
+from .heads import BicephalousAutoencoder
+
+__all__ = ["BCAE2D", "build_bcae2d"]
+
+
+class BCAE2D(BicephalousAutoencoder):
+    """The BCAE-2D(m, n, d) model.
+
+    Parameters
+    ----------
+    m, n, d:
+        Encoder blocks, decoder blocks (each head), down/up-samplings.
+    in_channels:
+        Radial layers treated as image channels (paper: 16).
+    width:
+        Trunk width (paper: 32).
+    threshold:
+        Classification threshold ``h`` for the masked combination.
+    """
+
+    def __init__(
+        self,
+        m: int = 4,
+        n: int = 8,
+        d: int = 3,
+        in_channels: int = 16,
+        width: int = 32,
+        threshold: float = 0.5,
+        activation: str = "leaky_relu",
+    ) -> None:
+        encoder = BCAEEncoder2D(
+            m=m, d=d, in_channels=in_channels, width=width,
+            code_channels=width, activation=activation,
+        )
+        seg = BCAEDecoder2D(
+            n=n, d=d, out_channels=in_channels, width=width,
+            output_activation="sigmoid", activation=activation,
+        )
+        reg = BCAEDecoder2D(
+            n=n, d=d, out_channels=in_channels, width=width,
+            output_activation="identity", activation=activation,
+        )
+        super().__init__(encoder, seg, reg, threshold=threshold, name=f"bcae2d(m={m},n={n},d={d})")
+        self.m, self.n, self.d = int(m), int(n), int(d)
+
+    def code_shape(self, spatial: tuple[int, int]) -> tuple[int, int, int]:
+        """Code shape for ``(azim, horiz)`` input — paper: (32, 24, 32)."""
+
+        return self.encoder.code_shape(spatial)
+
+
+def build_bcae2d(m: int = 4, n: int = 8, d: int = 3, **kwargs) -> BCAE2D:
+    """Factory mirroring the paper's ``BCAE-2D(m, n, d)`` notation."""
+
+    return BCAE2D(m=m, n=n, d=d, **kwargs)

@@ -1,0 +1,221 @@
+"""3D BCAE variants: original BCAE, BCAE++, BCAE-HT (paper §2.2–2.3).
+
+All three share the same residual topology (Figure 4) with four
+downsampling stages that halve the azimuthal and horizontal axes while
+leaving the 16 radial layers untouched.  They differ in:
+
+================  ==================  ======================  ==============
+variant           encoder features    input horizontal        normalization
+================  ==================  ======================  ==============
+BCAE (original)   (8, 16, 32, 32)     unpadded (249)          BatchNorm
+BCAE++            (8, 16, 32, 32)     zero-padded to 256      none
+BCAE-HT           (2, 4, 4, 8)        zero-padded to 256      none
+================  ==================  ======================  ==============
+
+Padding to 256 lets every stage use kernel 4 / stride 2 / padding 1
+uniformly and shrinks the code from ``(8, 17, 13, 16)`` to
+``(8, 16, 12, 16)``, lifting the compression ratio from 27.041 to 31.125
+(§2.3).  The original BCAE's odd code sizes are reproduced with a final
+stage of kernel 3 / padding 2 (the exact 2021 hyper-parameters are not
+restated in this paper; this choice lands on the published code shape).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .. import nn
+from .blocks import DownBlock3d, UpBlock3d
+
+__all__ = ["StagePlan", "plan_stages", "BCAEEncoder3D", "BCAEDecoder3D"]
+
+
+@dataclasses.dataclass(frozen=True)
+class StagePlan:
+    """Geometry of one down/up-sampling stage.
+
+    ``kernel``/``stride``/``padding`` are per-axis (radial, azim, horiz);
+    ``in_spatial``/``out_spatial`` are the encoder-direction sizes and
+    ``output_padding`` is what the mirrored transposed convolution needs to
+    reproduce ``in_spatial`` exactly.
+    """
+
+    kernel: tuple[int, int, int]
+    stride: tuple[int, int, int]
+    padding: tuple[tuple[int, int], ...]
+    in_spatial: tuple[int, int, int]
+    out_spatial: tuple[int, int, int]
+    output_padding: tuple[int, int, int]
+
+
+def _conv_out(size: int, k: int, s: int, p: tuple[int, int]) -> int:
+    return (size + p[0] + p[1] - k) // s + 1
+
+
+def plan_stages(
+    spatial: tuple[int, int, int],
+    n_stages: int = 4,
+    legacy_tail: bool = False,
+) -> list[StagePlan]:
+    """Plan the downsampling stages for a 3D BCAE encoder.
+
+    Parameters
+    ----------
+    spatial:
+        Input spatial shape (radial, azimuthal, horizontal).
+    n_stages:
+        Number of ×2 stages (paper: 4).
+    legacy_tail:
+        If True, the last stage uses kernel 3 / padding 2 on the
+        downsampled axes — the original-BCAE configuration that produces
+        the odd ``(…, 13, 17)`` code sizes from unpadded inputs.
+
+    Returns
+    -------
+    One :class:`StagePlan` per stage, with the transposed-convolution
+    ``output_padding`` that makes the decoder invert sizes exactly.
+    """
+
+    plans: list[StagePlan] = []
+    cur = tuple(int(s) for s in spatial)
+    for stage in range(n_stages):
+        legacy = legacy_tail and stage == n_stages - 1
+        if legacy:
+            kernel, padding = (3, 3, 3), ((1, 1), (2, 2), (2, 2))
+        else:
+            kernel, padding = (3, 4, 4), ((1, 1), (1, 1), (1, 1))
+        stride = (1, 2, 2)
+        out = tuple(
+            _conv_out(c, k, s, p) for c, k, s, p in zip(cur, kernel, stride, padding)
+        )
+        if min(out) < 1:
+            raise ValueError(f"spatial {spatial} too small for {n_stages} stages")
+        base = tuple(
+            (o - 1) * s - p[0] - p[1] + k
+            for o, k, s, p in zip(out, kernel, stride, padding)
+        )
+        op = tuple(c - b for c, b in zip(cur, base))
+        for o, s in zip(op, stride):
+            if not (0 <= o < max(s, 1) or (o == 0 and s == 1)):
+                raise ValueError(f"cannot invert stage sizes {cur} -> {out} (op={op})")
+        plans.append(
+            StagePlan(
+                kernel=kernel,
+                stride=stride,
+                padding=padding,
+                in_spatial=cur,
+                out_spatial=out,
+                output_padding=op,
+            )
+        )
+        cur = out
+    return plans
+
+
+class BCAEEncoder3D(nn.Module):
+    """3D BCAE encoder (original / ++ / HT depending on features & plan).
+
+    Input tensors are ``(B, radial, azim, horiz)`` wedges; a singleton
+    channel axis is inserted internally, so the public shape convention
+    matches the 2D models.
+    """
+
+    def __init__(
+        self,
+        spatial: tuple[int, int, int] = (16, 192, 256),
+        features: tuple[int, ...] = (8, 16, 32, 32),
+        code_channels: int = 8,
+        norm: bool = False,
+        legacy_tail: bool = False,
+        activation: str = "leaky_relu",
+    ) -> None:
+        super().__init__()
+        self.spatial = tuple(int(s) for s in spatial)
+        self.features = tuple(int(f) for f in features)
+        self.code_channels = int(code_channels)
+        self.plans = plan_stages(self.spatial, len(features), legacy_tail)
+
+        blocks = nn.Sequential()
+        in_ch = 1
+        for feat, plan in zip(self.features, self.plans):
+            blocks.append(
+                DownBlock3d(
+                    in_ch,
+                    feat,
+                    kernel=plan.kernel,
+                    stride=plan.stride,
+                    padding=plan.padding,
+                    norm=norm,
+                    activation=activation,
+                )
+            )
+            in_ch = feat
+        blocks.append(nn.Conv3d(in_ch, code_channels, 1))
+        self.blocks = blocks
+
+    @property
+    def code_shape(self) -> tuple[int, int, int, int]:
+        """Code shape (channels, radial, azim, horiz) — paper: (8, 16, 12, 16)."""
+
+        return (self.code_channels,) + self.plans[-1].out_spatial
+
+    def forward(self, x):
+        """Encode ``(B, radial, azim, horiz)`` wedges into 3D codes."""
+
+        if x.ndim != 4:
+            raise ValueError(f"expected (B, radial, azim, horiz), got {x.shape}")
+        b = x.shape[0]
+        vol = x.reshape(b, 1, *x.shape[1:])
+        return self.blocks(vol)
+
+
+class BCAEDecoder3D(nn.Module):
+    """3D BCAE decoder mirroring :class:`BCAEEncoder3D`.
+
+    The channel chain reverses the encoder features and the transposed
+    convolutions consume the stage plans in reverse with the solved
+    ``output_padding``, so decoded wedges have exactly the encoder's input
+    spatial shape (odd sizes included).
+    """
+
+    def __init__(
+        self,
+        encoder: BCAEEncoder3D,
+        output_activation: nn.Module | None = None,
+        norm: bool = False,
+        activation: str = "leaky_relu",
+    ) -> None:
+        super().__init__()
+        feats = encoder.features
+        plans = encoder.plans
+        self.out_spatial = encoder.spatial
+
+        stages = nn.Sequential(nn.Conv3d(encoder.code_channels, feats[-1], 1))
+        in_ch = feats[-1]
+        # Walk stages in reverse; output channels mirror the encoder chain.
+        rev_out = list(feats[-2::-1]) + [feats[0]]
+        for plan, out_ch in zip(reversed(plans), rev_out):
+            stages.append(
+                UpBlock3d(
+                    in_ch,
+                    out_ch,
+                    kernel=plan.kernel,
+                    stride=plan.stride,
+                    padding=plan.padding,
+                    output_padding=plan.output_padding,
+                    norm=norm,
+                    activation=activation,
+                )
+            )
+            in_ch = out_ch
+        stages.append(nn.Conv3d(in_ch, 1, 1))
+        self.stages = stages
+        self.output_activation = output_activation if output_activation is not None else nn.Identity()
+
+    def forward(self, code):
+        """Decode codes back to ``(B, radial, azim, horiz)`` maps."""
+
+        y = self.stages(code)
+        y = self.output_activation(y)
+        # Drop the singleton channel: back to (B, radial, azim, horiz).
+        return y.reshape(y.shape[0], *y.shape[2:])

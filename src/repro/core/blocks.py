@@ -1,0 +1,146 @@
+"""Residual building blocks of the BCAE family (paper Figure 4).
+
+Figure 4 shows both the encoder and the decoders assembled from residual
+blocks whose main path is two Conv/deConv→Activation→(Normalization) stages
+and whose skip path is a single Conv/deConv→Activation→(Normalization); the
+two paths are summed.
+
+* The 3D variants use the strided (down/up-sampling) convolution as the
+  first main-path layer and on the skip path.  BCAE++ removes the
+  normalization layers (§2.3); the original-BCAE baseline keeps them.
+* The 2D variant (Algorithms 1–2) uses plain two-convolution residual
+  blocks with identity skips — resolution changes are handled outside the
+  block by ``AvgPool2d`` / ``Upsample``.
+"""
+
+from __future__ import annotations
+
+from .. import nn
+
+__all__ = ["ResBlock2d", "DownBlock3d", "UpBlock3d", "make_activation"]
+
+
+def make_activation(name: str = "leaky_relu") -> nn.Module:
+    """Instantiate an activation by name (default: LeakyReLU 0.01)."""
+
+    table = {
+        "relu": nn.ReLU,
+        "leaky_relu": nn.LeakyReLU,
+        "sigmoid": nn.Sigmoid,
+        "tanh": nn.Tanh,
+        "identity": nn.Identity,
+    }
+    if name not in table:
+        raise ValueError(f"unknown activation {name!r}; options: {sorted(table)}")
+    return table[name]()
+
+
+class ResBlock2d(nn.Module):
+    """Two 3×3 convolutions with an identity skip (Algorithm 1/2's ``Res``).
+
+    ``Res(i=32, o=32, k=3, p=1)`` in the paper's notation.  Channel counts
+    are equal on both ends so the skip is the identity; the per-block
+    parameter increment (2 · 32·32·3·3 weights ≈ 36.1k per pair of blocks)
+    matches the encoder-size ladder of Figure 6E.
+    """
+
+    def __init__(self, channels: int, kernel_size: int = 3, activation: str = "leaky_relu") -> None:
+        super().__init__()
+        pad = kernel_size // 2
+        self.conv1 = nn.Conv2d(channels, channels, kernel_size, padding=pad)
+        self.act1 = make_activation(activation)
+        self.conv2 = nn.Conv2d(channels, channels, kernel_size, padding=pad)
+        self.act2 = make_activation(activation)
+
+    def forward(self, x):
+        """act(conv(act(conv(x)))) + x."""
+
+        y = self.act1(self.conv1(x))
+        y = self.act2(self.conv2(y))
+        return y + x
+
+
+class DownBlock3d(nn.Module):
+    """3D residual downsampling block (Figure 4, encoder side).
+
+    Main path: strided conv → act → (norm) → 3³ conv → act → (norm);
+    skip path: strided conv → act → (norm); outputs summed.
+
+    The stride is ``(1, 2, 2)``: the paper's 3D encoders halve only the
+    azimuthal and horizontal axes, never the 16-layer radial axis (that is
+    how BCAE++'s code keeps 16 radial planes: ``(8, 16, 12, 16)``).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel=(3, 4, 4),
+        stride=(1, 2, 2),
+        padding=(1, 1, 1),
+        norm: bool = False,
+        activation: str = "leaky_relu",
+    ) -> None:
+        super().__init__()
+        self.down = nn.Conv3d(in_channels, out_channels, kernel, stride=stride, padding=padding)
+        self.act1 = make_activation(activation)
+        self.norm1 = nn.BatchNorm3d(out_channels) if norm else nn.Identity()
+        self.conv = nn.Conv3d(out_channels, out_channels, 3, stride=1, padding=1)
+        self.act2 = make_activation(activation)
+        self.norm2 = nn.BatchNorm3d(out_channels) if norm else nn.Identity()
+        self.skip = nn.Conv3d(in_channels, out_channels, kernel, stride=stride, padding=padding)
+        self.act3 = make_activation(activation)
+        self.norm3 = nn.BatchNorm3d(out_channels) if norm else nn.Identity()
+
+    def forward(self, x):
+        """Strided main path + strided skip, summed (Figure 4)."""
+
+        main = self.norm1(self.act1(self.down(x)))
+        main = self.norm2(self.act2(self.conv(main)))
+        skip = self.norm3(self.act3(self.skip(x)))
+        return main + skip
+
+
+class UpBlock3d(nn.Module):
+    """3D residual upsampling block (Figure 4, decoder side).
+
+    Mirror of :class:`DownBlock3d` with transposed convolutions;
+    ``output_padding`` recovers the exact (possibly odd) encoder input sizes
+    of the unpadded original BCAE.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel=(3, 4, 4),
+        stride=(1, 2, 2),
+        padding=(1, 1, 1),
+        output_padding=(0, 0, 0),
+        norm: bool = False,
+        activation: str = "leaky_relu",
+    ) -> None:
+        super().__init__()
+        self.up = nn.ConvTranspose3d(
+            in_channels, out_channels, kernel, stride=stride, padding=padding,
+            output_padding=output_padding,
+        )
+        self.act1 = make_activation(activation)
+        self.norm1 = nn.BatchNorm3d(out_channels) if norm else nn.Identity()
+        self.conv = nn.Conv3d(out_channels, out_channels, 3, stride=1, padding=1)
+        self.act2 = make_activation(activation)
+        self.norm2 = nn.BatchNorm3d(out_channels) if norm else nn.Identity()
+        self.skip = nn.ConvTranspose3d(
+            in_channels, out_channels, kernel, stride=stride, padding=padding,
+            output_padding=output_padding,
+        )
+        self.act3 = make_activation(activation)
+        self.norm3 = nn.BatchNorm3d(out_channels) if norm else nn.Identity()
+
+    def forward(self, x):
+        """Transposed main path + transposed skip, summed (Figure 4)."""
+
+        main = self.norm1(self.act1(self.up(x)))
+        main = self.norm2(self.act2(self.conv(main)))
+        skip = self.norm3(self.act3(self.skip(x)))
+        return main + skip

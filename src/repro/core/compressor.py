@@ -1,0 +1,156 @@
+"""End-to-end compression interface around a trained BCAE (paper §3.1).
+
+The deployable artifact is the *encoder* running in the counting house: raw
+zero-suppressed wedges come in, fp16 codes go out to permanent storage.  The
+decoders run offline at analysis time.  The paper computes the compression
+ratio treating both the input and the code as 16-bit floats:
+
+    ratio = (wedge voxels) / (code elements) = 764928 / 24576 = 31.125
+
+for BCAE++/HT/2D on the paper grid, and 27.041 for the original BCAE.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from ..tpc.transforms import (
+    log_transform,
+    inverse_log_transform,
+    pad_horizontal,
+    padded_length,
+    unpad_horizontal,
+)
+from .heads import BicephalousAutoencoder
+
+__all__ = ["CompressedWedges", "BCAECompressor"]
+
+
+@dataclasses.dataclass
+class CompressedWedges:
+    """A batch of compressed wedges.
+
+    Attributes
+    ----------
+    payload:
+        The fp16 code bytes — what would be written to storage.
+    code_shape:
+        Per-wedge code shape (without the batch axis).
+    n_wedges:
+        Number of wedges in the payload.
+    original_horizontal:
+        Unpadded horizontal size, needed to clip the reconstruction.
+    """
+
+    payload: bytes
+    code_shape: tuple[int, ...]
+    n_wedges: int
+    original_horizontal: int
+
+    @property
+    def nbytes(self) -> int:
+        """Stored payload size in bytes."""
+
+        return len(self.payload)
+
+    def codes(self) -> np.ndarray:
+        """Decode the payload back into an fp16 code array."""
+
+        arr = np.frombuffer(self.payload, dtype=np.float16)
+        return arr.reshape((self.n_wedges,) + self.code_shape)
+
+
+class BCAECompressor:
+    """Compress/decompress raw ADC wedges with a trained bicephalous model.
+
+    Parameters
+    ----------
+    model:
+        A :class:`BicephalousAutoencoder` (any variant).
+    half:
+        Run inference in the paper's half-precision mode (default True —
+        "the most likely computation model for future deployment", §3.3).
+    """
+
+    def __init__(self, model: BicephalousAutoencoder, half: bool = True) -> None:
+        self.model = model
+        self.half = bool(half)
+
+    # ------------------------------------------------------------------
+    def _prepare(self, wedges: np.ndarray) -> tuple[np.ndarray, int]:
+        """Raw ADC (B, R, A, H) → padded log-transformed network input."""
+
+        if wedges.ndim == 3:
+            wedges = wedges[None]
+        horizontal = wedges.shape[-1]
+        x = log_transform(wedges)
+        if hasattr(self.model.encoder, "spatial"):
+            # 3D models carry their exact input spatial shape.
+            target = self.model.encoder.spatial[-1]
+        else:
+            # 2D models only need divisibility by 2^d.
+            target = padded_length(horizontal, 2 ** self.model.encoder.d)
+        if target != horizontal:
+            x = pad_horizontal(x, target)
+        return x, horizontal
+
+    # ------------------------------------------------------------------
+    def compress(self, wedges: np.ndarray) -> CompressedWedges:
+        """Compress raw ADC wedges ``(B, R, A, H)`` (or a single wedge).
+
+        Returns the fp16 code payload — the storage unit of the paper.
+        """
+
+        x, horizontal = self._prepare(wedges)
+        with nn.no_grad(), nn.amp.autocast(self.half):
+            code = self.model.encode(Tensor(x))
+        code16 = code.data.astype(np.float16)
+        return CompressedWedges(
+            payload=code16.tobytes(),
+            code_shape=code16.shape[1:],
+            n_wedges=code16.shape[0],
+            original_horizontal=horizontal,
+        )
+
+    # ------------------------------------------------------------------
+    def decompress(self, compressed: CompressedWedges) -> np.ndarray:
+        """Decompress codes to log-ADC reconstructions ``(B, R, A, H)``.
+
+        The horizontal padding is clipped (paper §2.3: metrics are computed
+        on the unpadded region only).
+        """
+
+        codes = compressed.codes().astype(np.float32)
+        with nn.no_grad(), nn.amp.autocast(self.half):
+            seg, reg = self.model.decode(Tensor(codes))
+        recon = reg.data * (seg.data > self.model.threshold)
+        return unpad_horizontal(recon, compressed.original_horizontal)
+
+    def decompress_adc(self, compressed: CompressedWedges) -> np.ndarray:
+        """Decompress all the way back to integer ADC counts."""
+
+        return inverse_log_transform(self.decompress(compressed))
+
+    # ------------------------------------------------------------------
+    def roundtrip(self, wedges: np.ndarray) -> tuple[np.ndarray, CompressedWedges]:
+        """Compress + decompress; returns (reconstruction, compressed)."""
+
+        compressed = self.compress(wedges)
+        return self.decompress(compressed), compressed
+
+    # ------------------------------------------------------------------
+    def compression_ratio(self, wedge_spatial: tuple[int, int, int]) -> float:
+        """Paper §3.1 ratio: input elements / code elements (both fp16).
+
+        For the paper grid this is 31.125 (BCAE++/HT/2D) or 27.041 (BCAE).
+        """
+
+        x = np.zeros((1,) + tuple(wedge_spatial), dtype=np.uint16)
+        compressed = self.compress(x)
+        n_in = int(np.prod(wedge_spatial))
+        n_code = int(np.prod(compressed.code_shape))
+        return n_in / n_code

@@ -1,0 +1,75 @@
+"""BCAE-2D decoder — Algorithm 2 of the paper.
+
+Algorithm 2 (verbatim structure)::
+
+    for i in 1..n:
+        if i <= d: Upsample(scale_factor=2)
+        2 × Res(i=32, o=32, k=3, p=1)
+    L_out = Conv2D(i=32, o=16, k=1)
+    A (output activation)
+
+The decoder *must* perform the same number of upsampling steps ``d`` as the
+encoder's downsamplings (paper note in Algorithm 2).  The segmentation
+decoder uses a Sigmoid output activation; the regression decoder uses the
+identity (§2.4).  ``n`` may exceed ``m`` — the unbalanced-autoencoder study
+of Figure 7 shows deeper decoders buy accuracy without touching encoder-side
+(real-time) throughput.
+"""
+
+from __future__ import annotations
+
+from .. import nn
+from .blocks import ResBlock2d, make_activation
+
+__all__ = ["BCAEDecoder2D"]
+
+
+class BCAEDecoder2D(nn.Module):
+    """Algorithm 2: 2D decoder with ``n`` blocks and ``d`` upsamplings.
+
+    Parameters
+    ----------
+    n:
+        Number of decoder blocks (paper grid: 3–11; default 8).
+    d:
+        Number of ×2 upsamplings; must equal the encoder's ``d``.
+    out_channels:
+        Output radial layers (paper: 16).
+    width:
+        Trunk channel count (paper: 32); also the code channel count.
+    output_activation:
+        ``"sigmoid"`` for the segmentation head, ``"identity"`` for the
+        regression head (paper §2.4).
+    """
+
+    def __init__(
+        self,
+        n: int = 8,
+        d: int = 3,
+        out_channels: int = 16,
+        width: int = 32,
+        output_activation: str = "identity",
+        activation: str = "leaky_relu",
+    ) -> None:
+        super().__init__()
+        if d > n:
+            raise ValueError(f"upsamplings d={d} cannot exceed blocks n={n}")
+        self.n = int(n)
+        self.d = int(d)
+        self.out_channels = int(out_channels)
+        self.width = int(width)
+
+        stages = nn.Sequential()
+        for i in range(1, n + 1):
+            if i <= d:
+                stages.append(nn.Upsample2d(2))
+            stages.append(ResBlock2d(width, activation=activation))
+            stages.append(ResBlock2d(width, activation=activation))
+        stages.append(nn.Conv2d(width, out_channels, 1))
+        stages.append(make_activation(output_activation))
+        self.stages = stages
+
+    def forward(self, code):
+        """Decode ``(B, 32, a, h)`` codes into ``(B, 16, a·2^d, h·2^d)`` maps."""
+
+        return self.stages(code)

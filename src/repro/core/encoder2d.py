@@ -1,0 +1,87 @@
+"""BCAE-2D encoder — Algorithm 1 of the paper.
+
+The 16 radial TPC layers become the *channel* dimension of a 2D image
+(azimuthal × horizontal).  The paper motivates this with the broken
+translation invariance along the radial direction: within a layer group all
+layers share the azimuthal bin count, so the physical bin pitch grows with
+radius and a 3D convolution's radial weight sharing is ill-posed (§2.4).
+
+Algorithm 1 (verbatim structure)::
+
+    L_in  = Conv2D(i=16, o=32, k=7, p=3)
+    for i in 1..m:
+        if i <= d: AvgPool2D(k=2, s=2)
+        2 × Res(i=32, o=32, k=3, p=1)
+    L_out = Conv2D(i=32, o=32, k=1)
+
+Deviation note: the paper's listing prints ``o=16`` for ``L_out``, which
+contradicts the stated code shape ``(32, 24, 32)`` and the compression ratio
+31.125 (§3.1); we use ``o=32``, consistent with §3.1 (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from .. import nn
+from .blocks import ResBlock2d
+
+__all__ = ["BCAEEncoder2D"]
+
+
+class BCAEEncoder2D(nn.Module):
+    """Algorithm 1: 2D encoder with ``m`` blocks and ``d`` downsamplings.
+
+    Parameters
+    ----------
+    m:
+        Number of encoder blocks (paper grid: 3–7; default 4).
+    d:
+        Number of AvgPool downsamplings (paper fixes d=3 so the compression
+        ratio matches the 3D variants).
+    in_channels:
+        Radial layers treated as channels (paper: 16).
+    width:
+        Trunk channel count (paper: 32).
+    code_channels:
+        Channels of the produced code (paper: 32 — see deviation note).
+    """
+
+    def __init__(
+        self,
+        m: int = 4,
+        d: int = 3,
+        in_channels: int = 16,
+        width: int = 32,
+        code_channels: int = 32,
+        activation: str = "leaky_relu",
+    ) -> None:
+        super().__init__()
+        if d > m:
+            raise ValueError(f"downsamplings d={d} cannot exceed blocks m={m}")
+        self.m = int(m)
+        self.d = int(d)
+        self.in_channels = int(in_channels)
+        self.width = int(width)
+        self.code_channels = int(code_channels)
+
+        stages = nn.Sequential(nn.Conv2d(in_channels, width, 7, padding=3))
+        for i in range(1, m + 1):
+            if i <= d:
+                stages.append(nn.AvgPool2d(2))
+            stages.append(ResBlock2d(width, activation=activation))
+            stages.append(ResBlock2d(width, activation=activation))
+        stages.append(nn.Conv2d(width, code_channels, 1))
+        self.stages = stages
+
+    def forward(self, x):
+        """Encode ``(B, 16, A, H)`` log-ADC wedges into ``(B, 32, A/2^d, H/2^d)`` codes."""
+
+        return self.stages(x)
+
+    def code_shape(self, spatial: tuple[int, int]) -> tuple[int, int, int]:
+        """Code shape (channels, azim, horiz) for a given input spatial size."""
+
+        a, h = spatial
+        f = 2**self.d
+        if a % f or h % f:
+            raise ValueError(f"spatial {spatial} not divisible by 2^d = {f}")
+        return (self.code_channels, a // f, h // f)

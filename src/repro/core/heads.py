@@ -1,0 +1,108 @@
+"""Bicephalous head assembly (paper §2.2, Figure 4).
+
+A BCAE couples one encoder with *two* decoders:
+
+* the **segmentation decoder** ``D_seg`` classifies each voxel zero/nonzero
+  (trained with focal loss — the data are ~89% zeros);
+* the **regression decoder** ``D_reg`` predicts the log-ADC value.
+
+The reconstruction is the masked combination ``ṽ = v̂ · 1[l̂ > h]`` with
+classification threshold ``h`` (0.5 throughout the paper): zeros come from
+the segmentation mask, values above the zero-suppression edge come from the
+regression head (optionally through the output transform ``T``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+
+__all__ = ["BCAEOutput", "BicephalousAutoencoder"]
+
+
+@dataclasses.dataclass
+class BCAEOutput:
+    """Everything a forward pass produces.
+
+    Attributes
+    ----------
+    code:
+        Latent code tensor (what would be stored, as fp16).
+    seg:
+        Voxelwise nonzero probabilities from ``D_seg``.
+    reg:
+        Regression output from ``D_reg`` (post output-transform).
+    """
+
+    code: Tensor
+    seg: Tensor
+    reg: Tensor
+
+    def reconstruction(self, threshold: float = 0.5) -> np.ndarray:
+        """Masked reconstruction ``ṽ`` as a plain array (inference path)."""
+
+        mask = self.seg.data > threshold
+        return self.reg.data * mask
+
+
+class BicephalousAutoencoder(nn.Module):
+    """Encoder + two decoders with the masked-combination convention.
+
+    Wraps any (encoder, seg decoder, reg decoder) triple that follows the
+    ``(B, radial, azim, horiz)`` tensor convention; used for both the 2D and
+    3D families.
+    """
+
+    def __init__(
+        self,
+        encoder: nn.Module,
+        seg_decoder: nn.Module,
+        reg_decoder: nn.Module,
+        threshold: float = 0.5,
+        name: str = "bcae",
+    ) -> None:
+        super().__init__()
+        self.encoder = encoder
+        self.seg_decoder = seg_decoder
+        self.reg_decoder = reg_decoder
+        self.threshold = float(threshold)
+        self.model_name = name
+
+    # ------------------------------------------------------------------
+    def encode(self, x: Tensor) -> Tensor:
+        """Compress: wedges ``(B, R, A, H)`` → latent codes."""
+
+        return self.encoder(x)
+
+    def decode(self, code: Tensor) -> tuple[Tensor, Tensor]:
+        """Decompress: latent codes → (segmentation probs, regression values)."""
+
+        return self.seg_decoder(code), self.reg_decoder(code)
+
+    def forward(self, x: Tensor) -> BCAEOutput:
+        """Encode then decode; returns code + both head outputs."""
+
+        code = self.encode(x)
+        seg, reg = self.decode(code)
+        return BCAEOutput(code=code, seg=seg, reg=reg)
+
+    # ------------------------------------------------------------------
+    def reconstruct(self, x: Tensor) -> np.ndarray:
+        """Full round trip returning the masked reconstruction array."""
+
+        out = self.forward(x)
+        return out.reconstruction(self.threshold)
+
+    def encoder_parameters(self) -> int:
+        """Trainable encoder size — the paper's model-size metric (Table 1)."""
+
+        return self.encoder.num_parameters()
+
+    def decoder_parameters(self) -> int:
+        """Combined size of both decoders."""
+
+        return self.seg_decoder.num_parameters() + self.reg_decoder.num_parameters()

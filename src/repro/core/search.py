@@ -1,0 +1,192 @@
+"""Programmatic architecture search over BCAE-2D(m, n, d) (paper §2.3–2.5).
+
+BCAE++'s move to uniform k=4/s=2/p=1 stages was motivated by "streamlining
+the neural network architecture search in a programmatic way" (§2.3), and
+the paper's own selection of BCAE-2D(m=4, n=8, d=3) came from a grid search
+balancing reconstruction accuracy against compression throughput (§2.4,
+Figures 6E/7).  This module packages that workflow:
+
+* :func:`enumerate_candidates` — the (m, n, d) grid with structural facts
+  (encoder size, code shape, compression ratio) computed without training;
+* :func:`throughput_frontier` — attach modeled A6000 throughput and reduce
+  to the Pareto frontier of (encoder size ↓, throughput ↑);
+* :func:`search` — optionally train each candidate briefly and rank by a
+  throughput/accuracy trade-off, reproducing the paper's selection logic
+  at any compute budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable
+
+import numpy as np
+
+from .. import nn
+from ..perf.flops import trace_encoder
+from ..perf.roofline import estimate_throughput
+from .bcae2d import BCAE2D
+
+__all__ = [
+    "Candidate",
+    "enumerate_candidates",
+    "throughput_frontier",
+    "pareto_front",
+    "search",
+]
+
+
+@dataclasses.dataclass
+class Candidate:
+    """One BCAE-2D(m, n, d) configuration and its evaluated properties."""
+
+    m: int
+    n: int
+    d: int
+    encoder_params: int
+    code_ratio: float
+    throughput: float | None = None
+    accuracy_mae: float | None = None
+    score: float | None = None
+
+    @property
+    def label(self) -> str:
+        """Paper-style name, e.g. ``BCAE-2D(m=4, n=8, d=3)``."""
+
+        return f"BCAE-2D(m={self.m}, n={self.n}, d={self.d})"
+
+    def row(self) -> str:
+        """One-line summary for ranking tables."""
+
+        tput = f"{self.throughput:8.0f}" if self.throughput is not None else "   n/a  "
+        mae = f"{self.accuracy_mae:8.4f}" if self.accuracy_mae is not None else "   n/a  "
+        return (
+            f"{self.label:26s} enc={self.encoder_params / 1e3:7.1f}k "
+            f"ratio={self.code_ratio:7.3f} tput={tput} MAE={mae}"
+        )
+
+
+def enumerate_candidates(
+    ms: Iterable[int] = (3, 4, 5, 6, 7),
+    ns: Iterable[int] = (3, 5, 7, 9, 11),
+    ds: Iterable[int] = (3,),
+    wedge_spatial: tuple[int, int, int] = (16, 192, 249),
+) -> list[Candidate]:
+    """The paper's grid (§3.5: m ∈ 3..7, n ∈ 3..11, d = 3), structurally
+    evaluated (no training, no timing)."""
+
+    from ..tpc.transforms import padded_length
+
+    r, a, h = wedge_spatial
+    hp = padded_length(h, 16)
+    out: list[Candidate] = []
+    for d in ds:
+        for m in ms:
+            if d > m:
+                continue
+            for n in ns:
+                if d > n:
+                    continue
+                nn.init.seed(0)
+                model = BCAE2D(m=m, n=n, d=d, in_channels=r)
+                code = model.code_shape((a, hp))
+                ratio = (r * a * h) / float(np.prod(code))
+                out.append(
+                    Candidate(
+                        m=m,
+                        n=n,
+                        d=d,
+                        encoder_params=model.encoder_parameters(),
+                        code_ratio=ratio,
+                    )
+                )
+    return out
+
+
+def throughput_frontier(
+    candidates: list[Candidate],
+    wedge_spatial: tuple[int, int, int] = (16, 192, 249),
+    batch: int = 64,
+    half: bool = True,
+) -> list[Candidate]:
+    """Attach modeled encoder throughput to every candidate (in place).
+
+    Decoder depth ``n`` does not touch the encoder, so throughput is
+    computed once per distinct (m, d) — the paper's unbalanced-autoencoder
+    observation exploited for search efficiency.
+    """
+
+    from ..tpc.transforms import padded_length
+
+    r, a, h = wedge_spatial
+    shape = (r, a, padded_length(h, 16))
+    cache: dict[tuple[int, int], float] = {}
+    for c in candidates:
+        key = (c.m, c.d)
+        if key not in cache:
+            nn.init.seed(0)
+            model = BCAE2D(m=c.m, n=c.d, d=c.d, in_channels=r)
+            trace = trace_encoder(model, shape, name=f"m={c.m},d={c.d}")
+            cache[key] = estimate_throughput(trace, batch, half=half)
+        c.throughput = cache[key]
+    return candidates
+
+
+def pareto_front(candidates: list[Candidate]) -> list[Candidate]:
+    """Pareto-optimal set for (encoder_params ↓, throughput ↑).
+
+    A candidate is dominated if another has both fewer (or equal) encoder
+    parameters and strictly higher throughput (or equal throughput and
+    strictly fewer parameters).
+    """
+
+    front = []
+    for c in candidates:
+        if c.throughput is None:
+            raise ValueError("run throughput_frontier first")
+        dominated = any(
+            (o.encoder_params <= c.encoder_params and o.throughput > c.throughput)
+            or (o.encoder_params < c.encoder_params and o.throughput >= c.throughput)
+            for o in candidates
+            if o is not c
+        )
+        if not dominated:
+            front.append(c)
+    return sorted(front, key=lambda c: c.encoder_params)
+
+
+def search(
+    candidates: list[Candidate],
+    evaluate: Callable[[Candidate], float] | None = None,
+    throughput_weight: float = 1.0,
+    accuracy_weight: float = 1.0,
+) -> list[Candidate]:
+    """Rank candidates by a throughput/accuracy trade-off (paper §2.4).
+
+    Parameters
+    ----------
+    candidates:
+        With ``throughput`` attached (see :func:`throughput_frontier`).
+    evaluate:
+        Optional callback returning a *test MAE* for a candidate — plug in
+        a micro-training loop (see ``benchmarks/bench_fig7_grid_search``).
+        Without it, ranking is throughput-only.
+    throughput_weight, accuracy_weight:
+        Weights of the combined score
+        ``w_t·log(throughput) − w_a·log(MAE)`` (both monotone-better).
+
+    Returns
+    -------
+    Candidates sorted by descending score.
+    """
+
+    for c in candidates:
+        if c.throughput is None:
+            raise ValueError("run throughput_frontier first")
+        if evaluate is not None:
+            c.accuracy_mae = float(evaluate(c))
+        score = throughput_weight * float(np.log(c.throughput))
+        if c.accuracy_mae is not None:
+            score -= accuracy_weight * float(np.log(max(c.accuracy_mae, 1e-9)))
+        c.score = score
+    return sorted(candidates, key=lambda c: -(c.score or -np.inf))

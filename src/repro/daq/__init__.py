@@ -1,0 +1,19 @@
+"""``repro.daq`` — streaming-readout queueing simulation (paper §1 context)."""
+
+from .simulation import (
+    SPHENIX_FRAME_RATE_HZ,
+    WEDGES_PER_FRAME,
+    DAQConfig,
+    DAQStats,
+    StreamingCompressionSim,
+    gpus_required,
+)
+
+__all__ = [
+    "DAQConfig",
+    "DAQStats",
+    "StreamingCompressionSim",
+    "gpus_required",
+    "SPHENIX_FRAME_RATE_HZ",
+    "WEDGES_PER_FRAME",
+]

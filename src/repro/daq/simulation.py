@@ -1,0 +1,204 @@
+"""Streaming-DAQ simulation (paper §1 motivation).
+
+The paper's context: sPHENIX digitizes 42M-voxel frames at **77 kHz** and
+wants to *store every collision* (streaming readout, no level-1 trigger),
+which is only possible if real-time compression keeps up.  Each of the 24
+wedges of each frame is compressed independently, so the system-level
+question is a queueing one:
+
+    Given a farm of compressors with measured/modeled per-wedge throughput,
+    a frame rate, and finite front-end buffers — what utilization, latency
+    and drop rate result?
+
+:class:`StreamingCompressionSim` answers it with a discrete-event
+simulation: Poisson (or periodic) frame arrivals fan out into wedge jobs,
+``n_servers`` compressors with deterministic service rates drain a bounded
+FIFO, and overflowing jobs are dropped (the triggered-DAQ fallback the
+paper wants to avoid).  The bench couples it to the roofline throughput of
+each BCAE variant to reproduce the paper's sizing argument: how many GPUs
+does each model need to sustain sPHENIX rates?
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+
+import numpy as np
+
+__all__ = ["DAQConfig", "DAQStats", "StreamingCompressionSim", "gpus_required"]
+
+#: sPHENIX TPC frame rate (paper §1/§2.1).
+SPHENIX_FRAME_RATE_HZ = 77_000.0
+
+#: Wedges per frame for one layer group (paper §2.1).
+WEDGES_PER_FRAME = 24
+
+
+@dataclasses.dataclass
+class DAQConfig:
+    """Parameters of one streaming-compression scenario.
+
+    Attributes
+    ----------
+    frame_rate_hz:
+        Readout frame rate (sPHENIX: 77 kHz — but note each *frame* here can
+        model a time-slice of the continuous stream).
+    wedges_per_frame:
+        Independent compression jobs per frame (paper: 24 per layer group).
+    server_rate_wps:
+        Per-server compression throughput [wedges/s] — plug in Table-1 /
+        roofline numbers.
+    n_servers:
+        Parallel compressors (GPUs).
+    buffer_wedges:
+        Front-end buffer capacity in wedges; arrivals beyond it are dropped.
+    periodic:
+        If True frames arrive on a fixed clock; otherwise Poisson.
+    """
+
+    frame_rate_hz: float = SPHENIX_FRAME_RATE_HZ
+    wedges_per_frame: int = WEDGES_PER_FRAME
+    server_rate_wps: float = 6900.0
+    n_servers: int = 1
+    buffer_wedges: int = 4096
+    periodic: bool = False
+
+
+@dataclasses.dataclass
+class DAQStats:
+    """Outcome of a simulation run."""
+
+    offered_wedges: int
+    completed_wedges: int
+    dropped_wedges: int
+    sim_seconds: float
+    mean_latency: float
+    p99_latency: float
+    mean_queue: float
+    utilization: float
+
+    @property
+    def drop_fraction(self) -> float:
+        """Fraction of offered wedges lost to buffer overflow."""
+
+        return self.dropped_wedges / max(self.offered_wedges, 1)
+
+    @property
+    def offered_load(self) -> float:
+        """ρ = arrival rate / total service rate (>1 ⇒ overload)."""
+
+        return self.offered_wedges / max(self.sim_seconds, 1e-12) / (
+            self.utilization_denominator()
+        )
+
+    def utilization_denominator(self) -> float:
+        """Aggregate service rate [wedges/s] backing :attr:`offered_load`."""
+
+        return self._total_rate
+
+    _total_rate: float = 0.0
+
+    def row(self) -> str:
+        """One-line summary for sizing tables."""
+
+        return (
+            f"util={self.utilization:6.3f} drop={self.drop_fraction:8.5f} "
+            f"latency(mean/p99)={self.mean_latency * 1e6:9.1f}/{self.p99_latency * 1e6:9.1f} µs "
+            f"queue(mean)={self.mean_queue:8.1f}"
+        )
+
+
+class StreamingCompressionSim:
+    """Discrete-event M/D/c (or D/D/c) queue of wedge-compression jobs."""
+
+    def __init__(self, config: DAQConfig, seed: int = 0) -> None:
+        self.config = config
+        self.rng = np.random.default_rng(seed)
+
+    def run(self, n_frames: int = 2000) -> DAQStats:
+        """Simulate ``n_frames`` frame arrivals; returns aggregate stats."""
+
+        cfg = self.config
+        service = 1.0 / cfg.server_rate_wps
+        frame_gap = 1.0 / cfg.frame_rate_hz
+
+        if cfg.periodic:
+            arrivals = np.arange(n_frames) * frame_gap
+        else:
+            arrivals = np.cumsum(self.rng.exponential(frame_gap, n_frames))
+
+        # Server availability times (min-heap) model the c servers.
+        servers = [0.0] * cfg.n_servers
+        heapq.heapify(servers)
+
+        queue: list[float] = []  # arrival times of waiting wedges
+        latencies: list[float] = []
+        dropped = 0
+        offered = 0
+        queue_area = 0.0
+        busy_time = 0.0
+        last_t = 0.0
+
+        for t in arrivals:
+            # Drain servers that free up before this arrival.
+            while queue and servers[0] <= t:
+                start = heapq.heappop(servers)
+                job_arrival = queue.pop(0)
+                begin = max(start, job_arrival)
+                finish = begin + service
+                heapq.heappush(servers, finish)
+                latencies.append(finish - job_arrival)
+                busy_time += service
+            queue_area += len(queue) * (t - last_t)
+            last_t = t
+
+            for _ in range(cfg.wedges_per_frame):
+                offered += 1
+                if len(queue) >= cfg.buffer_wedges:
+                    dropped += 1
+                    continue
+                queue.append(t)
+
+        # Drain everything left.
+        while queue:
+            start = heapq.heappop(servers)
+            job_arrival = queue.pop(0)
+            begin = max(start, job_arrival)
+            finish = begin + service
+            heapq.heappush(servers, finish)
+            latencies.append(finish - job_arrival)
+            busy_time += service
+
+        end_time = max(max(servers), float(arrivals[-1]))
+        lat = np.array(latencies) if latencies else np.zeros(1)
+        stats = DAQStats(
+            offered_wedges=offered,
+            completed_wedges=len(latencies),
+            dropped_wedges=dropped,
+            sim_seconds=end_time,
+            mean_latency=float(lat.mean()),
+            p99_latency=float(np.quantile(lat, 0.99)),
+            mean_queue=queue_area / max(float(arrivals[-1]), 1e-12),
+            utilization=busy_time / (end_time * cfg.n_servers),
+        )
+        stats._total_rate = cfg.n_servers * cfg.server_rate_wps
+        return stats
+
+
+def gpus_required(
+    server_rate_wps: float,
+    frame_rate_hz: float = SPHENIX_FRAME_RATE_HZ,
+    wedges_per_frame: int = WEDGES_PER_FRAME,
+    headroom: float = 1.2,
+) -> int:
+    """Minimum compressor count to sustain the stream with ``headroom``.
+
+    The paper's sizing arithmetic: the outer layer group alone offers
+    77 kHz × 24 = 1.848 M wedges/s; at BCAE-2D's 6.9 k wedges/s per GPU
+    that's ~268 GPUs before headroom — the number that motivates every
+    throughput optimization in the paper.
+    """
+
+    demand = frame_rate_hz * wedges_per_frame * headroom
+    return int(np.ceil(demand / server_rate_wps))

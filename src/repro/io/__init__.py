@@ -1,0 +1,5 @@
+"""``repro.io`` — persistence for codes and artifacts."""
+
+from .codes import load_compressed, save_compressed
+
+__all__ = ["save_compressed", "load_compressed"]

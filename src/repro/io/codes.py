@@ -1,0 +1,49 @@
+"""On-disk formats for compressed codes and evaluation artifacts.
+
+The deployment unit is the fp16 code payload produced by
+:class:`repro.core.BCAECompressor`; this module adds a simple npz container
+for archiving batches of compressed wedges together with the metadata needed
+to decompress them later (code shape, original horizontal size, model name).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..core.compressor import CompressedWedges
+
+__all__ = ["save_compressed", "load_compressed"]
+
+
+def save_compressed(
+    compressed: CompressedWedges, path: str | Path, model_name: str = ""
+) -> Path:
+    """Archive a compressed batch to ``path`` (npz)."""
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        payload=np.frombuffer(compressed.payload, dtype=np.uint8),
+        code_shape=np.array(compressed.code_shape, dtype=np.int64),
+        n_wedges=np.array([compressed.n_wedges], dtype=np.int64),
+        original_horizontal=np.array([compressed.original_horizontal], dtype=np.int64),
+        model_name=np.frombuffer(model_name.encode("utf-8"), dtype=np.uint8),
+    )
+    return path
+
+
+def load_compressed(path: str | Path) -> tuple[CompressedWedges, str]:
+    """Load an archived compressed batch; returns (payload, model name)."""
+
+    with np.load(Path(path)) as data:
+        compressed = CompressedWedges(
+            payload=data["payload"].tobytes(),
+            code_shape=tuple(int(v) for v in data["code_shape"]),
+            n_wedges=int(data["n_wedges"][0]),
+            original_horizontal=int(data["original_horizontal"][0]),
+        )
+        model_name = data["model_name"].tobytes().decode("utf-8")
+    return compressed, model_name

@@ -1,0 +1,25 @@
+"""``repro.metrics`` — the paper's reconstruction-accuracy metrics (§3.3)."""
+
+from .reconstruction import (
+    PEAK,
+    TRUTH_THRESHOLD,
+    ReconstructionMetrics,
+    evaluate_reconstruction,
+    mae,
+    mse,
+    occupancy,
+    precision_recall,
+    psnr,
+)
+
+__all__ = [
+    "ReconstructionMetrics",
+    "evaluate_reconstruction",
+    "mae",
+    "mse",
+    "psnr",
+    "precision_recall",
+    "occupancy",
+    "PEAK",
+    "TRUTH_THRESHOLD",
+]

@@ -1,0 +1,123 @@
+"""Reconstruction-accuracy metrics (paper §3.3).
+
+The paper evaluates four metrics on the log-ADC scale, always with the
+horizontal zero-padding clipped away:
+
+* **MAE** — mean absolute error of the masked reconstruction over *all*
+  voxels (Eq. 2 evaluated on the test set);
+* **PSNR** — peak signal-to-noise ratio; we take the peak as the full
+  log-ADC range (10 = log2(1024)); the paper does not state its peak
+  convention, so EXPERIMENTS.md compares orderings rather than absolutes;
+* **precision / recall** of the voxel classification, with ground-truth
+  positives defined as ``value > 6`` (all nonzero log-ADC values exceed
+  log2(65) ≈ 6.02 after zero-suppression) and predicted positives as
+  ``seg probability > h``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+__all__ = ["ReconstructionMetrics", "evaluate_reconstruction", "mae", "mse", "psnr", "precision_recall", "occupancy"]
+
+#: Ground-truth positive threshold (paper §3.3 uses 1[x > 6]).
+TRUTH_THRESHOLD = 6.0
+
+#: Peak value for PSNR on the log-ADC scale.
+PEAK = 10.0
+
+
+def mae(reconstruction: np.ndarray, truth: np.ndarray) -> float:
+    """Mean absolute error over all voxels."""
+
+    return float(np.mean(np.abs(reconstruction.astype(np.float64) - truth.astype(np.float64))))
+
+
+def mse(reconstruction: np.ndarray, truth: np.ndarray) -> float:
+    """Mean squared error over all voxels."""
+
+    diff = reconstruction.astype(np.float64) - truth.astype(np.float64)
+    return float(np.mean(diff * diff))
+
+
+def psnr(reconstruction: np.ndarray, truth: np.ndarray, peak: float = PEAK) -> float:
+    """Peak signal-to-noise ratio, ``10·log10(peak² / MSE)`` [dB]."""
+
+    err = mse(reconstruction, truth)
+    if err == 0.0:
+        return math.inf
+    return 10.0 * math.log10(peak * peak / err)
+
+
+def precision_recall(
+    seg_probs: np.ndarray,
+    truth: np.ndarray,
+    threshold: float = 0.5,
+    truth_threshold: float = TRUTH_THRESHOLD,
+) -> tuple[float, float]:
+    """Voxel-classification precision and recall (paper §3.3 definitions)."""
+
+    predicted = seg_probs > threshold
+    positive = truth > truth_threshold
+    tp = float(np.count_nonzero(predicted & positive))
+    pred_count = float(np.count_nonzero(predicted))
+    pos_count = float(np.count_nonzero(positive))
+    precision = tp / pred_count if pred_count else 0.0
+    recall = tp / pos_count if pos_count else 0.0
+    return precision, recall
+
+
+def occupancy(values: np.ndarray) -> float:
+    """Fraction of nonzero entries."""
+
+    return float(np.count_nonzero(values)) / values.size
+
+
+@dataclasses.dataclass
+class ReconstructionMetrics:
+    """Bundle of the four paper metrics (plus MSE for reference)."""
+
+    mae: float
+    psnr: float
+    precision: float
+    recall: float
+    mse: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view (for JSON/logging)."""
+
+        return dataclasses.asdict(self)
+
+    def __str__(self) -> str:
+        return (
+            f"MAE={self.mae:.4f} PSNR={self.psnr:.3f} "
+            f"precision={self.precision:.4f} recall={self.recall:.4f}"
+        )
+
+
+def evaluate_reconstruction(
+    reconstruction: np.ndarray,
+    seg_probs: np.ndarray,
+    truth: np.ndarray,
+    threshold: float = 0.5,
+) -> ReconstructionMetrics:
+    """Compute all Table-1 metrics for a reconstruction batch.
+
+    All arrays must already be clipped to the unpadded region (§2.3).
+    """
+
+    if reconstruction.shape != truth.shape or seg_probs.shape != truth.shape:
+        raise ValueError(
+            f"shape mismatch: recon {reconstruction.shape}, seg {seg_probs.shape}, truth {truth.shape}"
+        )
+    p, r = precision_recall(seg_probs, truth, threshold)
+    return ReconstructionMetrics(
+        mae=mae(reconstruction, truth),
+        psnr=psnr(reconstruction, truth),
+        precision=p,
+        recall=r,
+        mse=mse(reconstruction, truth),
+    )

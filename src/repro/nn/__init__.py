@@ -1,0 +1,105 @@
+"""``repro.nn`` — a from-scratch NumPy deep-learning substrate.
+
+The paper implements BCAE++/BCAE-HT/BCAE-2D in PyTorch 2.0; this package
+re-creates the required subset (reverse-mode autograd, 2D/3D strided and
+transposed convolutions, pooling/upsampling, batch norm, focal and masked-MAE
+losses, AdamW, LR schedules, half-precision emulation) in vectorized NumPy so
+the whole reproduction runs offline on CPU.
+"""
+
+from . import amp, init, pruning, quantization
+from .activations import LeakyReLU, ReLU, RegOutputTransform, Sigmoid, Tanh
+from .gradcheck import check_gradients, max_relative_error, numerical_gradient
+from .layers import (
+    AvgPool2d,
+    AvgPool3d,
+    Conv2d,
+    Conv3d,
+    ConvNd,
+    ConvTranspose2d,
+    ConvTranspose3d,
+    ConvTransposeNd,
+    Flatten,
+    Linear,
+    Upsample2d,
+    Upsample3d,
+)
+from .losses import (
+    FocalLoss,
+    MaskedMAELoss,
+    apply_segmentation_mask,
+    focal_loss,
+    mae_loss,
+    masked_mae_loss,
+    mse_loss,
+)
+from .modules import Identity, Module, ModuleList, Parameter, Sequential
+from .norm import BatchNorm2d, BatchNorm3d, BatchNormNd
+from .optim import SGD, AdamW, Optimizer
+from .schedules import (
+    ConstantThenStepDecay,
+    LRSchedule,
+    paper_schedule_2d,
+    paper_schedule_3d,
+)
+from .serialize import load_checkpoint, load_state, save_checkpoint, save_state
+from .tensor import Tensor, as_tensor, cat, enable_grad, is_grad_enabled, no_grad
+
+__all__ = [
+    "amp",
+    "init",
+    "pruning",
+    "quantization",
+    "Tensor",
+    "as_tensor",
+    "cat",
+    "no_grad",
+    "enable_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "Identity",
+    "Conv2d",
+    "Conv3d",
+    "ConvNd",
+    "ConvTranspose2d",
+    "ConvTranspose3d",
+    "ConvTransposeNd",
+    "Linear",
+    "AvgPool2d",
+    "AvgPool3d",
+    "Upsample2d",
+    "Upsample3d",
+    "Flatten",
+    "BatchNorm2d",
+    "BatchNorm3d",
+    "BatchNormNd",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "RegOutputTransform",
+    "FocalLoss",
+    "MaskedMAELoss",
+    "focal_loss",
+    "masked_mae_loss",
+    "mae_loss",
+    "mse_loss",
+    "apply_segmentation_mask",
+    "AdamW",
+    "SGD",
+    "Optimizer",
+    "LRSchedule",
+    "ConstantThenStepDecay",
+    "paper_schedule_2d",
+    "paper_schedule_3d",
+    "save_state",
+    "load_state",
+    "save_checkpoint",
+    "load_checkpoint",
+    "check_gradients",
+    "numerical_gradient",
+    "max_relative_error",
+]

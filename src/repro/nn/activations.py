@@ -1,0 +1,87 @@
+"""Activation modules, including the paper's regression output transform.
+
+Paper §2.2: to manage the gap between 0 and 6 in the zero-suppressed log-ADC
+distribution, the regression decoder output passes through
+``T(x) = 6 + 3·exp(x)`` so every regressed value lies above the
+zero-suppression edge; zeros in the reconstruction come exclusively from the
+segmentation mask.
+"""
+
+from __future__ import annotations
+
+from .modules import Module
+from .tensor import Tensor
+
+__all__ = [
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "RegOutputTransform",
+]
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class LeakyReLU(Module):
+    """Leaky rectifier; the BCAE reference implementation uses slope 0.01."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = float(negative_slope)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)
+
+    def __repr__(self) -> str:
+        return f"LeakyReLU({self.negative_slope})"
+
+
+class Sigmoid(Module):
+    """Logistic activation — the segmentation head's output (§2.2)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+    def __repr__(self) -> str:
+        return "Sigmoid()"
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+    def __repr__(self) -> str:
+        return "Tanh()"
+
+
+class RegOutputTransform(Module):
+    """``T(x) = offset + scale * exp(x)`` (paper §2.2, offset 6, scale 3).
+
+    The pre-activation is clamped above at ``max_exponent`` so the
+    exponential cannot overflow in half precision (fp16 max is 65504;
+    ``3·e^9 ≈ 2.4e4`` stays representable while spanning the full
+    log-ADC range [6, 10] comfortably).
+    """
+
+    def __init__(self, offset: float = 6.0, scale: float = 3.0, max_exponent: float = 9.0) -> None:
+        super().__init__()
+        self.offset = float(offset)
+        self.scale = float(scale)
+        self.max_exponent = float(max_exponent)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.clip(None, self.max_exponent).exp() * self.scale + self.offset
+
+    def __repr__(self) -> str:
+        return f"RegOutputTransform({self.offset} + {self.scale}*exp(x))"

@@ -1,0 +1,68 @@
+"""Half-precision emulation (§3.4 of the paper).
+
+The paper's post-training "trick" casts encoder weights and inputs to 16-bit
+floats; on an RTX A6000 this engages Tensor Cores (fp16 multiply, fp32
+accumulate) for a 76–79% throughput gain with no measurable accuracy loss
+(paper Table 2).
+
+NumPy on CPU has no fast fp16 path, so this module emulates the *numerics* of
+Tensor-Core execution exactly: operands are rounded to the fp16 grid, the
+contraction runs in fp32 (the Tensor-Core accumulator width), and the result
+is rounded back to fp16.  The *performance* side of the story is reproduced
+separately by the analytic GPU model in :mod:`repro.perf.roofline`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+import numpy as np
+
+__all__ = ["autocast", "is_half", "quantize_fp16", "HALF", "FULL"]
+
+HALF = "half"
+FULL = "full"
+
+
+class _AmpState(threading.local):
+    def __init__(self) -> None:
+        self.half = False
+
+
+_state = _AmpState()
+
+
+def is_half() -> bool:
+    """Whether half-precision emulation is currently active."""
+
+    return _state.half
+
+
+@contextlib.contextmanager
+def autocast(enabled: bool = True):
+    """Context manager enabling fp16-emulated compute in conv/linear layers."""
+
+    prev = _state.half
+    _state.half = bool(enabled)
+    try:
+        yield
+    finally:
+        _state.half = prev
+
+
+def quantize_fp16(a: np.ndarray) -> np.ndarray:
+    """Round an array to the nearest representable float16 value (as fp32).
+
+    Values outside the fp16 range saturate to +-65504 rather than producing
+    inf, matching the saturating cast used for inference deployments.
+    """
+
+    clipped = np.clip(a, -65504.0, 65504.0)
+    return clipped.astype(np.float16).astype(np.float32)
+
+
+def mode_name(half: bool) -> str:
+    """Human-readable computation-mode label used in tables."""
+
+    return HALF if half else FULL

@@ -1,0 +1,82 @@
+"""Finite-difference gradient verification for the autograd engine.
+
+Used by the test suite (including hypothesis property tests) to validate
+every backward implementation in :mod:`repro.nn` against central differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients", "max_relative_error"]
+
+
+def numerical_gradient(
+    fn: Callable[[Sequence[Tensor]], Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-3,
+) -> np.ndarray:
+    """Central-difference gradient of ``fn`` w.r.t. ``inputs[index]``.
+
+    ``fn`` must return a scalar Tensor.  Inputs are evaluated in float64 to
+    keep truncation error below the comparison tolerance.
+    """
+
+    base = [Tensor(t.data.astype(np.float64)) for t in inputs]
+    target = base[index]
+    grad = np.zeros_like(target.data, dtype=np.float64)
+    flat = target.data.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn(base).item()
+        flat[i] = orig - eps
+        lo = fn(base).item()
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2.0 * eps)
+    return grad
+
+
+def max_relative_error(a: np.ndarray, b: np.ndarray, floor: float = 1e-3) -> float:
+    """Maximum elementwise error scaled by the *global* gradient magnitude.
+
+    Elementwise relative error is meaningless where the true gradient is ~0
+    (float32 central differences carry ~1e-4 absolute noise), so errors are
+    normalized by the largest magnitude present in either array.
+    """
+
+    scale = max(float(np.abs(a).max(initial=0.0)), float(np.abs(b).max(initial=0.0)), floor)
+    return float(np.max(np.abs(a - b))) / scale
+
+
+def check_gradients(
+    fn: Callable[[Sequence[Tensor]], Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-3,
+    tol: float = 5e-2,
+) -> None:
+    """Assert autograd gradients match finite differences for every input.
+
+    Raises ``AssertionError`` with a per-input report on failure.
+    """
+
+    tracked = [Tensor(t.data.copy(), requires_grad=True) for t in inputs]
+    out = fn(tracked)
+    if out.size != 1:
+        raise ValueError("gradcheck requires a scalar objective")
+    out.backward()
+    failures = []
+    for i, t in enumerate(tracked):
+        numeric = numerical_gradient(fn, inputs, i, eps=eps)
+        analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
+        err = max_relative_error(np.asarray(analytic, dtype=np.float64), numeric)
+        if err > tol:
+            failures.append(f"input {i}: max relative error {err:.3e} > {tol:.1e}")
+    if failures:
+        raise AssertionError("gradient check failed:\n" + "\n".join(failures))

@@ -1,0 +1,383 @@
+"""Neural network layers used by the BCAE family.
+
+Convolutions support per-axis kernel/stride and asymmetric padding because
+the original BCAE operates on the unpadded horizontal length 249 (code shape
+``(8, 17, 13, 16)``), while BCAE++ pads to 256 and uses uniform k=4/s=2/p=1
+(paper §2.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import amp, init
+from .convolution import (
+    conv_forward,
+    conv_input_grad,
+    conv_output_shape,
+    conv_transpose_output_shape,
+    conv_weight_grad,
+    normalize_padding,
+    normalize_tuple,
+)
+from .modules import Module, Parameter
+from .tensor import Tensor
+
+__all__ = [
+    "ConvNd",
+    "Conv2d",
+    "Conv3d",
+    "ConvTransposeNd",
+    "ConvTranspose2d",
+    "ConvTranspose3d",
+    "Linear",
+    "AvgPool2d",
+    "AvgPool3d",
+    "Upsample2d",
+    "Upsample3d",
+    "Flatten",
+]
+
+
+def _maybe_half(*arrays: np.ndarray) -> tuple[np.ndarray, ...]:
+    """Quantize operands to the fp16 grid when autocast is active."""
+
+    if amp.is_half():
+        return tuple(amp.quantize_fp16(a) for a in arrays)
+    return arrays
+
+
+def _maybe_half_out(y: np.ndarray) -> np.ndarray:
+    return amp.quantize_fp16(y) if amp.is_half() else y
+
+
+class ConvNd(Module):
+    """N-dimensional strided convolution (cross-correlation).
+
+    Parameters
+    ----------
+    nd:
+        Number of spatial dimensions (2 or 3 in this repository).
+    in_channels, out_channels:
+        Channel counts; kernels are laid out ``(O, C, *kernel)``.
+    kernel_size, stride, padding:
+        Int or per-axis values; padding may be ``(lo, hi)`` pairs.
+    bias:
+        Include a per-channel additive bias (paper models use biases).
+    """
+
+    def __init__(
+        self,
+        nd: int,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        stride=1,
+        padding=0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.nd = int(nd)
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = normalize_tuple(kernel_size, nd, "kernel_size")
+        self.stride = normalize_tuple(stride, nd, "stride")
+        self.padding = normalize_padding(padding, nd)
+        # PyTorch-default initialization (the paper uses PyTorch 2.0 defaults).
+        w = init.kaiming_uniform_torch(
+            (self.out_channels, self.in_channels) + self.kernel_size, rng=rng
+        )
+        self.weight = Parameter(w)
+        if bias:
+            fan_in = self.in_channels * int(np.prod(self.kernel_size))
+            self.bias = Parameter(init.bias_uniform_torch(fan_in, self.out_channels, rng=rng))
+        else:
+            self.bias = None
+
+    def output_shape(self, spatial: tuple[int, ...]) -> tuple[int, ...]:
+        """Spatial output size for a given spatial input size."""
+
+        return conv_output_shape(spatial, self.kernel_size, self.stride, self.padding)
+
+    def forward(self, x: Tensor) -> Tensor:
+        w, b = self.weight, self.bias
+        xd, wd = _maybe_half(x.data, w.data)
+        bd = b.data if b is not None else None
+        y = conv_forward(xd, wd, self.stride, self.padding, bias=bd)
+        y = _maybe_half_out(y)
+
+        stride, padding, kernel = self.stride, self.padding, self.kernel_size
+        in_spatial = x.shape[2:]
+
+        def backward(g: np.ndarray) -> None:
+            if x.requires_grad:
+                x._accumulate(conv_input_grad(g, wd, in_spatial, stride, padding))
+            if w.requires_grad:
+                w._accumulate(conv_weight_grad(xd, g, kernel, stride, padding))
+            if b is not None and b.requires_grad:
+                axes = (0,) + tuple(range(2, 2 + self.nd))
+                b._accumulate(g.sum(axis=axes))
+
+        parents = (x, w) if b is None else (x, w, b)
+        return Tensor._make(y, parents, backward)
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv{self.nd}d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding})"
+        )
+
+
+class Conv2d(ConvNd):
+    """2D strided convolution (see :class:`ConvNd`)."""
+
+    def __init__(self, in_channels, out_channels, kernel_size, stride=1, padding=0, bias=True, rng=None):
+        super().__init__(2, in_channels, out_channels, kernel_size, stride, padding, bias, rng)
+
+
+class Conv3d(ConvNd):
+    """3D strided convolution (see :class:`ConvNd`)."""
+
+    def __init__(self, in_channels, out_channels, kernel_size, stride=1, padding=0, bias=True, rng=None):
+        super().__init__(3, in_channels, out_channels, kernel_size, stride, padding, bias, rng)
+
+
+class ConvTransposeNd(Module):
+    """N-dimensional transposed convolution (the adjoint of :class:`ConvNd`).
+
+    The weight is stored PyTorch-style as ``(in_channels, out_channels, *k)``.
+    ``output_padding`` resolves the output-size ambiguity of strided
+    convolutions — required to reconstruct the odd spatial sizes of the
+    original (unpadded) BCAE decoder.
+    """
+
+    def __init__(
+        self,
+        nd: int,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        stride=1,
+        padding=0,
+        output_padding=0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.nd = int(nd)
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = normalize_tuple(kernel_size, nd, "kernel_size")
+        self.stride = normalize_tuple(stride, nd, "stride")
+        self.padding = normalize_padding(padding, nd)
+        self.output_padding = normalize_tuple(output_padding, nd, "output_padding")
+        # PyTorch-default initialization (fan_in uses the (I, O, *k) layout).
+        w = init.kaiming_uniform_torch(
+            (self.in_channels, self.out_channels) + self.kernel_size, rng=rng
+        )
+        self.weight = Parameter(w)
+        if bias:
+            fan_in = self.out_channels * int(np.prod(self.kernel_size))
+            self.bias = Parameter(init.bias_uniform_torch(fan_in, self.out_channels, rng=rng))
+        else:
+            self.bias = None
+
+    def output_shape(self, spatial: tuple[int, ...]) -> tuple[int, ...]:
+        """Spatial output size for a given spatial input size."""
+
+        return conv_transpose_output_shape(
+            spatial, self.kernel_size, self.stride, self.padding, self.output_padding
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        w, b = self.weight, self.bias
+        out_spatial = self.output_shape(x.shape[2:])
+        xd, wd = _maybe_half(x.data, w.data)
+        # The stored (I, O, *k) weight *is* the kernel of the convolution A
+        # whose adjoint this layer computes: A maps O-channel maps to
+        # I-channel maps, so y = A^T x needs no axis swap.
+        y = conv_input_grad(xd, wd, out_spatial, self.stride, self.padding)
+        if b is not None:
+            y += b.data.reshape((1, -1) + (1,) * self.nd)
+        y = _maybe_half_out(y)
+
+        stride, padding, kernel = self.stride, self.padding, self.kernel_size
+
+        def backward(g: np.ndarray) -> None:
+            if x.requires_grad:
+                # Adjoint of the adjoint: the ordinary strided convolution A.
+                x._accumulate(conv_forward(g, wd, stride, padding))
+            if w.requires_grad:
+                # d/dW <g, A^T x> = d/dW <A g, x>: correlate g (as A's input)
+                # against x (as A's output gradient); layout is already (I, O, *k).
+                w._accumulate(conv_weight_grad(g, xd, kernel, stride, padding))
+            if b is not None and b.requires_grad:
+                axes = (0,) + tuple(range(2, 2 + self.nd))
+                b._accumulate(g.sum(axis=axes))
+
+        parents = (x, w) if b is None else (x, w, b)
+        return Tensor._make(y, parents, backward)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConvTranspose{self.nd}d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding}, op={self.output_padding})"
+        )
+
+
+class ConvTranspose2d(ConvTransposeNd):
+    """2D transposed convolution (see :class:`ConvTransposeNd`)."""
+
+    def __init__(self, in_channels, out_channels, kernel_size, stride=1, padding=0,
+                 output_padding=0, bias=True, rng=None):
+        super().__init__(2, in_channels, out_channels, kernel_size, stride, padding,
+                         output_padding, bias, rng)
+
+
+class ConvTranspose3d(ConvTransposeNd):
+    """3D transposed convolution (see :class:`ConvTransposeNd`)."""
+
+    def __init__(self, in_channels, out_channels, kernel_size, stride=1, padding=0,
+                 output_padding=0, bias=True, rng=None):
+        super().__init__(3, in_channels, out_channels, kernel_size, stride, padding,
+                         output_padding, bias, rng)
+
+
+class Linear(Module):
+    """Dense layer ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = Parameter(init.kaiming_uniform_torch((out_features, in_features), rng=rng))
+        self.bias = (
+            Parameter(init.bias_uniform_torch(in_features, out_features, rng=rng))
+            if bias
+            else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        w, b = self.weight, self.bias
+        xd, wd = _maybe_half(x.data, w.data)
+        y = xd @ wd.T
+        if b is not None:
+            y = y + b.data
+        y = _maybe_half_out(y)
+
+        def backward(g: np.ndarray) -> None:
+            if x.requires_grad:
+                x._accumulate(g @ wd)
+            if w.requires_grad:
+                w._accumulate(g.reshape(-1, g.shape[-1]).T @ xd.reshape(-1, xd.shape[-1]))
+            if b is not None and b.requires_grad:
+                b._accumulate(g.reshape(-1, g.shape[-1]).sum(axis=0))
+
+        parents = (x, w) if b is None else (x, w, b)
+        return Tensor._make(y, parents, backward)
+
+
+class _AvgPoolNd(Module):
+    """Non-overlapping average pooling (kernel == stride), as in Algorithm 1."""
+
+    def __init__(self, nd: int, kernel_size, stride=None) -> None:
+        super().__init__()
+        self.nd = nd
+        self.kernel_size = normalize_tuple(kernel_size, nd, "kernel_size")
+        stride = kernel_size if stride is None else stride
+        self.stride = normalize_tuple(stride, nd, "stride")
+        if self.stride != self.kernel_size:
+            raise NotImplementedError("only kernel_size == stride pooling is supported")
+
+    def forward(self, x: Tensor) -> Tensor:
+        k = self.kernel_size
+        spatial = x.shape[2:]
+        for s, kk in zip(spatial, k):
+            if s % kk:
+                raise ValueError(f"spatial size {spatial} not divisible by pool {k}")
+        n, c = x.shape[:2]
+        # Reshape (N, C, s0/k0, k0, s1/k1, k1, ...) and mean over kernel axes.
+        new_shape: list[int] = [n, c]
+        for s, kk in zip(spatial, k):
+            new_shape.extend([s // kk, kk])
+        kernel_axes = tuple(range(3, 3 + 2 * self.nd, 2))
+        y = x.data.reshape(new_shape).mean(axis=kernel_axes)
+        scale = 1.0 / float(np.prod(k))
+
+        def backward(g: np.ndarray) -> None:
+            gg = g * scale
+            for axis, kk in zip(range(2, 2 + self.nd), k):
+                gg = np.repeat(gg, kk, axis=axis)
+            x._accumulate(gg)
+
+        return Tensor._make(np.ascontiguousarray(y), (x,), backward)
+
+    def __repr__(self) -> str:
+        return f"AvgPool{self.nd}d(k={self.kernel_size})"
+
+
+class AvgPool2d(_AvgPoolNd):
+    """2D non-overlapping average pooling (Algorithm 1's downsampler)."""
+
+    def __init__(self, kernel_size, stride=None):
+        super().__init__(2, kernel_size, stride)
+
+
+class AvgPool3d(_AvgPoolNd):
+    """3D non-overlapping average pooling."""
+
+    def __init__(self, kernel_size, stride=None):
+        super().__init__(3, kernel_size, stride)
+
+
+class _UpsampleNd(Module):
+    """Nearest-neighbour upsampling by an integer factor (Algorithm 2)."""
+
+    def __init__(self, nd: int, scale_factor) -> None:
+        super().__init__()
+        self.nd = nd
+        self.scale_factor = normalize_tuple(scale_factor, nd, "scale_factor")
+
+    def forward(self, x: Tensor) -> Tensor:
+        y = x.data
+        for axis, f in zip(range(2, 2 + self.nd), self.scale_factor):
+            y = np.repeat(y, f, axis=axis)
+        in_shape = x.shape
+        n, c = in_shape[:2]
+        factors = self.scale_factor
+
+        def backward(g: np.ndarray) -> None:
+            # Sum each f-block back to its source element.
+            shape: list[int] = [n, c]
+            for s, f in zip(in_shape[2:], factors):
+                shape.extend([s, f])
+            block_axes = tuple(range(3, 3 + 2 * self.nd, 2))
+            x._accumulate(g.reshape(shape).sum(axis=block_axes))
+
+        return Tensor._make(np.ascontiguousarray(y), (x,), backward)
+
+    def __repr__(self) -> str:
+        return f"Upsample{self.nd}d(x{self.scale_factor})"
+
+
+class Upsample2d(_UpsampleNd):
+    """2D nearest-neighbour upsampling (Algorithm 2's upsampler)."""
+
+    def __init__(self, scale_factor=2):
+        super().__init__(2, scale_factor)
+
+
+class Upsample3d(_UpsampleNd):
+    """3D nearest-neighbour upsampling."""
+
+    def __init__(self, scale_factor=2):
+        super().__init__(3, scale_factor)
+
+
+class Flatten(Module):
+    """Flatten all non-batch dimensions."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)

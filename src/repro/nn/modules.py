@@ -1,0 +1,256 @@
+"""Module/parameter containers for ``repro.nn`` (PyTorch-like, NumPy-backed)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential", "ModuleList", "Identity"]
+
+
+class Parameter(Tensor):
+    """A trainable tensor (``requires_grad=True`` by default)."""
+
+    def __init__(self, data, requires_grad: bool = True, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=requires_grad, name=name)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` attributes in
+    ``__init__`` and implement :meth:`forward`.  Registration happens in
+    ``__setattr__`` so ``state_dict`` / ``parameters`` work automatically.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable persistent array (e.g. running stats)."""
+
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Replace the contents of an existing buffer."""
+
+        if name not in self._buffers:
+            raise KeyError(f"unknown buffer {name!r}")
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth first."""
+
+        for name, p in self._parameters.items():
+            yield (f"{prefix}{name}", p)
+        for mname, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mname}.")
+
+    def parameters(self) -> list[Parameter]:
+        """All parameters of this module tree."""
+
+        return [p for _n, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` including this module itself."""
+
+        yield (prefix.rstrip("."), self)
+        for mname, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{mname}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """All modules of the tree (depth first)."""
+
+        for _n, m in self.named_modules():
+            yield m
+
+    def children(self) -> Iterator["Module"]:
+        """Direct submodules only."""
+
+        yield from self._modules.values()
+
+    def num_parameters(self, trainable_only: bool = True) -> int:
+        """Total number of (trainable) parameters — paper's model-size metric."""
+
+        return sum(
+            p.size for p in self.parameters() if p.requires_grad or not trainable_only
+        )
+
+    # ------------------------------------------------------------------
+    # train / eval
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects e.g. batch norm)."""
+
+        object.__setattr__(self, "training", mode)
+        for m in self._modules.values():
+            m.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to inference mode (running stats, no dropout-style noise)."""
+
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Drop gradients of every parameter in the tree."""
+
+        for p in self.parameters():
+            p.grad = None
+
+    # ------------------------------------------------------------------
+    # state dict
+    # ------------------------------------------------------------------
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        """Yield ``(dotted_name, buffer)`` pairs (running stats etc.)."""
+
+        for name in self._buffers:
+            yield (f"{prefix}{name}", getattr(self, name))
+        for mname, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{mname}.")
+
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Copy of all parameters and buffers keyed by dotted name."""
+
+        out: OrderedDict[str, np.ndarray] = OrderedDict()
+        for name, p in self.named_parameters():
+            out[name] = p.data.copy()
+        for name, b in self.named_buffers():
+            out[name] = np.array(b, copy=True)
+        return out
+
+    def load_state_dict(self, state: dict, strict: bool = True) -> None:
+        """Load a :meth:`state_dict`; ``strict`` verifies exact key sets."""
+
+        params = dict(self.named_parameters())
+        buffers = {name: None for name, _ in self.named_buffers()}
+        missing = (set(params) | set(buffers)) - set(state)
+        unexpected = set(state) - (set(params) | set(buffers))
+        if strict and (missing or unexpected):
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        for name, value in state.items():
+            if name in params:
+                if params[name].data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: {params[name].data.shape} vs {value.shape}"
+                    )
+                params[name].data = np.asarray(value, dtype=params[name].data.dtype)
+            elif name in buffers:
+                self._assign_buffer(name, value)
+
+    def _assign_buffer(self, dotted: str, value: np.ndarray) -> None:
+        parts = dotted.split(".")
+        mod: Module = self
+        for p in parts[:-1]:
+            mod = mod._modules[p]
+        mod.set_buffer(parts[-1], value)
+
+    # ------------------------------------------------------------------
+    # call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    #: Set by :mod:`repro.perf.flops` during a trace; None in normal runs.
+    _tracer = None
+
+    def __call__(self, *args, **kwargs):
+        out = self.forward(*args, **kwargs)
+        if Module._tracer is not None:
+            Module._tracer.record(self, args, out)
+        return out
+
+    def __repr__(self) -> str:
+        lines = [self.__class__.__name__ + "("]
+        for name, module in self._modules.items():
+            sub = repr(module).splitlines()
+            lines.append(f"  ({name}): " + sub[0])
+            lines.extend("  " + s for s in sub[1:])
+        lines.append(")")
+        return "\n".join(lines) if self._modules else self.__class__.__name__ + "()"
+
+
+class Sequential(Module):
+    """Chain modules, feeding each output into the next."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._seq: list[Module] = []
+        for i, m in enumerate(modules):
+            setattr(self, str(i), m)
+            self._seq.append(m)
+
+    def append(self, module: Module) -> "Sequential":
+        setattr(self, str(len(self._seq)), module)
+        self._seq.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._seq)
+
+    def __len__(self) -> int:
+        return len(self._seq)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._seq[idx]
+
+    def forward(self, x):
+        for m in self._seq:
+            x = m(x)
+        return x
+
+
+class ModuleList(Module):
+    """Hold submodules in a list (no implicit forward)."""
+
+    def __init__(self, modules: Iterable[Module] = ()) -> None:
+        super().__init__()
+        self._list: list[Module] = []
+        for m in modules:
+            self.append(m)
+
+    def append(self, module: Module) -> "ModuleList":
+        setattr(self, str(len(self._list)), module)
+        self._list.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._list)
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._list[idx]
+
+    def forward(self, *args, **kwargs):  # pragma: no cover
+        raise RuntimeError("ModuleList has no forward; iterate it explicitly")
+
+
+class Identity(Module):
+    """Pass-through module (used e.g. as the BCAE-2D regression activation)."""
+
+    def forward(self, x):
+        return x

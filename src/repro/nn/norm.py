@@ -1,0 +1,92 @@
+"""Normalization layers.
+
+BCAE++ *removes* all normalization layers (paper §2.3: "we remove all the
+normalization layers in BCAE as they do not affect reconstruction performance
+significantly in a sufficiently long training"), but the original-BCAE
+baseline reproduced for Table 1 keeps them, so the substrate provides a
+standard batch norm over channel dimensions for both 2D and 3D tensors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .modules import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["BatchNormNd", "BatchNorm2d", "BatchNorm3d"]
+
+
+class BatchNormNd(Module):
+    """Batch normalization over ``(N, C, *spatial)`` inputs.
+
+    Normalizes per channel across batch and spatial axes, with learnable
+    affine parameters and running statistics for evaluation mode.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = int(num_features)
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self.weight = Parameter(np.ones(num_features, dtype=np.float32))
+        self.bias = Parameter(np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        nd = x.ndim - 2
+        axes = (0,) + tuple(range(2, 2 + nd))
+        shape = (1, self.num_features) + (1,) * nd
+        w, b = self.weight, self.bias
+
+        if self.training:
+            mean = x.data.mean(axis=axes)
+            var = x.data.var(axis=axes)
+            m = self.momentum
+            self.set_buffer("running_mean", (1 - m) * self.running_mean + m * mean)
+            self.set_buffer("running_var", (1 - m) * self.running_var + m * var)
+        else:
+            mean = self.running_mean
+            var = self.running_var
+
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x.data - mean.reshape(shape)) * inv_std.reshape(shape)
+        y = x_hat * w.data.reshape(shape) + b.data.reshape(shape)
+
+        n_elems = x.data.size // self.num_features
+        training = self.training
+
+        def backward(g: np.ndarray) -> None:
+            gw = (g * x_hat).sum(axis=axes)
+            gb = g.sum(axis=axes)
+            if w.requires_grad:
+                w._accumulate(gw)
+            if b.requires_grad:
+                b._accumulate(gb)
+            if x.requires_grad:
+                gamma_inv_std = (w.data * inv_std).reshape(shape)
+                if training:
+                    # Full batch-norm backward: account for the dependence of
+                    # the batch statistics on the input.
+                    gx = (
+                        g
+                        - gb.reshape(shape) / n_elems
+                        - x_hat * gw.reshape(shape) / n_elems
+                    ) * gamma_inv_std
+                else:
+                    gx = g * gamma_inv_std
+                x._accumulate(gx)
+
+        return Tensor._make(y.astype(np.float32, copy=False), (x, w, b), backward)
+
+    def __repr__(self) -> str:
+        return f"BatchNorm({self.num_features})"
+
+
+class BatchNorm2d(BatchNormNd):
+    """Batch norm over ``(N, C, H, W)`` inputs."""
+
+
+class BatchNorm3d(BatchNormNd):
+    """Batch norm over ``(N, C, D, H, W)`` inputs."""

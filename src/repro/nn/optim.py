@@ -1,0 +1,101 @@
+"""Optimizers.
+
+The paper trains every BCAE variant with AdamW, ``(β1, β2) = (0.9, 0.999)``
+and weight decay 0.01 (§2.5); that configuration is the default here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .modules import Parameter
+
+__all__ = ["Optimizer", "AdamW", "SGD"]
+
+
+class Optimizer:
+    """Base optimizer: hold parameters, expose ``step``/``zero_grad``/``lr``."""
+
+    def __init__(self, params, lr: float) -> None:
+        self.params: list[Parameter] = [p for p in params]
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        """Drop all parameter gradients before the next backward."""
+
+        for p in self.params:
+            p.grad = None
+
+    def set_lr(self, lr: float) -> None:
+        """Update the learning rate (used by LR schedules)."""
+
+        self.lr = float(lr)
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AdamW(Optimizer):
+    """Decoupled-weight-decay Adam (Loshchilov & Hutter), paper §2.5 config."""
+
+    def __init__(
+        self,
+        params,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = float(betas[0]), float(betas[1])
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """One AdamW update on every parameter with a gradient."""
+
+        self.t += 1
+        b1, b2 = self.beta1, self.beta2
+        bc1 = 1.0 - b1**self.t
+        bc2 = 1.0 - b2**self.t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * (g * g)
+            # Decoupled decay: applied directly to the weights, not the grad.
+            if self.weight_decay:
+                p.data *= 1.0 - self.lr * self.weight_decay
+            update = (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            p.data -= self.lr * update
+
+
+class SGD(Optimizer):
+    """Plain/momentum SGD (used by tests and ablations)."""
+
+    def __init__(self, params, lr: float = 1e-2, momentum: float = 0.0) -> None:
+        super().__init__(params, lr)
+        self.momentum = float(momentum)
+        self._buf = [np.zeros_like(p.data) for p in self.params] if momentum else None
+
+    def step(self) -> None:
+        """One (momentum) SGD update."""
+
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            if self._buf is not None:
+                buf = self._buf[i]
+                buf *= self.momentum
+                buf += p.grad
+                p.data -= self.lr * buf
+            else:
+                p.data -= self.lr * p.grad

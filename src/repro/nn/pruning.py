@@ -1,0 +1,153 @@
+"""Magnitude pruning (paper §4 future work).
+
+The paper's conclusion lists *network pruning* among the throughput
+optimizations worth pursuing.  This module implements the standard
+magnitude-pruning recipe on ``repro.nn`` modules:
+
+* :func:`prune_module` — zero the smallest-magnitude fraction of each
+  weight tensor (per-layer, unstructured) and install persistent masks;
+* :class:`PruningMask` — keeps pruned coordinates at zero through further
+  fine-tuning (masks are re-applied after every optimizer step via
+  :func:`apply_masks`);
+* :func:`sparsity_report` — per-layer and global zero fractions;
+* :func:`sparse_flops_factor` — the ideal-kernel FLOP reduction a sparse
+  inference engine could realize, which :mod:`repro.perf.roofline` can fold
+  into throughput estimates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .modules import Module, Parameter
+
+__all__ = [
+    "PruningMask",
+    "prune_module",
+    "apply_masks",
+    "sparsity_report",
+    "sparse_flops_factor",
+    "prunable_parameters",
+]
+
+
+@dataclasses.dataclass
+class PruningMask:
+    """A persistent zero-mask attached to one parameter."""
+
+    name: str
+    parameter: Parameter
+    mask: np.ndarray  # bool, True = keep
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of pruned (zeroed) weights."""
+
+        return 1.0 - float(self.mask.mean())
+
+    def apply(self) -> None:
+        """Re-zero pruned coordinates (call after optimizer updates)."""
+
+        self.parameter.data *= self.mask
+
+
+def prunable_parameters(module: Module) -> list[tuple[str, Parameter]]:
+    """Weight tensors eligible for pruning (convolution/linear kernels).
+
+    Biases and normalization affine parameters are excluded — pruning them
+    buys no FLOPs and harms calibration.
+    """
+
+    return [
+        (name, p)
+        for name, p in module.named_parameters()
+        if name.endswith("weight") and p.data.ndim >= 2
+    ]
+
+
+def prune_module(
+    module: Module,
+    amount: float,
+    per_layer: bool = True,
+) -> list[PruningMask]:
+    """Zero the ``amount`` fraction of smallest-magnitude weights.
+
+    Parameters
+    ----------
+    module:
+        Any ``repro.nn`` module (e.g. a BCAE encoder).
+    amount:
+        Target sparsity in [0, 1).
+    per_layer:
+        If True each layer is pruned to ``amount`` independently (the
+        standard recipe — keeps every layer functional); otherwise one
+        global magnitude threshold is used.
+
+    Returns
+    -------
+    The installed :class:`PruningMask` objects (keep them alive to enforce
+    sparsity during fine-tuning).
+    """
+
+    if not 0.0 <= amount < 1.0:
+        raise ValueError("pruning amount must be in [0, 1)")
+    params = prunable_parameters(module)
+    if not params:
+        raise ValueError("module has no prunable parameters")
+
+    masks: list[PruningMask] = []
+    if per_layer:
+        for name, p in params:
+            flat = np.abs(p.data).ravel()
+            k = int(round(amount * flat.size))
+            if k == 0:
+                mask = np.ones_like(p.data, dtype=bool)
+            else:
+                threshold = np.partition(flat, k - 1)[k - 1]
+                mask = np.abs(p.data) > threshold
+            masks.append(PruningMask(name=name, parameter=p, mask=mask))
+    else:
+        flat = np.concatenate([np.abs(p.data).ravel() for _n, p in params])
+        k = int(round(amount * flat.size))
+        threshold = np.partition(flat, k - 1)[k - 1] if k else -np.inf
+        for name, p in params:
+            mask = np.abs(p.data) > threshold
+            masks.append(PruningMask(name=name, parameter=p, mask=mask))
+
+    apply_masks(masks)
+    return masks
+
+
+def apply_masks(masks: list[PruningMask]) -> None:
+    """Re-apply every mask (after an optimizer step during fine-tuning)."""
+
+    for m in masks:
+        m.apply()
+
+
+def sparsity_report(module: Module) -> dict[str, float]:
+    """Zero fraction per prunable layer plus the ``"__global__"`` total."""
+
+    report: dict[str, float] = {}
+    total_zero = 0
+    total = 0
+    for name, p in prunable_parameters(module):
+        zero = int((p.data == 0).sum())
+        report[name] = zero / p.data.size
+        total_zero += zero
+        total += p.data.size
+    report["__global__"] = total_zero / max(total, 1)
+    return report
+
+
+def sparse_flops_factor(module: Module) -> float:
+    """FLOP fraction surviving pruning under an ideal sparse kernel.
+
+    A perfectly sparse convolution engine skips multiplications by zero
+    weights, so the remaining fraction equals the global weight density.
+    """
+
+    report = sparsity_report(module)
+    return 1.0 - report["__global__"]

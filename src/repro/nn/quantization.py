@@ -1,0 +1,199 @@
+"""Post-training INT8 quantization (paper §4 future work).
+
+The paper's conclusion lists *quantization* among the throughput
+optimizations to pursue after fp16.  This module implements the standard
+post-training recipe for the encoder:
+
+* **symmetric per-channel weight quantization** — each output channel's
+  kernel maps to int8 with its own scale (max-abs calibration);
+* **per-tensor activation quantization** — every convolution's *input*
+  scale is calibrated on representative wedges (max-abs over a calibration
+  batch);
+* **emulated W8A8 inference** — weights and per-conv inputs are rounded to
+  their int8 grids and the convolution accumulates in fp32 (the
+  int32-accumulate analogue), mirroring how :mod:`repro.nn.amp` emulates
+  fp16;
+* a hook for :mod:`repro.perf.roofline`: the RTX A6000's INT8 Tensor-Core
+  peak (309.7 TOPS = 2× the fp16 peak) for throughput projections.
+
+Like every substitution in this repository the *numerics* are exact (what
+an int8 engine would compute) while the *speed* is modeled.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+
+import numpy as np
+
+from .layers import ConvNd
+from .modules import Module
+from .tensor import Tensor, no_grad
+
+__all__ = [
+    "QuantizedConvSpec",
+    "QuantizationResult",
+    "calibrate_int8",
+    "int8_inference",
+    "quantize_weights_int8",
+    "int8_forward",
+    "INT8_LEVELS",
+]
+
+INT8_LEVELS = 127  # symmetric int8: [-127, 127]
+
+
+@dataclasses.dataclass
+class QuantizedConvSpec:
+    """Quantization parameters of one convolution layer."""
+
+    name: str
+    weight_scales: np.ndarray  # (out_channels,) — per-channel
+    activation_scale: float  # per-tensor *input* scale
+
+    def quantize_weight(self, w: np.ndarray) -> np.ndarray:
+        """fp32 kernel → int8 grid (returned as fp32 for emulated compute)."""
+
+        scales = self.weight_scales.reshape((-1,) + (1,) * (w.ndim - 1))
+        q = np.clip(np.rint(w / scales), -INT8_LEVELS, INT8_LEVELS)
+        return (q * scales).astype(np.float32)
+
+    def quantize_activation(self, x: np.ndarray) -> np.ndarray:
+        """Activations → int8 grid values (as fp32 for emulated compute)."""
+
+        q = np.clip(np.rint(x / self.activation_scale), -INT8_LEVELS, INT8_LEVELS)
+        return (q * self.activation_scale).astype(np.float32)
+
+
+@dataclasses.dataclass
+class QuantizationResult:
+    """Everything produced by :func:`calibrate_int8`.
+
+    ``specs`` pairs live module references with their quantization
+    parameters (in-memory use; persist scales yourself if needed).
+    """
+
+    specs: list[tuple[ConvNd, QuantizedConvSpec]]
+
+    @property
+    def n_layers(self) -> int:
+        """Number of quantized convolution layers."""
+
+        return len(self.specs)
+
+    def describe(self) -> str:
+        """Human-readable per-layer scale report."""
+
+        lines = [f"int8 quantization: {self.n_layers} conv layers"]
+        for _m, spec in self.specs:
+            lines.append(
+                f"  {spec.name:40s} act_scale={spec.activation_scale:.4e} "
+                f"w_scale(mean)={spec.weight_scales.mean():.4e}"
+            )
+        return "\n".join(lines)
+
+
+class _CalibrationTracer:
+    """Records per-conv input max-abs during calibration forwards."""
+
+    def __init__(self) -> None:
+        self.maxabs: dict[int, float] = {}
+
+    def record(self, module, args, out) -> None:
+        if isinstance(module, ConvNd) and args and isinstance(args[0], Tensor):
+            prev = self.maxabs.get(id(module), 0.0)
+            self.maxabs[id(module)] = max(prev, float(np.abs(args[0].data).max()))
+
+
+def calibrate_int8(encoder: Module, calibration_batch: np.ndarray) -> QuantizationResult:
+    """Calibrate int8 scales on representative wedges.
+
+    Parameters
+    ----------
+    encoder:
+        The model/encoder module whose convolutions will be quantized.
+    calibration_batch:
+        Network-ready inputs ``(B, C, …)`` spanning the data distribution
+        (e.g. a few log-transformed, padded wedges).
+    """
+
+    names = {id(m): n for n, m in encoder.named_modules()}
+    tracer = _CalibrationTracer()
+    encoder.eval()
+    Module._tracer = tracer
+    try:
+        with no_grad():
+            encoder(Tensor(np.asarray(calibration_batch, dtype=np.float32)))
+    finally:
+        Module._tracer = None
+
+    specs: list[tuple[ConvNd, QuantizedConvSpec]] = []
+    for _name, module in encoder.named_modules():
+        maxabs = tracer.maxabs.get(id(module))
+        if maxabs is None or not isinstance(module, ConvNd):
+            continue
+        w = module.weight.data
+        axes = tuple(range(1, w.ndim))
+        w_scales = np.maximum(np.abs(w).max(axis=axes), 1e-12) / INT8_LEVELS
+        specs.append(
+            (
+                module,
+                QuantizedConvSpec(
+                    name=names.get(id(module), "?"),
+                    weight_scales=w_scales.astype(np.float64),
+                    activation_scale=max(maxabs, 1e-12) / INT8_LEVELS,
+                ),
+            )
+        )
+    if not specs:
+        raise ValueError("no convolution layers saw calibration data")
+    return QuantizationResult(specs=specs)
+
+
+def quantize_weights_int8(encoder: Module, result: QuantizationResult) -> None:
+    """Overwrite conv kernels in place with their int8-grid values."""
+
+    for module, spec in result.specs:
+        module.weight.data = spec.quantize_weight(module.weight.data)
+
+
+@contextlib.contextmanager
+def int8_inference(result: QuantizationResult):
+    """Emulate int8 execution: each conv's *input* snaps to its int8 grid.
+
+    Implemented by shadowing the instance ``forward`` of every calibrated
+    convolution with a wrapper that quantizes the incoming activation first.
+    Combine with :func:`quantize_weights_int8` for full W8A8 emulation;
+    accumulation stays fp32 (the int32 analogue).
+    """
+
+    originals: list[tuple[ConvNd, object]] = []
+
+    def make_wrapper(module: ConvNd, spec: QuantizedConvSpec, original):
+        def forward(x: Tensor) -> Tensor:
+            return original(Tensor(spec.quantize_activation(x.data)))
+
+        return forward
+
+    try:
+        for module, spec in result.specs:
+            original = module.forward  # bound method (class attribute lookup)
+            object.__setattr__(module, "forward", make_wrapper(module, spec, original))
+            originals.append((module, original))
+        yield
+    finally:
+        for module, _original in originals:
+            try:
+                object.__delattr__(module, "forward")
+            except AttributeError:  # pragma: no cover - defensive
+                pass
+
+
+def int8_forward(encoder: Module, x: np.ndarray, result: QuantizationResult) -> np.ndarray:
+    """Convenience: one emulated W8A8 forward pass, returning the output array."""
+
+    encoder.eval()
+    with no_grad(), int8_inference(result):
+        out = encoder(Tensor(np.asarray(x, dtype=np.float32)))
+    return out.data

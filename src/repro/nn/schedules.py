@@ -1,0 +1,70 @@
+"""Learning-rate schedules (paper §2.5).
+
+* BCAE++ / BCAE-HT: 1000 epochs, lr 1e-3 held constant for 100 epochs, then
+  multiplied by 0.95 every 20 epochs.
+* BCAE-2D: 500 epochs, lr 1e-3 held constant for 50 epochs, then multiplied
+  by 0.95 every 10 epochs.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LRSchedule", "ConstantThenStepDecay", "paper_schedule_3d", "paper_schedule_2d"]
+
+
+class LRSchedule:
+    """Base schedule: maps epoch index -> learning rate."""
+
+    def lr(self, epoch: int) -> float:  # pragma: no cover - abstract
+        """Learning rate at the given epoch."""
+
+        raise NotImplementedError
+
+    def apply(self, optimizer, epoch: int) -> float:
+        """Set the optimizer lr for ``epoch`` and return it."""
+
+        value = self.lr(epoch)
+        optimizer.set_lr(value)
+        return value
+
+
+class ConstantThenStepDecay(LRSchedule):
+    """Hold ``base_lr`` for ``warmup_epochs`` then decay by ``factor`` every
+    ``step_epochs`` epochs."""
+
+    def __init__(
+        self,
+        base_lr: float = 1e-3,
+        warmup_epochs: int = 100,
+        step_epochs: int = 20,
+        factor: float = 0.95,
+    ) -> None:
+        self.base_lr = float(base_lr)
+        self.warmup_epochs = int(warmup_epochs)
+        self.step_epochs = int(step_epochs)
+        self.factor = float(factor)
+
+    def lr(self, epoch: int) -> float:
+        """Constant during warmup, then stepped exponential decay."""
+
+        if epoch < self.warmup_epochs:
+            return self.base_lr
+        steps = (epoch - self.warmup_epochs) // self.step_epochs + 1
+        return self.base_lr * self.factor**steps
+
+    def __repr__(self) -> str:
+        return (
+            f"ConstantThenStepDecay(lr={self.base_lr}, warmup={self.warmup_epochs}, "
+            f"step={self.step_epochs}, factor={self.factor})"
+        )
+
+
+def paper_schedule_3d(base_lr: float = 1e-3) -> ConstantThenStepDecay:
+    """The BCAE++/BCAE-HT schedule (constant 100, ×0.95 every 20)."""
+
+    return ConstantThenStepDecay(base_lr, warmup_epochs=100, step_epochs=20)
+
+
+def paper_schedule_2d(base_lr: float = 1e-3) -> ConstantThenStepDecay:
+    """The BCAE-2D schedule (constant 50, ×0.95 every 10)."""
+
+    return ConstantThenStepDecay(base_lr, warmup_epochs=50, step_epochs=10)

@@ -1,0 +1,58 @@
+"""Checkpoint save/load for ``repro.nn`` modules (npz-backed)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .modules import Module
+
+__all__ = ["save_state", "load_state", "save_checkpoint", "load_checkpoint"]
+
+_META_KEY = "__meta_json__"
+
+
+def save_state(module: Module, path: str | Path, meta: dict | None = None) -> Path:
+    """Serialize a module's state dict (and optional JSON metadata) to npz."""
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    payload = dict(state)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_state(module: Module, path: str | Path, strict: bool = True) -> dict:
+    """Load an npz checkpoint into ``module``; returns the stored metadata."""
+
+    with np.load(Path(path)) as data:
+        meta_raw = data[_META_KEY].tobytes().decode("utf-8") if _META_KEY in data else "{}"
+        state = {k: data[k] for k in data.files if k != _META_KEY}
+    module.load_state_dict(state, strict=strict)
+    return json.loads(meta_raw)
+
+
+def save_checkpoint(
+    module: Module,
+    optimizer,
+    epoch: int,
+    path: str | Path,
+    extra: dict | None = None,
+) -> Path:
+    """Save model + minimal training state (epoch, lr) for resumption."""
+
+    meta = {"epoch": int(epoch), "lr": float(getattr(optimizer, "lr", 0.0))}
+    meta.update(extra or {})
+    return save_state(module, path, meta=meta)
+
+
+def load_checkpoint(module: Module, path: str | Path) -> dict:
+    """Load a checkpoint; returns metadata (epoch, lr, extras)."""
+
+    return load_state(module, path)

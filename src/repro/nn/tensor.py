@@ -1,0 +1,594 @@
+"""Autograd tensor for the ``repro.nn`` mini deep-learning framework.
+
+The paper implements its models in PyTorch 2.0; this reproduction runs in a
+pure NumPy environment, so ``repro.nn`` provides the substrate: a reverse-mode
+automatic-differentiation :class:`Tensor` plus the layer/optimizer stack built
+on top of it.
+
+Design notes (following the HPC-Python guidance used for this repo):
+
+* every operation is vectorized NumPy; backward passes reuse views where
+  possible and avoid Python-level element loops;
+* gradients are accumulated into ``.grad`` ndarrays (not Tensors) to keep the
+  tape shallow and allocation-light;
+* a global no-grad switch lets inference run without building a graph, which
+  is what the throughput benchmarks measure.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "enable_grad",
+    "is_grad_enabled",
+    "as_tensor",
+]
+
+_DEFAULT_DTYPE = np.float32
+
+
+class _GradMode(threading.local):
+    """Thread-local autograd on/off switch."""
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_grad_mode = _GradMode()
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradients."""
+
+    return _grad_mode.enabled
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (inference mode)."""
+
+    prev = _grad_mode.enabled
+    _grad_mode.enabled = False
+    try:
+        yield
+    finally:
+        _grad_mode.enabled = prev
+
+
+@contextlib.contextmanager
+def enable_grad():
+    """Context manager (re-)enabling graph construction."""
+
+    prev = _grad_mode.enabled
+    _grad_mode.enabled = True
+    try:
+        yield
+    finally:
+        _grad_mode.enabled = prev
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` undoing NumPy broadcasting."""
+
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum axes that were broadcast from 1.
+    axes = tuple(i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed array with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Floating point data is stored as ``float32``
+        unless another float dtype is given explicitly.
+    requires_grad:
+        If True, gradients are accumulated in :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        _parents: tuple["Tensor", ...] = (),
+        _backward: Callable[[np.ndarray], None] | None = None,
+        name: str | None = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if arr.dtype.kind in "iub":
+            arr = arr.astype(_DEFAULT_DTYPE)
+        elif arr.dtype == np.float64:
+            arr = arr.astype(_DEFAULT_DTYPE)
+        self.data: np.ndarray = arr
+        self.requires_grad = bool(requires_grad)
+        self.grad: np.ndarray | None = None
+        self._parents = _parents
+        self._backward = _backward
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (no copy)."""
+
+        return self.data
+
+    def item(self) -> float:
+        if self.data.size != 1:
+            raise ValueError("item() requires a single-element tensor")
+        return float(self.data.reshape(-1)[0])
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Drop the accumulated gradient."""
+
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # graph plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create an op output, wiring the tape only when grad is needed."""
+
+        track = _grad_mode.enabled and any(p.requires_grad for p in parents)
+        if not track:
+            return Tensor(data)
+        return Tensor(
+            data,
+            requires_grad=True,
+            _parents=tuple(p for p in parents if p.requires_grad),
+            _backward=backward,
+        )
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        dtype = self.data.dtype if self.data.dtype.kind == "f" else _DEFAULT_DTYPE
+        grad = np.asarray(grad, dtype=dtype)
+        if self.grad is None:
+            # Copy unconditionally: closures may hand the same upstream array
+            # to several parents (e.g. passthrough adds), and later in-place
+            # accumulation must never corrupt a sibling's gradient.
+            self.grad = np.array(grad, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Upstream gradient; defaults to ones (must be scalar output then).
+        """
+
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            nid = id(node)
+            if nid in visited:
+                continue
+            visited.add(nid)
+            stack.append((node, True))
+            for p in node._parents:
+                if id(p) not in visited:
+                    stack.append((p, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+                # Free interior gradients/topology once consumed so big
+                # training graphs do not hold every activation alive.
+                node._backward = None
+                node._parents = ()
+                if node is not self:
+                    node.grad = None
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(g, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(g, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(-g)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data - other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(g, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(-g, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) - self
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(g * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(g * self.data, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(g / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-g * self.data / (other.data * other.data), other.shape)
+                )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim >= 2:
+                    ga = g @ np.swapaxes(other.data, -1, -2)
+                else:
+                    ga = np.outer(g, other.data) if self.data.ndim == 2 else g * other.data
+                self._accumulate(_unbroadcast(ga, self.shape))
+            if other.requires_grad:
+                if self.data.ndim >= 2:
+                    gb = np.swapaxes(self.data, -1, -2) @ g
+                else:
+                    gb = np.outer(self.data, g) if other.data.ndim == 2 else g * self.data
+                other._accumulate(_unbroadcast(gb, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        """Elementwise e^x."""
+
+        out_data = np.exp(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        """Elementwise natural logarithm."""
+
+        out_data = np.log(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g / self.data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        """Elementwise square root."""
+
+        out_data = np.sqrt(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * 0.5 / out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        """Elementwise absolute value (subgradient sign(x) at 0)."""
+
+        out_data = np.abs(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * np.sign(self.data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def clip(self, lo: float | None = None, hi: float | None = None) -> "Tensor":
+        """Clamp values; gradient is passed only where values were in range."""
+
+        out_data = np.clip(self.data, lo, hi)
+        mask = np.ones_like(self.data, dtype=bool)
+        if lo is not None:
+            mask &= self.data >= lo
+        if hi is not None:
+            mask &= self.data <= hi
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        """Numerically stable logistic function."""
+
+        # Numerically stable logistic.
+        x = self.data
+        out_data = np.empty_like(x)
+        pos = x >= 0
+        out_data[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out_data[~pos] = ex / (1.0 + ex)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        """Elementwise hyperbolic tangent."""
+
+        out_data = np.tanh(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * (1.0 - out_data * out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        """Elementwise max(x, 0)."""
+
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        """Leaky rectifier with the given negative-side slope."""
+
+        mask = self.data > 0
+        scale = np.where(mask, 1.0, negative_slope).astype(self.data.dtype)
+        out_data = self.data * scale
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g * scale)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (all axes when None)."""
+
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> None:
+            gg = np.asarray(g)
+            if axis is not None and not keepdims:
+                gg = np.expand_dims(gg, axis)
+            self._accumulate(np.broadcast_to(gg, self.shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Arithmetic mean over ``axis`` (all axes when None)."""
+
+        out_data = self.data.mean(axis=axis, keepdims=keepdims)
+        denom = self.data.size / max(out_data.size, 1)
+
+        def backward(g: np.ndarray) -> None:
+            gg = np.asarray(g) / denom
+            if axis is not None and not keepdims:
+                gg = np.expand_dims(gg, axis)
+            self._accumulate(np.broadcast_to(gg, self.shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Biased variance over ``axis`` (composed from mean ops)."""
+
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        sq = centered * centered
+        return sq.mean(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------
+    # shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        """View with a new shape (gradient reshaped back)."""
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        in_shape = self.shape
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g.reshape(in_shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        """Permute axes (reversed when no axes are given)."""
+
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        out_data = self.data.transpose(axes)
+        inverse = tuple(np.argsort(axes))
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g.transpose(inverse))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __getitem__(self, idx) -> "Tensor":
+        out_data = self.data[idx]
+        in_shape = self.shape
+
+        def backward(g: np.ndarray) -> None:
+            full = np.zeros(in_shape, dtype=g.dtype)
+            np.add.at(full, idx, g)
+            self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def pad(self, pad_width: Sequence[tuple[int, int]]) -> "Tensor":
+        """Zero-pad; ``pad_width`` is per-axis ``(before, after)``."""
+
+        pw = tuple((int(a), int(b)) for a, b in pad_width)
+        out_data = np.pad(self.data, pw)
+        slices = tuple(slice(a, a + s) for (a, _b), s in zip(pw, self.shape))
+
+        def backward(g: np.ndarray) -> None:
+            self._accumulate(g[slices])
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # comparisons (produce plain ndarrays; non-differentiable)
+    # ------------------------------------------------------------------
+    def __gt__(self, other) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data > other
+
+    def __lt__(self, other) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data < other
+
+    def __ge__(self, other) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data >= other
+
+    def __le__(self, other) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data <= other
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
+
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def cat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+
+    ts = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in ts], axis=axis)
+    sizes = [t.shape[axis] for t in ts]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray) -> None:
+        for t, lo, hi in zip(ts, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                idx = [slice(None)] * g.ndim
+                idx[axis] = slice(int(lo), int(hi))
+                t._accumulate(g[tuple(idx)])
+
+    return Tensor._make(out_data, tuple(ts), backward)

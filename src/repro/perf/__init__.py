@@ -1,0 +1,38 @@
+"""``repro.perf`` — throughput accounting: analytic GPU model + CPU timing.
+
+The paper's §3.2/§3.4 throughput study ran on an RTX A6000; offline we
+replace the GPU with (a) exact per-layer FLOP/byte traces of our models and
+(b) a calibrated roofline model of the A6000 that reproduces the *shape* of
+Figure 6 — batch-size saturation, the 76–79% fp16 gain for BCAE-2D/BCAE++
+and its absence for BCAE-HT (no Tensor-Core-eligible layers).  Measured CPU
+throughput is reported alongside as ground truth for this implementation.
+"""
+
+from .devices import GPUSpec, RTX_A6000
+from .flops import TC_MIN_CHANNELS, LayerStats, ModelTrace, trace_encoder, trace_model
+from .roofline import (
+    LayerTime,
+    estimate_throughput,
+    estimate_time,
+    speedup_half,
+    throughput_curve,
+)
+from .timing import ThroughputResult, measure_curve, measure_encoder_throughput
+
+__all__ = [
+    "GPUSpec",
+    "RTX_A6000",
+    "LayerStats",
+    "ModelTrace",
+    "trace_model",
+    "trace_encoder",
+    "TC_MIN_CHANNELS",
+    "LayerTime",
+    "estimate_time",
+    "estimate_throughput",
+    "throughput_curve",
+    "speedup_half",
+    "ThroughputResult",
+    "measure_encoder_throughput",
+    "measure_curve",
+]

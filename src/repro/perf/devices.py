@@ -1,0 +1,74 @@
+"""GPU device specifications and calibration constants.
+
+The paper measures throughput on a single NVIDIA RTX A6000 (driver 535,
+PyTorch 2.0 + CUDA 12.2).  Hardware peaks below come from the A6000
+datasheet; the *efficiency* constants are the only free parameters of the
+roofline model and were calibrated once against the operating points the
+paper reports (Table 1 throughput column), then held fixed for every other
+prediction (batch sweeps, Figure 6E model ladder) — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["GPUSpec", "RTX_A6000"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GPUSpec:
+    """Roofline parameters of a GPU.
+
+    Attributes
+    ----------
+    fp32_tflops:
+        Peak FP32 vector throughput [TFLOP/s].
+    fp16_tc_tflops:
+        Peak FP16 Tensor-Core throughput with FP32 accumulate [TFLOP/s].
+    fp16_vector_tflops:
+        FP16 throughput *without* Tensor Cores (what BCAE-HT's small-channel
+        kernels fall back to) [TFLOP/s].
+    mem_bw_gbs:
+        Device memory bandwidth [GB/s].
+    launch_overhead_us:
+        Fixed per-kernel launch/scheduling cost [µs].
+    conv_efficiency_fp32 / conv_efficiency_fp16:
+        Achieved-vs-peak fraction for dense 2D-convolution GEMMs at full
+        channel utilization (calibration constants).
+    conv3d_factor:
+        Extra efficiency penalty for 3D convolutions (cuDNN's 3D paths are
+        markedly slower than 2D — the mechanism behind BCAE-2D's 3×
+        speedup over BCAE++).
+    util_exponent:
+        Exponent applied to the raw channel-utilization ratio; shapes how
+        hard small-channel kernels (BCAE-HT) are penalized.
+    """
+
+    name: str
+    fp32_tflops: float
+    fp16_tc_tflops: float
+    fp16_vector_tflops: float
+    mem_bw_gbs: float
+    launch_overhead_us: float
+    conv_efficiency_fp32: float
+    conv_efficiency_fp16: float
+    conv3d_factor: float
+    util_exponent: float
+
+
+#: NVIDIA RTX A6000 (Ampere GA102): 38.7 TFLOP/s FP32, 154.8 TFLOP/s FP16
+#: Tensor Core, 768 GB/s GDDR6.  Efficiencies calibrated on Table 1
+#: (BCAE-2D 6.9k, BCAE++ 2.6k, BCAE-HT 4.6k wedges/s in half precision);
+#: the per-op overhead reflects PyTorch-2.0-eager launch costs.
+RTX_A6000 = GPUSpec(
+    name="RTX A6000",
+    fp32_tflops=38.7,
+    fp16_tc_tflops=154.8,
+    fp16_vector_tflops=38.7,
+    mem_bw_gbs=768.0,
+    launch_overhead_us=8.0,
+    conv_efficiency_fp32=0.56,
+    conv_efficiency_fp16=0.28,
+    conv3d_factor=1.0,  # the channel-utilization term already separates 2D/3D
+    util_exponent=0.50,
+)

@@ -1,0 +1,254 @@
+"""Per-layer FLOP/byte/kernel accounting for ``repro.nn`` models.
+
+The throughput figures of the paper (Figure 6) were measured on an RTX
+A6000; this reproduction replaces the GPU with an analytic roofline model
+(:mod:`repro.perf.roofline`) fed by the exact per-layer arithmetic counted
+here.
+
+Counting strategy: one real forward pass (batch 1, no-grad) runs with a
+tracer hooked into ``Module.__call__``; every *leaf* layer records its input
+and output shapes, from which FLOPs, memory traffic and Tensor-Core
+eligibility follow analytically.  All quantities scale linearly with batch
+size, so one trace serves every batch point.
+
+Tensor-Core eligibility implements the diagnosis of Figure 6D: cuDNN maps a
+convolution onto Tensor Cores only when the channel dimensions provide
+enough matrix width — BCAE-HT's (2, 4, 4, 8)-feature encoder never
+qualifies, which is why half precision buys it almost nothing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from ..nn.modules import Module
+
+__all__ = ["LayerStats", "ModelTrace", "trace_model", "TC_MIN_CHANNELS"]
+
+#: Minimum in/out channel count for a convolution to engage Tensor Cores
+#: (cuDNN requires ≥8-wide matrix fragments in fp16).
+TC_MIN_CHANNELS = 8
+
+
+@dataclasses.dataclass
+class LayerStats:
+    """Arithmetic profile of one leaf layer at batch size 1.
+
+    Attributes
+    ----------
+    flops:
+        Multiply-accumulate FLOPs (2 × MACs) per batch element.
+    bytes_moved:
+        Input + output + parameter bytes at 4 B/element (halved in fp16).
+    tc_eligible:
+        Whether the layer's GEMM can run on Tensor Cores in fp16.
+    channel_utilization:
+        Raw lane-filling ratio ``min(1, (cin·cout)/(32·32))``; the roofline
+        model raises it to the device's ``util_exponent`` — small-channel
+        convs (BCAE-HT) run far below peak.
+    """
+
+    name: str
+    kind: str
+    flops: float
+    bytes_moved: float
+    params: int
+    kernels: int
+    tc_eligible: bool
+    channel_utilization: float
+
+
+@dataclasses.dataclass
+class ModelTrace:
+    """All leaf-layer stats of one model, batch-1 normalized."""
+
+    model_name: str
+    layers: list[LayerStats]
+
+    @property
+    def total_flops(self) -> float:
+        """Summed per-batch-element FLOPs of every leaf layer."""
+
+        return sum(layer.flops for layer in self.layers)
+
+    @property
+    def total_bytes(self) -> float:
+        """Summed fp32 memory traffic of every leaf layer."""
+
+        return sum(layer.bytes_moved for layer in self.layers)
+
+    @property
+    def total_kernels(self) -> int:
+        """Total GPU kernel launches per forward pass."""
+
+        return sum(layer.kernels for layer in self.layers)
+
+    def tc_fraction(self) -> float:
+        """Fraction of FLOPs that can run on Tensor Cores (Fig. 6D story)."""
+
+        total = self.total_flops
+        if total == 0:
+            return 0.0
+        return sum(l.flops for l in self.layers if l.tc_eligible) / total
+
+    def summary(self) -> str:
+        """One-line trace summary (GFLOP, MB, kernels, TC share)."""
+
+        return (
+            f"{self.model_name}: {self.total_flops / 1e9:.2f} GFLOP, "
+            f"{self.total_bytes / 1e6:.1f} MB moved, {self.total_kernels} kernels, "
+            f"TC-eligible FLOPs: {100 * self.tc_fraction():.1f}%"
+        )
+
+
+class _Tracer:
+    """Records leaf-layer shapes during one forward pass."""
+
+    def __init__(self) -> None:
+        self.records: list[LayerStats] = []
+        self._names: dict[int, str] = {}
+
+    def assign_names(self, model: Module) -> None:
+        for name, module in model.named_modules():
+            self._names[id(module)] = name or model.__class__.__name__
+
+    def record(self, module: Module, args: tuple, out) -> None:
+        stats = _layer_stats(module, args, out, self._names.get(id(module), "?"))
+        if stats is not None:
+            self.records.append(stats)
+
+
+def _tensor_shape(x) -> tuple[int, ...] | None:
+    if isinstance(x, Tensor):
+        return x.shape
+    return None
+
+
+def _layer_stats(module: Module, args: tuple, out, name: str) -> LayerStats | None:
+    """Analytic stats for a single leaf layer (None for containers)."""
+
+    in_shape = _tensor_shape(args[0]) if args else None
+    out_shape = _tensor_shape(out)
+    if in_shape is None or out_shape is None:
+        return None
+    f32 = 4.0
+    n_in = float(np.prod(in_shape))
+    n_out = float(np.prod(out_shape))
+
+    if isinstance(module, nn.ConvNd):
+        k_vol = float(np.prod(module.kernel_size))
+        flops = 2.0 * n_out * module.in_channels * k_vol
+        params = module.num_parameters()
+        util = min(1.0, (module.in_channels * module.out_channels) / 1024.0)
+        tc = (
+            module.in_channels >= TC_MIN_CHANNELS
+            and module.out_channels >= TC_MIN_CHANNELS
+        )
+        return LayerStats(
+            name=name,
+            kind=f"Conv{module.nd}d",
+            flops=flops,
+            bytes_moved=(n_in + n_out + params) * f32,
+            params=params,
+            kernels=1,
+            tc_eligible=tc,
+            channel_utilization=util,
+        )
+    if isinstance(module, nn.ConvTransposeNd):
+        k_vol = float(np.prod(module.kernel_size))
+        flops = 2.0 * n_in * module.in_channels * module.out_channels * k_vol / max(module.in_channels, 1)
+        # Equivalent formulation: every input element contributes into the
+        # kernel volume for every output channel.
+        flops = 2.0 * n_in * module.out_channels * k_vol
+        params = module.num_parameters()
+        util = min(1.0, (module.in_channels * module.out_channels) / 1024.0)
+        tc = (
+            module.in_channels >= TC_MIN_CHANNELS
+            and module.out_channels >= TC_MIN_CHANNELS
+        )
+        return LayerStats(
+            name=name,
+            kind=f"ConvT{module.nd}d",
+            flops=flops,
+            bytes_moved=(n_in + n_out + params) * f32,
+            params=params,
+            kernels=1,
+            tc_eligible=tc,
+            channel_utilization=util,
+        )
+    if isinstance(module, nn.Linear):
+        flops = 2.0 * n_out * module.in_features
+        params = module.num_parameters()
+        return LayerStats(
+            name=name, kind="Linear", flops=flops,
+            bytes_moved=(n_in + n_out + params) * f32, params=params, kernels=1,
+            tc_eligible=module.in_features >= TC_MIN_CHANNELS and module.out_features >= TC_MIN_CHANNELS,
+            channel_utilization=min(1.0, (module.in_features * module.out_features) / 1024.0),
+        )
+    if isinstance(module, (nn.layers._AvgPoolNd, nn.layers._UpsampleNd)):
+        return LayerStats(
+            name=name, kind=module.__class__.__name__, flops=n_in,
+            bytes_moved=(n_in + n_out) * f32, params=0, kernels=1,
+            tc_eligible=False, channel_utilization=1.0,
+        )
+    if isinstance(module, nn.BatchNormNd):
+        return LayerStats(
+            name=name, kind="BatchNorm", flops=4.0 * n_in,
+            bytes_moved=2.0 * n_in * f32, params=module.num_parameters(), kernels=1,
+            tc_eligible=False, channel_utilization=1.0,
+        )
+    if isinstance(
+        module, (nn.ReLU, nn.LeakyReLU, nn.Sigmoid, nn.Tanh, nn.RegOutputTransform)
+    ):
+        return LayerStats(
+            name=name, kind=module.__class__.__name__, flops=2.0 * n_in,
+            bytes_moved=2.0 * n_in * f32, params=0, kernels=1,
+            tc_eligible=False, channel_utilization=1.0,
+        )
+    # Containers / Identity / heads: no leaf cost.
+    return None
+
+
+def trace_model(model: Module, input_shape: tuple[int, ...], name: str | None = None) -> ModelTrace:
+    """Profile one forward pass of ``model`` on a zero batch of ``input_shape``.
+
+    ``input_shape`` excludes the batch axis; stats are batch-1 normalized.
+    """
+
+    tracer = _Tracer()
+    tracer.assign_names(model)
+    x = Tensor(np.zeros((1,) + tuple(input_shape), dtype=np.float32))
+    model.eval()
+    Module._tracer = tracer
+    try:
+        with nn.no_grad():
+            model(x)
+    finally:
+        Module._tracer = None
+    return ModelTrace(
+        model_name=name or getattr(model, "model_name", model.__class__.__name__),
+        layers=tracer.records,
+    )
+
+
+def trace_encoder(model, input_shape: tuple[int, ...], name: str | None = None) -> ModelTrace:
+    """Trace only the encoder — the real-time (compression-side) component."""
+
+    tracer = _Tracer()
+    tracer.assign_names(model)
+    x = Tensor(np.zeros((1,) + tuple(input_shape), dtype=np.float32))
+    model.eval()
+    Module._tracer = tracer
+    try:
+        with nn.no_grad():
+            model.encode(x)
+    finally:
+        Module._tracer = None
+    return ModelTrace(
+        model_name=name or getattr(model, "model_name", model.__class__.__name__),
+        layers=tracer.records,
+    )

@@ -1,0 +1,110 @@
+"""Analytic GPU throughput model (substitute for the paper's RTX A6000).
+
+For every leaf layer the execution time is modeled as
+
+    t = max(compute, memory) + launch
+
+with
+
+* ``compute = batch · flops / (peak(precision, tc_eligible) · eff · util)``,
+* ``memory  = batch · bytes(precision) / bandwidth``,
+* ``launch  = per-kernel overhead`` (independent of batch — the term that
+  makes small batches slow and produces the saturating curves of Fig. 6A-C).
+
+Peak selection encodes the Figure 6D diagnosis: fp16 reaches the Tensor-Core
+peak only for layers whose channel counts qualify (``tc_eligible``); other
+layers fall back to the fp32-rate vector pipeline, so BCAE-HT sees almost no
+half-precision speedup while BCAE-2D and BCAE++ gain ~76–79%.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .devices import GPUSpec, RTX_A6000
+from .flops import LayerStats, ModelTrace
+
+__all__ = ["LayerTime", "estimate_time", "estimate_throughput", "throughput_curve", "speedup_half"]
+
+
+@dataclasses.dataclass
+class LayerTime:
+    """Per-layer timing breakdown [seconds]."""
+
+    name: str
+    kind: str
+    compute: float
+    memory: float
+    launch: float
+
+    @property
+    def total(self) -> float:
+        """max(compute, memory) + launch — the modeled layer time."""
+
+        return max(self.compute, self.memory) + self.launch
+
+
+def _layer_time(layer: LayerStats, batch: int, half: bool, gpu: GPUSpec) -> LayerTime:
+    is_gemm = layer.kind.startswith(("Conv", "ConvT", "Linear"))
+    if is_gemm:
+        if half and layer.tc_eligible:
+            peak = gpu.fp16_tc_tflops * 1e12 * gpu.conv_efficiency_fp16
+        elif half:
+            peak = gpu.fp16_vector_tflops * 1e12 * gpu.conv_efficiency_fp32
+        else:
+            peak = gpu.fp32_tflops * 1e12 * gpu.conv_efficiency_fp32
+        if "3d" in layer.kind:
+            peak *= gpu.conv3d_factor
+        peak *= max(layer.channel_utilization, 1e-4) ** gpu.util_exponent
+    else:
+        # Elementwise/pool layers are bandwidth-bound; give them the full
+        # vector rate so the max() below lands on the memory term.
+        peak = gpu.fp32_tflops * 1e12
+
+    bytes_scale = 0.5 if half else 1.0
+    compute = batch * layer.flops / peak
+    memory = batch * layer.bytes_moved * bytes_scale / (gpu.mem_bw_gbs * 1e9)
+    launch = layer.kernels * gpu.launch_overhead_us * 1e-6
+    return LayerTime(
+        name=layer.name, kind=layer.kind, compute=compute, memory=memory, launch=launch
+    )
+
+
+def estimate_time(
+    trace: ModelTrace, batch: int, half: bool = True, gpu: GPUSpec = RTX_A6000
+) -> tuple[float, list[LayerTime]]:
+    """Model the wall time [s] of one batch; returns (total, per-layer)."""
+
+    layers = [_layer_time(l, batch, half, gpu) for l in trace.layers]
+    return sum(l.total for l in layers), layers
+
+
+def estimate_throughput(
+    trace: ModelTrace, batch: int, half: bool = True, gpu: GPUSpec = RTX_A6000
+) -> float:
+    """Modeled throughput [wedges/s] at a given batch size."""
+
+    total, _ = estimate_time(trace, batch, half, gpu)
+    return batch / total
+
+
+def throughput_curve(
+    trace: ModelTrace,
+    batch_sizes: list[int] | np.ndarray = (1, 2, 4, 8, 16, 32, 48, 64, 80, 96),
+    half: bool = True,
+    gpu: GPUSpec = RTX_A6000,
+) -> dict[int, float]:
+    """Figure-6 style curve: batch size → modeled wedges/s."""
+
+    return {int(b): estimate_throughput(trace, int(b), half, gpu) for b in batch_sizes}
+
+
+def speedup_half(trace: ModelTrace, batch: int = 64, gpu: GPUSpec = RTX_A6000) -> float:
+    """Half-over-full precision speedup at a batch size (paper: 76–79%
+    for BCAE-2D/BCAE++, near zero for BCAE-HT)."""
+
+    return estimate_throughput(trace, batch, True, gpu) / estimate_throughput(
+        trace, batch, False, gpu
+    )

@@ -1,0 +1,80 @@
+"""Wall-clock throughput measurement on the host CPU.
+
+Complements the GPU roofline model with *measured* numbers for this NumPy
+implementation.  Matches the paper's protocol (§3.2): encoder only, inputs
+pre-staged in memory (no file I/O in the timed region), throughput reported
+as wedges/second.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+
+__all__ = ["ThroughputResult", "measure_encoder_throughput", "measure_curve"]
+
+
+@dataclasses.dataclass
+class ThroughputResult:
+    """One throughput measurement."""
+
+    batch_size: int
+    half: bool
+    wedges_per_second: float
+    seconds_per_batch: float
+    repeats: int
+
+
+def measure_encoder_throughput(
+    model,
+    input_shape: tuple[int, ...],
+    batch_size: int = 1,
+    half: bool = True,
+    repeats: int = 3,
+    warmup: int = 1,
+    seed: int = 0,
+) -> ThroughputResult:
+    """Time ``model.encode`` on random wedges of ``input_shape``.
+
+    ``input_shape`` excludes the batch axis (e.g. ``(16, 192, 256)``).
+    """
+
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.random((batch_size,) + tuple(input_shape), dtype=np.float32))
+    model.eval()
+    with nn.no_grad(), nn.amp.autocast(half):
+        for _ in range(warmup):
+            model.encode(x)
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            model.encode(x)
+        elapsed = (time.perf_counter() - t0) / repeats
+    return ThroughputResult(
+        batch_size=batch_size,
+        half=half,
+        wedges_per_second=batch_size / elapsed,
+        seconds_per_batch=elapsed,
+        repeats=repeats,
+    )
+
+
+def measure_curve(
+    model,
+    input_shape: tuple[int, ...],
+    batch_sizes: tuple[int, ...] = (1, 2, 4),
+    half: bool = True,
+    repeats: int = 2,
+) -> dict[int, float]:
+    """Batch-size → measured wedges/s (CPU analogue of Figure 6)."""
+
+    return {
+        b: measure_encoder_throughput(
+            model, input_shape, batch_size=b, half=half, repeats=repeats
+        ).wedges_per_second
+        for b in batch_sizes
+    }

@@ -1,0 +1,89 @@
+"""``repro.tpc`` — synthetic sPHENIX TPC data substrate.
+
+Replaces the paper's HIJING + Geant4 + sPHENIX-framework simulation chain
+(unavailable offline) with a statistically faithful generator: helical track
+transport, Landau-fluctuated ionization, drift diffusion, pile-up, noise,
+10-bit digitization and zero-suppression at 64 ADC counts.  See DESIGN.md
+§2 for the substitution argument.
+"""
+
+from .analysis import (
+    SpectrumSummary,
+    WedgeSummary,
+    log_adc_histogram,
+    occupancy_per_wedge,
+    wedge_summary,
+)
+from .dataset import DataLoader, WedgeDataset, generate_wedge_dataset, train_test_split_events
+from .events import ADC_MAX, ZERO_SUPPRESSION_THRESHOLD, DigitizationConfig, HijingLikeGenerator
+from .geometry import (
+    INNER_GROUP,
+    LAYER_GROUPS,
+    MIDDLE_GROUP,
+    OUTER_GROUP,
+    PAPER_GEOMETRY,
+    SMALL_GEOMETRY,
+    TINY_GEOMETRY,
+    TPCGeometry,
+    full_tpc_voxels,
+)
+from .physics import Crossings, TrackBatch, TrackPopulation, layer_crossings
+from .reco import (
+    Cluster,
+    ResidualSummary,
+    centroid_residuals,
+    find_clusters,
+    match_clusters,
+)
+from .transforms import (
+    LOG_EDGE,
+    LOG_MAX,
+    inverse_log_transform,
+    log_transform,
+    nonzero_labels,
+    pad_horizontal,
+    padded_length,
+    unpad_horizontal,
+)
+
+__all__ = [
+    "TPCGeometry",
+    "PAPER_GEOMETRY",
+    "SMALL_GEOMETRY",
+    "TINY_GEOMETRY",
+    "INNER_GROUP",
+    "MIDDLE_GROUP",
+    "OUTER_GROUP",
+    "LAYER_GROUPS",
+    "full_tpc_voxels",
+    "SpectrumSummary",
+    "WedgeSummary",
+    "log_adc_histogram",
+    "occupancy_per_wedge",
+    "wedge_summary",
+    "Cluster",
+    "ResidualSummary",
+    "find_clusters",
+    "match_clusters",
+    "centroid_residuals",
+    "TrackBatch",
+    "TrackPopulation",
+    "Crossings",
+    "layer_crossings",
+    "HijingLikeGenerator",
+    "DigitizationConfig",
+    "ZERO_SUPPRESSION_THRESHOLD",
+    "ADC_MAX",
+    "WedgeDataset",
+    "DataLoader",
+    "generate_wedge_dataset",
+    "train_test_split_events",
+    "log_transform",
+    "inverse_log_transform",
+    "pad_horizontal",
+    "unpad_horizontal",
+    "padded_length",
+    "nonzero_labels",
+    "LOG_EDGE",
+    "LOG_MAX",
+]

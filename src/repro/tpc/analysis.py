@@ -1,0 +1,115 @@
+"""Dataset analysis utilities (occupancy, spectra, wedge summaries).
+
+Helpers shared by the Figure-3 bench, the examples and the data-quality
+tests: everything operates on raw uint16 ADC arrays or log-transformed
+wedges and returns plain NumPy results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .transforms import log_transform
+
+__all__ = [
+    "SpectrumSummary",
+    "log_adc_histogram",
+    "occupancy_per_wedge",
+    "wedge_summary",
+    "WedgeSummary",
+]
+
+
+@dataclasses.dataclass
+class SpectrumSummary:
+    """Figure-3-style histogram of nonzero log-ADC values."""
+
+    edges: np.ndarray
+    counts: np.ndarray
+    n_nonzero: int
+    n_total: int
+
+    @property
+    def occupancy(self) -> float:
+        """Nonzero-voxel fraction (paper: ~10.8%)."""
+
+        return self.n_nonzero / max(self.n_total, 1)
+
+    def is_falling(self) -> bool:
+        """Whether counts decay monotonically across whole-unit log bins.
+
+        Aggregates the histogram into unit-width bins ([6,7), [7,8), …)
+        before testing monotonicity, so fine binning does not fail on
+        statistical jitter.
+        """
+
+        units = np.floor(self.edges[:-1] + 1e-9).astype(np.int64)
+        totals = np.bincount(units - units.min(), weights=self.counts)
+        return bool(np.all(np.diff(totals) <= 0))
+
+    def rows(self) -> list[str]:
+        """Formatted histogram rows with proportional bars."""
+
+        out = []
+        peak = max(int(self.counts.max()), 1)
+        for lo, hi, c in zip(self.edges[:-1], self.edges[1:], self.counts):
+            bar = "#" * max(1, int(40 * c / peak)) if c else ""
+            out.append(f"[{lo:4.1f},{hi:4.1f})  {int(c):10,d}  {bar}")
+        return out
+
+
+def log_adc_histogram(adc: np.ndarray, bin_width: float = 0.5) -> SpectrumSummary:
+    """Histogram the nonzero ``log2(ADC+1)`` values over [6, 10]."""
+
+    logv = log_transform(np.asarray(adc))
+    nz = logv[logv > 0]
+    edges = np.arange(6.0, 10.0 + bin_width, bin_width)
+    edges[-1] = 10.01  # include the saturated top value
+    counts, _ = np.histogram(nz, bins=edges)
+    return SpectrumSummary(
+        edges=edges, counts=counts, n_nonzero=int(nz.size), n_total=int(logv.size)
+    )
+
+
+def occupancy_per_wedge(wedges: np.ndarray) -> np.ndarray:
+    """Nonzero fraction of each wedge in a ``(N, R, A, H)`` batch."""
+
+    wedges = np.asarray(wedges)
+    flat = wedges.reshape(wedges.shape[0], -1)
+    return (flat != 0).mean(axis=1)
+
+
+@dataclasses.dataclass
+class WedgeSummary:
+    """Descriptive statistics of one wedge."""
+
+    shape: tuple[int, ...]
+    occupancy: float
+    adc_mean_nonzero: float
+    adc_max: int
+    log_mean_nonzero: float
+
+    def __str__(self) -> str:
+        return (
+            f"wedge{self.shape}: occ={self.occupancy:.4f} "
+            f"<ADC|nz>={self.adc_mean_nonzero:.1f} max={self.adc_max} "
+            f"<log|nz>={self.log_mean_nonzero:.3f}"
+        )
+
+
+def wedge_summary(wedge: np.ndarray) -> WedgeSummary:
+    """Summarize a single raw ADC wedge."""
+
+    wedge = np.asarray(wedge)
+    nz = wedge[wedge > 0]
+    logv = log_transform(wedge)
+    log_nz = logv[logv > 0]
+    return WedgeSummary(
+        shape=tuple(wedge.shape),
+        occupancy=float((wedge != 0).mean()),
+        adc_mean_nonzero=float(nz.mean()) if nz.size else 0.0,
+        adc_max=int(wedge.max(initial=0)),
+        log_mean_nonzero=float(log_nz.mean()) if log_nz.size else 0.0,
+    )

@@ -1,0 +1,336 @@
+"""Synthetic TPC event generation (HIJING + pile-up + digitization substitute).
+
+Paper §2.1: the training data are 1310 simulated central Au+Au events at
+``sqrt(s_NN) = 200 GeV`` with 170 kHz pile-up, digitized to 10-bit ADC values
+and zero-suppressed at 64 counts, which leaves ~10.8% of voxels nonzero.
+
+:class:`HijingLikeGenerator` reproduces that readout statistically:
+
+1. sample a primary multiplicity and a Poisson number of pile-up collisions
+   displaced along z (streaming readout integrates neighbouring crossings);
+2. transport every charged track along its helix through the layer group,
+   sampling the **continuous ionization trail** at sub-bin arc-length steps
+   (a TPC records charge all along the path, not just at layer planes);
+3. spread each sample over a Gaussian stencil whose width is the physical
+   drift-diffusion width converted to local bin units;
+4. fluctuate amplitudes Landau-like (scipy Moyal), add electronics noise,
+   digitize to 10 bits, zero-suppress at 64.
+
+Everything is vectorized over (tracks × path steps); deposits reduce to one
+flat ``np.bincount`` over the voxel grid (the guides' "no Python loops over
+data" rule).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from .geometry import PAPER_GEOMETRY, TPCGeometry
+from .physics import TrackBatch, TrackPopulation
+
+__all__ = ["DigitizationConfig", "HijingLikeGenerator", "ZERO_SUPPRESSION_THRESHOLD", "ADC_MAX"]
+
+#: Paper §2.1: "All ADC values below 64 are suppressed to zero".
+ZERO_SUPPRESSION_THRESHOLD = 64
+
+#: 10-bit unsigned ADC range.
+ADC_MAX = 1023
+
+#: pT [GeV] = 0.3 * B [T] * R [m] for unit charge.
+_RIGIDITY = 0.3
+
+
+@dataclasses.dataclass
+class DigitizationConfig:
+    """Ionization + electronics model.
+
+    Attributes
+    ----------
+    de_per_step:
+        Mean ADC-equivalent charge deposited per arc-length step (Moyal
+        location parameter).
+    de_scale:
+        Moyal scale (Landau-tail width) per step.
+    step_length:
+        Transverse arc-length sampling step along the trail [m].
+    diffusion_const:
+        Physical diffusion width [m] per sqrt(metre) of drift
+        (gas TPCs: O(1 mm/√m)).
+    diffusion_floor:
+        Minimum physical cloud width [m] (pad response).
+    stencil_half:
+        Half-width of the deposit stencil in bins.
+    noise_sigma:
+        Gaussian electronics noise [ADC counts]; essentially all below the
+        zero-suppression threshold.
+    zero_suppression:
+        ADC threshold below which values are dropped to zero.
+    """
+
+    de_per_step: float = 380.0
+    de_scale: float = 280.0
+    step_length: float = 0.004
+    diffusion_const: float = 0.0030
+    diffusion_floor: float = 0.0024
+    stencil_half: int = 2
+    noise_sigma: float = 20.0
+    zero_suppression: int = ZERO_SUPPRESSION_THRESHOLD
+
+
+@dataclasses.dataclass
+class HijingLikeGenerator:
+    """Generate zero-suppressed TPC layer-group events.
+
+    Parameters
+    ----------
+    geometry:
+        Readout geometry (defaults to the paper's outer layer group).
+    multiplicity:
+        Mean number of charged tracks per *primary* collision inside the
+        TPC acceptance (central Au+Au: O(10³)).
+    pileup_mean:
+        Mean number of pile-up collisions integrated into one readout frame
+        (77 kHz frames × 170 kHz collisions ⇒ a few, displaced along z).
+    pileup_z_spread:
+        RMS z displacement of pile-up vertices [m].
+    population:
+        Kinematic sampling distributions for tracks.
+    digitization:
+        Ionization/electronics model.
+
+    Notes
+    -----
+    Defaults are tuned so outer-group wedges land near the paper's 10.8%
+    occupancy with the Figure-3 log-ADC spectrum: empty in (0, 6), sharp
+    rise at ``log2(65) ≈ 6.02``, falling tail to 10.
+    """
+
+    geometry: TPCGeometry = dataclasses.field(default_factory=lambda: PAPER_GEOMETRY)
+    multiplicity: float = 4500.0
+    pileup_mean: float = 4.6
+    pileup_fraction: float = 0.25
+    pileup_z_spread: float = 0.35
+    population: TrackPopulation = dataclasses.field(default_factory=TrackPopulation)
+    digitization: DigitizationConfig = dataclasses.field(default_factory=DigitizationConfig)
+
+    # ------------------------------------------------------------------
+    def sample_tracks(self, rng: np.random.Generator) -> TrackBatch:
+        """Sample primary + pile-up tracks for one readout frame.
+
+        ``multiplicity`` counts every ionizing track segment reaching the
+        outer layer group — primaries plus secondaries/deltas — which is why
+        it exceeds the primary charged multiplicity of a central Au+Au event.
+        The 170 kHz collision rate combined with the ~13.5 µs drift window
+        integrates a Poisson(``pileup_mean``) number of minimum-bias pile-up
+        collisions (each with ``pileup_fraction`` of the central
+        multiplicity) displaced along z.
+        """
+
+        n_primary = rng.poisson(self.multiplicity)
+        batch = self.population.sample(n_primary, rng)
+        n_pileup = rng.poisson(self.pileup_mean)
+        for _ in range(n_pileup):
+            z_off = rng.normal(0.0, self.pileup_z_spread)
+            n_trk = rng.poisson(self.multiplicity * self.pileup_fraction)
+            batch = batch.concatenated(self.population.sample(n_trk, rng, z_offset=z_off))
+        return batch
+
+    # ------------------------------------------------------------------
+    def _trail_samples(
+        self, tracks: TrackBatch, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Sample the ionization trail of every track inside the layer group.
+
+        Returns flat arrays (one entry per valid trail sample):
+        ``layer index, azimuth [rad], z [m], radius [m], amplitude [ADC]``.
+        """
+
+        geo = self.geometry
+        cfg = self.digitization
+
+        kappa = tracks.charge * _RIGIDITY * geo.b_field / tracks.pt  # signed curvature (1/m)
+        abs_k = np.abs(kappa)
+
+        # Arc length (transverse) at which the helix reaches radius r:
+        #   s(r) = (2 / |k|) * asin(r |k| / 2),   needs r|k|/2 < 1.
+        def arc_at(r: float) -> tuple[np.ndarray, np.ndarray]:
+            arg = 0.5 * r * abs_k
+            ok = arg < 1.0
+            s = np.where(ok, 2.0 / abs_k * np.arcsin(np.clip(arg, 0.0, 1.0 - 1e-12)), np.inf)
+            return s, ok
+
+        s_in, ok_in = arc_at(geo.r_min)
+        s_out, ok_out = arc_at(geo.r_max)
+        # Tracks that enter the group; those not reaching r_max turn inside.
+        enters = ok_in
+        s_end = np.where(ok_out, s_out, 2.0 * np.pi / np.maximum(abs_k, 1e-12) * 0.25)
+        span = np.where(enters, s_end - s_in, 0.0)
+
+        n_steps = int(np.ceil(np.max(span, initial=0.0) / cfg.step_length)) if span.size else 0
+        if n_steps == 0:
+            empty = np.empty(0)
+            return empty.astype(np.int64), empty, empty, empty, empty
+
+        # (T, S) grid of arc lengths; mask steps beyond each track's span.
+        steps = (np.arange(n_steps) + 0.5) * cfg.step_length
+        s = s_in[:, None] + steps[None, :]
+        alive = (steps[None, :] < span[:, None]) & enters[:, None]
+
+        half = 0.5 * abs_k[:, None] * s
+        r = (2.0 / abs_k)[:, None] * np.sin(np.clip(half, 0.0, 0.5 * np.pi))
+        phi = tracks.phi0[:, None] - 0.5 * kappa[:, None] * s
+        z = tracks.z0[:, None] + s * np.sinh(tracks.eta)[:, None]
+
+        layer_pitch = (geo.r_max - geo.r_min) / geo.n_layers
+        layer = np.floor((r - geo.r_min) / layer_pitch).astype(np.int64)
+        valid = (
+            alive
+            & (layer >= 0)
+            & (layer < geo.n_layers)
+            & (np.abs(z) < geo.z_half_length)
+        )
+
+        flat = np.nonzero(valid.ravel())[0]
+        layer_f = layer.ravel()[flat]
+        phi_f = phi.ravel()[flat]
+        z_f = z.ravel()[flat]
+        r_f = r.ravel()[flat]
+
+        # Landau-fluctuated deposit per step (Moyal = analytic Landau proxy).
+        from scipy.stats import moyal
+
+        amp = moyal.rvs(loc=cfg.de_per_step, scale=cfg.de_scale, size=flat.size, random_state=rng)
+        amp = np.clip(amp, 0.0, 6.0 * ADC_MAX)
+        return layer_f, phi_f, z_f, r_f, amp
+
+    # ------------------------------------------------------------------
+    def deposit(self, tracks: TrackBatch, rng: np.random.Generator) -> np.ndarray:
+        """Analog charge image (float, ADC-equivalent) for one frame."""
+
+        geo = self.geometry
+        cfg = self.digitization
+        charge = np.zeros(geo.event_shape, dtype=np.float64)
+
+        layer, phi, z, r, amp = self._trail_samples(tracks, rng)
+        if layer.size == 0:
+            return charge
+
+        phi_bin = geo.phi_to_bin(phi)
+        z_bin = geo.z_to_bin(z)
+
+        # Physical diffusion width -> local bin units.
+        sig_phys = cfg.diffusion_floor + cfg.diffusion_const * np.sqrt(geo.drift_length(z))
+        sig_phi = sig_phys / (r * geo.phi_bin_width)
+        sig_z = sig_phys / geo.z_bin_width
+
+        h = cfg.stencil_half
+        offsets = np.arange(-h, h + 1)
+        ip = np.floor(phi_bin).astype(np.int64)
+        iz = np.floor(z_bin).astype(np.int64)
+        fp = phi_bin - ip
+        fz = z_bin - iz
+
+        # Gaussian stencil weights around the fractional sample position.
+        dp = offsets[None, :] + 0.5 - fp[:, None]
+        dz = offsets[None, :] + 0.5 - fz[:, None]
+        wp = np.exp(-0.5 * (dp / np.maximum(sig_phi, 0.25)[:, None]) ** 2)
+        wz = np.exp(-0.5 * (dz / np.maximum(sig_z, 0.25)[:, None]) ** 2)
+        w = wp[:, :, None] * wz[:, None, :]
+        w /= w.sum(axis=(1, 2), keepdims=True)
+        w *= amp[:, None, None]
+
+        pi = np.mod(ip[:, None] + offsets[None, :], geo.n_azim)  # wraps in azimuth
+        zi = iz[:, None] + offsets[None, :]
+        z_ok = (zi >= 0) & (zi < geo.n_z)
+
+        layer_flat = layer[:, None, None] * (geo.n_azim * geo.n_z)
+        flat_idx = (
+            layer_flat
+            + pi[:, :, None] * geo.n_z
+            + np.clip(zi, 0, geo.n_z - 1)[:, None, :]
+        )
+        w = np.where(z_ok[:, None, :], w, 0.0)
+
+        counts = np.bincount(flat_idx.ravel(), weights=w.ravel(), minlength=charge.size)
+        return counts.reshape(geo.event_shape)
+
+    # ------------------------------------------------------------------
+    def digitize(self, charge: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Noise + 10-bit quantization + zero suppression (paper §2.1)."""
+
+        cfg = self.digitization
+        noisy = charge + rng.normal(0.0, cfg.noise_sigma, size=charge.shape)
+        adc = np.clip(np.rint(noisy), 0, ADC_MAX).astype(np.uint16)
+        adc[adc < cfg.zero_suppression] = 0
+        return adc
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def calibrated(
+        cls,
+        geometry: TPCGeometry,
+        target_occupancy: float = 0.108,
+        seed: int = 0,
+        **kwargs,
+    ) -> "HijingLikeGenerator":
+        """Build a generator whose occupancy matches the paper's on any grid.
+
+        Occupancy follows a Poisson-overlap law ``occ = 1 - exp(-λ)`` with
+        voxel hit intensity ``λ`` linear in track multiplicity, so one probe
+        event suffices to solve for the multiplicity that yields
+        ``target_occupancy`` (paper: 10.8%).  Coarser grids need fewer
+        tracks because each trail covers a larger *fraction* of the bins.
+
+        The per-step deposit is also rescaled: a coarser voxel integrates
+        proportionally more trail steps, so without compensation the ADC
+        saturates and the log spectrum inverts (values pile up at 10
+        instead of falling from the 6.02 edge as in Figure 3).
+        """
+
+        paper = PAPER_GEOMETRY
+        # Empirically a ^1.5 law on the mean bin-coarseness keeps the
+        # per-voxel sums in the paper's dynamic range (tests/tpc assert the
+        # falling Figure-3 spectrum on every preset grid).
+        coarseness = math.sqrt(
+            (paper.n_azim / geometry.n_azim) * (paper.n_z / geometry.n_z)
+        ) ** 1.5
+        if "digitization" not in kwargs and coarseness > 1.001:
+            base = DigitizationConfig()
+            kwargs["digitization"] = dataclasses.replace(
+                base,
+                de_per_step=base.de_per_step / coarseness,
+                de_scale=base.de_scale / coarseness,
+            )
+        guess = max(
+            150.0,
+            4500.0 * (geometry.n_azim * geometry.n_z) / (paper.n_azim * paper.n_z),
+        )
+        probe = cls(geometry=geometry, multiplicity=guess, **kwargs)
+        occ = probe.occupancy(probe.event(seed))
+        occ = min(max(occ, 1e-4), 0.95)
+        lam_probe = -math.log1p(-occ)
+        lam_target = -math.log1p(-target_occupancy)
+        multiplicity = guess * lam_target / lam_probe
+        return cls(geometry=geometry, multiplicity=multiplicity, **kwargs)
+
+    # ------------------------------------------------------------------
+    def event(self, rng: np.random.Generator | int) -> np.ndarray:
+        """One zero-suppressed layer-group event, shape :attr:`TPCGeometry.event_shape`."""
+
+        if isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(int(rng))
+        tracks = self.sample_tracks(rng)
+        return self.digitize(self.deposit(tracks, rng), rng)
+
+    def wedges(self, rng: np.random.Generator | int) -> np.ndarray:
+        """All 24 wedges of one event, shape ``(n_wedges, *wedge_shape)``."""
+
+        return self.geometry.split_wedges(self.event(rng))
+
+    def occupancy(self, adc: np.ndarray) -> float:
+        """Fraction of nonzero voxels (paper reports ~10.8% on average)."""
+
+        return float(np.count_nonzero(adc)) / adc.size

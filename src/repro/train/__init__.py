@@ -1,0 +1,6 @@
+"""``repro.train`` — the paper's training procedure (§2.5)."""
+
+from .balancer import LossBalancer
+from .trainer import EpochStats, TrainConfig, Trainer, clip_grad_norm, evaluate_model
+
+__all__ = ["LossBalancer", "TrainConfig", "Trainer", "EpochStats", "evaluate_model", "clip_grad_norm"]

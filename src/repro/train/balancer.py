@@ -1,0 +1,55 @@
+"""Dynamic segmentation/regression loss balancing (paper §2.5).
+
+The combined objective is ``L = c_t · L_seg + L_reg``.  Because the focal
+loss lives on a very different scale than the masked MAE, the paper adapts
+the segmentation coefficient every epoch:
+
+    c_{t+1} = 0.5 · c_t + 1.5 · (ρ_r^t / ρ_s^t),        c_0 = 2000,
+
+where ``ρ_s^t`` and ``ρ_r^t`` are the epoch-``t`` segmentation and
+regression losses.  (The paper's typesetting of the recurrence is ambiguous;
+this reading has the natural fixed point ``c* = 3·ρ_r/ρ_s``, keeping the
+segmentation term ~3× the regression term — classification quality gates
+everything since misclassified voxels contribute full-magnitude errors.)
+"""
+
+from __future__ import annotations
+
+__all__ = ["LossBalancer"]
+
+
+class LossBalancer:
+    """Tracks the adaptive coefficient ``c_t`` of the combined BCAE loss."""
+
+    def __init__(self, c0: float = 2000.0, decay: float = 0.5, gain: float = 1.5) -> None:
+        self.coefficient = float(c0)
+        self.decay = float(decay)
+        self.gain = float(gain)
+        self.history: list[float] = [self.coefficient]
+
+    def combined(self, seg_loss: float, reg_loss: float) -> float:
+        """The scalar objective value ``c_t·L_seg + L_reg`` (for logging)."""
+
+        return self.coefficient * seg_loss + reg_loss
+
+    def update(self, seg_loss: float, reg_loss: float) -> float:
+        """End-of-epoch update; returns the new coefficient ``c_{t+1}``.
+
+        Parameters
+        ----------
+        seg_loss, reg_loss:
+            Mean epoch losses ``ρ_s^t`` and ``ρ_r^t``.
+        """
+
+        if seg_loss <= 0:
+            ratio = 0.0
+        else:
+            ratio = reg_loss / seg_loss
+        self.coefficient = self.decay * self.coefficient + self.gain * ratio
+        self.history.append(self.coefficient)
+        return self.coefficient
+
+    def fixed_point(self, seg_loss: float, reg_loss: float) -> float:
+        """The stationary coefficient for constant losses: ``3·ρ_r/ρ_s``."""
+
+        return self.gain / (1.0 - self.decay) * (reg_loss / seg_loss)

@@ -1,0 +1,133 @@
+"""Terminal visualization helpers (Figures 2/3/5 as ASCII).
+
+A CPU-only, offline reproduction cannot assume matplotlib; these renderers
+put the paper's visual artifacts — wedge track maps, difference maps,
+histograms and throughput curves — on stdout.  They are used by the
+examples and available to downstream users for quick looks at wedges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "render_heatmap",
+    "render_wedge_layer",
+    "render_difference",
+    "render_histogram",
+    "render_curves",
+]
+
+_RAMP = " .:-=+*#%@"
+
+
+def _bin_2d(image: np.ndarray, width: int, height: int) -> np.ndarray:
+    """Downsample a 2D array to ≤ (height, width) by block averaging."""
+
+    rows = np.array_split(np.arange(image.shape[0]), min(height, image.shape[0]))
+    cols = np.array_split(np.arange(image.shape[1]), min(width, image.shape[1]))
+    out = np.empty((len(rows), len(cols)), dtype=np.float64)
+    for i, r in enumerate(rows):
+        strip = image[r].mean(axis=0)
+        for j, c in enumerate(cols):
+            out[i, j] = strip[c].mean()
+    return out
+
+
+def render_heatmap(
+    image: np.ndarray,
+    width: int = 72,
+    height: int = 24,
+    vmin: float | None = None,
+    vmax: float | None = None,
+    ramp: str = _RAMP,
+) -> str:
+    """Render a 2D array as ASCII intensity art."""
+
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2D array, got shape {image.shape}")
+    binned = _bin_2d(image, width, height)
+    lo = float(binned.min()) if vmin is None else vmin
+    hi = float(binned.max()) if vmax is None else vmax
+    span = max(hi - lo, 1e-12)
+    idx = np.clip(((binned - lo) / span) * (len(ramp) - 1), 0, len(ramp) - 1)
+    idx = idx.astype(np.int64)
+    return "\n".join("".join(ramp[v] for v in row) for row in idx)
+
+
+def render_wedge_layer(wedge: np.ndarray, layer: int = 0, **kwargs) -> str:
+    """One radial layer of a ``(R, A, H)`` wedge (Figure 2's track stubs)."""
+
+    wedge = np.asarray(wedge)
+    if wedge.ndim != 3:
+        raise ValueError(f"expected (radial, azim, horiz), got {wedge.shape}")
+    return render_heatmap(wedge[layer], **kwargs)
+
+
+def render_difference(
+    truth: np.ndarray,
+    reconstruction: np.ndarray,
+    layer: int = 0,
+    **kwargs,
+) -> str:
+    """Figure 5-style |difference| map of one wedge layer."""
+
+    truth = np.asarray(truth, dtype=np.float64)
+    reconstruction = np.asarray(reconstruction, dtype=np.float64)
+    if truth.shape != reconstruction.shape:
+        raise ValueError("truth and reconstruction must share a shape")
+    return render_heatmap(np.abs(truth - reconstruction)[layer], **kwargs)
+
+
+def render_histogram(
+    counts: np.ndarray,
+    edges: np.ndarray,
+    width: int = 50,
+    log_scale: bool = True,
+) -> str:
+    """Figure 3-style histogram with per-bin bars (log-height by default)."""
+
+    counts = np.asarray(counts, dtype=np.float64)
+    edges = np.asarray(edges, dtype=np.float64)
+    if counts.size + 1 != edges.size:
+        raise ValueError("edges must have one more entry than counts")
+    heights = np.log10(counts + 1.0) if log_scale else counts
+    peak = max(float(heights.max()), 1e-12)
+    lines = []
+    for lo, hi, c, h in zip(edges[:-1], edges[1:], counts, heights):
+        bar = "#" * max(0, int(width * h / peak))
+        lines.append(f"[{lo:6.2f},{hi:6.2f})  {int(c):10,d}  {bar}")
+    return "\n".join(lines)
+
+
+def render_curves(
+    series: dict[str, dict[int, float]],
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Figure 6-style throughput-vs-batch curves as an ASCII chart.
+
+    ``series`` maps label → {x: y}; all series share the plot scales.
+    Each series is drawn with a distinct marker; markers overwrite
+    earlier series at collisions.
+    """
+
+    if not series:
+        raise ValueError("no series to plot")
+    xs = sorted({x for s in series.values() for x in s})
+    ymax = max(max(s.values()) for s in series.values())
+    ymin = 0.0
+    canvas = [[" "] * width for _ in range(height)]
+    markers = "ox+*sd"
+    for (label, s), marker in zip(series.items(), markers):
+        for x, y in s.items():
+            col = int((xs.index(x) / max(len(xs) - 1, 1)) * (width - 1))
+            row = int((1.0 - (y - ymin) / max(ymax - ymin, 1e-12)) * (height - 1))
+            canvas[row][col] = marker
+    lines = ["".join(row) for row in canvas]
+    legend = "  ".join(
+        f"{marker}={label}" for (label, _s), marker in zip(series.items(), markers)
+    )
+    header = f"y: 0..{ymax:.0f}   x: batch {xs[0]}..{xs[-1]}"
+    return "\n".join([header] + lines + [legend])

@@ -1,0 +1,67 @@
+"""The decimation (average-pool) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DecimationCodec, evaluate_codec, fp16_ratio
+
+
+class TestRoundTrip:
+    def test_shape_preserved(self, rng):
+        x = rng.random((2, 8, 16, 32)).astype(np.float32)
+        codec = DecimationCodec((2, 2, 2))
+        y = codec.decompress(codec.compress(x))
+        assert y.shape == x.shape
+
+    def test_constant_field_lossless_up_to_fp16(self):
+        x = np.full((4, 8, 8), 7.0, dtype=np.float32)
+        codec = DecimationCodec((2, 2, 2))
+        y = codec.decompress(codec.compress(x))
+        np.testing.assert_allclose(y, x, atol=4e-3)
+
+    def test_blocks_reconstruct_block_means(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4)
+        codec = DecimationCodec((1, 2, 2))
+        y = codec.decompress(codec.compress(x))
+        assert y[0, 0, 0] == pytest.approx(x[0, :2, :2].mean(), abs=1e-2)
+
+    def test_ratio_exact(self, rng):
+        x = rng.random((8, 16, 32)).astype(np.float32)
+        codec = DecimationCodec((2, 2, 2))
+        payload = codec.compress(x)
+        # 26 header bytes on a 1 KiB payload: ratio ≈ prod(factors) = 8.
+        assert fp16_ratio(x, payload) == pytest.approx(codec.expected_ratio(), rel=0.05)
+
+    def test_identity_factors(self, rng):
+        x = rng.random((4, 4)).astype(np.float32)
+        codec = DecimationCodec((1, 1))
+        y = codec.decompress(codec.compress(x))
+        np.testing.assert_allclose(y, x, atol=4e-3)  # fp16 storage only
+
+
+class TestValidation:
+    def test_indivisible_shape_raises(self, rng):
+        with pytest.raises(ValueError):
+            DecimationCodec((2, 2)).compress(rng.random((5, 4)).astype(np.float32))
+
+    def test_rank_too_low_raises(self, rng):
+        with pytest.raises(ValueError):
+            DecimationCodec((2, 2, 2)).compress(rng.random((4, 4)).astype(np.float32))
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            DecimationCodec((0, 2))
+
+
+class TestSparseBehaviour:
+    def test_smears_sparse_boundaries(self, rng):
+        """The naive fixed-rate failure mode in its purest form."""
+
+        x = np.zeros((8, 16, 16), dtype=np.float32)
+        mask = rng.random(x.shape) < 0.1
+        x[mask] = rng.uniform(6.0, 10.0, int(mask.sum())).astype(np.float32)
+        res = evaluate_codec(DecimationCodec((2, 2, 2)), x)
+        assert res.ratio > 7.5
+        # Zeros adjacent to hits become nonzero (smearing) -> poor precision.
+        assert res.precision < 0.9
+        assert res.mae > 0.1

@@ -1,0 +1,73 @@
+"""Failure injection: corrupted payloads must fail loudly, not silently."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MGARDLikeCodec, SZLikeCodec, ZFPLikeCodec
+
+
+@pytest.fixture()
+def field(rng):
+    x = np.zeros((6, 8, 12), dtype=np.float32)
+    mask = rng.random(x.shape) < 0.15
+    x[mask] = rng.uniform(6.0, 10.0, size=int(mask.sum())).astype(np.float32)
+    return x
+
+
+_CODECS = [SZLikeCodec(0.25), ZFPLikeCodec(2), MGARDLikeCodec(0.5)]
+
+
+class TestCorruption:
+    @pytest.mark.parametrize("codec", _CODECS, ids=lambda c: c.name)
+    def test_truncated_payload_raises(self, codec, field):
+        payload = codec.compress(field)
+        with pytest.raises(Exception):
+            codec.decompress(payload[: len(payload) // 3])
+
+    @pytest.mark.parametrize("codec", _CODECS, ids=lambda c: c.name)
+    def test_empty_payload_raises(self, codec):
+        with pytest.raises(Exception):
+            codec.decompress(b"")
+
+    @pytest.mark.parametrize("codec", _CODECS, ids=lambda c: c.name)
+    def test_roundtrip_is_not_affected_by_payload_copy(self, codec, field):
+        """Payloads are plain bytes: copying/reslicing must be safe."""
+
+        payload = bytes(bytearray(codec.compress(field)))
+        a = codec.decompress(payload)
+        b = codec.decompress(payload)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sz_header_shape_tamper_detected_or_contained(self, field):
+        """Flipping a shape byte must not return a silently wrong-shaped array."""
+
+        codec = SZLikeCodec(0.5)
+        payload = bytearray(codec.compress(field))
+        payload[1] ^= 0xFF  # first shape byte
+        try:
+            out = codec.decompress(bytes(payload))
+        except Exception:
+            return  # loud failure is acceptable
+        assert out.shape != field.shape  # if it decodes, the tamper is visible
+
+
+class TestEdgeInputs:
+    @pytest.mark.parametrize("codec", _CODECS, ids=lambda c: c.name)
+    def test_single_voxel_array(self, codec):
+        x = np.array([[[7.5]]], dtype=np.float32)
+        y = codec.decompress(codec.compress(x))
+        assert y.shape == x.shape
+
+    @pytest.mark.parametrize("codec", [SZLikeCodec(0.25), MGARDLikeCodec(0.5)],
+                             ids=lambda c: c.name)
+    def test_constant_field(self, codec):
+        x = np.full((8, 8, 8), 7.0, dtype=np.float32)
+        y = codec.decompress(codec.compress(x))
+        eb = 0.25 if "sz" in codec.name else 0.5
+        assert np.abs(y - x).max() <= eb * (1 + 1e-5)
+
+    @pytest.mark.parametrize("codec", _CODECS, ids=lambda c: c.name)
+    def test_negative_values_supported(self, codec, rng):
+        x = rng.normal(size=(8, 8, 8)).astype(np.float32)
+        y = codec.decompress(codec.compress(x))
+        assert y.shape == x.shape

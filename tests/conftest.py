@@ -1,0 +1,44 @@
+"""Shared fixtures: seeded RNGs and session-cached synthetic datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tpc import TINY_GEOMETRY, HijingLikeGenerator, generate_wedge_dataset
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_datasets():
+    """(train, test) wedge datasets on the tiny geometry — shared per session."""
+
+    return generate_wedge_dataset(2, geometry=TINY_GEOMETRY, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_train(tiny_datasets):
+    return tiny_datasets[0]
+
+
+@pytest.fixture(scope="session")
+def tiny_test(tiny_datasets):
+    return tiny_datasets[1]
+
+
+@pytest.fixture(scope="session")
+def tiny_generator():
+    return HijingLikeGenerator.calibrated(TINY_GEOMETRY, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_log_wedges(tiny_train):
+    """A small batch of log-transformed wedges (unpadded)."""
+
+    from repro.tpc import log_transform
+
+    return log_transform(tiny_train.wedges[:3])

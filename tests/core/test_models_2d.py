@@ -1,0 +1,118 @@
+"""BCAE-2D: Algorithm 1/2 structure, code shapes, m/n/d parameterization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import BCAE2D, BCAEDecoder2D, BCAEEncoder2D, build_bcae2d
+from repro.nn import Tensor
+
+
+class TestEncoderAlgorithm1:
+    def test_paper_code_shape(self):
+        """Paper §2.4: BCAE-2D with d=3 produces a (32, 24, 32) code."""
+
+        enc = BCAEEncoder2D(m=4, d=3)
+        assert enc.code_shape((192, 256)) == (32, 24, 32)
+
+    def test_forward_shape(self, rng):
+        enc = BCAEEncoder2D(m=4, d=3)
+        out = enc(Tensor(rng.normal(size=(1, 16, 48, 64)).astype(np.float32)))
+        assert out.shape == (1, 32, 6, 8)
+
+    def test_d_cannot_exceed_m(self):
+        with pytest.raises(ValueError):
+            BCAEEncoder2D(m=2, d=3)
+
+    def test_downsampling_factor(self, rng):
+        for d in (1, 2, 3):
+            enc = BCAEEncoder2D(m=3, d=d)
+            out = enc(Tensor(rng.normal(size=(1, 16, 32, 32)).astype(np.float32)))
+            assert out.shape[-1] == 32 // 2**d
+
+    def test_indivisible_spatial_raises(self):
+        with pytest.raises(ValueError):
+            BCAEEncoder2D(m=4, d=3).code_shape((50, 64))
+
+    def test_m_adds_blocks_not_downsampling(self, rng):
+        """Blocks beyond d keep resolution constant (Algorithm 1 line 4)."""
+
+        small = BCAEEncoder2D(m=3, d=3)
+        large = BCAEEncoder2D(m=7, d=3)
+        x = Tensor(rng.normal(size=(1, 16, 32, 32)).astype(np.float32))
+        assert small(x).shape == large(x).shape
+
+    def test_encoder_size_ladder_matches_fig6e(self):
+        """Fig. 6E: ~36.2k parameters per extra encoder block."""
+
+        sizes = {m: BCAEEncoder2D(m=m, d=3).num_parameters() for m in (3, 4, 5)}
+        per_block = sizes[4] - sizes[3]
+        assert per_block == sizes[5] - sizes[4]
+        assert 30_000 < per_block < 42_000
+
+
+class TestDecoderAlgorithm2:
+    def test_upsamples_back(self, rng):
+        dec = BCAEDecoder2D(n=4, d=3)
+        out = dec(Tensor(rng.normal(size=(1, 32, 6, 8)).astype(np.float32)))
+        assert out.shape == (1, 16, 48, 64)
+
+    def test_sigmoid_head_in_unit_interval(self, rng):
+        dec = BCAEDecoder2D(n=3, d=3, output_activation="sigmoid")
+        out = dec(Tensor(rng.normal(size=(1, 32, 4, 4)).astype(np.float32)))
+        assert out.data.min() >= 0.0 and out.data.max() <= 1.0
+
+    def test_d_cannot_exceed_n(self):
+        with pytest.raises(ValueError):
+            BCAEDecoder2D(n=2, d=3)
+
+    def test_deeper_decoder_keeps_shape(self, rng):
+        x = Tensor(rng.normal(size=(1, 32, 4, 4)).astype(np.float32))
+        assert BCAEDecoder2D(n=3, d=2)(x).shape == BCAEDecoder2D(n=9, d=2)(x).shape
+
+
+class TestBCAE2DModel:
+    def test_default_is_paper_choice(self):
+        """§2.4: BCAE-2D(m=4, n=8, d=3) is the default configuration."""
+
+        model = BCAE2D()
+        assert (model.m, model.n, model.d) == (4, 8, 3)
+
+    def test_roundtrip_shapes(self, rng):
+        model = BCAE2D(m=2, n=2, d=2)
+        x = Tensor(rng.normal(size=(2, 16, 24, 32)).astype(np.float32))
+        out = model(x)
+        assert out.code.shape == (2, 32, 6, 8)
+        assert out.seg.shape == x.shape
+        assert out.reg.shape == x.shape
+
+    def test_reconstruction_masking(self, rng):
+        model = BCAE2D(m=2, n=2, d=2)
+        x = Tensor(rng.normal(size=(1, 16, 16, 16)).astype(np.float32))
+        out = model(x)
+        recon = out.reconstruction(threshold=0.5)
+        mask = out.seg.data > 0.5
+        assert np.all(recon[~mask] == 0.0)
+        np.testing.assert_array_equal(recon[mask], out.reg.data[mask])
+
+    def test_unbalanced_decoder_does_not_change_encoder(self):
+        """Fig. 7's premise: n only grows the decoders."""
+
+        a, b = BCAE2D(m=4, n=3), BCAE2D(m=4, n=11)
+        assert a.encoder_parameters() == b.encoder_parameters()
+        assert b.decoder_parameters() > a.decoder_parameters()
+
+    def test_factory(self):
+        model = build_bcae2d(m=3, n=5, d=2)
+        assert (model.m, model.n, model.d) == (3, 5, 2)
+
+    def test_gradients_reach_encoder_through_both_heads(self, rng):
+        model = BCAE2D(m=1, n=1, d=1)
+        x = Tensor(rng.normal(size=(1, 16, 8, 8)).astype(np.float32))
+        out = model(x)
+        loss = nn.focal_loss(out.seg, (rng.random(out.seg.shape) > 0.9).astype(np.float32))
+        loss = loss + nn.masked_mae_loss(out.reg, out.seg, x.data)
+        loss.backward()
+        first_conv = model.encoder.stages[0]
+        assert first_conv.weight.grad is not None
+        assert np.abs(first_conv.weight.grad).max() > 0

@@ -1,0 +1,142 @@
+"""3D BCAE variants: stage planning, code shapes, decoder inversion."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BCAEDecoder3D,
+    BCAEEncoder3D,
+    build_bcae,
+    build_bcae_ht,
+    build_bcae_pp,
+    plan_stages,
+)
+from repro.nn import Tensor
+
+
+class TestStagePlanning:
+    def test_padded_paper_plan(self):
+        """BCAE++: (16, 192, 256) → code spatial (16, 12, 16) (§2.3)."""
+
+        plans = plan_stages((16, 192, 256), 4, legacy_tail=False)
+        assert plans[-1].out_spatial == (16, 12, 16)
+        for p in plans:
+            assert p.kernel == (3, 4, 4)
+            assert p.stride == (1, 2, 2)
+
+    def test_legacy_paper_plan(self):
+        """Original BCAE: unpadded (16, 192, 249) → (16, 13, 17)."""
+
+        plans = plan_stages((16, 192, 249), 4, legacy_tail=True)
+        assert plans[-1].out_spatial == (16, 13, 17)
+
+    def test_radial_never_downsampled(self):
+        for legacy in (False, True):
+            for p in plan_stages((16, 192, 256), 4, legacy):
+                assert p.out_spatial[0] == p.in_spatial[0]
+
+    def test_output_padding_inverts_sizes(self):
+        """(out-1)·s - pads + k + op must reproduce in_spatial exactly."""
+
+        for legacy in (False, True):
+            for p in plan_stages((16, 192, 249), 4, legacy):
+                recovered = tuple(
+                    (o - 1) * s - pl - ph + k + op
+                    for o, s, (pl, ph), k, op in zip(
+                        p.out_spatial, p.stride, p.padding, p.kernel, p.output_padding
+                    )
+                )
+                assert recovered == p.in_spatial
+
+    def test_too_small_input_raises(self):
+        with pytest.raises(ValueError):
+            plan_stages((16, 4, 4), 4)
+
+
+class TestEncoders3D:
+    def test_bcae_pp_code_shape(self):
+        """Paper §3.1: BCAE++ code is (8, 16, 12, 16) = 24576 elements."""
+
+        enc = BCAEEncoder3D(spatial=(16, 192, 256))
+        assert enc.code_shape == (8, 16, 12, 16)
+        assert int(np.prod(enc.code_shape)) == 24576
+
+    def test_bcae_legacy_code_shape(self):
+        """Original BCAE code holds 8·16·13·17 = 28288 elements (ratio 27.041)."""
+
+        enc = BCAEEncoder3D(spatial=(16, 192, 249), legacy_tail=True, norm=True)
+        assert int(np.prod(enc.code_shape)) == 28288
+
+    def test_forward_small(self, rng):
+        enc = BCAEEncoder3D(spatial=(16, 32, 32), features=(2, 4, 4, 8))
+        out = enc(Tensor(rng.normal(size=(2, 16, 32, 32)).astype(np.float32)))
+        assert out.shape == (2, 8, 16, 2, 2)
+
+    def test_rejects_wrong_rank(self, rng):
+        enc = BCAEEncoder3D(spatial=(16, 32, 32))
+        with pytest.raises(ValueError):
+            enc(Tensor(rng.normal(size=(16, 32, 32)).astype(np.float32)))
+
+
+class TestDecoders3D:
+    @pytest.mark.parametrize("legacy", [False, True])
+    def test_decoder_restores_input_spatial(self, rng, legacy):
+        spatial = (16, 24, 27 if legacy else 32)
+        enc = BCAEEncoder3D(spatial=spatial, features=(2, 4, 4, 8), legacy_tail=legacy)
+        dec = BCAEDecoder3D(enc)
+        x = Tensor(rng.normal(size=(1,) + spatial).astype(np.float32))
+        code = enc(x)
+        out = dec(code)
+        assert out.shape == (1,) + spatial
+
+    def test_output_activation_applied(self, rng):
+        from repro import nn
+
+        enc = BCAEEncoder3D(spatial=(16, 16, 16), features=(2, 2, 2, 2))
+        dec = BCAEDecoder3D(enc, output_activation=nn.Sigmoid())
+        out = dec(enc(Tensor(rng.normal(size=(1, 16, 16, 16)).astype(np.float32))))
+        assert out.data.min() >= 0.0 and out.data.max() <= 1.0
+
+
+class TestVariantBuilders:
+    def test_pp_and_ht_share_code_shape(self):
+        pp = build_bcae_pp((16, 192, 249))
+        ht = build_bcae_ht((16, 192, 249))
+        assert pp.encoder.code_shape == ht.encoder.code_shape == (8, 16, 12, 16)
+
+    def test_ht_is_5pct_of_pp(self):
+        """Paper §2.3: the HT encoder shrinks to ~5% of BCAE++'s size."""
+
+        pp = build_bcae_pp((16, 192, 249)).encoder_parameters()
+        ht = build_bcae_ht((16, 192, 249)).encoder_parameters()
+        assert ht / pp < 0.06
+
+    def test_bcae_has_norm_layers(self):
+        from repro import nn
+
+        model = build_bcae((16, 192, 249))
+        kinds = [type(m) for m in model.encoder.modules()]
+        assert nn.BatchNorm3d in kinds
+
+    def test_pp_has_no_norm_layers(self):
+        """§2.3: BCAE++ removes all normalization layers."""
+
+        from repro import nn
+
+        model = build_bcae_pp((16, 192, 249))
+        kinds = [type(m) for m in model.encoder.modules()]
+        assert nn.BatchNorm3d not in kinds
+
+    def test_reg_head_uses_output_transform(self):
+        from repro import nn
+
+        model = build_bcae_pp((16, 192, 249))
+        assert isinstance(model.reg_decoder.output_activation, nn.RegOutputTransform)
+        assert isinstance(model.seg_decoder.output_activation, nn.Sigmoid)
+
+    def test_small_wedge_roundtrip(self, rng):
+        model = build_bcae_ht((16, 24, 30))
+        x = Tensor(rng.normal(size=(1, 16, 24, 32)).astype(np.float32))
+        out = model(x)
+        assert out.seg.shape == (1, 16, 24, 32)
+        assert out.reg.data.min() >= 6.0  # RegOutputTransform floor

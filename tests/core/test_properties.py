@@ -1,0 +1,129 @@
+"""Property-based tests of the core models and compressor (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.core import BCAE2D, BCAECompressor, build_model
+from repro.nn import Tensor
+
+_SETTINGS = dict(max_examples=10, deadline=None)
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    return build_model("bcae_2d", wedge_spatial=(16, 24, 30), m=2, n=2, d=2, seed=0)
+
+
+class TestModelProperties:
+    @settings(**_SETTINGS)
+    @given(
+        m=st.integers(1, 5),
+        extra_n=st.integers(0, 4),
+        d=st.integers(1, 2),
+    )
+    def test_any_mnd_roundtrips_shapes(self, m, extra_n, d):
+        """Every BCAE-2D(m, n, d) with n ≥ d, m ≥ d round-trips shapes."""
+
+        if d > m:
+            return
+        n = d + extra_n
+        nn.init.seed(0)
+        model = BCAE2D(m=m, n=n, d=d)
+        x = Tensor(np.zeros((1, 16, 8 * 2**d, 8 * 2**d), dtype=np.float32))
+        with nn.no_grad():
+            out = model(x)
+        assert out.seg.shape == x.shape
+        assert out.reg.shape == x.shape
+        assert out.code.shape[1] == 32
+
+    @settings(**_SETTINGS)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_seg_outputs_are_probabilities(self, seed, tiny_model):
+        x = Tensor(
+            np.random.default_rng(seed).uniform(0, 10, size=(1, 16, 24, 32)).astype(np.float32)
+        )
+        with nn.no_grad():
+            out = tiny_model(x)
+        assert out.seg.data.min() >= 0.0
+        assert out.seg.data.max() <= 1.0
+
+    @settings(**_SETTINGS)
+    @given(seed=st.integers(0, 2**31 - 1), threshold=st.floats(0.1, 0.9))
+    def test_reconstruction_support_matches_mask(self, seed, threshold, tiny_model):
+        """ṽ is nonzero exactly where the mask fires and v̂ ≠ 0."""
+
+        x = Tensor(
+            np.random.default_rng(seed).uniform(0, 10, size=(1, 16, 24, 32)).astype(np.float32)
+        )
+        with nn.no_grad():
+            out = tiny_model(x)
+        recon = out.reconstruction(threshold)
+        mask = out.seg.data > threshold
+        assert np.all(recon[~mask] == 0.0)
+
+    @settings(**_SETTINGS)
+    @given(scale=st.floats(0.1, 10.0))
+    def test_encoder_deterministic(self, scale, tiny_model):
+        x = Tensor(np.full((1, 16, 24, 32), scale, dtype=np.float32))
+        with nn.no_grad():
+            a = tiny_model.encode(x).data
+            b = tiny_model.encode(x).data
+        np.testing.assert_array_equal(a, b)
+
+
+class TestCompressorProperties:
+    @settings(**_SETTINGS)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        batch=st.integers(1, 3),
+    )
+    def test_roundtrip_shape_for_any_batch(self, seed, batch, tiny_model):
+        comp = BCAECompressor(tiny_model)
+        rng = np.random.default_rng(seed)
+        raw = rng.integers(0, 1024, size=(batch, 16, 24, 30)).astype(np.uint16)
+        raw[raw < 700] = 0
+        recon, compressed = comp.roundtrip(raw)
+        assert recon.shape == raw.shape
+        assert compressed.n_wedges == batch
+        assert compressed.nbytes == batch * int(np.prod(compressed.code_shape)) * 2
+
+    @settings(**_SETTINGS)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_payload_codes_roundtrip_bitexact(self, seed, tiny_model):
+        """bytes → fp16 array → bytes is the identity."""
+
+        comp = BCAECompressor(tiny_model)
+        rng = np.random.default_rng(seed)
+        raw = rng.integers(0, 1024, size=(2, 16, 24, 30)).astype(np.uint16)
+        compressed = comp.compress(raw)
+        assert compressed.codes().tobytes() == compressed.payload
+
+    def test_compression_ratio_independent_of_content(self, tiny_model):
+        """The ratio is structural — a property the paper relies on (§3.1)."""
+
+        comp = BCAECompressor(tiny_model)
+        assert comp.compression_ratio((16, 24, 30)) == comp.compression_ratio((16, 24, 30))
+
+
+class TestFailureModes:
+    def test_wrong_wedge_rank_raises(self, tiny_model):
+        comp = BCAECompressor(tiny_model)
+        with pytest.raises(Exception):
+            comp.compress(np.zeros((2, 2), dtype=np.uint16))
+
+    def test_truncated_payload_fails_loudly(self, tiny_model):
+        comp = BCAECompressor(tiny_model)
+        raw = np.zeros((1, 16, 24, 30), dtype=np.uint16)
+        compressed = comp.compress(raw)
+        import dataclasses
+
+        corrupted = dataclasses.replace(compressed, payload=compressed.payload[:-8])
+        with pytest.raises(ValueError):
+            comp.decompress(corrupted)
+
+    def test_unknown_model_name(self):
+        with pytest.raises(ValueError):
+            build_model("bcae_xxl")

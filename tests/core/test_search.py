@@ -1,0 +1,93 @@
+"""Architecture search harness (paper §2.3/§3.5 workflow)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    enumerate_candidates,
+    pareto_front,
+    search,
+    throughput_frontier,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    cands = enumerate_candidates(ms=(3, 4, 5), ns=(3, 8), ds=(3,))
+    return throughput_frontier(cands)
+
+
+class TestEnumeration:
+    def test_paper_grid_size(self):
+        cands = enumerate_candidates(ms=(3, 4, 5, 6, 7), ns=(3, 5, 7, 9, 11), ds=(3,))
+        assert len(cands) == 25  # the §3.5 grid
+
+    def test_ratio_is_structural(self):
+        cands = enumerate_candidates(ms=(4,), ns=(8,), ds=(3,))
+        assert cands[0].code_ratio == pytest.approx(31.125)
+
+    def test_infeasible_d_filtered(self):
+        cands = enumerate_candidates(ms=(2,), ns=(2,), ds=(3,))
+        assert cands == []
+
+    def test_encoder_params_grow_with_m(self):
+        cands = enumerate_candidates(ms=(3, 4, 5), ns=(3,), ds=(3,))
+        params = [c.encoder_params for c in cands]
+        assert params == sorted(params)
+
+    def test_n_does_not_change_encoder(self):
+        cands = enumerate_candidates(ms=(4,), ns=(3, 11), ds=(3,))
+        assert cands[0].encoder_params == cands[1].encoder_params
+
+
+class TestThroughput:
+    def test_attached_to_all(self, grid):
+        assert all(c.throughput is not None for c in grid)
+
+    def test_shared_across_n(self, grid):
+        by_mn = {(c.m, c.n): c.throughput for c in grid}
+        assert by_mn[(4, 3)] == by_mn[(4, 8)]  # n is decoder-only
+
+    def test_deeper_encoder_slower(self, grid):
+        by_m = {c.m: c.throughput for c in grid if c.n == 3}
+        assert by_m[3] > by_m[4] > by_m[5]
+
+
+class TestPareto:
+    def test_front_is_nondominated(self, grid):
+        front = pareto_front(grid)
+        assert front
+        for c in front:
+            for o in grid:
+                assert not (
+                    o.encoder_params < c.encoder_params and o.throughput > c.throughput
+                )
+
+    def test_front_sorted_by_params(self, grid):
+        front = pareto_front(grid)
+        params = [c.encoder_params for c in front]
+        assert params == sorted(params)
+
+    def test_requires_throughput(self):
+        cands = enumerate_candidates(ms=(3,), ns=(3,), ds=(3,))
+        with pytest.raises(ValueError):
+            pareto_front(cands)
+
+
+class TestSearchRanking:
+    def test_throughput_only_ranking(self, grid):
+        ranked = search(list(grid))
+        tputs = [c.throughput for c in ranked]
+        assert tputs == sorted(tputs, reverse=True)
+
+    def test_accuracy_callback_used(self, grid):
+        # Fake accuracy: deeper decoders strictly better (Figure 7 direction).
+        ranked = search(list(grid), evaluate=lambda c: 1.0 / c.n, accuracy_weight=10.0)
+        assert ranked[0].n == max(c.n for c in grid)
+
+    def test_scores_populated(self, grid):
+        ranked = search(list(grid))
+        assert all(c.score is not None for c in ranked)
+
+    def test_row_format(self, grid):
+        assert "BCAE-2D(m=" in grid[0].row()

@@ -1,0 +1,79 @@
+"""CLI surface: every subcommand runs end to end at tiny scale."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["generate", "--events", "1"])
+        assert args.command == "generate"
+        for cmd in ("train", "evaluate", "throughput", "compare"):
+            assert parser.parse_args([cmd] + (
+                ["--checkpoint", "x", "--data", "y"] if cmd == "evaluate" else []
+            )).command == cmd
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_generate(self, tmp_path, capsys):
+        out = tmp_path / "w.npz"
+        rc = main(["generate", "--events", "1", "--scale", "tiny", "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "occupancy" in capsys.readouterr().out
+
+    def test_train_evaluate_cycle(self, tmp_path, capsys):
+        data = tmp_path / "w.npz"
+        ckpt = tmp_path / "ckpt.npz"
+        main(["generate", "--events", "1", "--scale", "tiny", "--out", str(data)])
+        rc = main([
+            "train", "--data", str(data), "--epochs", "1", "--m", "1", "--n", "1",
+            "--checkpoint", str(ckpt),
+        ])
+        assert rc == 0
+        assert ckpt.exists()
+        rc = main([
+            "evaluate", "--data", str(data), "--checkpoint", str(ckpt),
+            "--m", "1", "--n", "1", "--half",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MAE=" in out
+
+    def test_throughput(self, capsys):
+        rc = main(["throughput", "--model", "bcae_ht", "--batches", "1,8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TC-eligible" in out
+        assert "speedup" in out
+
+    def test_compare(self, tmp_path, capsys):
+        data = tmp_path / "w.npz"
+        main(["generate", "--events", "1", "--scale", "tiny", "--out", str(data)])
+        rc = main(["compare", "--data", str(data), "--wedges", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sz_like" in out and "zfp_like" in out and "mgard_like" in out
+
+
+class TestExtensionCommands:
+    def test_search(self, capsys):
+        rc = main(["search", "--ms", "3,4", "--ns", "3,8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pareto frontier" in out
+        assert "BCAE-2D(m=3" in out
+
+    def test_daq(self, capsys):
+        rc = main(["daq", "--rate", "6900", "--frames", "500"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "M wedges/s" in out
+        assert "GPUs" in out

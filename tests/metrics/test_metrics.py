@@ -1,0 +1,92 @@
+"""Reconstruction metrics (paper §3.3 definitions)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    ReconstructionMetrics,
+    evaluate_reconstruction,
+    mae,
+    mse,
+    occupancy,
+    precision_recall,
+    psnr,
+)
+
+
+class TestPointMetrics:
+    def test_mae_handcrafted(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([1.5, 2.0, 1.0])
+        assert mae(a, b) == pytest.approx((0.5 + 0 + 2) / 3)
+
+    def test_mse_handcrafted(self):
+        a = np.array([0.0, 2.0])
+        b = np.array([1.0, 0.0])
+        assert mse(a, b) == pytest.approx((1 + 4) / 2)
+
+    def test_psnr_definition(self):
+        a = np.array([5.0, 5.0])
+        b = np.array([4.0, 6.0])  # MSE = 1
+        assert psnr(a, b, peak=10.0) == pytest.approx(10 * math.log10(100.0))
+
+    def test_psnr_perfect_is_inf(self):
+        a = np.ones(4)
+        assert psnr(a, a) == math.inf
+
+    def test_psnr_decreases_with_error(self):
+        truth = np.zeros(100)
+        small = truth + 0.1
+        large = truth + 1.0
+        assert psnr(small, truth) > psnr(large, truth)
+
+    def test_occupancy(self):
+        assert occupancy(np.array([0, 1, 0, 2])) == pytest.approx(0.5)
+
+
+class TestPrecisionRecall:
+    def test_paper_definitions(self):
+        """§3.3: positives are truth > 6; predictions are seg > h."""
+
+        seg = np.array([0.9, 0.9, 0.1, 0.9])
+        truth = np.array([7.0, 0.0, 7.0, 8.0])
+        p, r = precision_recall(seg, truth, threshold=0.5)
+        # predicted: [T, T, F, T]; positive: [T, F, T, T] -> tp=2
+        assert p == pytest.approx(2 / 3)
+        assert r == pytest.approx(2 / 3)
+
+    def test_perfect_classifier(self):
+        truth = np.array([7.0, 0.0, 9.0])
+        seg = (truth > 6).astype(float)
+        assert precision_recall(seg, truth) == (1.0, 1.0)
+
+    def test_empty_predictions(self):
+        p, r = precision_recall(np.zeros(4), np.array([7.0, 7.0, 0.0, 0.0]))
+        assert p == 0.0 and r == 0.0
+
+    def test_no_positives(self):
+        p, r = precision_recall(np.ones(3), np.zeros(3))
+        assert r == 0.0
+
+
+class TestBundle:
+    def test_evaluate_reconstruction(self, rng):
+        truth = np.zeros((4, 5), dtype=np.float32)
+        truth[0, :] = 7.0
+        seg = (truth > 6).astype(np.float32) * 0.9
+        recon = truth + 0.1 * (truth > 0)
+        m = evaluate_reconstruction(recon, seg, truth)
+        assert m.precision == 1.0 and m.recall == 1.0
+        assert m.mae == pytest.approx(0.1 * 5 / 20, rel=1e-5)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_reconstruction(np.zeros(3), np.zeros(3), np.zeros(4))
+
+    def test_as_dict_and_str(self):
+        m = ReconstructionMetrics(mae=0.1, psnr=20.0, precision=0.9, recall=0.8, mse=0.02)
+        d = m.as_dict()
+        assert set(d) == {"mae", "psnr", "precision", "recall", "mse"}
+        assert "MAE=0.1000" in str(m)

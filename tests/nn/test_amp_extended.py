@@ -1,0 +1,102 @@
+"""Deeper AMP coverage: numerics, layer integration, thread-locality."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn.amp import autocast, is_half, quantize_fp16
+
+
+class TestQuantizeNumerics:
+    def test_exactly_representable_passthrough(self):
+        """Values on the fp16 grid survive the round trip bit-exactly."""
+
+        values = np.array([0.0, 1.0, -2.5, 0.125, 65504.0], dtype=np.float32)
+        np.testing.assert_array_equal(quantize_fp16(values), values)
+
+    def test_rounding_is_nearest(self):
+        # fp16 spacing at 1.0 is 2^-10; halfway values round to even.
+        x = np.array([1.0 + 2.0**-11], dtype=np.float32)
+        q = quantize_fp16(x)
+        assert q[0] in (np.float32(1.0), np.float32(1.0 + 2.0**-10))
+
+    def test_negative_saturation(self):
+        q = quantize_fp16(np.array([-1e9], dtype=np.float32))
+        assert q[0] == pytest.approx(-65504.0)
+
+    def test_subnormals_preserved(self):
+        x = np.array([6e-8], dtype=np.float32)  # fp16 subnormal range
+        q = quantize_fp16(x)
+        assert q[0] >= 0.0 and q[0] < 1e-6
+
+    def test_relative_error_bound(self, rng):
+        """fp16 rounding carries ≤ 2^-11 relative error in the normal range."""
+
+        x = rng.uniform(0.001, 1000.0, size=4096).astype(np.float32)
+        q = quantize_fp16(x)
+        rel = np.abs(q - x) / x
+        assert float(rel.max()) <= 2.0**-11 * (1 + 1e-6)
+
+
+class TestLayerIntegration:
+    def test_conv_outputs_on_fp16_grid(self, rng):
+        conv = nn.Conv2d(2, 3, 3, padding=1)
+        x = Tensor(rng.normal(size=(1, 2, 6, 6)).astype(np.float32))
+        with nn.no_grad(), autocast():
+            y = conv(x)
+        np.testing.assert_array_equal(y.data, quantize_fp16(y.data))
+
+    def test_linear_outputs_on_fp16_grid(self, rng):
+        lin = nn.Linear(5, 4)
+        x = Tensor(rng.normal(size=(3, 5)).astype(np.float32))
+        with nn.no_grad(), autocast():
+            y = lin(x)
+        np.testing.assert_array_equal(y.data, quantize_fp16(y.data))
+
+    def test_convtranspose_respects_autocast(self, rng):
+        deconv = nn.ConvTranspose2d(2, 2, 4, stride=2, padding=1)
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)).astype(np.float32))
+        with nn.no_grad(), autocast():
+            y = deconv(x)
+        np.testing.assert_array_equal(y.data, quantize_fp16(y.data))
+
+    def test_fp32_weights_untouched(self, rng):
+        """AMP casts copies — master weights stay full precision."""
+
+        conv = nn.Conv2d(2, 2, 3)
+        before = conv.weight.data.copy()
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)).astype(np.float32))
+        with nn.no_grad(), autocast():
+            conv(x)
+        np.testing.assert_array_equal(conv.weight.data, before)
+
+
+class TestThreadLocality:
+    def test_autocast_does_not_leak_across_threads(self):
+        seen = {}
+
+        def worker():
+            seen["half_in_thread"] = is_half()
+
+        with autocast():
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["half_in_thread"] is False
+
+    def test_no_grad_does_not_leak_across_threads(self):
+        from repro.nn import is_grad_enabled, no_grad
+
+        seen = {}
+
+        def worker():
+            seen["grad_in_thread"] = is_grad_enabled()
+
+        with no_grad():
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["grad_in_thread"] is True

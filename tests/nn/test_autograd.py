@@ -1,0 +1,109 @@
+"""Autograd graph mechanics: accumulation, reuse, no_grad, aliasing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, enable_grad, is_grad_enabled, no_grad
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_over_reuse(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * 3.0 + x * 4.0  # x used twice
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_diamond_graph(self):
+        x = Tensor([1.5], requires_grad=True)
+        a = x * 2.0
+        b = x + 1.0
+        out = (a * b).sum()
+        out.backward()
+        # d/dx (2x (x+1)) = 4x + 2
+        np.testing.assert_allclose(x.grad, [4 * 1.5 + 2], rtol=1e-6)
+
+    def test_shared_upstream_gradient_no_aliasing(self):
+        """Two parents receiving the same upstream array must not alias."""
+
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = Tensor(np.ones(3), requires_grad=True)
+        z = x + y  # passthrough backward hands the same g to both parents
+        w = (z * 1.0).sum()
+        w.backward()
+        x.grad += 100.0  # mutate one gradient...
+        np.testing.assert_allclose(y.grad, np.ones(3))  # ...other unaffected
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_nonscalar_needs_grad_arg(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(RuntimeError):
+            y.backward()
+        y2 = x * 2.0
+        y2.backward(np.array([1.0, 1.0], dtype=np.float32))
+        np.testing.assert_allclose(x.grad, [2.0, 2.0])
+
+    def test_interior_grads_freed(self):
+        x = Tensor(np.ones(4), requires_grad=True)
+        mid = x * 2.0
+        out = mid.sum()
+        out.backward()
+        assert mid.grad is None  # interior gradients are freed
+        assert x.grad is not None  # leaves keep theirs
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+
+class TestGradMode:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_no_grad_nesting_restores(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with enable_grad():
+                assert is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_detach(self):
+        x = Tensor([1.0], requires_grad=True)
+        d = x.detach()
+        assert not d.requires_grad
+        assert d.data is x.data  # shares memory
+
+    def test_constant_inputs_produce_no_graph(self):
+        x = Tensor([1.0])  # requires_grad False
+        y = x * 2.0 + 3.0
+        assert not y.requires_grad
+        assert y._backward is None
+
+
+class TestSecondUse:
+    def test_two_backwards_from_different_heads(self):
+        """Separate graphs over the same leaf accumulate into .grad."""
+
+        x = Tensor([3.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 5.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_long_chain(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(100):
+            y = y * 1.01
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.01**100], rtol=1e-4)

@@ -1,0 +1,159 @@
+"""Convolution primitives: shapes, reference equivalence, adjoint identities."""
+
+import numpy as np
+import pytest
+import scipy.signal
+
+from repro.nn.convolution import (
+    conv_forward,
+    conv_input_grad,
+    conv_output_shape,
+    conv_transpose_output_shape,
+    conv_weight_grad,
+    normalize_padding,
+    normalize_tuple,
+)
+
+
+class TestNormalization:
+    def test_normalize_tuple_int(self):
+        assert normalize_tuple(3, 2) == (3, 3)
+
+    def test_normalize_tuple_sequence(self):
+        assert normalize_tuple((1, 2, 3), 3) == (1, 2, 3)
+
+    def test_normalize_tuple_wrong_length(self):
+        with pytest.raises(ValueError):
+            normalize_tuple((1, 2), 3)
+
+    def test_normalize_padding_variants(self):
+        assert normalize_padding(1, 2) == ((1, 1), (1, 1))
+        assert normalize_padding((1, 2), 2) == ((1, 1), (2, 2))
+        assert normalize_padding(((0, 1), (2, 3)), 2) == ((0, 1), (2, 3))
+
+
+class TestOutputShapes:
+    @pytest.mark.parametrize(
+        "size,k,s,p,expected",
+        [
+            (249, 4, 2, (1, 1), 124),  # original BCAE horizontal stage 1
+            (256, 4, 2, (1, 1), 128),  # BCAE++ padded stage 1
+            (24, 3, 2, (2, 2), 13),  # legacy tail azimuthal
+            (31, 3, 2, (2, 2), 17),  # legacy tail horizontal
+            (16, 3, 1, (1, 1), 16),  # radial passthrough
+        ],
+    )
+    def test_paper_sizes(self, size, k, s, p, expected):
+        assert conv_output_shape((size,), (k,), (s,), (p,)) == (expected,)
+
+    def test_kernel_too_large(self):
+        with pytest.raises(ValueError):
+            conv_output_shape((2,), (5,), (1,), ((0, 0),))
+
+    def test_transpose_inverts_conv(self):
+        # (in - 1)*s - pl - ph + k + op recovers the original size
+        out = conv_output_shape((249,), (4,), (2,), ((1, 1),))[0]
+        back = conv_transpose_output_shape((out,), (4,), (2,), ((1, 1),), (1,))[0]
+        assert back == 249
+
+
+class TestForwardReference:
+    """conv_forward must equal scipy.signal.correlate for stride 1."""
+
+    def test_single_channel_2d(self, rng):
+        x = rng.normal(size=(1, 1, 9, 8))
+        w = rng.normal(size=(1, 1, 3, 3))
+        ours = conv_forward(x, w, (1, 1), 0)
+        ref = scipy.signal.correlate(x[0, 0], w[0, 0], mode="valid")
+        np.testing.assert_allclose(ours[0, 0], ref, rtol=1e-5, atol=1e-7)
+
+    def test_multichannel_sums_over_input_channels(self, rng):
+        x = rng.normal(size=(1, 3, 7, 7))
+        w = rng.normal(size=(2, 3, 3, 3))
+        ours = conv_forward(x, w, (1, 1), 0)
+        for o in range(2):
+            ref = sum(
+                scipy.signal.correlate(x[0, c], w[o, c], mode="valid") for c in range(3)
+            )
+            np.testing.assert_allclose(ours[0, o], ref, rtol=1e-5, atol=1e-6)
+
+    def test_stride_subsamples(self, rng):
+        x = rng.normal(size=(1, 1, 8, 8))
+        w = rng.normal(size=(1, 1, 3, 3))
+        full = conv_forward(x, w, (1, 1), 0)
+        strided = conv_forward(x, w, (2, 2), 0)
+        np.testing.assert_allclose(strided, full[:, :, ::2, ::2], rtol=1e-6)
+
+    def test_padding_equivalence(self, rng):
+        x = rng.normal(size=(1, 1, 5, 5))
+        w = rng.normal(size=(1, 1, 3, 3))
+        padded_input = np.pad(x, ((0, 0), (0, 0), (1, 1), (2, 2)))
+        a = conv_forward(x, w, (1, 1), ((1, 1), (2, 2)))
+        b = conv_forward(padded_input, w, (1, 1), 0)
+        np.testing.assert_allclose(a, b, rtol=1e-6)
+
+    def test_bias_added_per_channel(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4))
+        w = rng.normal(size=(2, 1, 3, 3))
+        b = np.array([10.0, -10.0])
+        with_b = conv_forward(x, w, (1, 1), 0, bias=b)
+        without = conv_forward(x, w, (1, 1), 0)
+        np.testing.assert_allclose(with_b[:, 0], without[:, 0] + 10, rtol=1e-5)
+        np.testing.assert_allclose(with_b[:, 1], without[:, 1] - 10, rtol=1e-5)
+
+    def test_3d_reference(self, rng):
+        x = rng.normal(size=(1, 1, 5, 6, 7))
+        w = rng.normal(size=(1, 1, 3, 3, 3))
+        ours = conv_forward(x, w, (1, 1, 1), 0)
+        ref = scipy.signal.correlate(x[0, 0], w[0, 0], mode="valid")
+        np.testing.assert_allclose(ours[0, 0], ref, rtol=1e-5, atol=1e-6)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            conv_forward(np.zeros((1, 2, 4, 4)), np.zeros((1, 3, 3, 3)), 1, 0)
+
+
+class TestAdjointIdentities:
+    """<A x, y> == <x, A^T y> — the property the whole backward relies on."""
+
+    @pytest.mark.parametrize(
+        "spatial,k,s,p",
+        [
+            ((9, 10), (3, 3), (1, 1), 1),
+            ((9, 10), (4, 4), (2, 2), 1),
+            ((9, 11), (4, 3), (2, 2), ((1, 1), (0, 2))),
+            ((6, 9, 11), (3, 4, 4), (1, 2, 2), 1),
+        ],
+    )
+    def test_input_adjoint(self, rng, spatial, k, s, p):
+        cin, cout = 3, 2
+        x = rng.normal(size=(2, cin) + spatial)
+        w = rng.normal(size=(cout, cin) + k)
+        y = conv_forward(x, w, s, p)
+        z = rng.normal(size=y.shape)
+        lhs = np.vdot(y, z)
+        rhs = np.vdot(x, conv_input_grad(z, w, spatial, s, p))
+        assert abs(lhs - rhs) <= 1e-8 * max(abs(lhs), 1.0) + 1e-6
+
+    def test_weight_adjoint(self, rng):
+        spatial, k, s, p = (8, 9), (4, 4), (2, 2), 1
+        x = rng.normal(size=(2, 3) + spatial)
+        w = rng.normal(size=(4, 3) + k)
+        y = conv_forward(x, w, s, p)
+        z = rng.normal(size=y.shape)
+        gw = conv_weight_grad(x, z, k, s, p)
+        # <conv(x; w), z> is linear in w: gradient contracted with w equals it.
+        lhs = np.vdot(y, z)
+        rhs = np.vdot(w, gw)
+        assert abs(lhs - rhs) <= 1e-8 * max(abs(lhs), 1.0) + 1e-6
+
+    def test_input_grad_handles_remainder_columns(self, rng):
+        """Columns the strided forward never touched must get zero gradient."""
+
+        x = rng.normal(size=(1, 1, 5, 5))  # k=2, s=2: last row/col unused
+        w = rng.normal(size=(1, 1, 2, 2))
+        y = conv_forward(x, w, (2, 2), 0)
+        gy = np.ones_like(y)
+        gx = conv_input_grad(gy, w, (5, 5), (2, 2), 0)
+        assert np.all(gx[:, :, 4, :] == 0)
+        assert np.all(gx[:, :, :, 4] == 0)

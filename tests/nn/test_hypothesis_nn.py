@@ -1,0 +1,124 @@
+"""Property-based tests of the autograd/convolution substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn.convolution import conv_forward, conv_input_grad
+
+_SETTINGS = dict(max_examples=25, deadline=None)
+
+
+def _floats(shape):
+    return arrays(
+        np.float64,
+        shape,
+        elements=st.floats(-3.0, 3.0, allow_nan=False, width=32),
+    )
+
+
+@settings(**_SETTINGS)
+@given(
+    a=_floats((3, 4)),
+    b=_floats((3, 4)),
+)
+def test_add_backward_is_ones(a, b):
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    (ta + tb).sum().backward()
+    np.testing.assert_allclose(ta.grad, np.ones_like(a, dtype=np.float32))
+    np.testing.assert_allclose(tb.grad, np.ones_like(b, dtype=np.float32))
+
+
+@settings(**_SETTINGS)
+@given(a=_floats((4, 3)))
+def test_mul_grad_is_other_operand(a):
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(a + 1.0)
+    (ta * tb).sum().backward()
+    np.testing.assert_allclose(ta.grad, tb.data, rtol=1e-5, atol=1e-6)
+
+
+@settings(**_SETTINGS)
+@given(
+    n=st.integers(1, 2),
+    cin=st.integers(1, 3),
+    cout=st.integers(1, 3),
+    h=st.integers(4, 9),
+    w=st.integers(4, 9),
+    stride=st.sampled_from([1, 2]),
+    pad=st.sampled_from([0, 1]),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_conv_adjoint_identity_random(n, cin, cout, h, w, stride, pad, seed):
+    """<conv(x), z> == <x, conv_input_grad(z)> for arbitrary geometry."""
+
+    rng = np.random.default_rng(seed)
+    k = 3
+    if h + 2 * pad < k or w + 2 * pad < k:
+        return
+    x = rng.normal(size=(n, cin, h, w))
+    wgt = rng.normal(size=(cout, cin, k, k))
+    y = conv_forward(x, wgt, (stride, stride), pad)
+    z = rng.normal(size=y.shape)
+    lhs = np.vdot(y, z)
+    rhs = np.vdot(x, conv_input_grad(z, wgt, (h, w), (stride, stride), pad))
+    assert abs(lhs - rhs) <= 1e-8 * max(abs(lhs), 1.0) + 1e-7
+
+
+@settings(**_SETTINGS)
+@given(
+    shape=st.sampled_from([(1, 2, 4, 4), (2, 1, 6, 8), (1, 3, 8, 6)]),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_pool_upsample_adjointness(shape, seed):
+    """AvgPool and (scaled) Upsample are adjoint linear maps."""
+
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=shape).astype(np.float32)
+    pooled_shape = (shape[0], shape[1], shape[2] // 2, shape[3] // 2)
+    y = rng.normal(size=pooled_shape).astype(np.float32)
+
+    with nn.no_grad():
+        pool_x = nn.AvgPool2d(2)(Tensor(x)).data
+        up_y = nn.Upsample2d(2)(Tensor(y)).data
+    lhs = np.vdot(pool_x, y)
+    rhs = np.vdot(x, up_y) / 4.0  # adjoint of mean-pool is upsample / k²
+    assert abs(lhs - rhs) < 1e-3
+
+
+@settings(**_SETTINGS)
+@given(
+    logits=_floats((3, 5)),
+    seed=st.integers(0, 2**31 - 1),
+    gamma=st.sampled_from([0.0, 1.0, 2.0]),
+)
+def test_focal_loss_nonnegative_and_finite(logits, seed, gamma):
+    labels = (np.random.default_rng(seed).random((3, 5)) > 0.8).astype(np.float32)
+    val = nn.focal_loss(Tensor(logits).sigmoid(), labels, gamma=gamma).item()
+    assert np.isfinite(val)
+    assert val >= 0.0
+
+
+@settings(**_SETTINGS)
+@given(x=_floats((2, 3, 4)))
+def test_sigmoid_range_and_symmetry(x):
+    s = Tensor(x).sigmoid().data
+    assert np.all(s >= 0) and np.all(s <= 1)
+    s_neg = Tensor(-x).sigmoid().data
+    np.testing.assert_allclose(s + s_neg, 1.0, atol=1e-6)
+
+
+@settings(**_SETTINGS)
+@given(
+    x=_floats((4, 6)),
+    lo=st.floats(-2.0, 0.0),
+    hi=st.floats(0.1, 2.0),
+)
+def test_clip_bounds(x, lo, hi):
+    out = Tensor(x).clip(lo, hi).data
+    assert out.min() >= np.float32(lo) - 1e-6
+    assert out.max() <= np.float32(hi) + 1e-6

@@ -1,0 +1,157 @@
+"""Layer modules: shapes, gradients, parameter registration."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn.gradcheck import check_gradients
+
+
+class TestConvLayers:
+    def test_conv2d_shape(self, rng):
+        layer = nn.Conv2d(3, 8, 4, stride=2, padding=1)
+        out = layer(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_conv3d_radial_preserving(self, rng):
+        """The BCAE stage kernel (3,4,4)/s(1,2,2)/p1 keeps the radial size."""
+
+        layer = nn.Conv3d(1, 8, (3, 4, 4), stride=(1, 2, 2), padding=1)
+        out = layer(Tensor(rng.normal(size=(1, 1, 16, 24, 32))))
+        assert out.shape == (1, 8, 16, 12, 16)
+
+    def test_conv_output_shape_helper(self):
+        layer = nn.Conv2d(3, 8, 4, stride=2, padding=1)
+        assert layer.output_shape((16, 16)) == (8, 8)
+
+    def test_conv_no_bias(self):
+        layer = nn.Conv2d(2, 2, 3, bias=False)
+        assert layer.bias is None
+        assert layer.num_parameters() == 2 * 2 * 9
+
+    def test_convtranspose2d_shape_output_padding(self, rng):
+        layer = nn.ConvTranspose2d(4, 2, 4, stride=2, padding=1, output_padding=1)
+        out = layer(Tensor(rng.normal(size=(1, 4, 5, 5))))
+        assert out.shape == (1, 2, 11, 11)
+
+    def test_convtranspose_inverts_conv_shape(self, rng):
+        conv = nn.Conv2d(1, 4, 4, stride=2, padding=1)
+        deconv = nn.ConvTranspose2d(4, 1, 4, stride=2, padding=1)
+        x = Tensor(rng.normal(size=(1, 1, 12, 20)))
+        assert deconv(conv(x)).shape == x.shape
+
+    def test_conv_gradients_flow_to_all_parameters(self, rng):
+        layer = nn.Conv2d(2, 3, 3, padding=1)
+        out = layer(Tensor(rng.normal(size=(1, 2, 5, 5))))
+        (out * out).mean().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_conv3d_gradcheck_strided(self, rng):
+        def fn(inputs):
+            x, w, b = inputs
+            layer = nn.Conv3d(2, 2, (3, 4, 4), stride=(1, 2, 2), padding=1)
+            layer.weight = w
+            layer.bias = b
+            return (layer(x) ** 2).mean()
+
+        check_gradients(
+            fn,
+            [
+                Tensor(rng.normal(size=(1, 2, 4, 6, 8))),
+                Tensor(rng.normal(size=(2, 2, 3, 4, 4))),
+                Tensor(rng.normal(size=(2,))),
+            ],
+        )
+
+    def test_convtranspose3d_gradcheck(self, rng):
+        def fn(inputs):
+            x, w = inputs
+            layer = nn.ConvTranspose3d(
+                2, 2, (3, 4, 4), stride=(1, 2, 2), padding=1, bias=False
+            )
+            layer.weight = w
+            return (layer(x) ** 2).mean()
+
+        check_gradients(
+            fn,
+            [
+                Tensor(rng.normal(size=(1, 2, 3, 3, 4))),
+                Tensor(rng.normal(size=(2, 2, 3, 4, 4))),
+            ],
+        )
+
+
+class TestLinear:
+    def test_shape_and_grad(self, rng):
+        layer = nn.Linear(6, 4)
+        out = layer(Tensor(rng.normal(size=(3, 6))))
+        assert out.shape == (3, 4)
+        out.sum().backward()
+        assert layer.weight.grad.shape == (4, 6)
+        assert layer.bias.grad.shape == (4,)
+
+    def test_gradcheck(self, rng):
+        def fn(inputs):
+            x, w, b = inputs
+            layer = nn.Linear(4, 3)
+            layer.weight = w
+            layer.bias = b
+            return (layer(x) ** 2).mean()
+
+        check_gradients(
+            fn,
+            [
+                Tensor(rng.normal(size=(2, 4))),
+                Tensor(rng.normal(size=(3, 4))),
+                Tensor(rng.normal(size=(3,))),
+            ],
+        )
+
+
+class TestPooling:
+    def test_avgpool_values(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        out = nn.AvgPool2d(2)(x)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avgpool3d_shape(self, rng):
+        out = nn.AvgPool3d(2)(Tensor(rng.normal(size=(1, 2, 4, 6, 8))))
+        assert out.shape == (1, 2, 2, 3, 4)
+
+    def test_avgpool_indivisible_raises(self, rng):
+        with pytest.raises(ValueError):
+            nn.AvgPool2d(2)(Tensor(rng.normal(size=(1, 1, 5, 4))))
+
+    def test_avgpool_grad_uniform(self):
+        x = Tensor(np.ones((1, 1, 4, 4), dtype=np.float32), requires_grad=True)
+        nn.AvgPool2d(2)(x).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 4, 4), 0.25))
+
+
+class TestUpsample:
+    def test_nearest_values(self):
+        x = Tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]], dtype=np.float32))
+        out = nn.Upsample2d(2)(x)
+        assert out.shape == (1, 1, 4, 4)
+        np.testing.assert_allclose(
+            out.data[0, 0],
+            [[1, 1, 2, 2], [1, 1, 2, 2], [3, 3, 4, 4], [3, 3, 4, 4]],
+        )
+
+    def test_upsample_then_pool_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(1, 3, 4, 5)))
+        out = nn.AvgPool2d(2)(nn.Upsample2d(2)(x))
+        np.testing.assert_allclose(out.data, x.data, rtol=1e-6)
+
+    def test_grad_sums_blocks(self):
+        x = Tensor(np.ones((1, 1, 2, 2), dtype=np.float32), requires_grad=True)
+        nn.Upsample2d(2)(x).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 2, 2), 4.0))
+
+
+class TestFlatten:
+    def test_shape(self, rng):
+        out = nn.Flatten()(Tensor(rng.normal(size=(2, 3, 4, 5))))
+        assert out.shape == (2, 60)

@@ -1,0 +1,134 @@
+"""The bicephalous losses: focal (Eq. 1) and masked MAE (Eq. 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn.losses import (
+    apply_segmentation_mask,
+    focal_loss,
+    mae_loss,
+    masked_mae_loss,
+    mse_loss,
+)
+
+
+class TestFocalLoss:
+    def test_matches_manual_formula(self, rng):
+        """Eq. (1) evaluated by hand: -l·log2(p)(1-p)^γ - (1-l)·log2(1-p)p^γ."""
+
+        p = rng.uniform(0.05, 0.95, size=(4, 5)).astype(np.float32)
+        labels = (rng.random((4, 5)) > 0.5).astype(np.float32)
+        gamma = 2.0
+        manual = np.mean(
+            -labels * np.log2(p) * (1 - p) ** gamma
+            - (1 - labels) * np.log2(1 - p) * p**gamma
+        )
+        ours = focal_loss(Tensor(p), labels, gamma=gamma).item()
+        assert ours == pytest.approx(manual, rel=1e-5)
+
+    def test_perfect_prediction_near_zero(self):
+        p = np.array([0.999999, 1e-6], dtype=np.float32)
+        labels = np.array([1.0, 0.0], dtype=np.float32)
+        assert focal_loss(Tensor(p), labels).item() < 1e-4
+
+    def test_gamma_zero_is_plain_bce_base2(self, rng):
+        p = rng.uniform(0.2, 0.8, size=(10,)).astype(np.float32)
+        labels = (rng.random(10) > 0.5).astype(np.float32)
+        manual = np.mean(-labels * np.log2(p) - (1 - labels) * np.log2(1 - p))
+        assert focal_loss(Tensor(p), labels, gamma=0.0).item() == pytest.approx(
+            manual, rel=1e-5
+        )
+
+    def test_focusing_downweights_easy_examples(self):
+        """γ>0 must shrink the loss of well-classified samples relative to γ=0."""
+
+        p = np.array([0.9], dtype=np.float32)  # easy positive
+        labels = np.array([1.0], dtype=np.float32)
+        hard = focal_loss(Tensor(p), labels, gamma=0.0).item()
+        focused = focal_loss(Tensor(p), labels, gamma=2.0).item()
+        assert focused < hard
+
+    def test_extreme_probabilities_finite(self):
+        p = np.array([0.0, 1.0], dtype=np.float32)
+        labels = np.array([1.0, 0.0], dtype=np.float32)
+        out = focal_loss(Tensor(p), labels).item()
+        assert math.isfinite(out)
+
+    def test_gradient_direction(self):
+        """Increasing the probability of a positive label lowers the loss."""
+
+        z = Tensor(np.zeros(1, dtype=np.float32), requires_grad=True)
+        loss = focal_loss(z.sigmoid(), np.ones(1, dtype=np.float32))
+        loss.backward()
+        assert z.grad[0] < 0  # pushing the logit up reduces the loss
+
+    def test_module_wrapper(self, rng):
+        p = rng.uniform(0.1, 0.9, size=(3,)).astype(np.float32)
+        labels = np.ones(3, dtype=np.float32)
+        mod = nn.FocalLoss(gamma=2.0)
+        assert mod(Tensor(p), labels).item() == pytest.approx(
+            focal_loss(Tensor(p), labels).item(), rel=1e-6
+        )
+
+
+class TestMaskedMAE:
+    def test_mask_zeroes_below_threshold(self):
+        reg = Tensor(np.array([7.0, 8.0], dtype=np.float32))
+        seg = Tensor(np.array([0.9, 0.1], dtype=np.float32))
+        masked = apply_segmentation_mask(reg, seg, threshold=0.5)
+        np.testing.assert_allclose(masked.data, [7.0, 0.0])
+
+    def test_matches_eq2(self):
+        """Eq. (2): mean |ṽ - v| over all voxels."""
+
+        reg = Tensor(np.array([7.0, 8.0, 9.0], dtype=np.float32))
+        seg = Tensor(np.array([0.9, 0.2, 0.8], dtype=np.float32))
+        target = np.array([7.5, 0.0, 0.0], dtype=np.float32)
+        # masked pred = [7, 0, 9]; |diff| = [0.5, 0, 9] -> mean 9.5/3
+        val = masked_mae_loss(reg, seg, target).item()
+        assert val == pytest.approx(9.5 / 3, rel=1e-6)
+
+    def test_no_gradient_through_mask(self):
+        """The indicator is constant: no gradient reaches seg through Eq. (2)."""
+
+        reg = Tensor(np.array([7.0], dtype=np.float32), requires_grad=True)
+        seg = Tensor(np.array([0.9], dtype=np.float32), requires_grad=True)
+        masked_mae_loss(reg, seg, np.array([5.0], dtype=np.float32)).backward()
+        assert seg.grad is None
+        assert reg.grad is not None
+
+    def test_masked_voxels_get_no_reg_gradient(self):
+        reg = Tensor(np.array([7.0, 8.0], dtype=np.float32), requires_grad=True)
+        seg = Tensor(np.array([0.9, 0.1], dtype=np.float32))
+        masked_mae_loss(reg, seg, np.array([1.0, 1.0], dtype=np.float32)).backward()
+        assert reg.grad[0] != 0
+        assert reg.grad[1] == 0  # masked-out voxel
+
+    def test_threshold_is_configurable(self):
+        reg = Tensor(np.array([4.0], dtype=np.float32))
+        seg = Tensor(np.array([0.6], dtype=np.float32))
+        tgt = np.zeros(1, dtype=np.float32)
+        lo = masked_mae_loss(reg, seg, tgt, threshold=0.5).item()
+        hi = masked_mae_loss(reg, seg, tgt, threshold=0.7).item()
+        assert lo == pytest.approx(4.0)
+        assert hi == pytest.approx(0.0)
+
+
+class TestPlainLosses:
+    def test_mae(self, rng):
+        a = rng.normal(size=(5,)).astype(np.float32)
+        b = rng.normal(size=(5,)).astype(np.float32)
+        assert mae_loss(Tensor(a), b).item() == pytest.approx(
+            np.mean(np.abs(a - b)), rel=1e-5
+        )
+
+    def test_mse(self, rng):
+        a = rng.normal(size=(5,)).astype(np.float32)
+        b = rng.normal(size=(5,)).astype(np.float32)
+        assert mse_loss(Tensor(a), b).item() == pytest.approx(
+            np.mean((a - b) ** 2), rel=1e-5
+        )

@@ -1,0 +1,155 @@
+"""Module registration, state dicts, serialization, norm layers, amp."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Parameter, Tensor
+from repro.nn.amp import autocast, is_half, quantize_fp16
+
+
+class TestModuleRegistration:
+    def test_parameters_discovered_recursively(self):
+        model = nn.Sequential(nn.Conv2d(1, 2, 3), nn.ReLU(), nn.Conv2d(2, 1, 3))
+        names = [n for n, _ in model.named_parameters()]
+        assert names == ["0.weight", "0.bias", "2.weight", "2.bias"]
+
+    def test_num_parameters(self):
+        conv = nn.Conv2d(2, 4, 3)
+        assert conv.num_parameters() == 2 * 4 * 9 + 4
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.BatchNorm2d(2), nn.ReLU())
+        model.eval()
+        assert not model[0].training
+        model.train()
+        assert model[0].training
+
+    def test_zero_grad(self, rng):
+        conv = nn.Conv2d(1, 1, 3)
+        out = conv(Tensor(rng.normal(size=(1, 1, 5, 5))))
+        out.sum().backward()
+        assert conv.weight.grad is not None
+        conv.zero_grad()
+        assert conv.weight.grad is None
+
+    def test_modulelist(self):
+        ml = nn.ModuleList([nn.ReLU(), nn.Sigmoid()])
+        assert len(ml) == 2
+        with pytest.raises(RuntimeError):
+            ml(Tensor([1.0]))
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        a = nn.Sequential(nn.Conv2d(1, 2, 3), nn.BatchNorm2d(2))
+        b = nn.Sequential(nn.Conv2d(1, 2, 3), nn.BatchNorm2d(2))
+        b.load_state_dict(a.state_dict())
+        for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_buffers_in_state_dict(self):
+        bn = nn.BatchNorm2d(3)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_strict_mismatch_raises(self):
+        a = nn.Conv2d(1, 2, 3)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"weight": a.weight.data})  # missing bias
+
+    def test_shape_mismatch_raises(self):
+        a = nn.Conv2d(1, 2, 3)
+        state = a.state_dict()
+        state["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_save_load_file(self, tmp_path, rng):
+        model = nn.Sequential(nn.Conv2d(1, 2, 3), nn.ReLU())
+        path = nn.save_state(model, tmp_path / "m.npz", meta={"epoch": 7})
+        clone = nn.Sequential(nn.Conv2d(1, 2, 3), nn.ReLU())
+        meta = nn.load_state(clone, path)
+        assert meta["epoch"] == 7
+        x = Tensor(rng.normal(size=(1, 1, 6, 6)))
+        np.testing.assert_array_equal(model(x).data, clone(x).data)
+
+
+class TestBatchNorm:
+    def test_normalizes_in_train_mode(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = Tensor(rng.normal(5.0, 3.0, size=(8, 3, 4, 4)))
+        out = bn(x)
+        mean = out.data.mean(axis=(0, 2, 3))
+        std = out.data.std(axis=(0, 2, 3))
+        np.testing.assert_allclose(mean, 0.0, atol=1e-4)
+        np.testing.assert_allclose(std, 1.0, atol=1e-3)
+
+    def test_running_stats_updated(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=1.0)  # full replacement for testability
+        x = Tensor(rng.normal(7.0, 1.0, size=(16, 2, 3, 3)))
+        bn(x)
+        np.testing.assert_allclose(bn.running_mean, 7.0, atol=0.2)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm2d(2, momentum=1.0)
+        bn(Tensor(rng.normal(3.0, 2.0, size=(16, 2, 4, 4))))  # set stats
+        bn.eval()
+        x = Tensor(np.full((1, 2, 2, 2), 3.0, dtype=np.float32))
+        out = bn(x)
+        np.testing.assert_allclose(out.data, 0.0, atol=0.2)
+
+
+class TestAmp:
+    def test_quantize_fp16_grid(self):
+        x = np.array([1.0 + 2**-12], dtype=np.float32)  # below fp16 resolution
+        q = quantize_fp16(x)
+        assert q[0] == np.float32(np.float16(x[0]))
+
+    def test_saturation_no_inf(self):
+        q = quantize_fp16(np.array([1e9], dtype=np.float32))
+        assert np.isfinite(q[0]) and q[0] == pytest.approx(65504.0)
+
+    def test_autocast_scoping(self):
+        assert not is_half()
+        with autocast():
+            assert is_half()
+            with autocast(False):
+                assert not is_half()
+        assert not is_half()
+
+    def test_half_inference_close_to_full(self, rng):
+        """Table 2's premise: fp16 inference ≈ fp32 inference."""
+
+        model = nn.Sequential(nn.Conv2d(4, 8, 3, padding=1), nn.LeakyReLU(),
+                              nn.Conv2d(8, 4, 3, padding=1))
+        x = Tensor(rng.normal(size=(1, 4, 8, 8)).astype(np.float32))
+        with nn.no_grad():
+            full = model(x).data
+            with autocast():
+                half = model(x).data
+        assert np.max(np.abs(full - half)) < 0.05 * max(np.max(np.abs(full)), 1.0)
+
+
+class TestActivationModules:
+    def test_reg_output_transform_floor(self, rng):
+        """T(x) = 6 + 3e^x is always above the zero-suppression edge (§2.2)."""
+
+        t = nn.RegOutputTransform()
+        out = t(Tensor(rng.normal(scale=5.0, size=(100,))))
+        assert out.data.min() >= 6.0
+
+    def test_reg_output_transform_values(self):
+        t = nn.RegOutputTransform()
+        out = t(Tensor(np.zeros(1, dtype=np.float32)))
+        assert out.item() == pytest.approx(9.0)  # 6 + 3·e^0
+
+    def test_reg_output_transform_no_overflow_fp16(self):
+        t = nn.RegOutputTransform()
+        out = t(Tensor(np.array([1000.0], dtype=np.float32)))
+        assert np.isfinite(quantize_fp16(out.data)).all()
+
+    def test_identity(self, rng):
+        x = Tensor(rng.normal(size=(3,)))
+        assert nn.Identity()(x) is x

@@ -1,0 +1,101 @@
+"""AdamW / SGD and the paper's LR schedules (§2.5)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Parameter, Tensor
+
+
+def _quadratic_step(opt_cls, **kwargs):
+    """Minimize (w - 3)^2 for a few steps; return the trajectory."""
+
+    w = Parameter(np.array([0.0], dtype=np.float32))
+    opt = opt_cls([w], **kwargs)
+    traj = []
+    for _ in range(50):
+        loss = ((w - 3.0) * (w - 3.0)).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        traj.append(float(w.data[0]))
+    return traj
+
+
+class TestAdamW:
+    def test_converges_on_quadratic(self):
+        traj = _quadratic_step(nn.AdamW, lr=0.2, weight_decay=0.0)
+        # Adam oscillates near the optimum; the trend must point at w*=3.
+        assert abs(traj[-1] - 3.0) < 0.25
+        assert abs(traj[-1] - 3.0) < abs(traj[5] - 3.0)
+
+    def test_weight_decay_is_decoupled(self):
+        """With zero gradient, AdamW shrinks weights multiplicatively."""
+
+        w = Parameter(np.array([10.0], dtype=np.float32))
+        opt = nn.AdamW([w], lr=0.1, weight_decay=0.5)
+        w.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert w.data[0] == pytest.approx(10.0 * (1 - 0.1 * 0.5), rel=1e-6)
+
+    def test_skips_parameters_without_grad(self):
+        w = Parameter(np.array([1.0], dtype=np.float32))
+        opt = nn.AdamW([w], lr=0.1, weight_decay=0.0)
+        opt.step()  # no grad set
+        assert w.data[0] == pytest.approx(1.0)
+
+    def test_first_step_magnitude_is_lr(self):
+        """Adam's bias correction makes the first update ≈ lr·sign(grad)."""
+
+        w = Parameter(np.array([0.0], dtype=np.float32))
+        opt = nn.AdamW([w], lr=0.01, weight_decay=0.0)
+        w.grad = np.array([5.0], dtype=np.float32)
+        opt.step()
+        assert w.data[0] == pytest.approx(-0.01, rel=1e-3)
+
+    def test_paper_defaults(self):
+        opt = nn.AdamW([Parameter(np.zeros(1, dtype=np.float32))])
+        assert (opt.beta1, opt.beta2) == (0.9, 0.999)
+        assert opt.weight_decay == pytest.approx(0.01)
+
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            nn.AdamW([])
+
+
+class TestSGD:
+    def test_converges(self):
+        traj = _quadratic_step(nn.SGD, lr=0.1)
+        assert abs(traj[-1] - 3.0) < 1e-3
+
+    def test_momentum_accelerates(self):
+        plain = _quadratic_step(nn.SGD, lr=0.01)
+        mom = _quadratic_step(nn.SGD, lr=0.01, momentum=0.9)
+        assert abs(mom[10] - 3.0) < abs(plain[10] - 3.0)
+
+
+class TestSchedules:
+    def test_3d_schedule_constant_then_decay(self):
+        """BCAE++/HT: constant 100 epochs, ×0.95 every 20 (paper §2.5)."""
+
+        sched = nn.paper_schedule_3d()
+        assert sched.lr(0) == pytest.approx(1e-3)
+        assert sched.lr(99) == pytest.approx(1e-3)
+        assert sched.lr(100) == pytest.approx(1e-3 * 0.95)
+        assert sched.lr(119) == pytest.approx(1e-3 * 0.95)
+        assert sched.lr(120) == pytest.approx(1e-3 * 0.95**2)
+        assert sched.lr(999) == pytest.approx(1e-3 * 0.95 ** ((999 - 100) // 20 + 1))
+
+    def test_2d_schedule(self):
+        """BCAE-2D: constant 50 epochs, ×0.95 every 10 (paper §2.5)."""
+
+        sched = nn.paper_schedule_2d()
+        assert sched.lr(49) == pytest.approx(1e-3)
+        assert sched.lr(50) == pytest.approx(1e-3 * 0.95)
+        assert sched.lr(499) == pytest.approx(1e-3 * 0.95 ** ((499 - 50) // 10 + 1))
+
+    def test_apply_sets_optimizer_lr(self):
+        opt = nn.SGD([Parameter(np.zeros(1, dtype=np.float32))], lr=1.0)
+        sched = nn.ConstantThenStepDecay(1e-3, 2, 1, 0.5)
+        sched.apply(opt, 4)
+        assert opt.lr == pytest.approx(1e-3 * 0.5**3)

@@ -1,0 +1,116 @@
+"""Magnitude pruning (paper §4 future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn.pruning import (
+    apply_masks,
+    prunable_parameters,
+    prune_module,
+    sparse_flops_factor,
+    sparsity_report,
+)
+
+
+@pytest.fixture()
+def small_encoder():
+    nn.init.seed(0)
+    return nn.Sequential(
+        nn.Conv2d(4, 8, 3, padding=1),
+        nn.LeakyReLU(),
+        nn.Conv2d(8, 8, 3, padding=1),
+        nn.LeakyReLU(),
+        nn.Conv2d(8, 4, 1),
+    )
+
+
+class TestPruneModule:
+    def test_reaches_target_sparsity(self, small_encoder):
+        prune_module(small_encoder, 0.5)
+        report = sparsity_report(small_encoder)
+        assert report["__global__"] == pytest.approx(0.5, abs=0.05)
+
+    def test_per_layer_sparsity_uniform(self, small_encoder):
+        prune_module(small_encoder, 0.4, per_layer=True)
+        report = sparsity_report(small_encoder)
+        layer_values = [v for k, v in report.items() if k != "__global__"]
+        for v in layer_values:
+            assert v == pytest.approx(0.4, abs=0.1)
+
+    def test_global_mode_prunes_smallest_anywhere(self, small_encoder):
+        # Inflate one layer's weights: global pruning should spare it.
+        small_encoder[0].weight.data *= 100.0
+        prune_module(small_encoder, 0.5, per_layer=False)
+        report = sparsity_report(small_encoder)
+        assert report["0.weight"] < 0.1
+        assert report["2.weight"] > 0.5
+
+    def test_keeps_largest_magnitudes(self, small_encoder):
+        w = small_encoder[0].weight.data.copy()
+        masks = prune_module(small_encoder, 0.5)
+        kept = small_encoder[0].weight.data != 0
+        pruned_max = np.abs(w[~kept]).max() if (~kept).any() else 0.0
+        kept_min = np.abs(w[kept]).min()
+        assert pruned_max <= kept_min + 1e-12
+
+    def test_zero_amount_is_noop(self, small_encoder):
+        before = small_encoder[0].weight.data.copy()
+        prune_module(small_encoder, 0.0)
+        np.testing.assert_array_equal(small_encoder[0].weight.data, before)
+
+    def test_invalid_amount(self, small_encoder):
+        with pytest.raises(ValueError):
+            prune_module(small_encoder, 1.0)
+
+    def test_biases_not_prunable(self, small_encoder):
+        names = [n for n, _p in prunable_parameters(small_encoder)]
+        assert all(n.endswith("weight") for n in names)
+
+
+class TestFineTuning:
+    def test_masks_survive_optimizer_steps(self, small_encoder, rng):
+        masks = prune_module(small_encoder, 0.6)
+        opt = nn.AdamW(small_encoder.parameters(), lr=1e-2)
+        x = Tensor(rng.normal(size=(2, 4, 8, 8)).astype(np.float32))
+        for _ in range(3):
+            loss = (small_encoder(x) ** 2).mean()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            apply_masks(masks)
+        report = sparsity_report(small_encoder)
+        assert report["__global__"] >= 0.55
+
+    def test_without_reapplication_sparsity_decays(self, small_encoder, rng):
+        prune_module(small_encoder, 0.6)
+        opt = nn.AdamW(small_encoder.parameters(), lr=1e-2, weight_decay=0.0)
+        x = Tensor(rng.normal(size=(2, 4, 8, 8)).astype(np.float32))
+        loss = (small_encoder(x) ** 2).mean()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        report = sparsity_report(small_encoder)
+        assert report["__global__"] < 0.4  # gradients resurrect pruned weights
+
+
+class TestFlopsFactor:
+    def test_matches_density(self, small_encoder):
+        prune_module(small_encoder, 0.75)
+        assert sparse_flops_factor(small_encoder) == pytest.approx(0.25, abs=0.05)
+
+    def test_on_bcae_encoder(self):
+        from repro.core import build_model
+
+        model = build_model("bcae_2d", wedge_spatial=(16, 24, 30), m=2, n=2, d=2, seed=0)
+        prune_module(model.encoder, 0.5)
+        assert sparse_flops_factor(model.encoder) == pytest.approx(0.5, abs=0.05)
+
+    def test_pruned_encoder_still_runs(self, rng):
+        from repro.core import build_model
+
+        model = build_model("bcae_2d", wedge_spatial=(16, 24, 30), m=2, n=2, d=2, seed=0)
+        prune_module(model.encoder, 0.3)
+        out = model.encode(Tensor(rng.normal(size=(1, 16, 24, 32)).astype(np.float32)))
+        assert np.isfinite(out.data).all()

@@ -1,0 +1,115 @@
+"""Post-training INT8 quantization (paper §4 future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn.quantization import (
+    INT8_LEVELS,
+    calibrate_int8,
+    int8_forward,
+    quantize_weights_int8,
+)
+
+
+@pytest.fixture()
+def encoder_and_data(rng):
+    nn.init.seed(3)
+    encoder = nn.Sequential(
+        nn.Conv2d(4, 8, 3, padding=1),
+        nn.LeakyReLU(),
+        nn.Conv2d(8, 8, 3, padding=1),
+        nn.LeakyReLU(),
+        nn.Conv2d(8, 4, 1),
+    )
+    data = rng.normal(size=(4, 4, 12, 12)).astype(np.float32)
+    return encoder, data
+
+
+class TestCalibration:
+    def test_finds_all_convs(self, encoder_and_data):
+        encoder, data = encoder_and_data
+        result = calibrate_int8(encoder, data)
+        assert result.n_layers == 3
+
+    def test_per_channel_weight_scales(self, encoder_and_data):
+        encoder, data = encoder_and_data
+        result = calibrate_int8(encoder, data)
+        _module, spec = result.specs[0]
+        assert spec.weight_scales.shape == (8,)
+
+    def test_activation_scale_covers_data(self, encoder_and_data):
+        encoder, data = encoder_and_data
+        result = calibrate_int8(encoder, data)
+        _module, first = result.specs[0]
+        assert first.activation_scale * INT8_LEVELS >= np.abs(data).max() * 0.999
+
+    def test_describe(self, encoder_and_data):
+        encoder, data = encoder_and_data
+        result = calibrate_int8(encoder, data)
+        assert "int8 quantization: 3 conv layers" in result.describe()
+
+    def test_tracer_restored(self, encoder_and_data):
+        encoder, data = encoder_and_data
+        calibrate_int8(encoder, data)
+        assert nn.Module._tracer is None
+
+
+class TestQuantizedInference:
+    def test_weights_land_on_grid(self, encoder_and_data):
+        encoder, data = encoder_and_data
+        result = calibrate_int8(encoder, data)
+        quantize_weights_int8(encoder, result)
+        _module, spec = result.specs[0]
+        w = encoder[0].weight.data
+        scales = spec.weight_scales.reshape(-1, 1, 1, 1)
+        steps = w / scales
+        np.testing.assert_allclose(steps, np.rint(steps), atol=1e-4)
+
+    def test_w8a8_output_close_to_fp32(self, encoder_and_data):
+        """The extension's claim: int8 costs little accuracy after fp16."""
+
+        encoder, data = encoder_and_data
+        with nn.no_grad():
+            ref = encoder(Tensor(data)).data.copy()
+        result = calibrate_int8(encoder, data)
+        quantize_weights_int8(encoder, result)
+        out = int8_forward(encoder, data, result)
+        scale = max(np.abs(ref).max(), 1e-6)
+        assert np.abs(out - ref).max() / scale < 0.1
+
+    def test_int8_forward_deterministic(self, encoder_and_data):
+        encoder, data = encoder_and_data
+        result = calibrate_int8(encoder, data)
+        quantize_weights_int8(encoder, result)
+        a = int8_forward(encoder, data, result)
+        b = int8_forward(encoder, data, result)
+        np.testing.assert_array_equal(a, b)
+
+    def test_forward_wrappers_removed(self, encoder_and_data):
+        encoder, data = encoder_and_data
+        result = calibrate_int8(encoder, data)
+        int8_forward(encoder, data, result)
+        assert nn.Module._tracer is None
+        assert "forward" not in encoder[0].__dict__  # wrapper uninstalled
+
+
+class TestOnBCAE:
+    def test_bcae2d_encoder_int8(self, rng):
+        from repro.core import build_model
+        from repro.tpc import log_transform, pad_horizontal
+
+        model = build_model("bcae_2d", wedge_spatial=(16, 24, 30), m=2, n=2, d=2, seed=0)
+        raw = rng.integers(0, 1024, size=(2, 16, 24, 30)).astype(np.uint16)
+        raw[raw < 600] = 0
+        x = pad_horizontal(log_transform(raw), 32)
+
+        with nn.no_grad():
+            ref = model.encode(Tensor(x)).data.copy()
+        result = calibrate_int8(model.encoder, x)
+        quantize_weights_int8(model.encoder, result)
+        out = int8_forward(model.encoder, x, result)
+        assert out.shape == ref.shape
+        scale = max(np.abs(ref).max(), 1e-6)
+        assert np.abs(out - ref).max() / scale < 0.15

@@ -1,0 +1,199 @@
+"""Elementwise/reduction/shape operations of the autograd Tensor."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, as_tensor, cat
+from repro.nn.gradcheck import check_gradients
+
+
+class TestArithmetic:
+    def test_add_values(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+        out = Tensor(a) + Tensor(b)
+        np.testing.assert_allclose(out.data, (a + b).astype(np.float32), rtol=1e-6)
+
+    def test_add_broadcasting(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4,))
+        out = Tensor(a) + Tensor(b)
+        assert out.shape == (3, 4)
+
+    def test_scalar_radd_rsub_rmul(self, rng):
+        a = rng.normal(size=(2, 2))
+        t = Tensor(a)
+        np.testing.assert_allclose((1.0 + t).data, 1 + a.astype(np.float32), rtol=1e-6)
+        np.testing.assert_allclose((1.0 - t).data, 1 - a.astype(np.float32), rtol=1e-6)
+        np.testing.assert_allclose((2.0 * t).data, 2 * a.astype(np.float32), rtol=1e-6)
+
+    def test_div_and_rdiv(self, rng):
+        a = rng.normal(size=(5,)) + 3.0
+        t = Tensor(a)
+        np.testing.assert_allclose((t / 2.0).data, a.astype(np.float32) / 2, rtol=1e-6)
+        np.testing.assert_allclose((6.0 / t).data, 6 / a.astype(np.float32), rtol=1e-5)
+
+    def test_pow_scalar_only(self):
+        t = Tensor([2.0, 3.0])
+        np.testing.assert_allclose((t**2).data, [4.0, 9.0])
+        with pytest.raises(TypeError):
+            t ** Tensor([1.0, 2.0])
+
+    def test_matmul(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+        out = Tensor(a) @ Tensor(b)
+        np.testing.assert_allclose(out.data, (a @ b).astype(np.float32), rtol=1e-5)
+
+    @pytest.mark.parametrize("op", ["add", "sub", "mul", "div", "matmul"])
+    def test_gradcheck_binary(self, rng, op):
+        a = Tensor(rng.normal(size=(3, 3)) + (2.5 if op == "div" else 0.0))
+        b = Tensor(rng.normal(size=(3, 3)) + (2.5 if op == "div" else 0.0))
+
+        def fn(inputs):
+            x, y = inputs
+            out = {
+                "add": lambda: x + y,
+                "sub": lambda: x - y,
+                "mul": lambda: x * y,
+                "div": lambda: x / y,
+                "matmul": lambda: x @ y,
+            }[op]()
+            return (out * out).mean()
+
+        check_gradients(fn, [a, b])
+
+    def test_gradcheck_broadcast_add(self, rng):
+        a, b = Tensor(rng.normal(size=(4, 3))), Tensor(rng.normal(size=(3,)))
+
+        def fn(inputs):
+            x, y = inputs
+            return ((x + y) ** 2).mean()
+
+        check_gradients(fn, [a, b])
+
+
+class TestElementwise:
+    @pytest.mark.parametrize(
+        "name", ["exp", "log", "sqrt", "abs", "sigmoid", "tanh", "relu"]
+    )
+    def test_gradcheck_unary(self, rng, name):
+        base = rng.normal(size=(4, 4))
+        if name in ("log", "sqrt"):
+            base = np.abs(base) + 0.5
+        t = Tensor(base)
+
+        def fn(inputs):
+            (x,) = inputs
+            return (getattr(x, name)()).sum()
+
+        check_gradients(fn, [t])
+
+    def test_sigmoid_stability(self):
+        out = Tensor([-100.0, 0.0, 100.0]).sigmoid()
+        np.testing.assert_allclose(out.data, [0.0, 0.5, 1.0], atol=1e-6)
+
+    def test_leaky_relu_slope(self):
+        t = Tensor([-2.0, 3.0])
+        out = t.leaky_relu(0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 3.0], rtol=1e-6)
+
+    def test_clip_gradient_mask(self):
+        t = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        out = t.clip(-1.0, 1.0)
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+    def test_clip_values(self):
+        out = Tensor([-2.0, 0.5, 2.0]).clip(-1.0, 1.0)
+        np.testing.assert_allclose(out.data, [-1.0, 0.5, 1.0])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        out = Tensor(a).sum(axis=1, keepdims=True)
+        np.testing.assert_allclose(out.data, a.astype(np.float32).sum(1, keepdims=True), rtol=1e-5)
+
+    def test_mean_axis(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        out = Tensor(a).mean(axis=(0, 2))
+        np.testing.assert_allclose(out.data, a.astype(np.float32).mean(axis=(0, 2)), rtol=1e-5)
+
+    def test_gradcheck_mean_axis(self, rng):
+        t = Tensor(rng.normal(size=(3, 4)))
+
+        def fn(inputs):
+            (x,) = inputs
+            return (x.mean(axis=0) ** 2).sum()
+
+        check_gradients(fn, [t])
+
+    def test_var(self, rng):
+        a = rng.normal(size=(5, 6))
+        out = Tensor(a).var(axis=0)
+        np.testing.assert_allclose(out.data, a.astype(np.float32).var(axis=0), rtol=1e-4, atol=1e-6)
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_grad(self, rng):
+        t = Tensor(rng.normal(size=(2, 6)), requires_grad=True)
+        out = t.reshape(3, 4).reshape((2, 6))
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((2, 6)))
+
+    def test_transpose(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        out = Tensor(a).transpose(2, 0, 1)
+        assert out.shape == (4, 2, 3)
+
+    def test_transpose_grad(self, rng):
+        t = Tensor(rng.normal(size=(2, 3)))
+
+        def fn(inputs):
+            (x,) = inputs
+            return (x.transpose() @ x).sum()
+
+        check_gradients(fn, [t])
+
+    def test_getitem_grad_scatter(self):
+        t = Tensor(np.arange(6, dtype=np.float32), requires_grad=True)
+        out = t[2:4]
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, [0, 0, 1, 1, 0, 0])
+
+    def test_pad_and_grad(self, rng):
+        t = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        out = t.pad([(0, 0), (1, 2)])
+        assert out.shape == (2, 6)
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((2, 3)))
+
+    def test_cat(self, rng):
+        a, b = Tensor(rng.normal(size=(2, 3))), Tensor(rng.normal(size=(4, 3)))
+        out = cat([a, b], axis=0)
+        assert out.shape == (6, 3)
+
+    def test_cat_grad_routing(self, rng):
+        a = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        b = Tensor(rng.normal(size=(1, 2)), requires_grad=True)
+        out = cat([a, b], axis=0)
+        (out * out).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data, rtol=1e-6)
+        np.testing.assert_allclose(b.grad, 2 * b.data, rtol=1e-6)
+
+
+class TestDtypePolicy:
+    def test_float64_downcast(self):
+        assert Tensor(np.zeros(3, dtype=np.float64)).dtype == np.float32
+
+    def test_int_promotion(self):
+        assert Tensor(np.zeros(3, dtype=np.int64)).dtype == np.float32
+
+    def test_float16_preserved(self):
+        assert Tensor(np.zeros(3, dtype=np.float16)).dtype == np.float16
+
+    def test_as_tensor_identity(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_item_requires_scalar(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()

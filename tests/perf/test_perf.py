@@ -1,0 +1,126 @@
+"""FLOP tracing and the A6000 roofline model (Figure 6 reproduction)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import build_model
+from repro.perf import (
+    RTX_A6000,
+    estimate_throughput,
+    estimate_time,
+    measure_encoder_throughput,
+    speedup_half,
+    throughput_curve,
+    trace_encoder,
+    trace_model,
+)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    out = {}
+    for name in ("bcae_2d", "bcae_pp", "bcae_ht"):
+        model = build_model(name, wedge_spatial=(16, 192, 249), seed=0)
+        out[name] = trace_encoder(model, (16, 192, 256), name=name)
+    return out
+
+
+class TestTracing:
+    def test_conv_flops_hand_count(self):
+        """One conv: FLOPs = 2 · out_elems · in_ch · kernel_volume."""
+
+        conv = nn.Conv2d(3, 8, 5, padding=2)
+        trace = trace_model(conv, (3, 10, 12))
+        assert len(trace.layers) == 1
+        assert trace.layers[0].flops == pytest.approx(2 * (8 * 10 * 12) * 3 * 25)
+
+    def test_sequential_collects_all_leaves(self):
+        model = nn.Sequential(nn.Conv2d(1, 4, 3, padding=1), nn.ReLU(), nn.AvgPool2d(2))
+        trace = trace_model(model, (1, 8, 8))
+        assert [l.kind for l in trace.layers] == ["Conv2d", "ReLU", "AvgPool2d"]
+
+    def test_tracer_cleared_after_trace(self):
+        trace_model(nn.ReLU(), (4,))
+        assert nn.Module._tracer is None
+
+    def test_tc_eligibility_rule(self, traces):
+        """Fig. 6D: BCAE-HT has (almost) no Tensor-Core-eligible FLOPs."""
+
+        assert traces["bcae_ht"].tc_fraction() < 0.10
+        assert traces["bcae_2d"].tc_fraction() > 0.95
+        assert traces["bcae_pp"].tc_fraction() > 0.80
+
+    def test_flop_ordering(self, traces):
+        """BCAE++ is the heaviest encoder; BCAE-HT the lightest."""
+
+        assert (
+            traces["bcae_pp"].total_flops
+            > traces["bcae_2d"].total_flops
+            > traces["bcae_ht"].total_flops
+        )
+
+    def test_ht_flops_tiny(self, traces):
+        assert traces["bcae_ht"].total_flops < 0.1 * traces["bcae_pp"].total_flops
+
+
+class TestRoofline:
+    def test_throughput_ordering_matches_table1(self, traces):
+        """Table 1 (half precision): BCAE-2D > BCAE-HT > BCAE++."""
+
+        t = {n: estimate_throughput(tr, 64, half=True) for n, tr in traces.items()}
+        assert t["bcae_2d"] > t["bcae_ht"] > t["bcae_pp"]
+
+    def test_throughput_within_2x_of_paper(self, traces):
+        paper = {"bcae_2d": 6900.0, "bcae_pp": 2600.0, "bcae_ht": 4600.0}
+        for name, target in paper.items():
+            ours = estimate_throughput(traces[name], 64, half=True)
+            assert 0.5 < ours / target < 2.0, name
+
+    def test_half_speedup_for_tc_models(self, traces):
+        """§3.4: 76–79% fp16 gain for BCAE-2D and BCAE++…"""
+
+        assert 1.5 < speedup_half(traces["bcae_2d"]) < 2.2
+        assert 1.4 < speedup_half(traces["bcae_pp"]) < 2.2
+
+    def test_no_half_speedup_for_ht(self, traces):
+        """…and (Fig. 6C/D) essentially none for BCAE-HT."""
+
+        assert speedup_half(traces["bcae_ht"]) < 1.15
+
+    def test_curve_saturates(self, traces):
+        """Fig. 6A-C shape: throughput rises with batch and saturates."""
+
+        curve = throughput_curve(traces["bcae_2d"], batch_sizes=(1, 4, 16, 64, 96))
+        values = list(curve.values())
+        assert all(b >= a * 0.98 for a, b in zip(values, values[1:]))  # monotone-ish
+        gain_low = curve[4] / curve[1]
+        gain_high = curve[96] / curve[64]
+        assert gain_low > gain_high  # diminishing returns = saturation
+
+    def test_estimate_time_layers_sum(self, traces):
+        total, layers = estimate_time(traces["bcae_ht"], 8)
+        assert total == pytest.approx(sum(l.total for l in layers))
+
+    def test_device_spec_datasheet_values(self):
+        assert RTX_A6000.fp32_tflops == pytest.approx(38.7)
+        assert RTX_A6000.fp16_tc_tflops == pytest.approx(154.8)
+        assert RTX_A6000.mem_bw_gbs == pytest.approx(768.0)
+
+
+class TestMeasuredTiming:
+    def test_measure_runs_and_is_positive(self):
+        model = build_model("bcae_ht", wedge_spatial=(16, 24, 30), seed=0)
+        r = measure_encoder_throughput(model, (16, 24, 32), batch_size=2, repeats=1)
+        assert r.wedges_per_second > 0
+        assert r.batch_size == 2
+
+    def test_measured_2d_faster_than_pp_on_cpu(self):
+        """The paper's headline 2D-vs-3D speedup also holds for our CPU kernels."""
+
+        shape = (16, 48, 64)
+        m2d = build_model("bcae_2d", wedge_spatial=(16, 48, 60), seed=0)
+        mpp = build_model("bcae_pp", wedge_spatial=(16, 48, 60), seed=0)
+        t2d = measure_encoder_throughput(m2d, shape, repeats=1).wedges_per_second
+        tpp = measure_encoder_throughput(mpp, shape, repeats=1).wedges_per_second
+        assert t2d > tpp

@@ -1,0 +1,93 @@
+"""Roofline model internals: limits, scaling laws, device variations."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.perf import RTX_A6000, estimate_throughput, trace_model
+from repro.perf.devices import GPUSpec
+from repro.perf.flops import LayerStats, ModelTrace
+from repro.perf.roofline import _layer_time
+
+
+def _gemm_layer(flops=1e9, bytes_moved=1e6, tc=True, util=1.0, kernels=1):
+    return LayerStats(
+        name="conv", kind="Conv2d", flops=flops, bytes_moved=bytes_moved,
+        params=1000, kernels=kernels, tc_eligible=tc, channel_utilization=util,
+    )
+
+
+class TestLayerTime:
+    def test_compute_bound_scaling(self):
+        """Big-FLOP layers: time scales linearly with batch."""
+
+        layer = _gemm_layer(flops=1e10, bytes_moved=1e3)
+        t1 = _layer_time(layer, 1, True, RTX_A6000)
+        t4 = _layer_time(layer, 4, True, RTX_A6000)
+        assert t4.compute == pytest.approx(4 * t1.compute, rel=1e-9)
+
+    def test_memory_bound_layer_uses_bandwidth(self):
+        layer = _gemm_layer(flops=1e3, bytes_moved=1e9)
+        t = _layer_time(layer, 1, False, RTX_A6000)
+        assert t.memory > t.compute
+        assert t.memory == pytest.approx(1e9 / (RTX_A6000.mem_bw_gbs * 1e9), rel=1e-9)
+
+    def test_half_precision_halves_memory_traffic(self):
+        layer = _gemm_layer(flops=1e3, bytes_moved=1e9)
+        full = _layer_time(layer, 1, False, RTX_A6000)
+        half = _layer_time(layer, 1, True, RTX_A6000)
+        assert half.memory == pytest.approx(full.memory / 2, rel=1e-9)
+
+    def test_tc_eligibility_gates_fp16_peak(self):
+        fast = _layer_time(_gemm_layer(tc=True), 1, True, RTX_A6000)
+        slow = _layer_time(_gemm_layer(tc=False), 1, True, RTX_A6000)
+        assert slow.compute > fast.compute
+
+    def test_launch_overhead_batch_independent(self):
+        layer = _gemm_layer()
+        t1 = _layer_time(layer, 1, True, RTX_A6000)
+        t64 = _layer_time(layer, 64, True, RTX_A6000)
+        assert t1.launch == t64.launch
+
+    def test_utilization_exponent(self):
+        low = _layer_time(_gemm_layer(util=0.01), 1, False, RTX_A6000)
+        high = _layer_time(_gemm_layer(util=1.0), 1, False, RTX_A6000)
+        expected = (1.0 / 0.01) ** RTX_A6000.util_exponent
+        assert low.compute / high.compute == pytest.approx(expected, rel=1e-6)
+
+
+class TestDeviceVariations:
+    def test_faster_device_faster_model(self):
+        trace = ModelTrace("m", [_gemm_layer()])
+        doubled = dataclasses.replace(
+            RTX_A6000, fp16_tc_tflops=2 * RTX_A6000.fp16_tc_tflops
+        )
+        assert estimate_throughput(trace, 8, True, doubled) > estimate_throughput(
+            trace, 8, True, RTX_A6000
+        )
+
+    def test_zero_launch_overhead_removes_saturation(self):
+        trace = ModelTrace("m", [_gemm_layer()])
+        no_launch = dataclasses.replace(RTX_A6000, launch_overhead_us=0.0)
+        t1 = estimate_throughput(trace, 1, True, no_launch)
+        t64 = estimate_throughput(trace, 64, True, no_launch)
+        assert t64 == pytest.approx(t1, rel=1e-6)  # purely linear scaling
+
+
+class TestTraceBatchInvariance:
+    def test_trace_is_batch1_normalized(self, rng):
+        """Stats are per batch element; the roofline applies the batch."""
+
+        model = nn.Sequential(nn.Conv2d(2, 4, 3, padding=1), nn.ReLU())
+        trace = trace_model(model, (2, 8, 8))
+        flops_elem = trace.total_flops
+        # A hand count: conv 2*4*8*8*2*9 + relu 2*(4*8*8)
+        assert flops_elem == pytest.approx(2 * (4 * 8 * 8) * 2 * 9 + 2 * (4 * 8 * 8))
+
+    def test_throughput_positive_for_all_batches(self, rng):
+        model = nn.Sequential(nn.Conv2d(1, 2, 3, padding=1))
+        trace = trace_model(model, (1, 6, 6))
+        for b in (1, 3, 17, 96):
+            assert estimate_throughput(trace, b) > 0

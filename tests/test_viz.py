@@ -1,0 +1,103 @@
+"""ASCII visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import (
+    render_curves,
+    render_difference,
+    render_heatmap,
+    render_histogram,
+    render_wedge_layer,
+)
+
+
+class TestHeatmap:
+    def test_dimensions(self, rng):
+        out = render_heatmap(rng.random((100, 200)), width=40, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 10
+        assert all(len(l) == 40 for l in lines)
+
+    def test_small_input_not_upscaled(self, rng):
+        out = render_heatmap(rng.random((3, 5)), width=40, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert all(len(l) == 5 for l in lines)
+
+    def test_intensity_mapping(self):
+        img = np.array([[0.0, 1.0]])
+        out = render_heatmap(img, width=2, height=1)
+        assert out[0] == " " and out[-1] == "@"
+
+    def test_constant_image(self):
+        out = render_heatmap(np.ones((4, 4)), width=4, height=4)
+        assert set(out.replace("\n", "")) == {" "}
+
+    def test_wrong_rank_raises(self):
+        with pytest.raises(ValueError):
+            render_heatmap(np.zeros((2, 2, 2)))
+
+    def test_explicit_range(self):
+        img = np.array([[5.0, 5.0]])
+        out = render_heatmap(img, width=2, height=1, vmin=0.0, vmax=10.0)
+        assert out[0] in "=-+"  # mid-ramp
+
+
+class TestWedgeRenderers:
+    def test_layer_selection(self, rng):
+        wedge = rng.random((4, 16, 16))
+        a = render_wedge_layer(wedge, layer=0, width=8, height=4)
+        b = render_wedge_layer(wedge, layer=3, width=8, height=4)
+        assert a != b
+
+    def test_wedge_rank_check(self):
+        with pytest.raises(ValueError):
+            render_wedge_layer(np.zeros((4, 4)))
+
+    def test_difference_zero_for_identical(self, rng):
+        w = rng.random((2, 8, 8))
+        out = render_difference(w, w, layer=0, width=8, height=4)
+        assert set(out.replace("\n", "")) == {" "}
+
+    def test_difference_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            render_difference(rng.random((2, 4, 4)), rng.random((2, 4, 5)))
+
+
+class TestHistogram:
+    def test_rows_and_bars(self):
+        counts = np.array([100, 10, 1])
+        edges = np.array([0.0, 1.0, 2.0, 3.0])
+        out = render_histogram(counts, edges)
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert lines[0].count("#") > lines[1].count("#") > lines[2].count("#")
+
+    def test_log_scale_compresses(self):
+        counts = np.array([1000, 1])
+        edges = np.array([0.0, 1.0, 2.0])
+        log_out = render_histogram(counts, edges, log_scale=True)
+        lin_out = render_histogram(counts, edges, log_scale=False)
+        assert log_out.splitlines()[1].count("#") >= lin_out.splitlines()[1].count("#")
+
+    def test_mismatched_edges(self):
+        with pytest.raises(ValueError):
+            render_histogram(np.array([1, 2]), np.array([0.0, 1.0]))
+
+
+class TestCurves:
+    def test_chart_structure(self):
+        series = {
+            "half": {1: 100.0, 2: 200.0, 4: 300.0},
+            "full": {1: 50.0, 2: 90.0, 4: 120.0},
+        }
+        out = render_curves(series, width=20, height=8)
+        lines = out.splitlines()
+        assert lines[0].startswith("y: 0..300")
+        assert "o=half" in lines[-1] and "x=full" in lines[-1]
+        assert len(lines) == 1 + 8 + 1
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            render_curves({})

@@ -1,0 +1,96 @@
+"""Layer-group presets and the analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.tpc import (
+    INNER_GROUP,
+    LAYER_GROUPS,
+    MIDDLE_GROUP,
+    OUTER_GROUP,
+    PAPER_GEOMETRY,
+    full_tpc_voxels,
+    log_adc_histogram,
+    occupancy_per_wedge,
+    wedge_summary,
+)
+
+
+class TestLayerGroups:
+    def test_outer_is_paper(self):
+        assert OUTER_GROUP is PAPER_GEOMETRY
+
+    def test_radial_continuity(self):
+        """Groups tile the radial range without overlap (paper Figure 1)."""
+
+        assert INNER_GROUP.r_max == pytest.approx(MIDDLE_GROUP.r_min)
+        assert MIDDLE_GROUP.r_max == pytest.approx(OUTER_GROUP.r_min)
+
+    def test_each_group_16_layers(self):
+        """Paper §2.1: three groups of 16 consecutive layers = 48 total."""
+
+        assert sum(g.n_layers for g in LAYER_GROUPS) == 48
+
+    def test_azimuthal_granularity_grows_outward(self):
+        """Outer layers carry more pads (roughly constant pad pitch)."""
+
+        assert INNER_GROUP.n_azim < MIDDLE_GROUP.n_azim < OUTER_GROUP.n_azim
+
+    def test_full_tpc_voxel_count_near_42m(self):
+        """Paper §1: 'digitizes 42M-voxels 3D pictures'."""
+
+        total = full_tpc_voxels()
+        assert 35e6 < total < 45e6
+
+    def test_all_groups_share_wedge_partitioning(self):
+        for g in LAYER_GROUPS:
+            assert g.n_wedges == 24
+
+    def test_inner_group_generates(self):
+        """The generator runs on any layer group (coarser inner grid)."""
+
+        from repro.tpc import HijingLikeGenerator
+
+        small_inner = INNER_GROUP.scaled(288, 64)
+        gen = HijingLikeGenerator.calibrated(small_inner, seed=0)
+        ev = gen.event(0)
+        assert ev.shape == small_inner.event_shape
+        assert 0.01 < gen.occupancy(ev) < 0.4
+
+
+class TestAnalysis:
+    def test_histogram_summary(self, tiny_train):
+        summary = log_adc_histogram(tiny_train.wedges)
+        assert summary.counts.sum() == summary.n_nonzero
+        assert summary.occupancy == pytest.approx(tiny_train.occupancy(), rel=1e-6)
+        assert len(summary.rows()) == summary.counts.size
+
+    def test_histogram_covers_saturated_values(self):
+        adc = np.full((4, 4, 4), 1023, dtype=np.uint16)
+        summary = log_adc_histogram(adc)
+        assert summary.counts[-1] == adc.size  # log2(1024) = 10 lands in top bin
+
+    def test_occupancy_per_wedge(self, tiny_train):
+        occ = occupancy_per_wedge(tiny_train.wedges)
+        assert occ.shape == (len(tiny_train),)
+        assert occ.mean() == pytest.approx(tiny_train.occupancy(), rel=1e-6)
+
+    def test_occupancy_varies_across_wedges(self, tiny_train):
+        """Central-z wedges see more track density than edge wedges."""
+
+        occ = occupancy_per_wedge(tiny_train.wedges)
+        assert occ.std() > 0.0
+
+    def test_wedge_summary(self, tiny_train):
+        s = wedge_summary(tiny_train.wedges[0])
+        assert s.shape == tiny_train.wedges[0].shape
+        assert 0 <= s.occupancy <= 1
+        assert s.adc_max <= 1023
+        if s.occupancy > 0:
+            assert s.log_mean_nonzero > 6.0
+        assert "occ=" in str(s)
+
+    def test_empty_wedge_summary(self):
+        s = wedge_summary(np.zeros((2, 3, 4), dtype=np.uint16))
+        assert s.occupancy == 0.0
+        assert s.adc_mean_nonzero == 0.0

@@ -1,0 +1,104 @@
+"""Event generation: digitization contract and paper's data statistics."""
+
+import numpy as np
+import pytest
+
+from repro.tpc import (
+    ADC_MAX,
+    TINY_GEOMETRY,
+    ZERO_SUPPRESSION_THRESHOLD,
+    HijingLikeGenerator,
+    log_transform,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_event(tiny_gen):
+    return tiny_gen.event(42)
+
+
+@pytest.fixture(scope="module")
+def tiny_gen():
+    return HijingLikeGenerator.calibrated(TINY_GEOMETRY, seed=0)
+
+
+class TestDigitizationContract:
+    def test_dtype_and_range(self, tiny_event):
+        """10-bit unsigned ADC (paper §2.1)."""
+
+        assert tiny_event.dtype == np.uint16
+        assert tiny_event.max() <= ADC_MAX
+
+    def test_zero_suppression(self, tiny_event):
+        """No surviving value below 64 (paper §2.1)."""
+
+        nonzero = tiny_event[tiny_event > 0]
+        assert nonzero.min() >= ZERO_SUPPRESSION_THRESHOLD
+
+    def test_log_values_above_six(self, tiny_event):
+        """log2(65) ≈ 6.02: every nonzero log-ADC value exceeds 6 (Fig. 3)."""
+
+        logv = log_transform(tiny_event)
+        nz = logv[logv > 0]
+        assert nz.min() > 6.0
+        assert nz.max() <= 10.0
+
+    def test_determinism_per_seed(self, tiny_gen):
+        np.testing.assert_array_equal(tiny_gen.event(7), tiny_gen.event(7))
+
+    def test_different_seeds_differ(self, tiny_gen):
+        assert not np.array_equal(tiny_gen.event(7), tiny_gen.event(8))
+
+    def test_event_shape(self, tiny_event):
+        assert tiny_event.shape == TINY_GEOMETRY.event_shape
+
+
+class TestOccupancy:
+    def test_occupancy_near_paper(self, tiny_gen):
+        """Calibrated generators land near the paper's 10.8% occupancy."""
+
+        occs = [tiny_gen.occupancy(tiny_gen.event(s)) for s in range(4)]
+        assert 0.04 < float(np.mean(occs)) < 0.22
+
+    def test_occupancy_scales_with_multiplicity(self):
+        lo = HijingLikeGenerator(geometry=TINY_GEOMETRY, multiplicity=60, pileup_mean=0.0)
+        hi = HijingLikeGenerator(geometry=TINY_GEOMETRY, multiplicity=600, pileup_mean=0.0)
+        assert lo.occupancy(lo.event(3)) < hi.occupancy(hi.event(3))
+
+    def test_empty_without_tracks(self):
+        gen = HijingLikeGenerator(
+            geometry=TINY_GEOMETRY, multiplicity=0.0, pileup_mean=0.0
+        )
+        ev = gen.event(0)
+        # Noise alone (σ=20) essentially never crosses the 64-count threshold.
+        assert gen.occupancy(ev) < 1e-3
+
+
+class TestSpectrum:
+    def test_log_adc_spectrum_is_falling(self, tiny_gen):
+        """Figure 3: counts fall from the 6.02 edge toward 10."""
+
+        logv = log_transform(tiny_gen.event(1))
+        nz = logv[logv > 0]
+        hist, _ = np.histogram(nz, bins=[6.0, 7.0, 8.0, 9.0, 10.0])
+        assert hist[0] > hist[1] > hist[2]
+
+    def test_wedges_shape_and_consistency(self, tiny_gen):
+        wedges = tiny_gen.wedges(5)
+        assert wedges.shape == (TINY_GEOMETRY.n_wedges,) + TINY_GEOMETRY.wedge_shape
+        event = tiny_gen.event(5)
+        assert wedges.sum() == event.sum()
+
+
+class TestCalibration:
+    def test_calibrated_beats_naive_guess(self):
+        """One-probe calibration should land within a factor ~2 of target."""
+
+        gen = HijingLikeGenerator.calibrated(TINY_GEOMETRY, target_occupancy=0.108, seed=0)
+        occ = np.mean([gen.occupancy(gen.event(s)) for s in range(3)])
+        assert 0.05 < occ < 0.22
+
+    def test_calibrated_respects_custom_target(self):
+        lo = HijingLikeGenerator.calibrated(TINY_GEOMETRY, target_occupancy=0.03, seed=0)
+        hi = HijingLikeGenerator.calibrated(TINY_GEOMETRY, target_occupancy=0.20, seed=0)
+        assert lo.multiplicity < hi.multiplicity

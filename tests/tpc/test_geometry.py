@@ -1,0 +1,100 @@
+"""TPC geometry: paper dimensions and partition invariants."""
+
+import numpy as np
+import pytest
+
+from repro.tpc import PAPER_GEOMETRY, SMALL_GEOMETRY, TINY_GEOMETRY, TPCGeometry
+
+
+class TestPaperDimensions:
+    def test_outer_group_event_shape(self):
+        """Paper §2.1: outer layer group digitizes to (16, 2304, 498)."""
+
+        assert PAPER_GEOMETRY.event_shape == (16, 2304, 498)
+
+    def test_wedge_shape(self):
+        """Paper §2.1: a TPC wedge is (16, 192, 249)."""
+
+        assert PAPER_GEOMETRY.wedge_shape == (16, 192, 249)
+
+    def test_24_wedges(self):
+        """12 azimuthal sectors × 2 horizontal halves."""
+
+        assert PAPER_GEOMETRY.n_wedges == 24
+
+    def test_voxels_per_wedge(self):
+        """16·192·249 = 764928 voxels — the numerator of the 31.125 ratio."""
+
+        assert PAPER_GEOMETRY.voxels_per_wedge == 764928
+
+    def test_wedge_is_30_degrees(self):
+        assert PAPER_GEOMETRY.wedge_azim * PAPER_GEOMETRY.n_wedges_azim == 2304
+        assert PAPER_GEOMETRY.phi_bin_width * PAPER_GEOMETRY.wedge_azim == pytest.approx(
+            2 * np.pi / 12
+        )
+
+    def test_layer_radii_span_group(self):
+        radii = PAPER_GEOMETRY.layer_radii
+        assert radii.shape == (16,)
+        assert radii[0] == pytest.approx(PAPER_GEOMETRY.r_min)
+        assert radii[-1] == pytest.approx(PAPER_GEOMETRY.r_max)
+        assert np.all(np.diff(radii) > 0)
+
+
+class TestValidation:
+    def test_indivisible_azim_raises(self):
+        with pytest.raises(ValueError):
+            TPCGeometry(n_azim=100, n_wedges_azim=12)
+
+    def test_indivisible_z_raises(self):
+        with pytest.raises(ValueError):
+            TPCGeometry(n_z=499, n_z_halves=2)
+
+    def test_scaled_keeps_physics(self):
+        g = PAPER_GEOMETRY.scaled(576, 128)
+        assert g.r_min == PAPER_GEOMETRY.r_min
+        assert g.b_field == PAPER_GEOMETRY.b_field
+        assert g.wedge_shape == (16, 48, 64)
+
+
+class TestPartition:
+    @pytest.mark.parametrize("geometry", [TINY_GEOMETRY, SMALL_GEOMETRY])
+    def test_split_assemble_roundtrip(self, geometry, rng):
+        event = rng.integers(0, 1024, size=geometry.event_shape).astype(np.uint16)
+        wedges = geometry.split_wedges(event)
+        assert wedges.shape == (geometry.n_wedges,) + geometry.wedge_shape
+        np.testing.assert_array_equal(geometry.assemble_wedges(wedges), event)
+
+    def test_wedges_partition_all_voxels(self, rng):
+        """Every voxel lands in exactly one wedge (sum preservation)."""
+
+        g = TINY_GEOMETRY
+        event = rng.random(g.event_shape).astype(np.float32)
+        wedges = g.split_wedges(event)
+        assert wedges.sum() == pytest.approx(event.sum(), rel=1e-5)
+
+    def test_split_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            TINY_GEOMETRY.split_wedges(np.zeros((2, 2, 2)))
+
+    def test_assemble_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            TINY_GEOMETRY.assemble_wedges(np.zeros((2, 2, 2, 2)))
+
+
+class TestCoordinates:
+    def test_phi_wraps(self):
+        g = PAPER_GEOMETRY
+        assert g.phi_to_bin(np.array([2 * np.pi + 0.001]))[0] == pytest.approx(
+            g.phi_to_bin(np.array([0.001]))[0], abs=1e-6
+        )
+
+    def test_z_to_bin_range(self):
+        g = PAPER_GEOMETRY
+        assert g.z_to_bin(np.array([-g.z_half_length]))[0] == pytest.approx(0.0)
+        assert g.z_to_bin(np.array([g.z_half_length]))[0] == pytest.approx(g.n_z)
+
+    def test_drift_length_is_distance_to_endcap(self):
+        g = PAPER_GEOMETRY
+        assert g.drift_length(np.array([0.0]))[0] == pytest.approx(g.z_half_length)
+        assert g.drift_length(np.array([g.z_half_length]))[0] == pytest.approx(0.0)

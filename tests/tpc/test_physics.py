@@ -1,0 +1,100 @@
+"""Helical track transport: limits, conservation and acceptance."""
+
+import numpy as np
+import pytest
+
+from repro.tpc import PAPER_GEOMETRY, TrackBatch, TrackPopulation, layer_crossings
+
+
+def _single_track(pt=1.0, eta=0.0, phi0=0.0, charge=1.0, z0=0.0) -> TrackBatch:
+    return TrackBatch(
+        pt=np.array([pt]),
+        eta=np.array([eta]),
+        phi0=np.array([phi0]),
+        charge=np.array([charge]),
+        z0=np.array([z0]),
+    )
+
+
+class TestCrossings:
+    def test_high_pt_goes_straight(self):
+        """A stiff track crosses every layer at ~its initial azimuth."""
+
+        cross = layer_crossings(_single_track(pt=50.0, phi0=1.0), PAPER_GEOMETRY)
+        assert cross.valid.all()
+        np.testing.assert_allclose(cross.phi[0], 1.0, atol=5e-3)
+
+    def test_curvature_bends_by_charge(self):
+        """Opposite charges bend to opposite sides of phi0."""
+
+        plus = layer_crossings(_single_track(pt=0.5, charge=+1.0), PAPER_GEOMETRY)
+        minus = layer_crossings(_single_track(pt=0.5, charge=-1.0), PAPER_GEOMETRY)
+        assert np.all(plus.phi[0] < 0.0)
+        assert np.all(minus.phi[0] > 0.0)
+        np.testing.assert_allclose(plus.phi[0], -minus.phi[0], rtol=1e-10)
+
+    def test_soft_track_does_not_reach(self):
+        """pT below the rigidity limit curls up before the outer layers.
+
+        Reaching r needs pT ≥ 0.3·B·r/2 ≈ 0.126 GeV at r = 0.60 m.
+        """
+
+        cross = layer_crossings(_single_track(pt=0.10), PAPER_GEOMETRY)
+        assert not cross.valid.any()
+
+    def test_threshold_pt_reaches_inner_only(self):
+        pt_reach_inner = 0.3 * PAPER_GEOMETRY.b_field * PAPER_GEOMETRY.r_min / 2
+        cross = layer_crossings(_single_track(pt=pt_reach_inner * 1.05), PAPER_GEOMETRY)
+        assert cross.valid[0, 0]
+        assert not cross.valid[0, -1]
+
+    def test_eta_controls_z_advance(self):
+        flat = layer_crossings(_single_track(eta=0.0), PAPER_GEOMETRY)
+        fwd = layer_crossings(_single_track(eta=1.0), PAPER_GEOMETRY)
+        np.testing.assert_allclose(flat.z[0], 0.0, atol=1e-9)
+        assert np.all(np.diff(fwd.z[0]) > 0)  # z grows with radius
+
+    def test_forward_track_exits_volume(self):
+        """A displaced forward track exits |z| < L between r_min and r_max.
+
+        Straight track: z(r) ≈ z0 + r·sinh(eta); with z0 = 0.8 m and
+        eta = 0.35 the crossing of the endcap happens inside the group.
+        """
+
+        cross = layer_crossings(_single_track(pt=20.0, eta=0.35, z0=0.8), PAPER_GEOMETRY)
+        assert cross.valid[0, 0]
+        assert not cross.valid[0, -1]
+
+    def test_z_monotonic_in_radius(self):
+        cross = layer_crossings(_single_track(pt=0.7, eta=0.5), PAPER_GEOMETRY)
+        assert np.all(np.diff(cross.z[0][cross.valid[0]]) > 0)
+
+    def test_path_factor_at_least_cosh_eta(self):
+        cross = layer_crossings(_single_track(pt=5.0, eta=1.0), PAPER_GEOMETRY)
+        assert np.all(cross.path_factor[0] >= np.cosh(1.0) - 1e-6)
+
+
+class TestPopulation:
+    def test_sample_shapes_and_ranges(self, rng):
+        pop = TrackPopulation()
+        batch = pop.sample(1000, rng)
+        assert len(batch) == 1000
+        assert batch.pt.min() >= pop.pt_min
+        assert batch.pt.max() <= pop.pt_max
+        assert np.abs(batch.eta).max() <= pop.eta_max
+        assert set(np.unique(batch.charge)) == {-1.0, 1.0}
+
+    def test_pt_spectrum_is_falling(self, rng):
+        batch = TrackPopulation().sample(20000, rng)
+        low = np.count_nonzero(batch.pt < 0.5)
+        high = np.count_nonzero(batch.pt > 1.0)
+        assert low > high
+
+    def test_vertex_offset_applied(self, rng):
+        batch = TrackPopulation().sample(500, rng, z_offset=0.5)
+        assert abs(batch.z0.mean() - 0.5) < 0.05
+
+    def test_concatenated(self, rng):
+        pop = TrackPopulation()
+        a, b = pop.sample(10, rng), pop.sample(20, rng)
+        assert len(a.concatenated(b)) == 30

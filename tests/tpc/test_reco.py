@@ -1,0 +1,165 @@
+"""Cluster reconstruction: the §2.1 trajectory-interpolation criterion."""
+
+import numpy as np
+import pytest
+
+from repro.tpc.reco import (
+    Cluster,
+    centroid_residuals,
+    find_clusters,
+    match_clusters,
+)
+
+
+def _wedge_with_blob(center=(10.0, 12.0), layer=0, amplitude=100.0, shape=(4, 24, 32)):
+    """A Gaussian charge blob with an exactly computable centroid."""
+
+    w = np.zeros(shape, dtype=np.float32)
+    a = np.arange(shape[1])[:, None]
+    h = np.arange(shape[2])[None, :]
+    blob = amplitude * np.exp(
+        -0.5 * (((a - center[0]) / 1.2) ** 2 + ((h - center[1]) / 1.2) ** 2)
+    )
+    blob[blob < 1.0] = 0.0
+    w[layer] = blob
+    return w
+
+
+class TestFindClusters:
+    def test_single_blob_found(self):
+        clusters = find_clusters(_wedge_with_blob())
+        assert len(clusters) == 1
+        assert clusters[0].layer == 0
+
+    def test_centroid_accuracy(self):
+        clusters = find_clusters(_wedge_with_blob(center=(10.0, 12.0)))
+        ca, ch = clusters[0].centroid
+        assert ca == pytest.approx(10.0, abs=0.05)
+        assert ch == pytest.approx(12.0, abs=0.05)
+
+    def test_subbin_centroid(self):
+        """ADC weighting resolves positions below the bin pitch (§2.1)."""
+
+        clusters = find_clusters(_wedge_with_blob(center=(10.4, 12.7)))
+        ca, ch = clusters[0].centroid
+        assert ca == pytest.approx(10.4, abs=0.1)
+        assert ch == pytest.approx(12.7, abs=0.1)
+
+    def test_two_separated_blobs(self):
+        w = _wedge_with_blob(center=(6.0, 6.0)) + _wedge_with_blob(center=(18.0, 26.0))
+        clusters = find_clusters(w)
+        assert len(clusters) == 2
+
+    def test_layers_are_independent(self):
+        w = _wedge_with_blob(layer=0) + _wedge_with_blob(layer=2)
+        clusters = find_clusters(w)
+        assert sorted(c.layer for c in clusters) == [0, 2]
+
+    def test_charge_cut(self):
+        w = _wedge_with_blob(amplitude=10.0)
+        assert find_clusters(w, min_charge=1e4) == []
+
+    def test_size_cut(self):
+        w = np.zeros((1, 8, 8), dtype=np.float32)
+        w[0, 3, 3] = 50.0  # single-voxel blip
+        assert find_clusters(w, min_size=2) == []
+        assert len(find_clusters(w, min_size=1)) == 1
+
+    def test_empty_wedge(self):
+        assert find_clusters(np.zeros((2, 8, 8), dtype=np.float32)) == []
+
+    def test_rank_check(self):
+        with pytest.raises(ValueError):
+            find_clusters(np.zeros((8, 8), dtype=np.float32))
+
+
+class TestMatching:
+    def test_identity_match(self):
+        w = _wedge_with_blob()
+        ref = find_clusters(w)
+        pairs = match_clusters(ref, find_clusters(w))
+        assert len(pairs) == 1
+        a, b = pairs[0]
+        assert a.centroid == b.centroid
+
+    def test_shifted_match_within_radius(self):
+        ref = find_clusters(_wedge_with_blob(center=(10.0, 12.0)))
+        test = find_clusters(_wedge_with_blob(center=(10.8, 12.5)))
+        assert len(match_clusters(ref, test, max_distance=3.0)) == 1
+
+    def test_too_far_no_match(self):
+        ref = find_clusters(_wedge_with_blob(center=(6.0, 6.0)))
+        test = find_clusters(_wedge_with_blob(center=(18.0, 26.0)))
+        assert match_clusters(ref, test, max_distance=3.0) == []
+
+    def test_layers_not_mixed(self):
+        ref = find_clusters(_wedge_with_blob(layer=0))
+        test = find_clusters(_wedge_with_blob(layer=1))
+        assert match_clusters(ref, test) == []
+
+    def test_one_to_one(self):
+        """Two reference blobs cannot claim the same test cluster."""
+
+        ref = find_clusters(
+            _wedge_with_blob(center=(10.0, 10.0)) + _wedge_with_blob(center=(13.0, 10.0))
+        )
+        test = find_clusters(_wedge_with_blob(center=(11.5, 10.0)))
+        pairs = match_clusters(ref, test, max_distance=5.0)
+        assert len(pairs) == 1
+
+
+class TestResiduals:
+    def test_perfect_reconstruction(self):
+        w = _wedge_with_blob()
+        s = centroid_residuals(w, w)
+        assert s.efficiency == 1.0
+        assert s.fake_rate == 0.0
+        assert s.mean_shift == pytest.approx(0.0, abs=1e-9)
+        assert s.mean_charge_ratio == pytest.approx(1.0, rel=1e-6)
+
+    def test_dropped_cluster_lowers_efficiency(self):
+        w = _wedge_with_blob(center=(6.0, 6.0)) + _wedge_with_blob(center=(18.0, 26.0))
+        partial = _wedge_with_blob(center=(6.0, 6.0))
+        s = centroid_residuals(w, partial)
+        assert s.efficiency == pytest.approx(0.5)
+
+    def test_fabricated_cluster_raises_fake_rate(self):
+        w = _wedge_with_blob(center=(6.0, 6.0))
+        noisy = w + _wedge_with_blob(center=(18.0, 26.0))
+        s = centroid_residuals(w, noisy)
+        assert s.fake_rate == pytest.approx(0.5)
+
+    def test_uniform_scaling_keeps_centroids(self):
+        """Scaling all ADC values preserves relative ratios → zero shift.
+
+        This is exactly the paper's point: what matters is the *ratio*
+        between neighbouring sensors, not the absolute scale.
+        """
+
+        w = _wedge_with_blob(center=(10.3, 12.6))
+        s = centroid_residuals(w, 0.5 * w)
+        assert s.mean_shift == pytest.approx(0.0, abs=1e-6)
+        assert s.mean_charge_ratio == pytest.approx(0.5, rel=1e-6)
+
+    def test_ratio_distortion_shifts_centroids(self):
+        """Distorting relative ADC ratios moves the interpolated position."""
+
+        w = _wedge_with_blob(center=(10.0, 12.0))
+        skewed = w.copy()
+        skewed[:, 11:, :] *= 1.8  # amplify one side of the blob
+        s = centroid_residuals(w, skewed)
+        assert s.mean_shift > 0.05
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            centroid_residuals(np.zeros((1, 4, 4)), np.zeros((1, 4, 5)))
+
+    def test_on_synthetic_event(self, tiny_train):
+        """The chain runs on real generator output at scale."""
+
+        from repro.tpc import log_transform
+
+        w = log_transform(tiny_train.wedges[0])
+        s = centroid_residuals(w, w, min_size=2)
+        assert s.n_reference > 0
+        assert s.efficiency == 1.0

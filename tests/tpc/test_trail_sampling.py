@@ -1,0 +1,122 @@
+"""Internal invariants of the vectorized ionization-trail sampler."""
+
+import numpy as np
+import pytest
+
+from repro.tpc import TINY_GEOMETRY, HijingLikeGenerator, TrackBatch
+from repro.tpc.events import DigitizationConfig
+
+
+def _tracks(pt, eta=0.0, phi0=0.0, charge=1.0, z0=0.0):
+    pt = np.atleast_1d(np.asarray(pt, dtype=np.float64))
+    n = pt.size
+    return TrackBatch(
+        pt=pt,
+        eta=np.full(n, eta, dtype=np.float64),
+        phi0=np.full(n, phi0, dtype=np.float64),
+        charge=np.full(n, charge, dtype=np.float64),
+        z0=np.full(n, z0, dtype=np.float64),
+    )
+
+
+@pytest.fixture()
+def gen():
+    return HijingLikeGenerator(geometry=TINY_GEOMETRY, multiplicity=0.0, pileup_mean=0.0)
+
+
+class TestTrailSamples:
+    def test_radii_within_group(self, gen, rng):
+        layer, phi, z, r, amp = gen._trail_samples(_tracks([2.0, 0.5, 0.3]), rng)
+        geo = gen.geometry
+        assert np.all(r >= geo.r_min - 1e-9)
+        assert np.all(r <= geo.r_max + 1e-9)
+
+    def test_layer_indices_consistent_with_radii(self, gen, rng):
+        layer, phi, z, r, amp = gen._trail_samples(_tracks([1.0]), rng)
+        geo = gen.geometry
+        pitch = (geo.r_max - geo.r_min) / geo.n_layers
+        expected = np.floor((r - geo.r_min) / pitch).astype(np.int64)
+        np.testing.assert_array_equal(layer, expected)
+
+    def test_every_layer_touched_by_stiff_track(self, gen, rng):
+        layer, *_ = gen._trail_samples(_tracks([50.0]), rng)
+        assert set(layer.tolist()) == set(range(gen.geometry.n_layers))
+
+    def test_sample_count_scales_with_path(self, gen, rng):
+        """A dipped track has a longer 3D path but the same transverse span:
+        the *transverse* step policy yields equal sample counts; a track
+        that curls up early yields fewer."""
+
+        straight = gen._trail_samples(_tracks([10.0], eta=0.0), rng)[0].size
+        soft = gen._trail_samples(_tracks([0.16], eta=0.0), rng)[0].size
+        assert soft < straight
+
+    def test_amplitudes_positive_and_clipped(self, gen, rng):
+        *_, amp = gen._trail_samples(_tracks([1.0] * 50), rng)
+        assert np.all(amp >= 0.0)
+        assert np.all(amp <= 6.0 * 1023)
+
+    def test_no_tracks_no_samples(self, gen, rng):
+        layer, phi, z, r, amp = gen._trail_samples(_tracks([]), rng)
+        assert layer.size == 0
+
+    def test_out_of_volume_track_excluded(self, gen, rng):
+        """A vertex beyond the endcap leaves nothing in the drift volume."""
+
+        layer, *_ = gen._trail_samples(_tracks([5.0], eta=1.0, z0=2.0), rng)
+        assert layer.size == 0
+
+
+class TestDepositConservation:
+    def test_total_charge_matches_amplitudes(self, gen, rng):
+        """The stencil is normalized: deposited charge == sampled charge
+        (up to edge losses at the z boundary)."""
+
+        tracks = _tracks([2.0, 1.0, 0.7], eta=0.1)
+        rng_a = np.random.default_rng(0)
+        layer, phi, z, r, amp = gen._trail_samples(tracks, rng_a)
+        rng_b = np.random.default_rng(0)
+        charge = gen.deposit(tracks, rng_b)
+        assert charge.sum() <= amp.sum() * (1 + 1e-9)
+        assert charge.sum() >= amp.sum() * 0.95  # ≤5% lost at z edges
+
+    def test_charge_wraps_azimuth(self, gen, rng):
+        """Deposits at phi ≈ 0 must wrap into the last azimuthal bins."""
+
+        tracks = _tracks([20.0], phi0=0.0)  # stiff: crossings at phi ~ 0
+        charge = gen.deposit(tracks, np.random.default_rng(1))
+        # Stencil half-width 2 -> bins on both sides of the wrap are hit.
+        assert charge[:, :3, :].sum() > 0
+        assert charge[:, -3:, :].sum() > 0
+
+    def test_deterministic_given_rng(self, gen):
+        tracks = _tracks([1.0, 2.0])
+        a = gen.deposit(tracks, np.random.default_rng(7))
+        b = gen.deposit(tracks, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestDigitizationConfigKnobs:
+    def test_smaller_step_more_samples(self, rng):
+        coarse = HijingLikeGenerator(
+            geometry=TINY_GEOMETRY,
+            digitization=DigitizationConfig(step_length=0.008),
+        )
+        fine = HijingLikeGenerator(
+            geometry=TINY_GEOMETRY,
+            digitization=DigitizationConfig(step_length=0.002),
+        )
+        t = _tracks([5.0])
+        n_coarse = coarse._trail_samples(t, np.random.default_rng(0))[0].size
+        n_fine = fine._trail_samples(t, np.random.default_rng(0))[0].size
+        assert n_fine > 2 * n_coarse
+
+    def test_zero_suppression_threshold_respected(self, rng):
+        gen = HijingLikeGenerator(
+            geometry=TINY_GEOMETRY, multiplicity=40.0, pileup_mean=0.0,
+            digitization=DigitizationConfig(zero_suppression=200),
+        )
+        ev = gen.event(3)
+        nz = ev[ev > 0]
+        if nz.size:
+            assert nz.min() >= 200

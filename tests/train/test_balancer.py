@@ -1,0 +1,49 @@
+"""The dynamic loss-balancing recurrence of paper §2.5."""
+
+import pytest
+
+from repro.train import LossBalancer
+
+
+class TestRecurrence:
+    def test_initial_coefficient_is_2000(self):
+        """Paper: c₀ = 2000."""
+
+        assert LossBalancer().coefficient == pytest.approx(2000.0)
+
+    def test_update_formula(self):
+        """c_{t+1} = 0.5·c_t + 1.5·(ρ_r/ρ_s)."""
+
+        b = LossBalancer(c0=100.0)
+        new = b.update(seg_loss=2.0, reg_loss=8.0)
+        assert new == pytest.approx(0.5 * 100.0 + 1.5 * 4.0)
+
+    def test_fixed_point(self):
+        """Constant losses drive c to 3·ρ_r/ρ_s."""
+
+        b = LossBalancer(c0=2000.0)
+        for _ in range(200):
+            b.update(seg_loss=1.0, reg_loss=10.0)
+        assert b.coefficient == pytest.approx(b.fixed_point(1.0, 10.0), rel=1e-6)
+        assert b.coefficient == pytest.approx(30.0, rel=1e-6)
+
+    def test_decays_from_large_c0(self):
+        """Starting at 2000 with O(1) loss ratio, c halves per epoch at first."""
+
+        b = LossBalancer()
+        first = b.update(1.0, 1.0)
+        assert first == pytest.approx(0.5 * 2000 + 1.5)
+
+    def test_combined_objective(self):
+        b = LossBalancer(c0=10.0)
+        assert b.combined(seg_loss=2.0, reg_loss=3.0) == pytest.approx(23.0)
+
+    def test_zero_seg_loss_guarded(self):
+        b = LossBalancer(c0=8.0)
+        assert b.update(0.0, 5.0) == pytest.approx(4.0)
+
+    def test_history_recorded(self):
+        b = LossBalancer()
+        b.update(1.0, 1.0)
+        b.update(1.0, 1.0)
+        assert len(b.history) == 3  # c0 + two updates

@@ -1,0 +1,141 @@
+"""Training loop integration: the paper's procedure at tiny scale."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_model
+from repro.train import TrainConfig, Trainer, evaluate_model
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_train_module):
+    train = tiny_train_module
+    model = build_model(
+        "bcae_2d", wedge_spatial=train.geometry.wedge_shape, m=2, n=2, d=2, seed=0
+    )
+    cfg = TrainConfig(epochs=3, batch_size=4, warmup_epochs=1, decay_every=1)
+    trainer = Trainer(model, cfg)
+    trainer.fit(train)
+    return trainer
+
+
+@pytest.fixture(scope="module")
+def tiny_train_module():
+    from repro.tpc import TINY_GEOMETRY, generate_wedge_dataset
+
+    train, _test = generate_wedge_dataset(1, geometry=TINY_GEOMETRY, seed=3,
+                                          test_fraction=0.0)
+    return train
+
+
+class TestTrainingRun:
+    def test_history_length(self, trained):
+        assert len(trained.history) == 3
+
+    def test_losses_decrease(self, trained):
+        hist = trained.history
+        assert hist[-1].seg_loss < hist[0].seg_loss
+        assert hist[-1].reg_loss < hist[0].reg_loss
+
+    def test_lr_schedule_applied(self, trained):
+        lrs = [h.lr for h in trained.history]
+        assert lrs[0] == pytest.approx(1e-3)
+        assert lrs[-1] < lrs[0]  # decay kicked in after warmup
+
+    def test_balancer_coefficient_tracked(self, trained):
+        assert trained.history[0].coefficient == pytest.approx(
+            0.5 * 2000 + 1.5 * trained.history[0].reg_loss / trained.history[0].seg_loss,
+            rel=1e-5,
+        )
+
+    def test_model_left_in_eval_mode(self, trained):
+        assert not trained.model.training
+
+
+class TestEvaluation:
+    def test_metrics_shape_contract(self, trained, tiny_train_module):
+        m = trained.evaluate(tiny_train_module)
+        assert 0.0 <= m.precision <= 1.0
+        assert 0.0 <= m.recall <= 1.0
+        assert m.mae >= 0.0
+        assert np.isfinite(m.psnr)
+
+    def test_training_beats_untrained(self, trained, tiny_train_module):
+        untrained = build_model(
+            "bcae_2d",
+            wedge_spatial=tiny_train_module.geometry.wedge_shape,
+            m=2, n=2, d=2, seed=99,
+        )
+        before = evaluate_model(untrained, tiny_train_module)
+        after = trained.evaluate(tiny_train_module)
+        assert after.mae < before.mae
+
+    def test_half_precision_parity_after_training(self, trained, tiny_train_module):
+        """Table 2: trained-model metrics match across precision modes."""
+
+        full = trained.evaluate(tiny_train_module, half=False)
+        half = trained.evaluate(tiny_train_module, half=True)
+        assert half.mae == pytest.approx(full.mae, rel=0.05, abs=0.02)
+        assert half.precision == pytest.approx(full.precision, abs=0.05)
+        assert half.recall == pytest.approx(full.recall, abs=0.05)
+
+    def test_max_batches_limits_work(self, trained, tiny_train_module):
+        m = evaluate_model(trained.model, tiny_train_module, max_batches=1)
+        assert np.isfinite(m.mae)
+
+
+class TestConfig:
+    def test_paper_presets(self):
+        cfg3d = TrainConfig.paper_3d()
+        assert (cfg3d.epochs, cfg3d.warmup_epochs, cfg3d.decay_every) == (1000, 100, 20)
+        cfg2d = TrainConfig.paper_2d()
+        assert (cfg2d.epochs, cfg2d.warmup_epochs, cfg2d.decay_every) == (500, 50, 10)
+
+    def test_paper_optimizer_settings(self, tiny_train_module):
+        model = build_model(
+            "bcae_2d", wedge_spatial=tiny_train_module.geometry.wedge_shape,
+            m=1, n=1, d=1, seed=0,
+        )
+        trainer = Trainer(model)
+        assert trainer.optimizer.weight_decay == pytest.approx(0.01)
+        assert (trainer.optimizer.beta1, trainer.optimizer.beta2) == (0.9, 0.999)
+        assert trainer.balancer.coefficient == pytest.approx(2000.0)
+
+
+class TestGradClipping:
+    def test_clip_rescales_large_gradients(self):
+        from repro.nn import Parameter
+        from repro.train import clip_grad_norm
+
+        p = Parameter(np.zeros(4, dtype=np.float32))
+        p.grad = np.full(4, 10.0, dtype=np.float32)
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert pre == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_clip_noop_below_threshold(self):
+        from repro.nn import Parameter
+        from repro.train import clip_grad_norm
+
+        p = Parameter(np.zeros(2, dtype=np.float32))
+        p.grad = np.array([0.3, 0.4], dtype=np.float32)
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert pre == pytest.approx(0.5)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_clip_handles_missing_grads(self):
+        from repro.nn import Parameter
+        from repro.train import clip_grad_norm
+
+        p = Parameter(np.zeros(2, dtype=np.float32))
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0
+
+    def test_training_with_clipping_runs(self, tiny_train_module):
+        model = build_model(
+            "bcae_2d", wedge_spatial=tiny_train_module.geometry.wedge_shape,
+            m=1, n=1, d=1, seed=0,
+        )
+        cfg = TrainConfig(epochs=1, batch_size=4, grad_clip=1.0)
+        trainer = Trainer(model, cfg)
+        hist = trainer.fit(tiny_train_module)
+        assert np.isfinite(hist[0].seg_loss)
