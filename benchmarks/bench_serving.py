@@ -1,0 +1,154 @@
+"""Serving bench — micro-batched service vs serial single-wedge compression.
+
+The paper's deployment argument (§1, §3.2) is throughput: the encoder must
+keep up with streaming readout.  This bench measures the first executable
+slice of that system, :class:`repro.serve.StreamingCompressionService`
+(micro-batching + persistent fast-path workspaces + optional worker pool),
+against the naive loop a non-serving user would write — one
+``BCAECompressor.compress`` call per wedge — on the same synthetic stream.
+
+Acceptance gates:
+
+* the service sustains **≥ 2×** the serial wedges/s (asserted on the
+  deepest encoder of the paper's Figure-6E/7 grid, BCAE-2D(m=7, n=8, d=3),
+  where per-call overheads bite hardest; the paper-default m=4 is reported
+  alongside);
+* payload bytes are **identical** to the serial path for every wedge.
+
+Timings are best-of-N on both sides (see ``repro.perf.timing``).
+"""
+
+import time
+
+import numpy as np
+
+from conftest import report
+
+from repro.core import BCAECompressor, build_model
+from repro.serve import ServiceConfig, StreamingCompressionService
+
+_N_WEDGES = 48
+_REPEATS = 3
+
+
+def _stream(n=_N_WEDGES, seed=7):
+    """A fixed synthetic sparse-wedge stream on the tiny geometry."""
+
+    from repro.tpc import TINY_GEOMETRY, generate_wedge_stream
+
+    return generate_wedge_stream(n, geometry=TINY_GEOMETRY, seed=seed)
+
+
+def _best_of(fn, repeats=_REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _measure(model_kwargs, wedges, service_configs):
+    model = build_model("bcae_2d", wedge_spatial=wedges.shape[1:], seed=0, **model_kwargs)
+    compressor = BCAECompressor(model)
+
+    serial: list = []
+
+    def run_serial():
+        serial.clear()
+        serial.extend(compressor.compress(w) for w in wedges)
+
+    run_serial()  # warm
+    serial_s = _best_of(run_serial)
+    serial_wps = len(wedges) / serial_s
+    serial_bytes = b"".join(c.payload for c in serial)
+
+    rows = []
+    for label, config in service_configs:
+        service = StreamingCompressionService(model, config)
+        service.run(wedges)  # warm workspaces
+        payloads, _ = service.run(wedges)
+        service_bytes = b"".join(bytes(p.payload) for p in payloads)
+        identical = service_bytes == serial_bytes
+
+        def run_service():
+            service.run(wedges, keep_payloads=False)
+
+        service_s = _best_of(run_service)
+        rows.append((label, len(wedges) / service_s, identical))
+    return serial_wps, rows
+
+
+def test_serving_speedup_and_parity(benchmark):
+    wedges = _stream()
+    configs = [
+        ("inline b16", ServiceConfig(max_batch=16, workers=0)),
+        ("pool2  b16", ServiceConfig(max_batch=16, workers=2)),
+    ]
+
+    results = {}
+
+    def measure_all():
+        results["deep"] = _measure(dict(m=7, n=8, d=3), wedges, configs)
+        results["default"] = _measure(dict(m=4, n=8, d=3), wedges, configs)
+        return results
+
+    benchmark.pedantic(measure_all, rounds=1, iterations=1)
+
+    report()
+    report("Serving — micro-batched service vs serial single-wedge compress")
+    report(f"  stream: {_N_WEDGES} synthetic wedges {wedges.shape[1:]}, best of {_REPEATS}")
+    for name, mkw in (("deep", "BCAE-2D(m=7,n=8,d=3)"), ("default", "BCAE-2D(m=4,n=8,d=3)")):
+        serial_wps, rows = results[name]
+        report(f"  {mkw}: serial {serial_wps:7.1f} w/s")
+        for label, wps, identical in rows:
+            report(
+                f"    service {label}: {wps:7.1f} w/s  "
+                f"speedup {wps / serial_wps:.2f}x  payloads "
+                f"{'identical' if identical else 'MISMATCH'}"
+            )
+
+    # Acceptance: every configuration byte-identical to the serial path.
+    for name in ("deep", "default"):
+        _wps, rows = results[name]
+        assert all(identical for _l, _w, identical in rows), f"{name}: payload mismatch"
+
+    # Acceptance: >= 2x serial throughput on the deep-grid encoder.
+    serial_wps, rows = results["deep"]
+    best = max(wps for _l, wps, _i in rows)
+    assert best >= 2.0 * serial_wps, (
+        f"service {best:.1f} w/s < 2x serial {serial_wps:.1f} w/s"
+    )
+    # The paper-default encoder must still see a solid win.
+    serial_wps_d, rows_d = results["default"]
+    best_d = max(wps for _l, wps, _i in rows_d)
+    assert best_d >= 1.5 * serial_wps_d
+
+
+def test_serving_latency_budget(benchmark):
+    """DAQ-timed replay: the batcher respects the accumulation budget."""
+
+    from repro.daq import DAQConfig, StreamingCompressionSim
+    from repro.serve import replay_stream
+
+    wedges = _stream(n=30)
+    model = build_model("bcae_2d", wedge_spatial=wedges.shape[1:], seed=0, m=2, n=2, d=2)
+    sim = StreamingCompressionSim(
+        DAQConfig(frame_rate_hz=1000.0, wedges_per_frame=3), seed=1
+    )
+    service = StreamingCompressionService(
+        model, ServiceConfig(max_batch=16, max_delay_s=2e-3)
+    )
+
+    def serve():
+        return service.run(replay_stream(sim.wedge_stream(wedges)))
+
+    _payloads, stats = benchmark.pedantic(serve, rounds=1, iterations=1)
+
+    report()
+    report("Serving — 1 kHz x 3 replay under a 2 ms accumulation budget")
+    report(f"  {stats.row()}")
+    report(f"  batch sizes: {[r.n_wedges for r in stats.records]}")
+    assert stats.n_wedges == 30
+    assert all(r.n_wedges <= 16 for r in stats.records)
+    assert stats.n_batches >= 3  # the budget must split a 30-wedge stream

@@ -11,7 +11,8 @@ Package layout (see DESIGN.md for the full inventory):
 * :mod:`repro.train` — the paper's training procedure;
 * :mod:`repro.baselines` — SZ/ZFP/MGARD-like learning-free codecs;
 * :mod:`repro.metrics` — MAE / PSNR / precision / recall;
-* :mod:`repro.perf` — per-layer FLOP traces, A6000 roofline model, timing.
+* :mod:`repro.perf` — per-layer FLOP traces, A6000 roofline model, timing;
+* :mod:`repro.serve` — micro-batching streaming compression service.
 """
 
 __version__ = "1.0.0"
@@ -24,5 +25,6 @@ __all__ = [
     "baselines",
     "metrics",
     "perf",
+    "serve",
     "io",
 ]

@@ -7,6 +7,7 @@ Subcommands mirror the reproduction workflow::
     repro-tpc evaluate  --model bcae_2d --checkpoint ckpt.npz --data data/wedges.npz
     repro-tpc throughput --model bcae_2d            # roofline + CPU timing
     repro-tpc compare   --data data/wedges.npz      # learning-free baselines
+    repro-tpc serve     --wedges 64 --batch 8       # micro-batching service
 
 Every command runs offline on CPU; ``--scale paper`` switches to the full
 (16, 192, 249) wedge geometry.
@@ -89,6 +90,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-GPU throughput [wedges/s] (Table 1 values)")
     q.add_argument("--headroom", type=float, default=1.2)
     q.add_argument("--frames", type=int, default=3000)
+
+    v = sub.add_parser("serve", help="run the micro-batching compression service")
+    v.add_argument("--model", default="bcae_2d")
+    v.add_argument("--scale", choices=_SCALES, default="tiny")
+    v.add_argument("--wedges", type=int, default=64)
+    v.add_argument("--batch", type=int, default=8, help="micro-batch size cap")
+    v.add_argument("--budget-ms", type=float, default=0.0,
+                   help="stream-time accumulation budget (0 = never wait)")
+    v.add_argument("--workers", type=int, default=0,
+                   help="worker threads (0 = inline, best on one core)")
+    v.add_argument("--full", action="store_true", help="fp32 instead of fp16 inference")
+    v.add_argument("--baseline", action="store_true",
+                   help="also time serial single-wedge compress + verify parity")
+    v.add_argument("--seed", type=int, default=0)
+    v.add_argument("--m", type=int, default=4)
+    v.add_argument("--n", type=int, default=8)
+    v.add_argument("--d", type=int, default=None)
 
     return parser
 
@@ -274,6 +292,55 @@ def cmd_daq(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """``serve``: micro-batched streaming compression on synthetic wedges."""
+
+    import time
+
+    from .core import BCAECompressor, build_model
+    from .serve import ServiceConfig, StreamingCompressionService
+    from .tpc import generate_wedge_stream
+
+    geometry = _geometry(args.scale)
+    wedges = generate_wedge_stream(args.wedges, geometry=geometry, seed=args.seed)
+
+    kwargs = _model_kwargs(args)
+    model = build_model(args.model, wedge_spatial=geometry.wedge_shape,
+                        seed=args.seed, **kwargs)
+    config = ServiceConfig(
+        max_batch=args.batch,
+        max_delay_s=args.budget_ms / 1e3,
+        workers=args.workers,
+        half=not args.full,
+    )
+    service = StreamingCompressionService(model, config)
+    service.run(wedges[: min(args.batch, len(wedges))])  # warm the workspaces
+    payloads, stats = service.run(wedges)
+    print(f"served {wedges.shape[0]} wedges {wedges.shape[1:]} "
+          f"[{args.model}, {'fp32' if args.full else 'fp16'}]")
+    print(stats.row())
+    if stats.n_batches:
+        tr = stats.to_throughput_result()
+        print(f"best batch: {tr.seconds_per_batch * 1e3:.2f} ms "
+              f"(mean {tr.seconds_per_batch_mean * 1e3:.2f} ms)")
+
+    if args.baseline:
+        compressor = BCAECompressor(model, half=not args.full)
+        t0 = time.perf_counter()
+        serial = [compressor.compress(w) for w in wedges]
+        dt = time.perf_counter() - t0
+        serial_wps = wedges.shape[0] / dt
+        print(f"serial single-wedge compress: {serial_wps:8.1f} w/s "
+              f"-> service speedup {stats.wedges_per_second / serial_wps:.2f}x")
+        service_bytes = b"".join(bytes(p.payload) for p in payloads)
+        serial_bytes = b"".join(p.payload for p in serial)
+        parity = service_bytes == serial_bytes
+        print(f"payload parity with serial path: {'OK' if parity else 'MISMATCH'}")
+        if not parity:
+            return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``repro-tpc`` console script."""
 
@@ -286,6 +353,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": cmd_compare,
         "search": cmd_search,
         "daq": cmd_daq,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

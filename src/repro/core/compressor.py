@@ -8,11 +8,24 @@ ratio treating both the input and the code as 16-bit floats:
     ratio = (wedge voxels) / (code elements) = 764928 / 24576 = 31.125
 
 for BCAE++/HT/2D on the paper grid, and 27.041 for the original BCAE.
+
+Two encode paths are exposed:
+
+``compress``
+    the reference path through the autograd module graph — simple,
+    allocation-heavy, one batch at a time;
+``compress_into`` / ``compress_stream``
+    the serving hot path: persistent workspaces (no per-batch ``np.pad`` /
+    im2col / fp16-cast reallocation) via
+    :class:`~repro.core.fast_encode.FastEncoder2D` where the model supports
+    it, with a reusable-buffer fallback through the module graph otherwise.
+    Output bytes are identical to ``compress`` for the same input.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -25,6 +38,7 @@ from ..tpc.transforms import (
     padded_length,
     unpad_horizontal,
 )
+from .fast_encode import FastEncoder2D, Workspace, supports_fast_encode
 from .heads import BicephalousAutoencoder
 
 __all__ = ["CompressedWedges", "BCAECompressor"]
@@ -58,10 +72,26 @@ class CompressedWedges:
         return len(self.payload)
 
     def codes(self) -> np.ndarray:
-        """Decode the payload back into an fp16 code array."""
+        """The payload as a *writable* fp16 code array.
 
-        arr = np.frombuffer(self.payload, dtype=np.float16)
-        return arr.reshape((self.n_wedges,) + self.code_shape)
+        Returns a fresh copy: callers may scale, mask or otherwise edit
+        codes (e.g. latent-space studies) without tripping over the
+        read-only buffer backing ``payload``.  Use :meth:`codes_view` for
+        zero-copy read access.
+        """
+
+        return self.codes_view().copy()
+
+    def codes_view(self) -> np.ndarray:
+        """Zero-copy *read-only* view of the payload as fp16 codes."""
+
+        count = self.n_wedges * int(np.prod(self.code_shape))
+        # count= tolerates payload buffers larger than the codes (e.g. a
+        # caller-owned ring buffer passed to compress_into(out=...)).
+        arr = np.frombuffer(self.payload, dtype=np.float16, count=count)
+        arr = arr.reshape((self.n_wedges,) + tuple(self.code_shape))
+        arr.flags.writeable = False  # frombuffer of a bytearray is writable
+        return arr
 
 
 class BCAECompressor:
@@ -79,8 +109,22 @@ class BCAECompressor:
     def __init__(self, model: BicephalousAutoencoder, half: bool = True) -> None:
         self.model = model
         self.half = bool(half)
+        self._fast: FastEncoder2D | None = None
+        self._fast_checked = False
+        self._supports_fast = False
+        self._fast_signature: tuple = ()
+        self._scratch = Workspace()
 
     # ------------------------------------------------------------------
+    def _horizontal_target(self, horizontal: int) -> int:
+        """Padded horizontal length the encoder consumes."""
+
+        if hasattr(self.model.encoder, "spatial"):
+            # 3D models carry their exact input spatial shape.
+            return int(self.model.encoder.spatial[-1])
+        # 2D models only need divisibility by 2^d.
+        return padded_length(horizontal, 2 ** self.model.encoder.d)
+
     def _prepare(self, wedges: np.ndarray) -> tuple[np.ndarray, int]:
         """Raw ADC (B, R, A, H) → padded log-transformed network input."""
 
@@ -88,12 +132,7 @@ class BCAECompressor:
             wedges = wedges[None]
         horizontal = wedges.shape[-1]
         x = log_transform(wedges)
-        if hasattr(self.model.encoder, "spatial"):
-            # 3D models carry their exact input spatial shape.
-            target = self.model.encoder.spatial[-1]
-        else:
-            # 2D models only need divisibility by 2^d.
-            target = padded_length(horizontal, 2 ** self.model.encoder.d)
+        target = self._horizontal_target(horizontal)
         if target != horizontal:
             x = pad_horizontal(x, target)
         return x, horizontal
@@ -103,6 +142,8 @@ class BCAECompressor:
         """Compress raw ADC wedges ``(B, R, A, H)`` (or a single wedge).
 
         Returns the fp16 code payload — the storage unit of the paper.
+        This is the reference path; :meth:`compress_into` produces identical
+        bytes without the per-call allocations.
         """
 
         x, horizontal = self._prepare(wedges)
@@ -117,6 +158,134 @@ class BCAECompressor:
         )
 
     # ------------------------------------------------------------------
+    def _weights_signature(self) -> tuple:
+        """Cheap content fingerprint of the encoder weights.
+
+        Two float64 reductions per parameter (~0.1 ms for paper-sized
+        encoders) — any realistic weight update (optimizer step, checkpoint
+        load, manual edit) perturbs them, so a stale compiled fast path is
+        detected and rebuilt instead of silently serving old weights.
+        """
+
+        sig = []
+        for p in self.model.encoder.parameters():
+            a = p.data
+            sig.append((
+                a.shape,
+                float(a.sum(dtype=np.float64)),
+                float(np.abs(a).sum(dtype=np.float64)),
+            ))
+        return tuple(sig)
+
+    def _fast_encoder(self) -> FastEncoder2D | None:
+        if not self._fast_checked:
+            self._fast_checked = True
+            self._supports_fast = supports_fast_encode(self.model)
+        if not self._supports_fast:
+            return None
+        signature = self._weights_signature()
+        if self._fast is None or signature != self._fast_signature:
+            self._fast = FastEncoder2D(self.model.encoder, half=self.half)
+            self._fast_signature = signature
+        return self._fast
+
+    def _log_into(self, wedges: np.ndarray) -> np.ndarray:
+        """``log_transform`` into a persistent scratch buffer.
+
+        Replicates ``log2(adc.astype(float32) + 1)`` cast-for-cast so the
+        values match the reference path for any input dtype.
+        """
+
+        buf = self._scratch.get("log", wedges.shape)
+        np.copyto(buf, wedges, casting="unsafe")  # the astype(float32)
+        buf += 1.0
+        np.log2(buf, out=buf)
+        return buf
+
+    def compress_into(self, wedges: np.ndarray, out: bytearray | None = None) -> CompressedWedges:
+        """Compress through persistent workspaces — the serving hot path.
+
+        Byte-identical to :meth:`compress`; no im2col / padding / fp16-cast
+        reallocation on repeated same-shape calls.  ``out``, when given,
+        must be a writable buffer of at least the payload size; the payload
+        then aliases it (zero extra copy for callers that own ring buffers).
+
+        One compressor instance's workspaces are not thread-safe — use one
+        instance per worker (as :mod:`repro.serve` does).
+        """
+
+        if wedges.ndim == 3:
+            wedges = wedges[None]
+        horizontal = wedges.shape[-1]
+        fast = self._fast_encoder()
+        if fast is not None:
+            x = self._log_into(wedges)
+            code16 = fast.encode(x, horizontal_target=self._horizontal_target(horizontal))
+        else:
+            # Module-graph fallback (3D variants): still avoids the
+            # per-call log/pad allocations of the reference path.
+            x = self._log_into(wedges)
+            target = self._horizontal_target(horizontal)
+            if target != horizontal:
+                xp = self._scratch.get("pad", x.shape[:-1] + (target,))
+                xp[..., horizontal:] = 0
+                np.copyto(xp[..., :horizontal], x)
+                x = xp
+            with nn.no_grad(), nn.amp.autocast(self.half):
+                code = self.model.encode(Tensor(x))
+            code16 = self._scratch.get("code16", code.data.shape, np.float16)
+            np.copyto(code16, code.data, casting="unsafe")
+
+        if out is None:
+            payload: bytes | memoryview = code16.tobytes()
+        else:
+            view = np.frombuffer(out, dtype=np.float16, count=code16.size)
+            np.copyto(view.reshape(code16.shape), code16)
+            # Size the payload exactly (out may be a larger ring buffer);
+            # it still aliases the caller's memory — no extra copy.
+            payload = memoryview(out)[: code16.nbytes]
+        return CompressedWedges(
+            payload=payload,
+            code_shape=code16.shape[1:],
+            n_wedges=code16.shape[0],
+            original_horizontal=horizontal,
+        )
+
+    def compress_stream(
+        self, wedges: Iterable[np.ndarray], batch_size: int = 8
+    ) -> Iterator[CompressedWedges]:
+        """Compress a stream of single wedges ``(R, A, H)`` in micro-batches.
+
+        Chunks the iterable into batches of ``batch_size`` (the tail batch
+        may be smaller), stacking into a persistent staging buffer; each
+        chunk is compressed with :meth:`compress_into`.  Wedge order is
+        preserved.
+        """
+
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        staged: np.ndarray | None = None
+        fill = 0
+        for wedge in wedges:
+            wedge = np.asarray(wedge)
+            if wedge.ndim != 3:
+                raise ValueError(f"expected single wedges (R, A, H), got {wedge.shape}")
+            if staged is None or staged.shape[1:] != wedge.shape or staged.dtype != wedge.dtype:
+                if fill:
+                    yield self.compress_into(staged[:fill])
+                    fill = 0
+                staged = self._scratch.get(
+                    ("stage", wedge.dtype.str), (batch_size,) + wedge.shape, wedge.dtype
+                )
+            staged[fill] = wedge
+            fill += 1
+            if fill == batch_size:
+                yield self.compress_into(staged)
+                fill = 0
+        if fill:
+            yield self.compress_into(staged[:fill])
+
+    # ------------------------------------------------------------------
     def decompress(self, compressed: CompressedWedges) -> np.ndarray:
         """Decompress codes to log-ADC reconstructions ``(B, R, A, H)``.
 
@@ -124,7 +293,7 @@ class BCAECompressor:
         on the unpadded region only).
         """
 
-        codes = compressed.codes().astype(np.float32)
+        codes = compressed.codes_view().astype(np.float32)
         with nn.no_grad(), nn.amp.autocast(self.half):
             seg, reg = self.model.decode(Tensor(codes))
         recon = reg.data * (seg.data > self.model.threshold)
@@ -143,14 +312,34 @@ class BCAECompressor:
         return self.decompress(compressed), compressed
 
     # ------------------------------------------------------------------
+    def code_shape_for(self, wedge_spatial: tuple[int, int, int]) -> tuple[int, ...]:
+        """Per-wedge code shape for a raw wedge shape — *no model execution*.
+
+        Derived from the encoder's stage arithmetic (divisibility for the 2D
+        family, the solved stage plans for the 3D family), so it is cheap
+        enough for sizing arithmetic at import time.
+        """
+
+        r, a, h = (int(v) for v in wedge_spatial)
+        encoder = self.model.encoder
+        if hasattr(encoder, "spatial"):
+            er, ea, eh = encoder.spatial
+            if (r, a) != (er, ea) or h > eh:
+                raise ValueError(
+                    f"wedge spatial {wedge_spatial} incompatible with "
+                    f"encoder input {encoder.spatial}"
+                )
+            return tuple(encoder.code_shape)
+        target = padded_length(h, 2 ** encoder.d)
+        return tuple(encoder.code_shape((a, target)))
+
     def compression_ratio(self, wedge_spatial: tuple[int, int, int]) -> float:
         """Paper §3.1 ratio: input elements / code elements (both fp16).
 
         For the paper grid this is 31.125 (BCAE++/HT/2D) or 27.041 (BCAE).
+        Computed analytically from the encoder geometry — no forward pass.
         """
 
-        x = np.zeros((1,) + tuple(wedge_spatial), dtype=np.uint16)
-        compressed = self.compress(x)
         n_in = int(np.prod(wedge_spatial))
-        n_code = int(np.prod(compressed.code_shape))
+        n_code = int(np.prod(self.code_shape_for(wedge_spatial)))
         return n_in / n_code

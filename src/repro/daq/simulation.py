@@ -116,17 +116,58 @@ class StreamingCompressionSim:
         self.config = config
         self.rng = np.random.default_rng(seed)
 
+    def frame_times(self, n_frames: int) -> np.ndarray:
+        """Frame arrival timestamps [s] — Poisson or periodic per config.
+
+        Each call starts a fresh arrival clock at t = 0 (Poisson mode
+        consumes fresh RNG draws, so successive calls give independent —
+        not continued — realizations; periodic mode is an exact restarting
+        clock).  Concatenating two calls therefore does **not** produce a
+        monotone stream.
+        """
+
+        frame_gap = 1.0 / self.config.frame_rate_hz
+        if self.config.periodic:
+            return np.arange(n_frames) * frame_gap
+        return np.cumsum(self.rng.exponential(frame_gap, n_frames))
+
+    def wedge_stream(self, wedges: np.ndarray, n_frames: int | None = None):
+        """The simulated arrival process as a ``(arrival_s, wedge)`` iterator.
+
+        This is the bridge from the queueing model to an executable
+        compression loop (:mod:`repro.serve`): each simulated frame fans
+        out into ``wedges_per_frame`` jobs carrying real wedge data, cycled
+        from ``wedges`` ``(N, R, A, H)``.  With ``n_frames`` omitted, the
+        stream stops once every wedge has been emitted exactly once.
+
+        Yields
+        ------
+        ``(arrival_s, wedge)`` tuples in arrival order — feed through
+        :func:`repro.serve.replay_stream` to drive a service.
+        """
+
+        wedges = np.asarray(wedges)
+        if wedges.ndim != 4:
+            raise ValueError(f"expected stacked wedges (N, R, A, H), got {wedges.shape}")
+        wpf = self.config.wedges_per_frame
+        limit = None
+        if n_frames is None:
+            n_frames = -(-wedges.shape[0] // wpf)
+            limit = wedges.shape[0]
+        emitted = 0
+        for t in self.frame_times(n_frames):
+            for _slot in range(wpf):
+                if limit is not None and emitted >= limit:
+                    return
+                yield float(t), wedges[emitted % wedges.shape[0]]
+                emitted += 1
+
     def run(self, n_frames: int = 2000) -> DAQStats:
         """Simulate ``n_frames`` frame arrivals; returns aggregate stats."""
 
         cfg = self.config
         service = 1.0 / cfg.server_rate_wps
-        frame_gap = 1.0 / cfg.frame_rate_hz
-
-        if cfg.periodic:
-            arrivals = np.arange(n_frames) * frame_gap
-        else:
-            arrivals = np.cumsum(self.rng.exponential(frame_gap, n_frames))
+        arrivals = self.frame_times(n_frames)
 
         # Server availability times (min-heap) model the c servers.
         servers = [0.0] * cfg.n_servers

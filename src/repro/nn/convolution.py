@@ -155,10 +155,29 @@ def conv_forward(
     pad_width = ((0, 0), (0, 0)) + padding
     xp = np.pad(x, pad_width) if any(pl or ph for pl, ph in padding) else x
     win = _strided_windows(xp, kernel, stride)
-    # win: (N, C, *out, *k) ; w: (O, C, *k) -> contract over C and kernel axes.
-    win_axes = (1,) + tuple(range(2 + nd, 2 + 2 * nd))
-    w_axes = (1,) + tuple(range(2, 2 + nd))
-    y = np.tensordot(win, w, axes=(win_axes, w_axes))
+    # win: (N, C, *out, *k) ; w: (O, C, *k) -> contract over C and kernel
+    # axes.  This is tensordot's contraction written out with *pinned*
+    # operand layouts (C-contiguous im2col rows against an F-contiguous
+    # kernel matrix) and the GEMM executed **one sample at a time**.  BLAS
+    # picks its kernel — and therefore its summation order, and therefore
+    # the result bits — from operand shapes and layouts, so a whole-batch
+    # GEMM would make a compressed payload depend on how wedges were
+    # batched together.  Per-sample blocking keeps every sample's rows
+    # bit-identical to a batch-of-one call: compression output is invariant
+    # to batch composition (asserted by the serving benchmarks).
+    out_spatial = conv_output_shape(x.shape[2:], kernel, stride, padding)
+    n = x.shape[0]
+    rows = int(np.prod(out_spatial))
+    kdim = w.shape[1] * int(np.prod(kernel))
+    tv = win.transpose((0,) + tuple(range(2, 2 + nd)) + (1,) + tuple(range(2 + nd, 2 + 2 * nd)))
+    at = np.ascontiguousarray(tv).reshape(n * rows, kdim)
+    bt = np.asfortranarray(
+        w.transpose(tuple(range(1, 2 + nd)) + (0,)).reshape(kdim, w.shape[0])
+    )
+    y2 = np.empty((n * rows, w.shape[0]), dtype=np.result_type(at, bt))
+    for i in range(n):
+        np.dot(at[i * rows:(i + 1) * rows], bt, out=y2[i * rows:(i + 1) * rows])
+    y = y2.reshape((n,) + out_spatial + (w.shape[0],))
     # y: (N, *out, O) -> (N, O, *out)
     y = np.moveaxis(y, -1, 1)
     if bias is not None:

@@ -17,7 +17,12 @@ from .roofline import (
     speedup_half,
     throughput_curve,
 )
-from .timing import ThroughputResult, measure_curve, measure_encoder_throughput
+from .timing import (
+    ThroughputResult,
+    measure_curve,
+    measure_encoder_throughput,
+    throughput_from_batches,
+)
 
 __all__ = [
     "GPUSpec",
@@ -35,4 +40,5 @@ __all__ = [
     "ThroughputResult",
     "measure_encoder_throughput",
     "measure_curve",
+    "throughput_from_batches",
 ]

@@ -1,0 +1,30 @@
+"""``repro.serve`` — streaming compression service (the deployment loop).
+
+The paper's deployment story (§1, §3.2–3.3) is an always-on encoder keeping
+up with sPHENIX streaming readout; :mod:`repro.daq` sizes that system as a
+queueing problem, and this package is the first executable piece of it: a
+micro-batching service that pulls wedges from a stream, accumulates them
+under a latency budget, fans batches out to a pool of compressor workers,
+and emits payloads in arrival order with per-batch latency statistics.
+
+* :class:`~repro.serve.batcher.MicroBatcher` — latency-budgeted batching;
+* :class:`~repro.serve.service.StreamingCompressionService` — worker pool +
+  ordered emission + :class:`~repro.serve.service.ServiceStats`;
+* :mod:`repro.serve.source` — stream adapters (in-memory arrays, DAQ-timed
+  replay via :meth:`repro.daq.StreamingCompressionSim.wedge_stream`).
+"""
+
+from .batcher import MicroBatch, MicroBatcher
+from .service import ServiceConfig, ServiceStats, StreamingCompressionService
+from .source import StreamItem, iter_wedges, replay_stream
+
+__all__ = [
+    "MicroBatch",
+    "MicroBatcher",
+    "ServiceConfig",
+    "ServiceStats",
+    "StreamingCompressionService",
+    "StreamItem",
+    "iter_wedges",
+    "replay_stream",
+]

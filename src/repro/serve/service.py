@@ -1,0 +1,302 @@
+"""The streaming compression service: batcher → worker pool → ordered sink.
+
+This is the first executable slice of the ROADMAP's "heavy traffic"
+architecture: an always-on loop that turns a wedge stream into a payload
+stream.  The shape mirrors a production inference server —
+
+* a :class:`~repro.serve.batcher.MicroBatcher` accumulates arrivals under a
+  latency budget;
+* a pool of workers, each holding its **own** :class:`BCAECompressor`
+  (whose fast-path workspaces are deliberately not shared — no locks on the
+  hot path), compresses batches;
+* emission is re-ordered to stream order with a bounded in-flight window,
+  which doubles as backpressure.
+
+On a single core the pool degenerates gracefully: ``workers=0`` runs
+inline (no threads, lowest overhead — the right default for CPU-bound
+NumPy), while ``workers>=1`` exercises the real hand-off machinery that a
+multi-GPU deployment would use.  Payload bytes are identical to serial
+``BCAECompressor.compress`` calls either way.
+"""
+
+from __future__ import annotations
+
+import collections
+import concurrent.futures
+import dataclasses
+import itertools
+import threading
+import time
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..core.compressor import BCAECompressor, CompressedWedges
+from ..perf.timing import ThroughputResult, throughput_from_batches
+from .batcher import MicroBatch, MicroBatcher
+from .source import StreamItem, iter_wedges
+
+__all__ = ["ServiceConfig", "BatchRecord", "ServiceStats", "StreamingCompressionService"]
+
+
+@dataclasses.dataclass
+class ServiceConfig:
+    """Tunables of one service instance.
+
+    Attributes
+    ----------
+    max_batch:
+        Micro-batch size cap (the knee of the Figure-6 batch curve).
+    max_delay_s:
+        Stream-time accumulation budget (see :class:`MicroBatcher`).
+    workers:
+        Worker threads.  ``0`` compresses inline on the caller's thread —
+        the fastest configuration for single-core NumPy; use ``>= 1`` to
+        exercise the pool/ordering machinery (or on BLAS builds that
+        release the GIL across multiple cores).
+    half:
+        fp16 inference mode (paper §3.3 deployment default).
+    inflight:
+        Bound on batches submitted but not yet emitted (backpressure).
+    """
+
+    max_batch: int = 8
+    max_delay_s: float = 0.0
+    workers: int = 0
+    half: bool = True
+    inflight: int = 8
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.inflight < 1:
+            raise ValueError(f"inflight must be >= 1, got {self.inflight}")
+
+
+@dataclasses.dataclass
+class BatchRecord:
+    """Timing record of one compressed batch."""
+
+    seq: int
+    first_seq: int
+    n_wedges: int
+    compress_s: float
+    worker: str
+
+
+@dataclasses.dataclass
+class ServiceStats:
+    """Aggregate outcome of one served stream."""
+
+    n_wedges: int
+    n_batches: int
+    elapsed_s: float
+    half: bool
+    max_batch: int
+    workers: int
+    records: list[BatchRecord] = dataclasses.field(default_factory=list)
+
+    @property
+    def wedges_per_second(self) -> float:
+        """End-to-end service throughput (includes batching + hand-off)."""
+
+        return self.n_wedges / max(self.elapsed_s, 1e-12)
+
+    @property
+    def mean_batch_s(self) -> float:
+        return float(np.mean([r.compress_s for r in self.records])) if self.records else 0.0
+
+    @property
+    def p99_batch_s(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.quantile([r.compress_s for r in self.records], 0.99))
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.n_wedges / max(self.n_batches, 1)
+
+    def to_throughput_result(self) -> ThroughputResult:
+        """This run in the currency of :mod:`repro.perf` microbenchmarks."""
+
+        return throughput_from_batches(
+            [r.n_wedges for r in self.records],
+            [r.compress_s for r in self.records],
+            self.elapsed_s,
+            half=self.half,
+        )
+
+    def row(self) -> str:
+        """One-line summary for logs and benches."""
+
+        return (
+            f"wedges={self.n_wedges} batches={self.n_batches} "
+            f"(mean size {self.mean_batch_size:.1f}) "
+            f"throughput={self.wedges_per_second:8.1f} w/s "
+            f"batch(mean/p99)={self.mean_batch_s * 1e3:6.2f}/{self.p99_batch_s * 1e3:6.2f} ms "
+            f"workers={self.workers}"
+        )
+
+
+class StreamingCompressionService:
+    """Micro-batching, multi-worker wedge compression.
+
+    Parameters
+    ----------
+    model:
+        A :class:`BicephalousAutoencoder`; each worker compiles its own
+        compressor (and fast-path workspaces) against it.
+    config:
+        :class:`ServiceConfig`; defaults are single-core friendly.
+    """
+
+    def __init__(self, model, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.model = model
+        # Warm compressors are pooled on the instance so back-to-back
+        # streams reuse their compiled workspaces; checkouts are per-stream
+        # (see _Checkout), so concurrent streams on one service never share
+        # a compressor's non-thread-safe scratch.
+        self._pool_lock = threading.Lock()
+        self._idle: list[BCAECompressor] = [
+            BCAECompressor(model, half=self.config.half)
+            for _ in range(max(1, self.config.workers))
+        ]
+
+    # ------------------------------------------------------------------
+    def _acquire(self) -> BCAECompressor:
+        with self._pool_lock:
+            if self._idle:
+                return self._idle.pop()
+        return BCAECompressor(self.model, half=self.config.half)
+
+    def _release(self, compressors: list[BCAECompressor]) -> None:
+        with self._pool_lock:
+            self._idle.extend(compressors)
+
+    def _compress_batch(
+        self, batch: MicroBatch, checkout: "_Checkout"
+    ) -> tuple[BatchRecord, CompressedWedges]:
+        name, compressor = checkout.get()
+        t0 = time.perf_counter()
+        compressed = compressor.compress_into(batch.wedges)
+        # The worker's payload buffer is reused per call when `out` is
+        # given; compress_into without `out` returns owned bytes — safe to
+        # hand across threads.
+        dt = time.perf_counter() - t0
+        record = BatchRecord(
+            seq=batch.seq,
+            first_seq=batch.first_seq,
+            n_wedges=batch.n_wedges,
+            compress_s=dt,
+            worker=name,
+        )
+        return record, compressed
+
+    # ------------------------------------------------------------------
+    def compress_stream(
+        self, source: Iterable[StreamItem] | Sequence[np.ndarray] | np.ndarray
+    ) -> Iterator[tuple[BatchRecord, CompressedWedges]]:
+        """Compress a stream; yields ``(record, payload)`` in stream order.
+
+        ``source`` may be an iterable of :class:`StreamItem` (timed), a
+        sequence of single wedges, or a stacked ``(N, R, A, H)`` array.
+        """
+
+        items = _as_stream(source)
+        batches = MicroBatcher(self.config.max_batch, self.config.max_delay_s).batches(items)
+        checkout = _Checkout(self)
+        try:
+            if self.config.workers == 0:
+                for batch in batches:
+                    yield self._compress_batch(batch, checkout)
+                return
+
+            window: collections.deque = collections.deque()
+            with concurrent.futures.ThreadPoolExecutor(self.config.workers) as pool:
+                for batch in batches:
+                    window.append(pool.submit(self._compress_batch, batch, checkout))
+                    # Bounded in-flight window: emission order == submission
+                    # order == stream order, and the bound is backpressure.
+                    while len(window) >= self.config.inflight:
+                        yield window.popleft().result()
+                while window:
+                    yield window.popleft().result()
+        finally:
+            checkout.release()
+
+    # ------------------------------------------------------------------
+    def run(
+        self, source, keep_payloads: bool = True
+    ) -> tuple[list[CompressedWedges], ServiceStats]:
+        """Serve a whole stream; returns payloads (in order) and stats."""
+
+        cfg = self.config
+        payloads: list[CompressedWedges] = []
+        records: list[BatchRecord] = []
+        n_wedges = 0
+        t0 = time.perf_counter()
+        for record, compressed in self.compress_stream(source):
+            records.append(record)
+            n_wedges += record.n_wedges
+            if keep_payloads:
+                payloads.append(compressed)
+        elapsed = time.perf_counter() - t0
+        stats = ServiceStats(
+            n_wedges=n_wedges,
+            n_batches=len(records),
+            elapsed_s=elapsed,
+            half=cfg.half,
+            max_batch=cfg.max_batch,
+            workers=cfg.workers,
+            records=records,
+        )
+        return payloads, stats
+
+
+class _Checkout:
+    """Per-stream, per-thread compressor checkout.
+
+    Scoped to one ``compress_stream`` call: each worker thread gets its own
+    compressor from the service's idle pool (or a fresh one if the pool is
+    drained by a concurrent stream), and everything returns to the pool
+    when the stream finishes.  This keeps the non-thread-safe compressor
+    workspaces exclusive without any lock on the hot path.
+    """
+
+    def __init__(self, service: "StreamingCompressionService") -> None:
+        self._service = service
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._taken: list[BCAECompressor] = []
+
+    def get(self) -> tuple[str, BCAECompressor]:
+        got = getattr(self._local, "checkout", None)
+        if got is None:
+            compressor = self._service._acquire()
+            with self._lock:
+                name = f"w{len(self._taken)}"
+                self._taken.append(compressor)
+            got = (name, compressor)
+            self._local.checkout = got
+        return got
+
+    def release(self) -> None:
+        with self._lock:
+            taken, self._taken = self._taken, []
+        self._service._release(taken)
+
+
+def _as_stream(source) -> Iterator[StreamItem]:
+    if isinstance(source, np.ndarray):
+        if source.ndim != 4:
+            raise ValueError(f"stacked source must be (N, R, A, H), got {source.shape}")
+        return iter_wedges(source)
+    iterator = iter(source)
+    first = next(iterator, None)
+    if first is None:
+        return iter(())
+    chained = itertools.chain([first], iterator)
+    if isinstance(first, StreamItem):
+        return chained
+    return iter_wedges(chained)

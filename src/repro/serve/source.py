@@ -1,0 +1,56 @@
+"""Wedge stream sources for the compression service.
+
+A stream is an iterable of :class:`StreamItem`: a sequence number, an
+arrival timestamp (in stream time — simulated seconds for DAQ replays) and
+the raw ADC wedge.  Sources are plain generators so the service composes
+with anything: in-memory arrays, the DAQ arrival process, or a custom
+iterator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["StreamItem", "iter_wedges", "replay_stream"]
+
+
+@dataclasses.dataclass
+class StreamItem:
+    """One wedge in flight.
+
+    Attributes
+    ----------
+    seq:
+        Position in the stream (0-based); the service preserves this order
+        on emission.
+    arrival_s:
+        Arrival timestamp in stream time.  In-memory sources use 0.0 for
+        everything; DAQ replays carry the simulated arrival clock, which
+        drives the batcher's latency budget.
+    wedge:
+        Raw ADC wedge ``(R, A, H)``.
+    """
+
+    seq: int
+    arrival_s: float
+    wedge: np.ndarray
+
+
+def iter_wedges(wedges: Iterable[np.ndarray]) -> Iterator[StreamItem]:
+    """Wrap an in-memory wedge collection as an untimed stream."""
+
+    for seq, wedge in enumerate(wedges):
+        yield StreamItem(seq=seq, arrival_s=0.0, wedge=np.asarray(wedge))
+
+
+def replay_stream(
+    timed_wedges: Iterable[tuple[float, np.ndarray]],
+) -> Iterator[StreamItem]:
+    """Wrap ``(arrival_s, wedge)`` pairs — e.g. from
+    :meth:`repro.daq.StreamingCompressionSim.wedge_stream` — as a stream."""
+
+    for seq, (arrival, wedge) in enumerate(timed_wedges):
+        yield StreamItem(seq=seq, arrival_s=float(arrival), wedge=np.asarray(wedge))

@@ -14,7 +14,13 @@ from .analysis import (
     occupancy_per_wedge,
     wedge_summary,
 )
-from .dataset import DataLoader, WedgeDataset, generate_wedge_dataset, train_test_split_events
+from .dataset import (
+    DataLoader,
+    WedgeDataset,
+    generate_wedge_dataset,
+    generate_wedge_stream,
+    train_test_split_events,
+)
 from .events import ADC_MAX, ZERO_SUPPRESSION_THRESHOLD, DigitizationConfig, HijingLikeGenerator
 from .geometry import (
     INNER_GROUP,
@@ -77,6 +83,7 @@ __all__ = [
     "WedgeDataset",
     "DataLoader",
     "generate_wedge_dataset",
+    "generate_wedge_stream",
     "train_test_split_events",
     "log_transform",
     "inverse_log_transform",

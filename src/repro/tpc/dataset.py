@@ -20,7 +20,13 @@ from .events import HijingLikeGenerator
 from .geometry import TPCGeometry
 from .transforms import log_transform, nonzero_labels, pad_horizontal, padded_length
 
-__all__ = ["WedgeDataset", "DataLoader", "generate_wedge_dataset", "train_test_split_events"]
+__all__ = [
+    "WedgeDataset",
+    "DataLoader",
+    "generate_wedge_dataset",
+    "generate_wedge_stream",
+    "train_test_split_events",
+]
 
 
 def train_test_split_events(n_events: int, test_fraction: float = 0.2) -> tuple[np.ndarray, np.ndarray]:
@@ -167,6 +173,38 @@ class DataLoader:
         for start in range(0, stop, self.batch_size):
             idx = order[start : start + self.batch_size]
             yield self.dataset.batch(idx)
+
+
+def generate_wedge_stream(
+    n_wedges: int,
+    geometry: TPCGeometry | None = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Exactly ``n_wedges`` synthetic raw wedges ``(N, R, A, H)``.
+
+    The flat-array counterpart of :func:`generate_wedge_dataset` for
+    serving/benchmark streams: events are generated until the wedge budget
+    is covered, then truncated.  Chunks are collected and concatenated once
+    (no quadratic grow-by-append).
+    """
+
+    if n_wedges < 0:
+        raise ValueError(f"n_wedges must be >= 0, got {n_wedges}")
+    if geometry is None:
+        generator = HijingLikeGenerator()
+    else:
+        generator = HijingLikeGenerator.calibrated(geometry, seed=seed)
+    geometry = generator.geometry
+    if n_wedges == 0:
+        return np.empty((0,) + geometry.wedge_shape, dtype=np.uint16)
+    rng = np.random.default_rng(seed)
+    chunks = []
+    total = 0
+    while total < n_wedges:
+        chunk = generator.wedges(rng)
+        chunks.append(chunk)
+        total += chunk.shape[0]
+    return np.ascontiguousarray(np.concatenate(chunks, axis=0)[:n_wedges])
 
 
 def generate_wedge_dataset(

@@ -99,6 +99,157 @@ class TestRoundTrip:
         assert recon.shape == raw_wedges.shape
 
 
+class TestCodesMutability:
+    def test_codes_returns_writable_copy(self, small_model, raw_wedges):
+        """Regression: codes() used to return a read-only frombuffer view —
+        callers mutating codes got a ValueError."""
+
+        c = BCAECompressor(small_model).compress(raw_wedges)
+        arr = c.codes()
+        arr *= 0.5  # must not raise
+        arr[0] = 0
+        # The payload itself must be untouched by edits to the copy.
+        assert c.codes_view().any()
+
+    def test_codes_view_is_readonly_and_zero_copy(self, small_model, raw_wedges):
+        c = BCAECompressor(small_model).compress(raw_wedges)
+        view = c.codes_view()
+        assert not view.flags.writeable
+        with pytest.raises(ValueError):
+            view[0] = 1
+        np.testing.assert_array_equal(view, c.codes())
+
+
+class TestAnalyticRatio:
+    def test_ratio_runs_no_forward_pass(self):
+        """compression_ratio must be pure geometry — no encoder execution."""
+
+        for name in ("bcae_2d", "bcae_pp", "bcae_ht", "bcae"):
+            model = build_model(name, wedge_spatial=(16, 192, 249), seed=0)
+
+            def boom(*_a, **_k):
+                raise AssertionError("encoder must not run")
+
+            model.encoder.forward = boom
+            model.encode = boom
+            ratio = BCAECompressor(model).compression_ratio((16, 192, 249))
+            expected = 27.041 if name == "bcae" else 31.125
+            assert ratio == pytest.approx(expected, abs=1e-3), name
+
+    def test_code_shape_matches_actual_compression(self, small_model, raw_wedges):
+        comp = BCAECompressor(small_model)
+        analytic = comp.code_shape_for(raw_wedges.shape[1:])
+        assert tuple(comp.compress(raw_wedges).code_shape) == analytic
+
+    def test_3d_incompatible_spatial_rejected(self):
+        model = build_model("bcae_ht", wedge_spatial=(16, 24, 30), seed=0)
+        comp = BCAECompressor(model)
+        with pytest.raises(ValueError):
+            comp.code_shape_for((16, 48, 30))
+
+
+class TestServingPath:
+    """compress_into / compress_stream: the allocation-free hot path."""
+
+    def test_compress_into_matches_compress(self, small_model, raw_wedges):
+        comp = BCAECompressor(small_model)
+        assert comp.compress_into(raw_wedges).payload == comp.compress(raw_wedges).payload
+
+    def test_compress_into_3d_fallback(self, raw_wedges):
+        model = build_model("bcae_ht", wedge_spatial=(16, 24, 30), seed=0)
+        comp = BCAECompressor(model)
+        assert comp.compress_into(raw_wedges).payload == comp.compress(raw_wedges).payload
+
+    def test_batch_invariance(self, small_model, raw_wedges):
+        """Payload bytes must not depend on how wedges are batched."""
+
+        comp = BCAECompressor(small_model)
+        singles = b"".join(comp.compress(w).payload for w in raw_wedges)
+        assert comp.compress(raw_wedges).payload == singles
+        assert comp.compress_into(raw_wedges).payload == singles
+
+    def test_compress_into_out_buffer(self, small_model, raw_wedges):
+        comp = BCAECompressor(small_model)
+        ref = comp.compress(raw_wedges)
+        out = bytearray(ref.nbytes)
+        c = comp.compress_into(raw_wedges, out=out)
+        assert bytes(out) == ref.payload
+        assert c.payload.obj is out  # aliases the caller's buffer
+
+    def test_compress_into_oversized_out_buffer(self, small_model, raw_wedges):
+        """A larger ring buffer must still yield a correctly-sized payload
+        and a working codes()/decompress round trip."""
+
+        comp = BCAECompressor(small_model)
+        ref = comp.compress(raw_wedges)
+        out = bytearray(ref.nbytes + 64)
+        c = comp.compress_into(raw_wedges, out=out)
+        assert c.nbytes == ref.nbytes
+        assert bytes(c.payload) == ref.payload
+        np.testing.assert_array_equal(c.codes_view(), ref.codes_view())
+        np.testing.assert_array_equal(comp.decompress(c), comp.decompress(ref))
+
+    def test_fast_path_tracks_weight_updates(self, small_model, raw_wedges):
+        """Regression: the compiled fast path must not serve stale weights
+        after an (in-place) parameter update."""
+
+        comp = BCAECompressor(small_model)
+        before = comp.compress_into(raw_wedges).payload
+        try:
+            for p in small_model.encoder.parameters():
+                p.data *= 1.01
+            after = comp.compress_into(raw_wedges).payload
+            assert after == comp.compress(raw_wedges).payload
+            assert after != before
+        finally:
+            for p in small_model.encoder.parameters():
+                p.data /= 1.01
+
+    def test_compress_stream_chunks_and_order(self, small_model, raw_wedges):
+        comp = BCAECompressor(small_model)
+        ref = b"".join(comp.compress(w).payload for w in raw_wedges)
+        chunks = list(comp.compress_stream(iter(raw_wedges), batch_size=2))
+        assert [c.n_wedges for c in chunks] == [2, 1]
+        assert b"".join(bytes(c.payload) for c in chunks) == ref
+
+    def test_compress_stream_rejects_bad_input(self, small_model, raw_wedges):
+        comp = BCAECompressor(small_model)
+        with pytest.raises(ValueError):
+            list(comp.compress_stream(iter(raw_wedges), batch_size=0))
+        with pytest.raises(ValueError):
+            list(comp.compress_stream([raw_wedges], batch_size=2))  # 4-dim item
+
+    def test_repeated_calls_reuse_scratch(self, small_model, raw_wedges):
+        comp = BCAECompressor(small_model)
+        first = comp.compress_into(raw_wedges).payload
+        second = comp.compress_into(raw_wedges).payload
+        assert first == second
+
+
+class TestRoundTripZoo:
+    """Compress→decompress across the model zoo, including a horizontal
+    size that is not a multiple of 8 (exercises pad/unpad end to end)."""
+
+    @pytest.mark.parametrize("name,kwargs", [
+        ("bcae_2d", dict(m=2, n=2, d=2)),
+        ("bcae_pp", {}),
+        ("bcae_ht", {}),
+        ("bcae", {}),
+    ])
+    def test_roundtrip_non_multiple_of_8(self, name, kwargs):
+        spatial = (16, 24, 27)  # 27 → padded to 32 inside the pipeline
+        rng = np.random.default_rng(11)
+        w = rng.integers(0, 1024, size=(2,) + spatial).astype(np.uint16)
+        w[w < 700] = 0
+        model = build_model(name, wedge_spatial=spatial, seed=0, **kwargs)
+        comp = BCAECompressor(model)
+        recon, c = comp.roundtrip(w)
+        assert recon.shape == w.shape
+        assert np.isfinite(recon).all()
+        adc = comp.decompress_adc(c)
+        assert adc.shape == w.shape and adc.dtype == np.uint16
+
+
 class TestArchiveIO:
     def test_save_load(self, small_model, raw_wedges, tmp_path):
         comp = BCAECompressor(small_model)

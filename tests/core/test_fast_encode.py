@@ -1,0 +1,113 @@
+"""FastEncoder2D: bit-identity with the module path, workspace reuse."""
+
+import numpy as np
+import pytest
+
+from repro.core import BCAECompressor, build_model
+from repro.core.fast_encode import FastEncoder2D, supports_fast_encode
+from repro.tpc.transforms import log_transform, padded_length
+
+
+def _wedges(n, spatial, seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.integers(0, 1024, size=(n,) + spatial).astype(np.uint16)
+    w[w < 500] = 0
+    return w
+
+
+def _payload(model, fe, wedges):
+    target = padded_length(wedges.shape[-1], 2 ** model.encoder.d)
+    return fe.encode(log_transform(wedges), horizontal_target=target).tobytes()
+
+
+class TestSupports:
+    def test_2d_supported(self):
+        model = build_model("bcae_2d", wedge_spatial=(16, 24, 30), m=2, n=2, d=2, seed=0)
+        assert supports_fast_encode(model)
+
+    def test_3d_not_supported(self):
+        model = build_model("bcae_ht", wedge_spatial=(16, 24, 30), seed=0)
+        assert not supports_fast_encode(model)
+
+    def test_compile_rejects_unsupported(self):
+        model = build_model("bcae_ht", wedge_spatial=(16, 24, 30), seed=0)
+        with pytest.raises(TypeError):
+            FastEncoder2D(model.encoder)
+
+
+class TestBitIdentity:
+    """The core contract: fast bytes == module-path bytes, always."""
+
+    @pytest.mark.parametrize("half", [True, False])
+    @pytest.mark.parametrize("mkw,spatial", [
+        (dict(m=2, n=2, d=2), (16, 24, 30)),
+        (dict(m=4, n=3, d=3), (16, 24, 32)),
+        (dict(m=3, n=2, d=1), (16, 24, 30)),
+    ])
+    def test_matches_module_path(self, mkw, spatial, half):
+        model = build_model("bcae_2d", wedge_spatial=spatial, seed=0, **mkw)
+        fe = FastEncoder2D(model.encoder, half=half)
+        comp = BCAECompressor(model, half=half)
+        for b in (1, 3, 8):
+            w = _wedges(b, spatial, seed=b)
+            assert _payload(model, fe, w) == comp.compress(w).payload
+
+    def test_non_multiple_of_8_horizontal(self):
+        """249-style padding (§2.3) exercised through the fast path."""
+
+        spatial = (16, 48, 41)
+        model = build_model("bcae_2d", wedge_spatial=spatial, seed=0, m=3, n=3, d=3)
+        fe = FastEncoder2D(model.encoder, half=True)
+        comp = BCAECompressor(model)
+        w = _wedges(2, spatial)
+        assert _payload(model, fe, w) == comp.compress(w).payload
+
+    def test_no_pool_encoder(self):
+        model = build_model("bcae_2d", wedge_spatial=(16, 24, 30), m=1, n=1, d=0, seed=0)
+        fe = FastEncoder2D(model.encoder, half=True)
+        comp = BCAECompressor(model)
+        w = _wedges(2, (16, 24, 30))
+        assert _payload(model, fe, w) == comp.compress(w).payload
+
+    @pytest.mark.parametrize("scale", [40.0, 400.0])
+    def test_fp16_saturation_paths(self, scale):
+        """Huge weights push activations past ±65504: the elided clip must
+        re-engage and still match quantize_fp16's saturate-then-cast."""
+
+        model = build_model("bcae_2d", wedge_spatial=(16, 24, 30), m=2, n=2, d=2, seed=0)
+        for p in model.encoder.parameters():
+            p.data *= scale
+        fe = FastEncoder2D(model.encoder, half=True)
+        comp = BCAECompressor(model)
+        w = _wedges(3, (16, 24, 30))
+        assert _payload(model, fe, w) == comp.compress(w).payload
+
+    def test_batch_size_change_reuses_instance(self):
+        """One instance must serve varying micro-batch sizes correctly."""
+
+        model = build_model("bcae_2d", wedge_spatial=(16, 24, 30), m=2, n=2, d=2, seed=0)
+        fe = FastEncoder2D(model.encoder, half=True)
+        comp = BCAECompressor(model)
+        for b in (4, 1, 7, 4):
+            w = _wedges(b, (16, 24, 30), seed=b)
+            assert _payload(model, fe, w) == comp.compress(w).payload
+
+
+class TestWorkspace:
+    def test_buffers_are_reused(self):
+        model = build_model("bcae_2d", wedge_spatial=(16, 24, 30), m=2, n=2, d=2, seed=0)
+        fe = FastEncoder2D(model.encoder, half=True)
+        w = log_transform(_wedges(4, (16, 24, 30)))
+        fe.encode(w, horizontal_target=32)
+        footprint = fe.workspace_bytes
+        assert footprint > 0
+        fe.encode(w, horizontal_target=32)
+        assert fe.workspace_bytes == footprint  # steady state: no growth
+
+    def test_output_buffer_is_reused(self):
+        model = build_model("bcae_2d", wedge_spatial=(16, 24, 30), m=2, n=2, d=2, seed=0)
+        fe = FastEncoder2D(model.encoder, half=True)
+        w = log_transform(_wedges(2, (16, 24, 30)))
+        a = fe.encode(w, horizontal_target=32)
+        b = fe.encode(w, horizontal_target=32)
+        assert a is b  # documented: copy before the next call

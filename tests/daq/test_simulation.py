@@ -78,6 +78,47 @@ class TestQueueingBehaviour:
         assert b.mean_latency < a.mean_latency * 5
 
 
+class TestWedgeStream:
+    """The arrival process exposed as an iterator (serving bridge)."""
+
+    def _wedges(self, n=7):
+        rng = np.random.default_rng(0)
+        return rng.integers(0, 1024, size=(n, 2, 3, 4)).astype(np.uint16)
+
+    def test_emits_every_wedge_once_by_default(self):
+        sim = StreamingCompressionSim(DAQConfig(frame_rate_hz=1000.0, wedges_per_frame=3), seed=0)
+        wedges = self._wedges(7)
+        items = list(sim.wedge_stream(wedges))
+        assert len(items) == 7
+        for i, (_t, w) in enumerate(items):
+            np.testing.assert_array_equal(w, wedges[i])
+
+    def test_arrival_times_monotone_and_frame_grouped(self):
+        sim = StreamingCompressionSim(DAQConfig(frame_rate_hz=1000.0, wedges_per_frame=3), seed=0)
+        times = [t for t, _w in sim.wedge_stream(self._wedges(9))]
+        assert times == sorted(times)
+        assert times[0] == times[1] == times[2]  # one frame = 3 jobs at one t
+
+    def test_explicit_frames_cycle_wedges(self):
+        sim = StreamingCompressionSim(DAQConfig(frame_rate_hz=1000.0, wedges_per_frame=2), seed=0)
+        wedges = self._wedges(3)
+        items = list(sim.wedge_stream(wedges, n_frames=4))
+        assert len(items) == 8  # 4 frames x 2 jobs, cycling 3 wedges
+        np.testing.assert_array_equal(items[3][1], wedges[3 % 3])
+
+    def test_rejects_single_wedge(self):
+        sim = StreamingCompressionSim(DAQConfig(), seed=0)
+        with pytest.raises(ValueError):
+            list(sim.wedge_stream(np.zeros((2, 3, 4))))
+
+    def test_frame_times_match_run_statistics(self):
+        """frame_times drives run(): periodic mode is an exact clock."""
+
+        sim = StreamingCompressionSim(DAQConfig(frame_rate_hz=500.0, periodic=True), seed=0)
+        t = sim.frame_times(5)
+        np.testing.assert_allclose(t, np.arange(5) / 500.0)
+
+
 class TestSizingArithmetic:
     def test_paper_rates(self):
         """77 kHz × 24 wedges = 1.848 M wedges/s offered per layer group."""

@@ -77,3 +77,21 @@ class TestExtensionCommands:
         out = capsys.readouterr().out
         assert "M wedges/s" in out
         assert "GPUs" in out
+
+    def test_serve(self, capsys):
+        rc = main([
+            "serve", "--wedges", "12", "--batch", "4",
+            "--m", "2", "--n", "2", "--d", "2", "--baseline",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "throughput=" in out
+        assert "payload parity with serial path: OK" in out
+
+    def test_serve_workers(self, capsys):
+        rc = main([
+            "serve", "--wedges", "8", "--batch", "4", "--workers", "2",
+            "--m", "1", "--n", "1", "--d", "1",
+        ])
+        assert rc == 0
+        assert "workers=2" in capsys.readouterr().out

@@ -115,6 +115,29 @@ class TestMeasuredTiming:
         assert r.wedges_per_second > 0
         assert r.batch_size == 2
 
+    def test_best_of_n_reporting(self):
+        """Headline numbers are best-of-N; the mean rides along and can only
+        be slower (GC/allocator noise adds, never subtracts)."""
+
+        model = build_model("bcae_ht", wedge_spatial=(16, 24, 30), seed=0)
+        r = measure_encoder_throughput(model, (16, 24, 32), batch_size=1, repeats=3)
+        assert r.repeats == 3
+        assert r.seconds_per_batch <= r.seconds_per_batch_mean
+        assert r.wedges_per_second >= r.wedges_per_second_mean
+
+    def test_throughput_from_batches(self):
+        from repro.perf import throughput_from_batches
+
+        tr = throughput_from_batches([4, 4, 2], [0.02, 0.03, 0.01], elapsed_s=0.1)
+        assert tr.wedges_per_second == pytest.approx(100.0)
+        assert tr.seconds_per_batch == pytest.approx(0.01)
+        assert tr.seconds_per_batch_mean == pytest.approx(0.02)
+        assert tr.repeats == 3
+        with pytest.raises(ValueError):
+            throughput_from_batches([], [], elapsed_s=1.0)
+        with pytest.raises(ValueError):
+            throughput_from_batches([1], [0.1], elapsed_s=0.0)
+
     def test_measured_2d_faster_than_pp_on_cpu(self):
         """The paper's headline 2D-vs-3D speedup also holds for our CPU kernels."""
 

@@ -1,0 +1,107 @@
+"""StreamingCompressionService: ordering, parity, stats, worker pool."""
+
+import numpy as np
+import pytest
+
+from repro.core import BCAECompressor, build_model
+from repro.serve import ServiceConfig, StreamingCompressionService, iter_wedges, replay_stream
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model("bcae_2d", wedge_spatial=(16, 24, 30), m=2, n=2, d=2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def wedges():
+    rng = np.random.default_rng(5)
+    w = rng.integers(0, 1024, size=(13, 16, 24, 30)).astype(np.uint16)
+    w[w < 500] = 0
+    return w
+
+
+@pytest.fixture(scope="module")
+def serial_payloads(model, wedges):
+    compressor = BCAECompressor(model)
+    return [compressor.compress(w).payload for w in wedges]
+
+
+class TestOrderingAndParity:
+    @pytest.mark.parametrize("config", [
+        ServiceConfig(max_batch=4, workers=0),
+        ServiceConfig(max_batch=4, workers=2),
+        ServiceConfig(max_batch=8, workers=3, inflight=2),
+        ServiceConfig(max_batch=1, workers=0),
+    ], ids=["inline", "pool2", "pool3-tight", "batch1"])
+    def test_no_wedge_dropped_order_preserved_bytes_identical(
+        self, model, wedges, serial_payloads, config
+    ):
+        service = StreamingCompressionService(model, config)
+        payloads, stats = service.run(wedges)
+        assert stats.n_wedges == len(wedges)
+        assert sum(p.n_wedges for p in payloads) == len(wedges)
+        # Order + parity in one shot: concatenated service bytes must equal
+        # the serial single-wedge bytes in stream order.
+        assert b"".join(bytes(p.payload) for p in payloads) == b"".join(serial_payloads)
+
+    def test_accepts_stream_items_and_lists(self, model, wedges, serial_payloads):
+        service = StreamingCompressionService(model, ServiceConfig(max_batch=4))
+        payloads, _ = service.run(iter_wedges(list(wedges)))
+        assert b"".join(bytes(p.payload) for p in payloads) == b"".join(serial_payloads)
+        payloads, _ = service.run(list(wedges))
+        assert b"".join(bytes(p.payload) for p in payloads) == b"".join(serial_payloads)
+
+    def test_empty_stream(self, model):
+        payloads, stats = StreamingCompressionService(model).run([])
+        assert payloads == [] and stats.n_wedges == 0 and stats.n_batches == 0
+
+
+class TestStats:
+    def test_stats_sane(self, model, wedges):
+        service = StreamingCompressionService(model, ServiceConfig(max_batch=4))
+        _p, stats = service.run(wedges)
+        assert stats.n_batches == 4  # 4+4+4+1
+        assert stats.wedges_per_second > 0
+        assert stats.mean_batch_s > 0
+        assert stats.p99_batch_s >= min(r.compress_s for r in stats.records)
+        assert stats.mean_batch_size == pytest.approx(13 / 4)
+        assert "throughput" in stats.row()
+
+    def test_throughput_result_bridge(self, model, wedges):
+        service = StreamingCompressionService(model, ServiceConfig(max_batch=4))
+        _p, stats = service.run(wedges)
+        tr = stats.to_throughput_result()
+        assert tr.wedges_per_second == pytest.approx(stats.wedges_per_second)
+        assert tr.seconds_per_batch <= tr.seconds_per_batch_mean
+        assert tr.repeats == stats.n_batches
+
+    def test_worker_attribution(self, model, wedges):
+        service = StreamingCompressionService(model, ServiceConfig(max_batch=2, workers=2))
+        _p, stats = service.run(wedges)
+        assert all(r.worker.startswith("w") for r in stats.records)
+
+
+class TestTimedReplay:
+    def test_daq_stream_respects_budget(self, model, wedges, serial_payloads):
+        from repro.daq import DAQConfig, StreamingCompressionSim
+
+        sim = StreamingCompressionSim(
+            DAQConfig(frame_rate_hz=1000.0, wedges_per_frame=2), seed=3
+        )
+        service = StreamingCompressionService(
+            model, ServiceConfig(max_batch=16, max_delay_s=1.5e-3)
+        )
+        payloads, stats = service.run(replay_stream(sim.wedge_stream(wedges)))
+        assert stats.n_wedges == len(wedges)
+        assert stats.n_batches >= 3  # budget splits the stream
+        assert b"".join(bytes(p.payload) for p in payloads) == b"".join(serial_payloads)
+
+
+class TestConfigValidation:
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(workers=-1)
+
+    def test_zero_inflight_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(inflight=0)

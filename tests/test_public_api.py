@@ -23,6 +23,7 @@ _PACKAGES = [
     "repro.metrics",
     "repro.perf",
     "repro.daq",
+    "repro.serve",
     "repro.io",
     "repro.viz",
     "repro.cli",
