@@ -7,7 +7,8 @@ Subcommands mirror the reproduction workflow::
     repro-tpc evaluate  --model bcae_2d --checkpoint ckpt.npz --data data/wedges.npz
     repro-tpc throughput --model bcae_2d            # roofline + CPU timing
     repro-tpc compare   --data data/wedges.npz      # learning-free baselines
-    repro-tpc serve     --wedges 64 --batch 8       # micro-batching service
+    repro-tpc serve     --wedges 64 --batch 8 --archive codes.npz
+    repro-tpc decompress --archive codes.npz --out recon.npz --verify
 
 Every command runs offline on CPU; ``--scale paper`` switches to the full
 (16, 192, 249) wedge geometry.
@@ -107,6 +108,27 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--m", type=int, default=4)
     v.add_argument("--n", type=int, default=8)
     v.add_argument("--d", type=int, default=None)
+    v.add_argument("--archive", default=None,
+                   help="save the served payloads as one io.codes npz archive")
+
+    x = sub.add_parser("decompress",
+                       help="decompress an io.codes archive (analysis side)")
+    x.add_argument("--archive", required=True, help="npz from `serve --archive`")
+    x.add_argument("--out", default=None, help="write reconstructions to npz")
+    x.add_argument("--model", default="bcae_2d")
+    x.add_argument("--batch", type=int, default=8, help="decode micro-batch size")
+    x.add_argument("--workers", type=int, default=0,
+                   help="worker pool size (0 = inline)")
+    x.add_argument("--backend", choices=("thread", "process"), default="thread")
+    x.add_argument("--full", action="store_true", help="fp32 instead of fp16 inference")
+    x.add_argument("--adc", action="store_true",
+                   help="also invert the log transform back to integer ADC")
+    x.add_argument("--verify", action="store_true",
+                   help="check parity against the module-graph decompress")
+    x.add_argument("--seed", type=int, default=0)
+    x.add_argument("--m", type=int, default=4)
+    x.add_argument("--n", type=int, default=8)
+    x.add_argument("--d", type=int, default=None)
 
     return parser
 
@@ -338,6 +360,77 @@ def cmd_serve(args) -> int:
         print(f"payload parity with serial path: {'OK' if parity else 'MISMATCH'}")
         if not parity:
             return 1
+
+    if args.archive:
+        from .io import concat_compressed, save_compressed
+
+        path = save_compressed(concat_compressed(payloads), args.archive,
+                               model_name=args.model)
+        print(f"archived {sum(p.n_wedges for p in payloads)} wedges -> {path}")
+    return 0
+
+
+def cmd_decompress(args) -> int:
+    """``decompress``: serve an io.codes archive back to reconstructions."""
+
+    from .core import build_model
+    from .io import load_compressed
+    from .serve import DecompressionService, ServiceConfig
+    from .tpc import inverse_log_transform
+
+    from .core import BCAECompressor
+
+    compressed, model_name = load_compressed(args.archive)
+    name = model_name or args.model
+    kwargs = _model_kwargs(args) if name == "bcae_2d" else {}
+    d = kwargs.get("d", 3)
+    # Recover the wedge geometry the archive describes: the decoder
+    # upsamples the code spatial shape by 2^d, horizontal unpads to the
+    # recorded original size.  (Weights are synthetic — the producer and
+    # consumer must agree on --model/--m/--n/--d/--seed; the code-shape
+    # check below catches family/geometry mismatches loudly.)
+    azim = compressed.code_shape[1]
+    spatial = (16, azim * 2 ** d, compressed.original_horizontal)
+    model = build_model(name, wedge_spatial=spatial, seed=args.seed, **kwargs)
+    try:
+        expected = BCAECompressor(model).code_shape_for(spatial)
+    except ValueError as exc:
+        print(f"archive incompatible with rebuilt model {name}: {exc}")
+        return 1
+    if tuple(expected) != tuple(compressed.code_shape):
+        print(
+            f"archive code shape {tuple(compressed.code_shape)} does not match "
+            f"model {name} (expects {tuple(expected)}); pass the producer's "
+            "--model/--m/--n/--d flags"
+        )
+        return 1
+
+    config = ServiceConfig(
+        max_batch=args.batch,
+        workers=args.workers,
+        backend=args.backend,
+        half=not args.full,
+    )
+    service = DecompressionService(model, config)
+    recons, stats = service.run(compressed)
+    recon = np.concatenate(recons) if recons else np.empty((0,) + spatial, np.float32)
+    print(f"decompressed {stats.n_wedges} wedges {recon.shape[1:]} "
+          f"[{name}, {'fp32' if args.full else 'fp16'}] from {args.archive}")
+    print(stats.row())
+
+    if args.verify:
+        reference = BCAECompressor(model, half=not args.full).decompress(compressed)
+        parity = np.array_equal(reference, recon)
+        print(f"parity with module-graph decompress: {'OK' if parity else 'MISMATCH'}")
+        if not parity:
+            return 1
+
+    if args.out:
+        arrays = {"recon_log": recon}
+        if args.adc:
+            arrays["recon_adc"] = inverse_log_transform(recon)
+        np.savez_compressed(args.out, **arrays)
+        print(f"reconstructions -> {args.out}")
     return 0
 
 
@@ -354,6 +447,7 @@ def main(argv: list[str] | None = None) -> int:
         "search": cmd_search,
         "daq": cmd_daq,
         "serve": cmd_serve,
+        "decompress": cmd_decompress,
     }
     return handlers[args.command](args)
 

@@ -13,6 +13,9 @@ from .blocks import DownBlock3d, ResBlock2d, UpBlock3d, make_activation
 from .compressor import BCAECompressor, CompressedWedges
 from .decoder2d import BCAEDecoder2D
 from .encoder2d import BCAEEncoder2D
+from .fast_plan import CompiledStagePlan, stage_kinds
+from .fast_encode import FastEncoder2D, supports_fast_encode
+from .fast_decode import FastDecoder2D, supports_fast_decode
 from .heads import BCAEOutput, BicephalousAutoencoder
 from .search import Candidate, enumerate_candidates, pareto_front, search, throughput_frontier
 from .model_zoo import (
@@ -41,6 +44,12 @@ __all__ = [
     "BicephalousAutoencoder",
     "BCAECompressor",
     "CompressedWedges",
+    "CompiledStagePlan",
+    "stage_kinds",
+    "FastEncoder2D",
+    "supports_fast_encode",
+    "FastDecoder2D",
+    "supports_fast_decode",
     "Candidate",
     "enumerate_candidates",
     "throughput_frontier",

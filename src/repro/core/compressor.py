@@ -9,17 +9,24 @@ ratio treating both the input and the code as 16-bit floats:
 
 for BCAE++/HT/2D on the paper grid, and 27.041 for the original BCAE.
 
-Two encode paths are exposed:
+Both directions of the loop expose a reference path and a compiled hot
+path, bit-identical to each other:
 
-``compress``
-    the reference path through the autograd module graph — simple,
+``compress`` / ``decompress``
+    the reference paths through the autograd module graph — simple,
     allocation-heavy, one batch at a time;
 ``compress_into`` / ``compress_stream``
     the serving hot path: persistent workspaces (no per-batch ``np.pad`` /
     im2col / fp16-cast reallocation) via
     :class:`~repro.core.fast_encode.FastEncoder2D` where the model supports
     it, with a reusable-buffer fallback through the module graph otherwise.
-    Output bytes are identical to ``compress`` for the same input.
+    Output bytes are identical to ``compress`` for the same input;
+``decompress_into`` / ``decompress_stream``
+    the analysis hot path: both decoder heads and the masked combine
+    compiled by :class:`~repro.core.fast_decode.FastDecoder2D` (same
+    stage-plan engine, same bit-identity contract), module-graph fallback
+    for the 3D variants.  Both fast paths re-fingerprint their weights per
+    call and recompile after any parameter update.
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ from ..tpc.transforms import (
     padded_length,
     unpad_horizontal,
 )
+from .fast_decode import FastDecoder2D, supports_fast_decode
 from .fast_encode import FastEncoder2D, Workspace, supports_fast_encode
 from .heads import BicephalousAutoencoder
 
@@ -58,12 +66,22 @@ class CompressedWedges:
         Number of wedges in the payload.
     original_horizontal:
         Unpadded horizontal size, needed to clip the reconstruction.
+    half:
+        Precision mode of the compressor that produced the payload
+        (``None`` for payloads from before this field existed).  Decoding
+        with a compressor in the other mode would silently produce wrong
+        reconstructions, so :meth:`BCAECompressor.decompress` validates it.
+    code_dtype:
+        dtype string of the stored codes (``"<f2"`` — kept explicit so
+        archives are self-describing and validated on load).
     """
 
     payload: bytes
     code_shape: tuple[int, ...]
     n_wedges: int
     original_horizontal: int
+    half: bool | None = None
+    code_dtype: str = "<f2"
 
     @property
     def nbytes(self) -> int:
@@ -88,7 +106,7 @@ class CompressedWedges:
         count = self.n_wedges * int(np.prod(self.code_shape))
         # count= tolerates payload buffers larger than the codes (e.g. a
         # caller-owned ring buffer passed to compress_into(out=...)).
-        arr = np.frombuffer(self.payload, dtype=np.float16, count=count)
+        arr = np.frombuffer(self.payload, dtype=np.dtype(self.code_dtype), count=count)
         arr = arr.reshape((self.n_wedges,) + tuple(self.code_shape))
         arr.flags.writeable = False  # frombuffer of a bytearray is writable
         return arr
@@ -113,6 +131,10 @@ class BCAECompressor:
         self._fast_checked = False
         self._supports_fast = False
         self._fast_signature: tuple = ()
+        self._fast_dec: FastDecoder2D | None = None
+        self._fast_dec_checked = False
+        self._supports_fast_dec = False
+        self._fast_dec_signature: tuple = ()
         self._scratch = Workspace()
 
     # ------------------------------------------------------------------
@@ -155,6 +177,7 @@ class BCAECompressor:
             code_shape=code16.shape[1:],
             n_wedges=code16.shape[0],
             original_horizontal=horizontal,
+            half=self.half,
         )
 
     # ------------------------------------------------------------------
@@ -249,6 +272,7 @@ class BCAECompressor:
             code_shape=code16.shape[1:],
             n_wedges=code16.shape[0],
             original_horizontal=horizontal,
+            half=self.half,
         )
 
     def compress_stream(
@@ -286,13 +310,38 @@ class BCAECompressor:
             yield self.compress_into(staged[:fill])
 
     # ------------------------------------------------------------------
+    def _check_compressed(self, compressed: CompressedWedges) -> None:
+        """Validate payload metadata against this compressor.
+
+        A payload produced in the other precision mode decodes *silently
+        wrong* (the codes are valid fp16 either way); the recorded ``half``
+        flag turns that into a loud error.  Legacy payloads (``half is
+        None``) are accepted unchecked.
+        """
+
+        if compressed.half is not None and bool(compressed.half) != self.half:
+            raise ValueError(
+                f"payload was compressed in "
+                f"{'half' if compressed.half else 'full'} precision but this "
+                f"compressor decodes in {'half' if self.half else 'full'}; "
+                "rebuild the compressor with the matching half= flag"
+            )
+        if np.dtype(compressed.code_dtype) != np.float16:
+            raise ValueError(
+                f"unsupported code dtype {compressed.code_dtype!r}; "
+                "BCAE payloads store fp16 codes"
+            )
+
     def decompress(self, compressed: CompressedWedges) -> np.ndarray:
         """Decompress codes to log-ADC reconstructions ``(B, R, A, H)``.
 
         The horizontal padding is clipped (paper §2.3: metrics are computed
-        on the unpadded region only).
+        on the unpadded region only).  This is the reference path;
+        :meth:`decompress_into` produces bit-identical values without the
+        per-call allocations.
         """
 
+        self._check_compressed(compressed)
         codes = compressed.codes_view().astype(np.float32)
         with nn.no_grad(), nn.amp.autocast(self.half):
             seg, reg = self.model.decode(Tensor(codes))
@@ -303,6 +352,81 @@ class BCAECompressor:
         """Decompress all the way back to integer ADC counts."""
 
         return inverse_log_transform(self.decompress(compressed))
+
+    # ------------------------------------------------------------------
+    def _decoder_signature(self) -> tuple:
+        """Content fingerprint of both decoder heads plus the threshold.
+
+        Same two-reduction scheme as :meth:`_weights_signature`; the
+        threshold is included because the compiled combine snapshots it.
+        """
+
+        sig: list = [("threshold", float(self.model.threshold))]
+        for p in (*self.model.seg_decoder.parameters(),
+                  *self.model.reg_decoder.parameters()):
+            a = p.data
+            sig.append((
+                a.shape,
+                float(a.sum(dtype=np.float64)),
+                float(np.abs(a).sum(dtype=np.float64)),
+            ))
+        return tuple(sig)
+
+    def _fast_decoder(self) -> FastDecoder2D | None:
+        if not self._fast_dec_checked:
+            self._fast_dec_checked = True
+            self._supports_fast_dec = supports_fast_decode(self.model)
+        if not self._supports_fast_dec:
+            return None
+        signature = self._decoder_signature()
+        if self._fast_dec is None or signature != self._fast_dec_signature:
+            self._fast_dec = FastDecoder2D(self.model, half=self.half)
+            self._fast_dec_signature = signature
+        return self._fast_dec
+
+    def decompress_into(
+        self, compressed: CompressedWedges, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Decompress through persistent workspaces — the analysis hot path.
+
+        Bit-identical to :meth:`decompress`; no per-call pad / im2col /
+        quantize-cast allocations on repeated same-shape calls.  ``out``,
+        when given, must be a writable float32 array of the reconstruction
+        shape ``(B, R, A, H_orig)``; the result is copied into it and
+        ``out`` returned.  Without ``out`` the returned array is a view of
+        a reused workspace buffer — copy it before the next call on this
+        compressor.  Falls back to the module graph (fresh allocations,
+        same values) for models without a compiled decode path.
+
+        One compressor instance's workspaces are not thread-safe — use one
+        instance per worker (as :mod:`repro.serve` does).
+        """
+
+        self._check_compressed(compressed)
+        fast = self._fast_decoder()
+        if fast is None:
+            # Module-graph fallback (3D variants).
+            recon = self.decompress(compressed)
+        else:
+            recon = fast.decompress(
+                compressed.codes_view(), compressed.original_horizontal
+            )
+        if out is None:
+            return recon
+        np.copyto(out, recon)
+        return out
+
+    def decompress_stream(
+        self, compressed: Iterable[CompressedWedges]
+    ) -> Iterator[np.ndarray]:
+        """Decompress a stream of payload batches to owned recon arrays.
+
+        Each yielded ``(B, R, A, H)`` array is a fresh copy (safe to
+        accumulate), produced through the reused fast-path workspaces.
+        """
+
+        for batch in compressed:
+            yield np.array(self.decompress_into(batch))
 
     # ------------------------------------------------------------------
     def roundtrip(self, wedges: np.ndarray) -> tuple[np.ndarray, CompressedWedges]:

@@ -1,0 +1,161 @@
+"""Allocation-free batched decoder execution — the analysis-side fast path.
+
+The deployment loop is bicephalous end to end (§1, §3.1): the counting
+house compresses the wedge stream online, and offline analysis must
+decompress it at comparable throughput.  ``BCAECompressor.decompress`` runs
+both decoder heads through the autograd module graph — re-padding,
+re-quantizing weights and allocating im2col buffers on every call, exactly
+the costs :class:`~repro.core.fast_encode.FastEncoder2D` eliminated on the
+encoder side.
+
+:class:`FastDecoder2D` compiles **both** decoder heads of a 2D BCAE through
+the shared stage-plan engine of :mod:`repro.core.fast_plan` (Algorithm 2:
+``Upsample2d`` + residual stacks, then a 1×1 conv under a sigmoid or
+identity head).  The two plans share one workspace *and* one key namespace:
+the heads are structurally identical (only weights and the output activation
+differ), so every buffer the regression pass reads is fully rewritten before
+use and the workspace is paid for once, not twice.
+
+The contract mirrors the encoder's, *bit-identical output*:
+
+* :meth:`decode` returns exactly the ``(seg, reg)`` arrays ``model.decode``
+  under ``nn.amp.autocast`` produces;
+* :meth:`decompress` additionally replicates the segmentation-gated
+  regression combine ``ṽ = v̂ · 1[l̂ > h]`` and the horizontal unpadding of
+  ``BCAECompressor.decompress`` (§2.3).
+
+The test suite enforces this across model-zoo variants, batch sizes and
+both precision modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .decoder2d import BCAEDecoder2D
+from .fast_plan import CompiledStagePlan, Workspace, _FP16_MAX, stage_kinds
+from .heads import BicephalousAutoencoder
+
+__all__ = ["FastDecoder2D", "supports_fast_decode"]
+
+_DECODER_KINDS = {"conv", "up", "res", "sigmoid", "identity"}
+
+
+def supports_fast_decode(model) -> bool:
+    """Whether ``model``'s decoders can be compiled by :class:`FastDecoder2D`.
+
+    The fast path covers the BCAE-2D family (Algorithm 2 decoders built
+    from nearest-neighbour upsampling, leaky-ReLU residual blocks and a
+    final convolution under a sigmoid/identity head).  The 3D variants fall
+    back to the module path.
+    """
+
+    seg = getattr(model, "seg_decoder", None)
+    reg = getattr(model, "reg_decoder", None)
+    if not isinstance(seg, BCAEDecoder2D) or not isinstance(reg, BCAEDecoder2D):
+        return False
+    for decoder in (seg, reg):
+        kinds = stage_kinds(decoder.stages)
+        if kinds is None or not set(kinds) <= _DECODER_KINDS:
+            return False
+    return True
+
+
+class FastDecoder2D:
+    """Compiled, buffer-reusing twin of both decoder heads of a 2D BCAE.
+
+    Parameters
+    ----------
+    model:
+        A :class:`BicephalousAutoencoder` whose decoders pass
+        :func:`supports_fast_decode`.  Weights and the classification
+        threshold are snapshot at construction — rebuild after training
+        (``BCAECompressor`` does this automatically via its weight
+        fingerprint).
+    half:
+        Replicate the fp16 autocast numerics (§3.3 deployment mode); False
+        replicates the full-precision module path.
+    """
+
+    def __init__(self, model: BicephalousAutoencoder, half: bool = True) -> None:
+        if not supports_fast_decode(model):
+            raise TypeError(
+                f"FastDecoder2D cannot compile {type(model).__name__}'s decoders; "
+                "use supports_fast_decode() to guard"
+            )
+        self.half = bool(half)
+        self.threshold = float(model.threshold)
+        self.d = model.seg_decoder.d
+        ws = Workspace()
+        # Shared workspace + shared prefix: the heads are structurally
+        # identical, so the sequential seg → reg runs reuse every buffer
+        # (each op fully rewrites what it reads; see CompiledStagePlan).
+        self._seg = CompiledStagePlan(model.seg_decoder.stages, half=self.half,
+                                      workspace=ws, prefix="d")
+        self._reg = CompiledStagePlan(model.reg_decoder.stages, half=self.half,
+                                      workspace=ws, prefix="d")
+        self._ws = ws
+
+    # ------------------------------------------------------------------
+    @property
+    def workspace_bytes(self) -> int:
+        """Current workspace footprint (grows to the largest batch seen)."""
+
+        return self._ws.nbytes()
+
+    # ------------------------------------------------------------------
+    def _input_canvas(self, codes: np.ndarray) -> tuple[np.ndarray, tuple[int, int], float]:
+        if codes.ndim != 4:
+            raise ValueError(f"expected codes (B, C, a, h), got shape {codes.shape}")
+        n, c, a, h = codes.shape
+        canvas, interior = self._seg.input_canvas(n, c, (a, h))
+        np.copyto(interior, codes.transpose(1, 0, 2, 3))
+        if self.half:
+            # Entry quantize of the first conv consumer: fp16 payload values
+            # are already on the grid, so only the saturating clip can act —
+            # and only on ±inf codes (a full-precision payload overflow).
+            np.clip(interior, -_FP16_MAX, _FP16_MAX, out=interior)
+        # The code tensor is tiny (spatial / 4^d), so an exact entry bound
+        # is nearly free — and it is what lets the interval analysis elide
+        # the early saturating clips (a pessimistic ±65504 entry would
+        # never elide anything downstream).
+        with np.errstate(invalid="ignore"):
+            bound = float(np.nanmax(np.abs(interior))) if interior.size else 0.0
+        if np.isnan(bound):
+            bound = 0.0  # all-NaN codes: the clip is the identity on NaN
+        return canvas, (a, h), bound
+
+    def decode(self, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Decode fp16/fp32 codes ``(B, C, a, h)`` into ``(seg, reg)`` maps.
+
+        Bit-identical values to ``model.decode`` under autocast.  Both
+        returned arrays are zero-copy views of reused workspace buffers
+        (transposed from the engine's channel-major layout) — copy before
+        the next call.
+        """
+
+        canvas, spatial, bound = self._input_canvas(codes)
+        seg = self._seg.run(canvas, spatial, bound)
+        reg = self._reg.run(canvas, spatial, bound)
+        return seg.transpose(1, 0, 2, 3), reg.transpose(1, 0, 2, 3)
+
+    # ------------------------------------------------------------------
+    def decompress(self, codes: np.ndarray, original_horizontal: int) -> np.ndarray:
+        """Codes → masked log-ADC reconstruction ``(B, R, A, H_orig)``.
+
+        Replicates ``BCAECompressor.decompress`` exactly: the regression
+        output gated by ``seg > threshold`` (§2.2), horizontal padding
+        clipped (§2.3).  Returns a (transposed) view of a reused fp32
+        workspace buffer — copy before the next call.
+        """
+
+        canvas, spatial, bound = self._input_canvas(codes)
+        seg = self._seg.run(canvas, spatial, bound)
+        reg = self._reg.run(canvas, spatial, bound)
+        mask = self._ws.get("mask", seg.shape, np.bool_)
+        np.greater(seg, self.threshold, out=mask)
+        recon = self._ws.get("recon", reg.shape)
+        # dtype pins the product to fp32 over the fp16-stored grid values —
+        # exactly the module path's ``reg.data * (seg.data > threshold)``.
+        np.multiply(reg, mask, out=recon, dtype=np.float32)
+        return recon.transpose(1, 0, 2, 3)[..., :int(original_horizontal)]

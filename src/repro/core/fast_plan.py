@@ -1,0 +1,863 @@
+"""Compiled stage-plan engine — the shared fast path for encode *and* decode.
+
+:mod:`repro.core.fast_encode` proved the deployment thesis for the encoder
+(§3.2–3.3): compile the module graph once into a flat list of array passes
+over preplanned workspaces and the per-call ``np.pad`` / im2col / fp16-cast
+allocations disappear, with **bit-identical** output.  The analysis side of
+the loop needs the same treatment for the decoders, and every future variant
+would otherwise grow its own 500-line kernel file.  This module is that
+machinery extracted into a reusable engine: a *stage-vocabulary compiler*
+plus an executor, shared by :class:`~repro.core.fast_encode.FastEncoder2D`
+and :class:`~repro.core.fast_decode.FastDecoder2D`.
+
+Stage vocabulary
+----------------
+
+:func:`stage_kinds` classifies a stage sequence (``nn.Sequential`` or any
+iterable of modules); :class:`CompiledStagePlan` compiles it.  The vocabulary
+is the union of the BCAE-2D encoder (Algorithm 1) and decoder (Algorithm 2)
+stages:
+
+``conv`` — :class:`repro.nn.Conv2d`
+    Weights are quantized to the fp16 grid and transposed into GEMM layout
+    **once**; at run time the exact ``tensordot`` contraction of
+    :func:`repro.nn.convolution.conv_forward` executes out of a zero-bordered
+    padded canvas into a reused buffer.
+``pool`` — :class:`repro.nn.AvgPool2d` (non-overlapping)
+    fp32 mean of the exact unquantized stream, with a slice-add replica of
+    numpy's pairwise reduction order for the ubiquitous 2×2 kernel.
+``up`` — :class:`repro.nn.Upsample2d`
+    Nearest-neighbour repeat of the exact stream values via a broadcast
+    store into a reused buffer (the module path's ``np.repeat`` without the
+    allocations).
+``res`` — :class:`repro.core.blocks.ResBlock2d` (LeakyReLU activations)
+    ``act2(conv2(act1(conv1(x)))) + x`` with the skip fed from the
+    *unquantized* carry stream, exactly like the module path.
+``sigmoid`` / ``identity`` — output heads (§2.4)
+    The segmentation decoder's numerically-stable logistic (bit-equal to
+    ``Tensor.sigmoid``) and the regression decoder's pass-through.  A
+    ``sigmoid`` head compiles only as the final stage directly after a
+    ``conv``; the plan must end in a ``conv`` (plus an optional head) so
+    that :meth:`CompiledStagePlan.run` returns exactly what the module
+    graph returns.
+
+Execution model
+---------------
+
+The executor threads two value streams through the ops:
+
+* a padded fp32 **canvas** in channel-major ``(C, B, H, W)`` layout whose
+  interior holds values already snapped onto the fp16 grid — what the next
+  convolution consumes.  Channel-major matches the transposed-GEMM result
+  orientation, so conv outputs, residual accumulates and canvas stores are
+  (semi-)contiguous reshapes instead of 4-byte-strided transposes.  The
+  zero border is the padding the module path re-creates with ``np.pad`` on
+  every call, allocated and zeroed once;
+* an unquantized fp32 **carry** stream — what residual skips, pools and
+  upsamples consume (the module path never re-quantizes before those).
+
+``carry is None`` means the canvas interior *is* the exact stream (its
+values came straight from a convolution, whose stored grid values are
+exact).  Interval analysis over the quantized weights tracks a rigorous
+magnitude bound along both streams; the saturating clip of
+:func:`repro.nn.amp.quantize_fp16` runs only where the bound says ±65504 is
+reachable — behaviour is never traded for speed.  Wherever an op reads fp16
+storage into fp32 math, the ufunc loop is forced to fp32 (``dtype=`` /
+promotion by a typed scalar), so the arithmetic is exactly the module
+path's fp32 arithmetic on the same grid values.
+
+The contract, inherited by every plan the engine compiles, is **bit-identical
+output**: for every input accepted by the module path, :meth:`run` returns
+exactly the values ``nn.Sequential`` under ``nn.amp.autocast`` produces.
+The test suite enforces this across model variants, batch sizes and both
+precision modes, for the encoder and for both decoder heads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .. import nn
+from ..nn.amp import quantize_fp16
+from .blocks import ResBlock2d
+
+__all__ = ["CompiledStagePlan", "Workspace", "stage_kinds"]
+
+#: Largest finite fp16 magnitude — the saturation point of quantize_fp16.
+_FP16_MAX = 65504.0
+
+_F32 = np.float32
+
+
+def stage_kinds(stages) -> list[str] | None:
+    """Classify ``stages`` into the compiled vocabulary.
+
+    Returns one kind string per stage (``conv`` / ``pool`` / ``up`` /
+    ``res`` / ``sigmoid`` / ``identity``) when every stage is compilable and
+    the head-placement rules hold, else ``None``.  Use this as the guard
+    before constructing a :class:`CompiledStagePlan`.
+    """
+
+    kinds: list[str] = []
+    for stage in stages:
+        if isinstance(stage, nn.Conv2d):
+            kinds.append("conv")
+        elif isinstance(stage, nn.AvgPool2d):
+            kinds.append("pool")
+        elif isinstance(stage, nn.Upsample2d):
+            kinds.append("up")
+        elif isinstance(stage, ResBlock2d):
+            if not isinstance(stage.act1, nn.LeakyReLU) or not isinstance(
+                stage.act2, nn.LeakyReLU
+            ):
+                return None
+            kinds.append("res")
+        elif isinstance(stage, nn.Sigmoid):
+            kinds.append("sigmoid")
+        elif isinstance(stage, nn.Identity):
+            kinds.append("identity")
+        else:
+            return None
+
+    # run() returns the stored output of the last functional stage; only a
+    # conv (whose stored grid values equal the module output exactly) or a
+    # sigmoid directly downstream of one qualifies — a trailing res/pool/up
+    # would return the *quantized* store of an unquantized module output.
+    body = [k for k in kinds if k != "identity"]
+    if not body or body[-1] not in ("conv", "sigmoid"):
+        return None
+    for pos, kind in enumerate(body):
+        if kind == "sigmoid" and (pos != len(body) - 1 or body[pos - 1] != "conv"):
+            return None
+    return kinds
+
+
+@dataclasses.dataclass
+class _ConvSpec:
+    """One convolution with its weight pre-transposed into GEMM layout."""
+
+    wt: np.ndarray   # (C*kh*kw, O) F-contiguous — tensordot's right operand
+    wtT: np.ndarray  # (O, C*kh*kw) C-contiguous — the transposed-GEMM operand
+    bias: np.ndarray | None
+    bias_col: np.ndarray | None  # (O, 1) view for the transposed orientation
+    kernel: tuple[int, int]
+    stride: tuple[int, int]
+    padding: tuple[tuple[int, int], ...]
+    out_channels: int
+    w_l1: float     # max over output channels of Σ|w| — bound slope
+    bias_max: float
+
+    @classmethod
+    def from_module(cls, conv: nn.Conv2d, half: bool) -> "_ConvSpec":
+        w = quantize_fp16(conv.weight.data) if half else np.asarray(conv.weight.data)
+        o = w.shape[0]
+        k = int(np.prod(conv.kernel_size))
+        # tensordot reshapes the transposed kernel into an F-contiguous
+        # (K, O) view; BLAS picks its kernel by operand layout, so the
+        # cached weight must keep that exact layout to stay bit-identical.
+        wt = np.asfortranarray(
+            w.transpose(1, 2, 3, 0).reshape(w.shape[1] * k, o), dtype=np.float32
+        )
+        bias = None if conv.bias is None else conv.bias.data.astype(np.float32)
+        return cls(
+            wt=wt,
+            wtT=np.ascontiguousarray(wt.T),
+            bias=bias,
+            bias_col=None if bias is None else bias.reshape(-1, 1),
+            kernel=conv.kernel_size,
+            stride=conv.stride,
+            padding=conv.padding,
+            out_channels=o,
+            w_l1=float(np.abs(w.reshape(o, -1)).sum(axis=1).max()),
+            bias_max=0.0 if bias is None else float(np.abs(bias).max()),
+        )
+
+    def out_bound(self, in_bound: float) -> float:
+        """Rigorous |output| bound given an |input| magnitude bound."""
+
+        return self.w_l1 * in_bound + self.bias_max
+
+
+#: None until calibrated: whether the integer round-to-nearest-even grid
+#: snap reproduces numpy's f32→f16→f32 cast pair bit for bit on this build.
+_FAST_SNAP_OK: bool | None = None
+
+#: f32 bit patterns: |x| below this is in the f16 denormal range (2^-14).
+_F16_NORMAL_MIN_BITS = np.uint32(0x38800000)
+_ABS_MASK = np.uint32(0x7FFFFFFF)
+_ROUND_BIAS = np.uint32(0x0FFF)
+_MANTISSA_KEEP = np.uint32(0xFFFFE000)
+#: fp32 spacing around 0.75 is exactly 2^-24 — the f16 denormal grid — so
+#: (x + 0.75) - 0.75 is an exact round-to-nearest-even onto that grid for
+#: every |x| < 0.25 (Sterbenz: the subtraction is exact).
+_DENORM_MAGIC = np.float32(0.75)
+
+
+def _snap_bits(src: np.ndarray, u: np.ndarray, uf: np.ndarray,
+               a: np.ndarray, mask: np.ndarray, d: np.ndarray) -> np.ndarray:
+    """Round contiguous fp32 ``src`` to the f16 grid; returns ``uf``.
+
+    numpy's f16 conversions are software on many builds (~20× slower than a
+    copy), and the quantize-everywhere semantics of §3.3 make them the hot
+    path's single largest cost.  This is the same round-to-nearest-even in
+    vectorized integer ops: add ``0x0FFF + lsb`` at the 13-bit boundary and
+    mask (IEEE bit encoding carries mantissa rollover into the exponent
+    correctly), with the f16-denormal range (|x| < 2^-14, coarser fixed
+    grid) handled by the exact magic-add.  ``u``/``a``/``mask``/``d`` are
+    caller-owned scratch of ``src``'s shape; ``uf`` is the fp32 view of
+    ``u``, which doubles as the result (no output copy pass).
+
+    Domain: callers guarantee ``|x| ≤ 65504`` (values are post-clip or
+    carry a proven bound), so the cast's overflow-to-inf region never
+    arises; NaN and ±inf lanes pass through like the cast pair.
+    """
+
+    bits = src.view(np.uint32)
+    np.bitwise_and(bits, _ABS_MASK, out=a)
+    np.less(a, _F16_NORMAL_MIN_BITS, out=mask)
+    np.right_shift(bits, 13, out=u)
+    np.bitwise_and(u, np.uint32(1), out=u)
+    np.add(u, _ROUND_BIAS, out=u)
+    np.add(bits, u, out=u)
+    np.bitwise_and(u, _MANTISSA_KEEP, out=u)
+    if mask.any():
+        # Denormal lanes: exact RNE onto the 2^-24 grid via the magic add
+        # (ties land on the sum's mantissa parity = the grid index parity),
+        # computed full-array then merged by mask.  The magic add collapses
+        # -tiny to +0.0 where the cast keeps -0.0, so the source sign bit
+        # is OR-ed back (a no-op on every nonzero lane).  errstate hides
+        # the invalid flag of signalling-NaN lanes (never selected).
+        with np.errstate(invalid="ignore"):
+            np.add(src, _DENORM_MAGIC, out=d)
+        np.subtract(d, _DENORM_MAGIC, out=d)
+        dbits = d.view(np.uint32)
+        np.bitwise_and(bits, np.uint32(0x80000000), out=a)
+        np.bitwise_or(dbits, a, out=dbits)
+        np.copyto(uf, d, where=mask)
+    return uf
+
+
+def _fast_snap_ok() -> bool:
+    """Calibrate :func:`_snap_bits` against numpy's cast pair, once.
+
+    The probe covers every f16 bit pattern (all grid points, ±inf, NaNs),
+    rounding midpoints on both sides, the denormal/normal boundary and
+    dense randoms across the exponent range; equality is checked on raw
+    bits.  A build where any lane deviates falls back to the two-cast
+    path — behaviour is never traded for speed.
+    """
+
+    global _FAST_SNAP_OK
+    if _FAST_SNAP_OK is None:
+        grid = np.arange(65536, dtype=np.uint16).view(np.float16).astype(np.float32)
+        finite = grid[np.isfinite(grid)]
+        rng = np.random.default_rng(0xF16)
+        probes = [
+            grid,
+            np.nextafter(finite, np.float32(np.inf), dtype=np.float32),
+            np.nextafter(finite, np.float32(-np.inf), dtype=np.float32),
+            # Exact midpoints between adjacent positive grid points (the
+            # round-half-to-even cases), and a wide random sweep.
+            ((finite[finite > 0][:-1] + finite[finite > 0][1:]) * np.float32(0.5)),
+            (rng.uniform(-1.0, 1.0, 4096).astype(np.float32)
+             * np.float32(2.0) ** rng.integers(-30, 17, 4096).astype(np.float32)),
+        ]
+        v = np.concatenate(probes)
+        # Restrict to the call domain: |x| ≤ 65504 plus non-finite lanes
+        # (the pipeline clips or bounds everything else before snapping).
+        v = np.ascontiguousarray(v[(np.abs(v) <= np.float32(_FP16_MAX))
+                                   | ~np.isfinite(v)])
+        ref = v.astype(np.float16).astype(np.float32)
+        u = np.empty(v.shape, np.uint32)
+        out = _snap_bits(
+            v, u, u.view(np.float32), np.empty(v.shape, np.uint32),
+            np.empty(v.shape, np.bool_), np.empty_like(v),
+        )
+        _FAST_SNAP_OK = bool(
+            np.array_equal(out.view(np.uint32), ref.view(np.uint32))
+        )
+    return _FAST_SNAP_OK
+
+
+#: (n, rows, K, O) → whether the whole-batch transposed GEMM reproduces the
+#: per-sample reference contraction bit for bit on this BLAS build.
+_TRANSPOSED_GEMM_OK: dict = {}
+
+
+def _transposed_gemm_matches(n: int, rows: int, K: int, o: int) -> bool:
+    """Calibrate the transposed GEMM formulation for one problem shape.
+
+    ``conv_forward``'s contraction is per-sample ``(rows, K) @ (K, O)``
+    GEMMs; the fast path prefers one whole-batch ``(O, K) @ (K, n·rows)``
+    call on operands built directly in transposed layout (the im2col gather
+    then reads whole output rows instead of 12-byte kernel taps, ~6×
+    faster).  Every output element is the same K-term dot product, and BLAS
+    packs both operand layouts into the same micro-kernels with the same
+    k-accumulation order — *except* for some small-shape kernel dispatches.
+    Since the summation order is a function of problem shape only (never of
+    the data), one dense-random probe per shape decides the formulation:
+    bit-equal → transposed fast path, else the reference orientation.
+    Behaviour is never traded for speed; the probe costs two small GEMMs
+    once per (batch, shape).
+    """
+
+    key = (n, rows, K, o)
+    hit = _TRANSPOSED_GEMM_OK.get(key)
+    if hit is None:
+        rng = np.random.default_rng(0x5EED)
+        a = rng.standard_normal((n * rows, K)).astype(np.float32)
+        b = np.asfortranarray(rng.standard_normal((K, o)), dtype=np.float32)
+        ref = np.empty((n * rows, o), dtype=np.float32)
+        for i in range(n):
+            np.dot(a[i * rows:(i + 1) * rows], b, out=ref[i * rows:(i + 1) * rows])
+        got = np.empty((o, n * rows), dtype=np.float32)
+        np.dot(np.ascontiguousarray(b.T), np.ascontiguousarray(a.T), out=got)
+        hit = bool(np.array_equal(got.T, ref))
+        _TRANSPOSED_GEMM_OK[key] = hit
+    return hit
+
+
+class Workspace:
+    """Named, shape-checked reusable buffers (compiled-plan/compressor scratch)."""
+
+    def __init__(self) -> None:
+        self._bufs: dict = {}
+
+    def get(self, key, shape: tuple[int, ...], dtype=np.float32) -> np.ndarray:
+        buf = self._bufs.get(key)
+        if buf is None or buf.shape != tuple(shape) or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype)
+            self._bufs[key] = buf
+        return buf
+
+    def snap_scratch(self, key, shape: tuple[int, ...]) -> tuple[np.ndarray, ...]:
+        """Scratch bundle for one :func:`_snap_bits` call site, one lookup.
+
+        Returns ``(u, uf, a, mask, d)`` with ``uf`` the fp32 view of ``u``
+        (the snap result) — the hot path calls this per op per run, so the
+        buffers are cached as a single tuple.
+        """
+
+        bundle = self._bufs.get(key)
+        if bundle is None or bundle[0].shape != tuple(shape):
+            shape = tuple(shape)
+            u = np.empty(shape, np.uint32)
+            bundle = (
+                u,
+                u.view(np.float32),
+                np.empty(shape, np.uint32),
+                np.empty(shape, np.bool_),
+                np.empty(shape, np.float32),
+            )
+            self._bufs[key] = bundle
+        return bundle
+
+    def canvas(self, key, c: int, n: int, spatial: tuple[int, int],
+               padding, dtype=np.float32) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-bordered channel-major canvas ``(C, B, H, W)`` + interior view.
+
+        The border is zeroed once at allocation; every later pass writes
+        only the interior, so the zeros (= the padding the module path
+        re-creates with ``np.pad`` on every call) persist.
+        """
+
+        (plh, phh), (plw, phw) = padding
+        shape = (c, n, spatial[0] + plh + phh, spatial[1] + plw + phw)
+        buf = self._bufs.get(key)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.zeros(shape, dtype=dtype)
+            self._bufs[key] = buf
+        return buf, buf[:, :, plh:plh + spatial[0], plw:plw + spatial[1]]
+
+    def nbytes(self) -> int:
+        return sum(
+            sum(a.nbytes for a in b) if isinstance(b, tuple) else b.nbytes
+            for b in self._bufs.values()
+        )
+
+
+class CompiledStagePlan:
+    """A stage sequence compiled into reusable-workspace array passes.
+
+    Parameters
+    ----------
+    stages:
+        Iterable of modules within the :func:`stage_kinds` vocabulary.
+        Weights are snapshot at construction — rebuild after training.
+    half:
+        Replicate the fp16 autocast numerics (the deployment mode, §3.3).
+        When False the full-precision module path is replicated instead.
+    workspace:
+        Optional shared :class:`Workspace`.  Two *structurally identical*
+        plans (e.g. the two decoder heads of one BCAE) may share a workspace
+        **and** a prefix when run sequentially: every buffer an op reads is
+        fully rewritten earlier in the same :meth:`run`, so interleaved runs
+        only reuse memory, never stale values.  Structurally different plans
+        sharing keys stay correct too (buffers reallocate on shape mismatch)
+        but lose the steady-state reuse.
+    prefix:
+        Workspace key namespace for this plan's buffers.
+    """
+
+    def __init__(self, stages, half: bool = True,
+                 workspace: Workspace | None = None, prefix: str = "") -> None:
+        kinds = stage_kinds(stages)
+        if kinds is None:
+            raise TypeError(
+                "stage sequence is outside the compiled vocabulary; "
+                "guard with stage_kinds()"
+            )
+        self.half = bool(half)
+        self.prefix = prefix
+        self._ws = Workspace() if workspace is None else workspace
+        # Canvases stay fp32 even in half mode: their values are fp16 grid
+        # points, but numpy's casting copy of *strided* views is ~7× slower
+        # than a same-dtype copy, and the im2col gather reads canvases far
+        # more often than stores write them.
+        self._cdtype = np.float32
+        self._ops: list[tuple[str, object]] = []
+        for stage, kind in zip(stages, kinds):
+            if kind == "conv":
+                op: object = _ConvSpec.from_module(stage, self.half)
+            elif kind == "pool":
+                op = stage.kernel_size
+            elif kind == "up":
+                op = stage.scale_factor
+            elif kind == "res":
+                op = (
+                    _ConvSpec.from_module(stage.conv1, self.half),
+                    _ConvSpec.from_module(stage.conv2, self.half),
+                    float(stage.act1.negative_slope),
+                    float(stage.act2.negative_slope),
+                )
+            else:
+                op = None
+            self._ops.append((kind, op))
+        #: Per-op gather-view cache: sliding_window_view / transpose /
+        #: reshape cost ~50µs of pure Python per conv — the views are
+        #: rebuilt only when their backing buffers are reallocated
+        #: (identity-checked), which only happens on a shape change.
+        self._wins: dict = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def workspace(self) -> Workspace:
+        return self._ws
+
+    @property
+    def workspace_bytes(self) -> int:
+        """Current workspace footprint (grows to the largest batch seen)."""
+
+        return self._ws.nbytes()
+
+    def input_padding(self) -> tuple[tuple[int, int], ...]:
+        """Padding the input canvas needs for the plan's first consumer."""
+
+        return _next_padding(self._ops, -1)
+
+    def input_canvas(self, n: int, c: int,
+                     spatial: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+        """The plan's persistent input canvas ``(canvas, interior view)``.
+
+        Channel-major fp32 ``(C, B, H, W)``.  Callers fill the interior
+        with grid-exact values before :meth:`run`; the zero border doubles
+        as the first convolution's padding.
+        """
+
+        return self._ws.canvas((self.prefix, "in"), c, n, spatial,
+                               self.input_padding(), self._cdtype)
+
+    # ------------------------------------------------------------------
+    def run(self, canvas: np.ndarray, spatial: tuple[int, int], bound: float,
+            carry: np.ndarray | None = None, carry_bound: float = 0.0) -> np.ndarray:
+        """Execute the plan; returns the module-graph output values.
+
+        ``canvas`` is typically :meth:`input_canvas` with the interior
+        filled; ``bound`` is a rigorous magnitude bound on those values.
+        The returned array is channel-major fp32 ``(C, B, oh, ow)`` —
+        transpose to ``(B, C, oh, ow)`` with a zero-copy
+        ``.transpose(1, 0, 2, 3)`` view — and is a reused workspace
+        buffer: copy it before the next :meth:`run` on this workspace.
+        """
+
+        ops = self._ops
+        result: np.ndarray | None = None
+        for i, (kind, op) in enumerate(ops):
+            out_padding = _next_padding(ops, i)
+            key = (self.prefix, i)
+            if kind == "conv":
+                canvas, result, spatial, bound = self._conv_store(
+                    key, op, canvas, bound, out_padding
+                )
+                carry = None
+            elif kind in ("pool", "up"):
+                if carry is None:
+                    # Input came from a conv: stored grid values are the
+                    # exact fp32 values the module path consumes.
+                    src, src_bound = (
+                        _interior(canvas, _canvas_padding(canvas, spatial), spatial),
+                        bound,
+                    )
+                else:
+                    # The module path pools/upsamples the *unquantized*
+                    # fp32 stream.
+                    src, src_bound = carry, carry_bound
+                if kind == "pool":
+                    carry, carry_bound = self._pool(key, op, src, spatial, src_bound)
+                    spatial = (spatial[0] // op[0], spatial[1] // op[1])
+                else:
+                    carry, carry_bound = self._up(key, op, src, spatial, src_bound)
+                    spatial = (spatial[0] * op[0], spatial[1] * op[1])
+                canvas, result, bound = self._store_stream(
+                    key, carry, carry_bound, spatial, out_padding
+                )
+            elif kind == "res":
+                # The post-block canvas store is dead when the next consumer
+                # is a pool/upsample: those read the carry stream directly.
+                store = _next_consumer(ops, i) not in ("pool", "up")
+                canvas, dest, bound, carry, carry_bound = self._res(
+                    key, op, canvas, spatial, bound, carry, carry_bound,
+                    out_padding, store,
+                )
+                if store:
+                    result = dest
+            elif kind == "sigmoid":
+                result = self._sigmoid(key, result)
+            # "identity": the module pass-through — state is unchanged.
+
+        assert result is not None
+        return result
+
+    # ------------------------------------------------------------------
+    def _gemm(self, key, spec: _ConvSpec, canvas: np.ndarray):
+        """The exact ``conv_forward`` contraction out of a padded canvas.
+
+        Returns ``(rows, out_spatial, cm)``: the GEMM result (bias added),
+        the output spatial shape, and a closure mapping any array of the
+        result's shape to a channel-major ``(O, B, oh, ow)`` view.
+
+        Two bit-identical formulations, chosen per problem shape by
+        :func:`_transposed_gemm_matches`:
+
+        * the reference orientation — the im2col gather follows tensordot's
+          element order, so ``np.dot`` sees the same operand matrices
+          ``conv_forward`` builds internally (identical BLAS call,
+          identical bits), executed per sample exactly as ``conv_forward``
+          does;
+        * the transposed orientation — the same matrices built directly in
+          ``(K, B·oh·ow)`` layout with one whole-batch ``wtT @ atT`` call,
+          used only where the calibration probe proved it reproduces the
+          per-sample reference bit for bit.  Its ``(O, B·oh·ow)`` result
+          makes the channel-major store a contiguous reshape.
+
+        Payload bits stay invariant to micro-batch composition either way:
+        each output element is a fixed K-term dot product.  The canvas
+        holds quantized (grid) values, so the module path's
+        quantize-on-entry is a no-op and is skipped.
+        """
+
+        c, n = canvas.shape[:2]
+        kh, kw = spec.kernel
+        sh, sw = spec.stride
+        oh = (canvas.shape[2] - kh) // sh + 1
+        ow = (canvas.shape[3] - kw) // sw + 1
+        rows = oh * ow
+        m = n * rows
+        o = spec.out_channels
+
+        if _transposed_gemm_matches(n, rows, c * kh * kw, o):
+            atT = self._ws.get((key, "atT"), (c * kh * kw, m))
+            cached = self._wins.get(key)
+            if cached is None or cached[0] is not canvas or cached[1] is not atT:
+                win = sliding_window_view(canvas, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+                cached = (canvas, atT, win.transpose(0, 4, 5, 1, 2, 3),
+                          atT.reshape(c, kh, kw, n, oh, ow))
+                self._wins[key] = cached
+            np.copyto(cached[3], cached[2])
+            y2 = self._ws.get((key, "y2T"), (o, m))
+            np.dot(spec.wtT, atT, out=y2)
+            if spec.bias_col is not None:
+                y2 += spec.bias_col
+
+            def cm(arr, n=n, oh=oh, ow=ow):
+                return arr.reshape(arr.shape[0], n, oh, ow)
+        else:
+            at = self._ws.get((key, "at"), (m, c * kh * kw))
+            cached = self._wins.get(key)
+            if cached is None or cached[0] is not canvas or cached[1] is not at:
+                win = sliding_window_view(canvas, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+                cached = (canvas, at, win.transpose(1, 2, 3, 0, 4, 5),
+                          at.reshape(n, oh, ow, c, kh, kw))
+                self._wins[key] = cached
+            np.copyto(cached[3], cached[2])
+            y2 = self._ws.get((key, "y2"), (m, o))
+            # Per-sample GEMM blocks, matching conv_forward exactly.
+            for i in range(n):
+                np.dot(at[i * rows:(i + 1) * rows], spec.wt,
+                       out=y2[i * rows:(i + 1) * rows])
+            if spec.bias is not None:
+                y2 += spec.bias
+
+            def cm(arr, n=n, oh=oh, ow=ow):
+                return arr.reshape(n, oh, ow, -1).transpose(3, 0, 1, 2)
+
+        return y2, (oh, ow), cm
+
+    # ------------------------------------------------------------------
+    def _grid(self, key, src: np.ndarray, bound: float,
+              mutable: bool = False) -> tuple[np.ndarray, float]:
+        """``quantize_fp16`` replica: fp32 values snapped onto the f16 grid.
+
+        Returns a contiguous fp32 array of grid values and the stored
+        bound.  The saturating clip runs only when ``bound`` says ±65504 is
+        reachable — elsewhere it is provably the identity.  The snap itself
+        is :func:`_snap_bits` where calibration proved it bit-equal to the
+        cast pair, else the two-cast fallback.  ``src`` is mutated only
+        when ``mutable`` (scratch GEMM rows); the residual stream keeps its
+        unclipped fp32 values.
+        """
+
+        if bound >= _FP16_MAX:
+            if mutable:
+                src = np.clip(src, -_FP16_MAX, _FP16_MAX, out=src)
+            else:
+                src = np.clip(
+                    src, -_FP16_MAX, _FP16_MAX,
+                    out=self._ws.get((key, "clip"), src.shape),
+                )
+            bound = _FP16_MAX
+        if (_fast_snap_ok() and src.dtype == np.float32
+                and src.flags.c_contiguous):
+            u, uf, a, mask, d = self._ws.snap_scratch((key, "snap"), src.shape)
+            out = _snap_bits(src, u, uf, a, mask, d)
+        else:
+            # Fallback cast pair: also covers non-f32/non-contiguous inputs
+            # (e.g. float64 arrays fed straight to FastEncoder2D.encode).
+            out = self._ws.get((key, "q32"), src.shape)
+            s16 = self._ws.get((key, "s16"), src.shape, np.float16)
+            np.copyto(s16, src, casting="unsafe")
+            np.copyto(out, s16)
+        return out, bound
+
+    # ------------------------------------------------------------------
+    def _conv_store(self, key, spec, canvas, bound, out_padding):
+        """Convolve and store the (quantized) output into the next canvas."""
+
+        n = canvas.shape[1]
+        y2, out_spatial, cm = self._gemm(key, spec, canvas)
+        out_bound = spec.out_bound(bound)
+        out_canvas, dest = self._ws.canvas(
+            (key, "out"), spec.out_channels, n, out_spatial, out_padding,
+            self._cdtype,
+        )
+        if self.half:
+            q32, out_bound = self._grid(key, y2, out_bound, mutable=True)
+            np.copyto(dest, cm(q32))
+        else:
+            np.copyto(dest, cm(y2))
+        return out_canvas, dest, out_spatial, out_bound
+
+    # ------------------------------------------------------------------
+    def _pool(self, key, kernel, src, spatial, bound):
+        """AvgPool2d replica: fp32 mean of the exact unquantized values.
+
+        For the ubiquitous 2×2 pool the multi-axis ``mean`` reduction is
+        replicated with slice adds in numpy's pairwise order
+        ``((x00+x01) + (x10+x11)) / 4`` — bit-equal (the full-model
+        identity tests guard this against numpy reduction-order changes)
+        and ~3× faster than the strided ``mean`` kernel.  ``dtype=float32``
+        pins the arithmetic to fp32 when the source is an fp16-stored
+        canvas (the widening cast is exact).
+        """
+
+        kh, kw = kernel
+        c, n = src.shape[:2]
+        a, h = spatial
+        out = self._ws.get((key, "poolout"), (c, n, a // kh, h // kw))
+        if (kh, kw) == (2, 2):
+            v = src.reshape(c, n, a // 2, 2, h // 2, 2)
+            t1 = self._ws.get((key, "pt1"), out.shape)
+            np.add(v[:, :, :, 0, :, 0], v[:, :, :, 0, :, 1], out=t1, dtype=_F32)
+            np.add(v[:, :, :, 1, :, 0], v[:, :, :, 1, :, 1], out=out, dtype=_F32)
+            np.add(t1, out, out=out)
+            np.divide(out, np.float32(4.0), out=out)
+        else:  # pragma: no cover - the BCAE family uses 2x2 pools
+            src.reshape(c, n, a // kh, kh, h // kw, kw).mean(
+                axis=(3, 5), dtype=_F32, out=out
+            )
+        return out, bound  # mean cannot grow the magnitude bound
+
+    # ------------------------------------------------------------------
+    def _up(self, key, factors, src, spatial, bound):
+        """Upsample2d replica: nearest-neighbour repeat of the exact values.
+
+        A broadcast store into the reused output buffer places value ``v``
+        at every position of its ``fa×fh`` block — the same values the
+        module path's per-axis ``np.repeat`` produces, without the two
+        intermediate allocations.  Repetition cannot grow the bound.
+        """
+
+        fa, fh = factors
+        c, n = src.shape[:2]
+        a, h = spatial
+        out = self._ws.get((key, "upout"), (c, n, a * fa, h * fh))
+        out.reshape(c, n, a, fa, h, fh)[:] = src[:, :, :, None, :, None]
+        return out, bound
+
+    # ------------------------------------------------------------------
+    def _sigmoid(self, key, x):
+        """``Tensor.sigmoid`` replica on the stored conv output.
+
+        The module path splits on sign for numerical stability; both
+        branches are elementwise, so computing each over the full array and
+        merging by the same sign mask reproduces the selected values bit
+        for bit.  ``dtype=float32`` pins the math to fp32 over the
+        fp16-stored grid values (the widening cast is exact).  The
+        discarded branch may overflow to inf (→ 0 or NaN) — harmless and
+        silenced, exactly because it is discarded.
+        """
+
+        pos = self._ws.get((key, "pos"), x.shape, np.bool_)
+        np.greater_equal(x, np.float32(0.0), out=pos)
+        out = self._ws.get((key, "sig"), x.shape)
+        t = self._ws.get((key, "st"), x.shape)
+        with np.errstate(over="ignore", invalid="ignore"):
+            # x >= 0 branch: 1 / (1 + exp(-x))
+            np.negative(x, out=t, dtype=_F32)
+            np.exp(t, out=t)
+            np.add(t, np.float32(1.0), out=t)
+            np.divide(np.float32(1.0), t, out=t)
+            # x < 0 branch: exp(x) / (1 + exp(x))
+            u = self._ws.get((key, "su"), x.shape)
+            np.exp(x, out=u, dtype=_F32)
+            np.add(u, np.float32(1.0), out=out)
+            np.divide(u, out, out=out)
+        np.copyto(out, t, where=pos)
+        return out
+
+    # ------------------------------------------------------------------
+    def _res(self, key, op, canvas, spatial, bound, carry, carry_bound,
+             out_padding, store: bool = True):
+        """ResBlock2d replica: ``act2(conv2(act1(conv1(x)))) + x``.
+
+        ``carry`` is the unquantized fp32 block input the skip needs (None
+        when the block input came straight from a conv, whose stored grid
+        values are already exact).  ``store=False`` skips the quantized
+        canvas store when the next consumer reads the carry stream.
+        """
+
+        spec1, spec2, slope1, slope2 = op
+        n = canvas.shape[1]
+
+        # conv1 → act1, stored (re-quantized) as conv2's input.
+        y2, out_spatial, cm1 = self._gemm((key, 0), spec1, canvas)
+        mid_canvas, mid_dest = self._ws.canvas(
+            (key, "mid"), spec1.out_channels, n, out_spatial, spec2.padding,
+            self._cdtype,
+        )
+        if self.half:
+            v, b1 = self._grid((key, "v1"), y2, spec1.out_bound(bound),
+                               mutable=True)
+            # act1 merged with conv2's entry quantize on the fp16 grid:
+            # positives keep their grid value (leaky × 1, then a no-op
+            # re-quantize), negatives are x·slope snapped back to the grid.
+            neg = self._ws.get((key, "neg"), y2.shape)
+            np.multiply(v, np.float32(slope1), out=neg)  # fp32, exactly x * scale
+            negq, _ = self._grid((key, "negq"), neg, b1 * abs(slope1),
+                                 mutable=True)
+            mask = self._ws.get((key, "m1"), y2.shape, np.bool_)
+            np.less_equal(v, np.float32(0), out=mask)
+            np.copyto(v, negq, where=mask)           # merge contiguously...
+            np.copyto(mid_dest, cm1(v))              # ...one layout pass
+        else:
+            b1 = 0.0
+            scale = np.where(y2 > 0, 1.0, slope1).astype(np.float32)
+            np.copyto(mid_dest, cm1(y2 * scale))
+
+        # conv2 → act2 kept unquantized fp32 (the module path does not
+        # re-quantize before the residual sum).
+        y2b, _sp, cm2 = self._gemm((key, 1), spec2, mid_canvas)
+        if self.half:
+            v2, b2 = self._grid((key, "v2"), y2b, spec2.out_bound(b1),
+                                mutable=True)
+            l2 = self._ws.get((key, "l2"), y2b.shape)
+            np.multiply(v2, np.float32(slope2), out=l2)
+            mask2 = self._ws.get((key, "m2"), y2b.shape, np.bool_)
+            np.greater(v2, np.float32(0), out=mask2)
+            np.copyto(l2, v2, where=mask2)
+            l2_bound = b2
+        else:
+            scale2 = np.where(y2b > 0, 1.0, slope2).astype(np.float32)
+            l2 = y2b * scale2
+            l2_bound = 0.0
+
+        if carry is None:
+            # Block input was a stored conv output: grid values are exact.
+            carry = self._ws.get(
+                (key, "skip32"), (canvas.shape[0], n) + tuple(spatial)
+            )
+            np.copyto(carry, _interior(canvas, spec1.padding, spatial))
+            carry_bound = bound
+        carry += cm2(l2)
+        carry_bound = carry_bound + l2_bound
+
+        if not store:
+            return canvas, None, carry_bound, carry, carry_bound
+        out_canvas, dest, stored_bound = self._store_stream(
+            (key, "store"), carry, carry_bound, out_spatial, out_padding
+        )
+        return out_canvas, dest, stored_bound, carry, carry_bound
+
+    # ------------------------------------------------------------------
+    def _store_stream(self, key, src, bound, spatial, padding):
+        """Store the unquantized fp32 stream into a conv-input canvas."""
+
+        c, n = src.shape[:2]
+        canvas, dest = self._ws.canvas((key, "canvas"), c, n, spatial, padding,
+                                       self._cdtype)
+        if self.half:
+            q32, bound = self._grid(key, src, bound)
+            np.copyto(dest, q32)
+        else:
+            np.copyto(dest, src)
+        return canvas, dest, bound
+
+
+def _interior(canvas: np.ndarray, padding, spatial: tuple[int, int]) -> np.ndarray:
+    (plh, _phh), (plw, _phw) = padding
+    return canvas[:, :, plh:plh + spatial[0], plw:plw + spatial[1]]
+
+
+def _canvas_padding(canvas: np.ndarray, spatial) -> tuple[tuple[int, int], ...]:
+    """Recover the (symmetric) padding a canvas was allocated with."""
+
+    ph = canvas.shape[2] - spatial[0]
+    pw = canvas.shape[3] - spatial[1]
+    return ((ph // 2, ph - ph // 2), (pw // 2, pw - pw // 2))
+
+
+def _next_consumer(ops, i) -> str | None:
+    """Kind of the next non-identity op, or None at the end of the plan."""
+
+    for kind, _op in ops[i + 1:]:
+        if kind != "identity":
+            return kind
+    return None
+
+
+def _next_padding(ops, i) -> tuple[tuple[int, int], ...]:
+    """Padding the next convolution consumer needs its input stored with."""
+
+    for kind, op in ops[i + 1:]:
+        if kind == "conv":
+            return op.padding
+        if kind == "res":
+            return op[0].padding
+        if kind in ("pool", "up", "sigmoid"):
+            # These consume raw interior values — no conv padding needed.
+            return ((0, 0), (0, 0))
+        # "identity" is transparent: keep scanning for the real consumer.
+    return ((0, 0), (0, 0))

@@ -1,5 +1,10 @@
 """``repro.io`` — persistence for codes and artifacts."""
 
-from .codes import load_compressed, save_compressed
+from .codes import concat_compressed, load_compressed, save_compressed, split_compressed
 
-__all__ = ["save_compressed", "load_compressed"]
+__all__ = [
+    "save_compressed",
+    "load_compressed",
+    "concat_compressed",
+    "split_compressed",
+]

@@ -3,18 +3,34 @@
 The deployment unit is the fp16 code payload produced by
 :class:`repro.core.BCAECompressor`; this module adds a simple npz container
 for archiving batches of compressed wedges together with the metadata needed
-to decompress them later (code shape, original horizontal size, model name).
+to decompress them later: code shape, original horizontal size, model name,
+the compressor's precision mode and the code dtype.  The precision mode
+matters — a payload saved by a half-precision compressor and loaded into a
+full-precision one would decode silently wrong, so it is recorded on save
+and validated by ``BCAECompressor.decompress``.  Archives written before
+these fields existed keep loading (their mode is ``None`` = unchecked).
+
+:func:`concat_compressed` / :func:`split_compressed` rechunk payload batches
+(codes are fixed-size records, so this is pure byte arithmetic) — the
+decompression service uses them to re-batch archived payloads for the
+compiled decode path.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from ..core.compressor import CompressedWedges
 
-__all__ = ["save_compressed", "load_compressed"]
+__all__ = [
+    "save_compressed",
+    "load_compressed",
+    "concat_compressed",
+    "split_compressed",
+]
 
 
 def save_compressed(
@@ -24,6 +40,7 @@ def save_compressed(
 
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    half_flag = -1 if compressed.half is None else int(bool(compressed.half))
     np.savez_compressed(
         path,
         payload=np.frombuffer(compressed.payload, dtype=np.uint8),
@@ -31,19 +48,115 @@ def save_compressed(
         n_wedges=np.array([compressed.n_wedges], dtype=np.int64),
         original_horizontal=np.array([compressed.original_horizontal], dtype=np.int64),
         model_name=np.frombuffer(model_name.encode("utf-8"), dtype=np.uint8),
+        half=np.array([half_flag], dtype=np.int8),
+        code_dtype=np.frombuffer(
+            np.dtype(compressed.code_dtype).str.encode("ascii"), dtype=np.uint8
+        ),
     )
     return path
 
 
 def load_compressed(path: str | Path) -> tuple[CompressedWedges, str]:
-    """Load an archived compressed batch; returns (payload, model name)."""
+    """Load an archived compressed batch; returns (payload, model name).
+
+    Validates the archive's self-description: the code dtype must parse and
+    the payload must hold ``n_wedges`` complete code records (a truncated
+    or mislabeled archive fails here, not at decode time).  Legacy archives
+    without the ``half``/``code_dtype`` fields load with ``half=None``
+    (precision unchecked) and the fp16 default.
+    """
 
     with np.load(Path(path)) as data:
+        half: bool | None = None
+        if "half" in data.files:
+            flag = int(data["half"][0])
+            half = None if flag < 0 else bool(flag)
+        dtype_str = (
+            data["code_dtype"].tobytes().decode("ascii")
+            if "code_dtype" in data.files
+            else "<f2"
+        )
+        try:
+            dtype = np.dtype(dtype_str)
+        except TypeError as exc:
+            raise ValueError(f"archive {path} has invalid code dtype {dtype_str!r}") from exc
+        payload = data["payload"].tobytes()
+        code_shape = tuple(int(v) for v in data["code_shape"])
+        n_wedges = int(data["n_wedges"][0])
+        need = n_wedges * int(np.prod(code_shape)) * dtype.itemsize
+        if len(payload) < need:
+            raise ValueError(
+                f"archive {path} is truncated: payload holds {len(payload)} "
+                f"bytes but {n_wedges} wedges of shape {code_shape} "
+                f"({dtype}) need {need}"
+            )
         compressed = CompressedWedges(
-            payload=data["payload"].tobytes(),
-            code_shape=tuple(int(v) for v in data["code_shape"]),
-            n_wedges=int(data["n_wedges"][0]),
+            payload=payload,
+            code_shape=code_shape,
+            n_wedges=n_wedges,
             original_horizontal=int(data["original_horizontal"][0]),
+            half=half,
+            code_dtype=dtype.str,
         )
         model_name = data["model_name"].tobytes().decode("utf-8")
     return compressed, model_name
+
+
+def _record_nbytes(compressed: CompressedWedges) -> int:
+    return int(np.prod(compressed.code_shape)) * np.dtype(compressed.code_dtype).itemsize
+
+
+def concat_compressed(batches: Sequence[CompressedWedges]) -> CompressedWedges:
+    """Concatenate payload batches into one (codes are fixed-size records).
+
+    All batches must agree on code shape, horizontal size, precision mode
+    and dtype — the metadata under which the payload bytes are meaningful.
+    """
+
+    if not batches:
+        raise ValueError("cannot concatenate zero compressed batches")
+    first = batches[0]
+    for b in batches[1:]:
+        meta = (b.code_shape, b.original_horizontal, b.half, b.code_dtype)
+        ref = (first.code_shape, first.original_horizontal, first.half, first.code_dtype)
+        if meta != ref:
+            raise ValueError(f"incompatible compressed batches: {meta} != {ref}")
+    record = _record_nbytes(first)
+    payload = b"".join(
+        bytes(memoryview(b.payload)[: b.n_wedges * record]) for b in batches
+    )
+    return CompressedWedges(
+        payload=payload,
+        code_shape=first.code_shape,
+        n_wedges=sum(b.n_wedges for b in batches),
+        original_horizontal=first.original_horizontal,
+        half=first.half,
+        code_dtype=first.code_dtype,
+    )
+
+
+def split_compressed(
+    compressed: CompressedWedges, batch_size: int
+) -> Iterator[CompressedWedges]:
+    """Split a payload batch into chunks of ≤ ``batch_size`` wedges.
+
+    Zero-copy: each chunk's payload is a memoryview into the original
+    buffer.  The inverse of :func:`concat_compressed`; the decompression
+    service uses it to feed archived payloads to the worker pool in
+    micro-batches.
+    """
+
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    record = _record_nbytes(compressed)
+    view = memoryview(compressed.payload)
+    for start in range(0, compressed.n_wedges, batch_size):
+        n = min(batch_size, compressed.n_wedges - start)
+        yield CompressedWedges(
+            payload=view[start * record:(start + n) * record],
+            code_shape=compressed.code_shape,
+            n_wedges=n,
+            original_horizontal=compressed.original_horizontal,
+            half=compressed.half,
+            code_dtype=compressed.code_dtype,
+        )

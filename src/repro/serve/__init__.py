@@ -1,29 +1,51 @@
-"""``repro.serve`` — streaming compression service (the deployment loop).
+"""``repro.serve`` — the round-trip serving layer (both ends of the loop).
 
-The paper's deployment story (§1, §3.2–3.3) is an always-on encoder keeping
-up with sPHENIX streaming readout; :mod:`repro.daq` sizes that system as a
-queueing problem, and this package is the first executable piece of it: a
-micro-batching service that pulls wedges from a stream, accumulates them
-under a latency budget, fans batches out to a pool of compressor workers,
-and emits payloads in arrival order with per-batch latency statistics.
+The paper's deployment story (§1, §3.2–3.3) is bicephalous end to end: an
+always-on *encoder* keeps up with sPHENIX streaming readout in the counting
+house, and offline analysis *decodes* the archived payloads at comparable
+throughput.  Both directions share one serving engine,
+:class:`~repro.serve.service.ModelPoolService` — a pool of workers that
+each own a resident :class:`~repro.core.BCAECompressor` (compiled fast-path
+workspaces, never shared, no hot-path locks), fed work units in stream
+order through a bounded in-flight window, with per-batch latency statistics
+— hosted inline, on a thread pool, or on a GIL-sidestepping process pool
+(``ServiceConfig.backend``).
 
-* :class:`~repro.serve.batcher.MicroBatcher` — latency-budgeted batching;
-* :class:`~repro.serve.service.StreamingCompressionService` — worker pool +
-  ordered emission + :class:`~repro.serve.service.ServiceStats`;
-* :mod:`repro.serve.source` — stream adapters (in-memory arrays, DAQ-timed
-  replay via :meth:`repro.daq.StreamingCompressionSim.wedge_stream`).
+The two instantiations:
+
+* :class:`~repro.serve.service.StreamingCompressionService` — wedge stream
+  → :class:`~repro.serve.batcher.MicroBatcher` (latency-budgeted
+  accumulation) → ``compress_into`` → payloads in arrival order;
+* :class:`~repro.serve.service.DecompressionService` — archived payload
+  batches → :func:`repro.io.split_compressed` re-chunking →
+  ``decompress_into`` → reconstructions in arrival order.
+
+Stream adapters live in :mod:`repro.serve.source` (in-memory arrays,
+DAQ-timed replay via :meth:`repro.daq.StreamingCompressionSim.wedge_stream`).
+Output bytes are identical to serial single-call compress/decompress in
+every configuration — batching and pooling are free correctness-wise.
 """
 
 from .batcher import MicroBatch, MicroBatcher
-from .service import ServiceConfig, ServiceStats, StreamingCompressionService
+from .service import (
+    BatchRecord,
+    DecompressionService,
+    ModelPoolService,
+    ServiceConfig,
+    ServiceStats,
+    StreamingCompressionService,
+)
 from .source import StreamItem, iter_wedges, replay_stream
 
 __all__ = [
+    "BatchRecord",
     "MicroBatch",
     "MicroBatcher",
+    "ModelPoolService",
     "ServiceConfig",
     "ServiceStats",
     "StreamingCompressionService",
+    "DecompressionService",
     "StreamItem",
     "iter_wedges",
     "replay_stream",

@@ -1,22 +1,35 @@
-"""The streaming compression service: batcher → worker pool → ordered sink.
+"""The model-pool serving core and its two instantiations.
 
-This is the first executable slice of the ROADMAP's "heavy traffic"
-architecture: an always-on loop that turns a wedge stream into a payload
-stream.  The shape mirrors a production inference server —
+The ROADMAP's "heavy traffic" loop is bicephalous end to end: the counting
+house compresses the wedge stream online, and offline analysis decompresses
+it at comparable throughput.  Both directions have the same serving shape —
+work units fan out to a pool of workers that each own a resident
+:class:`BCAECompressor` (compiled fast-path workspaces are deliberately not
+shared: no locks on the hot path), and results are emitted in stream order
+through a bounded in-flight window that doubles as backpressure.  That
+shared machinery is :class:`ModelPoolService`; the two deployments are
 
-* a :class:`~repro.serve.batcher.MicroBatcher` accumulates arrivals under a
-  latency budget;
-* a pool of workers, each holding its **own** :class:`BCAECompressor`
-  (whose fast-path workspaces are deliberately not shared — no locks on the
-  hot path), compresses batches;
-* emission is re-ordered to stream order with a bounded in-flight window,
-  which doubles as backpressure.
+* :class:`StreamingCompressionService` — micro-batches a wedge stream
+  (:class:`~repro.serve.batcher.MicroBatcher` under a latency budget) into
+  ``BCAECompressor.compress_into`` calls;
+* :class:`DecompressionService` — re-chunks archived payload batches
+  (:func:`repro.io.codes.split_compressed`) into
+  ``BCAECompressor.decompress_into`` calls.
 
-On a single core the pool degenerates gracefully: ``workers=0`` runs
-inline (no threads, lowest overhead — the right default for CPU-bound
-NumPy), while ``workers>=1`` exercises the real hand-off machinery that a
-multi-GPU deployment would use.  Payload bytes are identical to serial
-``BCAECompressor.compress`` calls either way.
+Execution backends, per :class:`ServiceConfig`:
+
+* ``workers=0`` — inline on the caller's thread: no hand-off overhead, the
+  right default for CPU-bound NumPy on one core;
+* ``backend="thread"`` — a thread pool with per-stream compressor checkout
+  (the hand-off machinery a multi-GPU deployment would use; BLAS releases
+  the GIL during GEMMs);
+* ``backend="process"`` — a process pool that sidesteps the GIL entirely on
+  multi-core boxes: each worker process builds its own compressor from the
+  (pickled/forked) model, work units and results cross the process boundary
+  by value.
+
+Payload/reconstruction bytes are identical to serial single-call
+``compress``/``decompress`` in every configuration.
 """
 
 from __future__ import annotations
@@ -25,6 +38,7 @@ import collections
 import concurrent.futures
 import dataclasses
 import itertools
+import os
 import threading
 import time
 from typing import Iterable, Iterator, Sequence
@@ -32,11 +46,21 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from ..core.compressor import BCAECompressor, CompressedWedges
+from ..io.codes import split_compressed
 from ..perf.timing import ThroughputResult, throughput_from_batches
 from .batcher import MicroBatch, MicroBatcher
 from .source import StreamItem, iter_wedges
 
-__all__ = ["ServiceConfig", "BatchRecord", "ServiceStats", "StreamingCompressionService"]
+__all__ = [
+    "ServiceConfig",
+    "BatchRecord",
+    "ServiceStats",
+    "ModelPoolService",
+    "StreamingCompressionService",
+    "DecompressionService",
+]
+
+_BACKENDS = ("thread", "process")
 
 
 @dataclasses.dataclass
@@ -46,23 +70,29 @@ class ServiceConfig:
     Attributes
     ----------
     max_batch:
-        Micro-batch size cap (the knee of the Figure-6 batch curve).
+        Work-unit size cap in wedges (the knee of the Figure-6 batch curve
+    	for compression; payload batches are split to this for decode).
     max_delay_s:
-        Stream-time accumulation budget (see :class:`MicroBatcher`).
+        Stream-time accumulation budget (see :class:`MicroBatcher`);
+        compression only.
     workers:
-        Worker threads.  ``0`` compresses inline on the caller's thread —
-        the fastest configuration for single-core NumPy; use ``>= 1`` to
-        exercise the pool/ordering machinery (or on BLAS builds that
-        release the GIL across multiple cores).
+        Pool size.  ``0`` runs inline on the caller's thread — the fastest
+        configuration for single-core NumPy; ``>= 1`` exercises the real
+        hand-off machinery.
+    backend:
+        ``"thread"`` (default) or ``"process"`` — how ``workers >= 1`` are
+        hosted.  The process pool sidesteps the GIL on multi-core boxes at
+        the cost of pickling work units and results across the boundary.
     half:
         fp16 inference mode (paper §3.3 deployment default).
     inflight:
-        Bound on batches submitted but not yet emitted (backpressure).
+        Bound on units submitted but not yet emitted (backpressure).
     """
 
     max_batch: int = 8
     max_delay_s: float = 0.0
     workers: int = 0
+    backend: str = "thread"
     half: bool = True
     inflight: int = 8
 
@@ -71,16 +101,20 @@ class ServiceConfig:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
         if self.inflight < 1:
             raise ValueError(f"inflight must be >= 1, got {self.inflight}")
+        if self.backend not in _BACKENDS:
+            raise ValueError(
+                f"backend must be one of {_BACKENDS}, got {self.backend!r}"
+            )
 
 
 @dataclasses.dataclass
 class BatchRecord:
-    """Timing record of one compressed batch."""
+    """Timing record of one served work unit (a compressed/decoded batch)."""
 
     seq: int
     first_seq: int
     n_wedges: int
-    compress_s: float
+    compress_s: float  # time inside the worker's compressor call
     worker: str
 
 
@@ -138,17 +172,31 @@ class ServiceStats:
         )
 
 
-class StreamingCompressionService:
-    """Micro-batching, multi-worker wedge compression.
+@dataclasses.dataclass
+class PayloadItem:
+    """One decompression work unit: a payload batch with stream bookkeeping."""
 
-    Parameters
-    ----------
-    model:
-        A :class:`BicephalousAutoencoder`; each worker compiles its own
-        compressor (and fast-path workspaces) against it.
-    config:
-        :class:`ServiceConfig`; defaults are single-core friendly.
+    seq: int
+    first_seq: int
+    compressed: CompressedWedges
+
+    @property
+    def n_wedges(self) -> int:
+        return self.compressed.n_wedges
+
+
+class ModelPoolService:
+    """Shared serving core: compressor pool → ordered fan-out → stats.
+
+    Subclasses define one unit of work (:meth:`_work`, and its module-level
+    twin for the process backend via :attr:`_kind`); everything else —
+    compressor pooling/checkout, inline / thread / process execution, the
+    bounded in-flight ordered emission, and stats assembly — lives here, so
+    compression and decompression are two instantiations of one engine.
     """
+
+    #: Work dispatch tag for the process backend ("compress"/"decompress").
+    _kind = ""
 
     def __init__(self, model, config: ServiceConfig | None = None) -> None:
         self.config = config or ServiceConfig()
@@ -156,11 +204,12 @@ class StreamingCompressionService:
         # Warm compressors are pooled on the instance so back-to-back
         # streams reuse their compiled workspaces; checkouts are per-stream
         # (see _Checkout), so concurrent streams on one service never share
-        # a compressor's non-thread-safe scratch.
+        # a compressor's non-thread-safe scratch.  Process-backend workers
+        # own compressors in their own processes instead.
         self._pool_lock = threading.Lock()
+        prewarm = 1 if self.config.backend == "process" else max(1, self.config.workers)
         self._idle: list[BCAECompressor] = [
-            BCAECompressor(model, half=self.config.half)
-            for _ in range(max(1, self.config.workers))
+            BCAECompressor(model, half=self.config.half) for _ in range(prewarm)
         ]
 
     # ------------------------------------------------------------------
@@ -174,24 +223,117 @@ class StreamingCompressionService:
         with self._pool_lock:
             self._idle.extend(compressors)
 
-    def _compress_batch(
-        self, batch: MicroBatch, checkout: "_Checkout"
-    ) -> tuple[BatchRecord, CompressedWedges]:
+    # ------------------------------------------------------------------
+    def _work(self, compressor: BCAECompressor, item):
+        """One unit of work on a checked-out compressor (subclass hook)."""
+
+        raise NotImplementedError
+
+    def _execute(self, checkout: "_Checkout", item):
         name, compressor = checkout.get()
         t0 = time.perf_counter()
-        compressed = compressor.compress_into(batch.wedges)
-        # The worker's payload buffer is reused per call when `out` is
-        # given; compress_into without `out` returns owned bytes — safe to
-        # hand across threads.
+        result = self._work(compressor, item)
         dt = time.perf_counter() - t0
         record = BatchRecord(
-            seq=batch.seq,
-            first_seq=batch.first_seq,
-            n_wedges=batch.n_wedges,
+            seq=item.seq,
+            first_seq=item.first_seq,
+            n_wedges=item.n_wedges,
             compress_s=dt,
             worker=name,
         )
-        return record, compressed
+        return record, result
+
+    # ------------------------------------------------------------------
+    def _serve(self, items) -> Iterator[tuple[BatchRecord, object]]:
+        """Run work units through the configured backend, in stream order."""
+
+        cfg = self.config
+        if cfg.workers == 0:
+            checkout = _Checkout(self)
+            try:
+                for item in items:
+                    yield self._execute(checkout, item)
+            finally:
+                checkout.release()
+            return
+
+        if cfg.backend == "process":
+            with concurrent.futures.ProcessPoolExecutor(
+                cfg.workers,
+                initializer=_process_init,
+                initargs=(self.model, cfg.half),
+            ) as pool:
+                yield from self._drain_ordered(
+                    pool, items, lambda p, it: p.submit(_process_work, self._kind, it)
+                )
+            return
+
+        checkout = _Checkout(self)
+        try:
+            with concurrent.futures.ThreadPoolExecutor(cfg.workers) as pool:
+                yield from self._drain_ordered(
+                    pool, items, lambda p, it: p.submit(self._execute, checkout, it)
+                )
+        finally:
+            checkout.release()
+
+    def _drain_ordered(self, pool, items, submit):
+        """Bounded in-flight window: emission order == submission order ==
+        stream order, and the bound is backpressure."""
+
+        window: collections.deque = collections.deque()
+        for item in items:
+            window.append(submit(pool, item))
+            while len(window) >= self.config.inflight:
+                yield window.popleft().result()
+        while window:
+            yield window.popleft().result()
+
+    # ------------------------------------------------------------------
+    def _collect(self, stream, keep: bool) -> tuple[list, ServiceStats]:
+        """Drain a served stream into (results, stats)."""
+
+        cfg = self.config
+        results: list = []
+        records: list[BatchRecord] = []
+        n_wedges = 0
+        t0 = time.perf_counter()
+        for record, result in stream:
+            records.append(record)
+            n_wedges += record.n_wedges
+            if keep:
+                results.append(result)
+        elapsed = time.perf_counter() - t0
+        stats = ServiceStats(
+            n_wedges=n_wedges,
+            n_batches=len(records),
+            elapsed_s=elapsed,
+            half=cfg.half,
+            max_batch=cfg.max_batch,
+            workers=cfg.workers,
+            records=records,
+        )
+        return results, stats
+
+
+class StreamingCompressionService(ModelPoolService):
+    """Micro-batching, multi-worker wedge compression.
+
+    Parameters
+    ----------
+    model:
+        A :class:`BicephalousAutoencoder`; each worker compiles its own
+        compressor (and fast-path workspaces) against it.
+    config:
+        :class:`ServiceConfig`; defaults are single-core friendly.
+    """
+
+    _kind = "compress"
+
+    def _work(self, compressor: BCAECompressor, batch: MicroBatch) -> CompressedWedges:
+        # compress_into without `out` returns owned payload bytes — safe to
+        # hand across threads while the worker reuses its workspaces.
+        return compressor.compress_into(batch.wedges)
 
     # ------------------------------------------------------------------
     def compress_stream(
@@ -205,25 +347,7 @@ class StreamingCompressionService:
 
         items = _as_stream(source)
         batches = MicroBatcher(self.config.max_batch, self.config.max_delay_s).batches(items)
-        checkout = _Checkout(self)
-        try:
-            if self.config.workers == 0:
-                for batch in batches:
-                    yield self._compress_batch(batch, checkout)
-                return
-
-            window: collections.deque = collections.deque()
-            with concurrent.futures.ThreadPoolExecutor(self.config.workers) as pool:
-                for batch in batches:
-                    window.append(pool.submit(self._compress_batch, batch, checkout))
-                    # Bounded in-flight window: emission order == submission
-                    # order == stream order, and the bound is backpressure.
-                    while len(window) >= self.config.inflight:
-                        yield window.popleft().result()
-                while window:
-                    yield window.popleft().result()
-        finally:
-            checkout.release()
+        yield from self._serve(batches)
 
     # ------------------------------------------------------------------
     def run(
@@ -231,40 +355,105 @@ class StreamingCompressionService:
     ) -> tuple[list[CompressedWedges], ServiceStats]:
         """Serve a whole stream; returns payloads (in order) and stats."""
 
-        cfg = self.config
-        payloads: list[CompressedWedges] = []
-        records: list[BatchRecord] = []
-        n_wedges = 0
-        t0 = time.perf_counter()
-        for record, compressed in self.compress_stream(source):
-            records.append(record)
-            n_wedges += record.n_wedges
-            if keep_payloads:
-                payloads.append(compressed)
-        elapsed = time.perf_counter() - t0
-        stats = ServiceStats(
-            n_wedges=n_wedges,
-            n_batches=len(records),
-            elapsed_s=elapsed,
-            half=cfg.half,
-            max_batch=cfg.max_batch,
-            workers=cfg.workers,
-            records=records,
-        )
-        return payloads, stats
+        return self._collect(self.compress_stream(source), keep_payloads)
+
+
+class DecompressionService(ModelPoolService):
+    """Multi-worker payload decompression — the analysis side of the loop.
+
+    Consumes :class:`CompressedWedges` batches (e.g. loaded from
+    :mod:`repro.io` archives), re-chunks them to ``max_batch`` wedges, and
+    fans them out to workers calling ``BCAECompressor.decompress_into``
+    (the compiled :class:`~repro.core.fast_decode.FastDecoder2D` path where
+    the model supports it).  Reconstructions are owned float32 arrays
+    ``(B, R, A, H)``, emitted in stream order, bit-identical to serial
+    ``decompress`` calls.
+    """
+
+    _kind = "decompress"
+
+    def _work(self, compressor: BCAECompressor, item: PayloadItem) -> np.ndarray:
+        # Copy out of the worker's reused workspace before hand-off.
+        return np.array(compressor.decompress_into(item.compressed))
+
+    # ------------------------------------------------------------------
+    def _as_items(
+        self, source: Iterable[CompressedWedges] | CompressedWedges
+    ) -> Iterator[PayloadItem]:
+        if isinstance(source, CompressedWedges):
+            source = [source]
+        pickled = self.config.backend == "process" and self.config.workers > 0
+        seq = 0
+        first = 0
+        for compressed in source:
+            for chunk in split_compressed(compressed, self.config.max_batch):
+                if pickled and not isinstance(chunk.payload, bytes):
+                    chunk = dataclasses.replace(
+                        chunk, payload=bytes(chunk.payload)
+                    )
+                yield PayloadItem(seq=seq, first_seq=first, compressed=chunk)
+                seq += 1
+                first += chunk.n_wedges
+
+    def decompress_stream(
+        self, source: Iterable[CompressedWedges] | CompressedWedges
+    ) -> Iterator[tuple[BatchRecord, np.ndarray]]:
+        """Decompress payload batches; yields ``(record, recon)`` in order."""
+
+        yield from self._serve(self._as_items(source))
+
+    # ------------------------------------------------------------------
+    def run(
+        self, source, keep_recons: bool = True
+    ) -> tuple[list[np.ndarray], ServiceStats]:
+        """Serve a payload stream; returns reconstructions and stats."""
+
+        return self._collect(self.decompress_stream(source), keep_recons)
+
+
+# ----------------------------------------------------------------------
+# Process-backend plumbing: workers own a resident compressor built once in
+# the child (model crosses by fork/pickle at pool start, never per unit).
+# ----------------------------------------------------------------------
+
+_PROCESS_COMPRESSOR: BCAECompressor | None = None
+
+
+def _process_init(model, half: bool) -> None:
+    global _PROCESS_COMPRESSOR
+    _PROCESS_COMPRESSOR = BCAECompressor(model, half=half)
+
+
+def _process_work(kind: str, item) -> tuple[BatchRecord, object]:
+    compressor = _PROCESS_COMPRESSOR
+    assert compressor is not None, "process pool initializer did not run"
+    t0 = time.perf_counter()
+    if kind == "compress":
+        result: object = compressor.compress_into(item.wedges)
+    else:
+        result = np.array(compressor.decompress_into(item.compressed))
+    dt = time.perf_counter() - t0
+    record = BatchRecord(
+        seq=item.seq,
+        first_seq=item.first_seq,
+        n_wedges=item.n_wedges,
+        compress_s=dt,
+        worker=f"p{os.getpid()}",
+    )
+    return record, result
 
 
 class _Checkout:
     """Per-stream, per-thread compressor checkout.
 
-    Scoped to one ``compress_stream`` call: each worker thread gets its own
-    compressor from the service's idle pool (or a fresh one if the pool is
-    drained by a concurrent stream), and everything returns to the pool
-    when the stream finishes.  This keeps the non-thread-safe compressor
-    workspaces exclusive without any lock on the hot path.
+    Scoped to one stream: each worker thread gets its own compressor from
+    the service's idle pool (or a fresh one if the pool is drained by a
+    concurrent stream), and everything returns to the pool when the stream
+    finishes.  This keeps the non-thread-safe compressor workspaces
+    exclusive without any lock on the hot path.
     """
 
-    def __init__(self, service: "StreamingCompressionService") -> None:
+    def __init__(self, service: ModelPoolService) -> None:
         self._service = service
         self._local = threading.local()
         self._lock = threading.Lock()

@@ -226,6 +226,102 @@ class TestServingPath:
         assert first == second
 
 
+class TestDecompressServingPath:
+    """decompress_into / decompress_stream: the analysis hot path."""
+
+    def test_decompress_into_matches_decompress(self, small_model, raw_wedges):
+        comp = BCAECompressor(small_model)
+        c = comp.compress(raw_wedges)
+        np.testing.assert_array_equal(
+            comp.decompress(c), np.asarray(comp.decompress_into(c))
+        )
+
+    def test_decompress_into_3d_fallback(self, raw_wedges):
+        model = build_model("bcae_ht", wedge_spatial=(16, 24, 30), seed=0)
+        comp = BCAECompressor(model)
+        c = comp.compress(raw_wedges)
+        np.testing.assert_array_equal(
+            comp.decompress(c), np.asarray(comp.decompress_into(c))
+        )
+
+    def test_decompress_into_out_buffer(self, small_model, raw_wedges):
+        comp = BCAECompressor(small_model)
+        c = comp.compress(raw_wedges)
+        ref = comp.decompress(c)
+        out = np.empty(ref.shape, dtype=np.float32)
+        result = comp.decompress_into(c, out=out)
+        assert result is out  # aliases the caller's buffer
+        np.testing.assert_array_equal(out, ref)
+
+    def test_repeated_calls_reuse_workspace(self, small_model, raw_wedges):
+        comp = BCAECompressor(small_model)
+        c = comp.compress(raw_wedges)
+        first = comp.decompress_into(c)
+        ref = np.array(first)
+        second = comp.decompress_into(c)
+        assert np.shares_memory(first, second)  # documented reuse: copy first
+        np.testing.assert_array_equal(np.asarray(second), ref)
+
+    def test_fast_decode_tracks_weight_updates(self, small_model, raw_wedges):
+        """The compiled decoder must not serve stale weights after an
+        in-place parameter update (mirrors the encoder fingerprint test)."""
+
+        comp = BCAECompressor(small_model)
+        c = comp.compress(raw_wedges)
+        before = np.array(comp.decompress_into(c))
+        params = [
+            *small_model.seg_decoder.parameters(),
+            *small_model.reg_decoder.parameters(),
+        ]
+        try:
+            for p in params:
+                p.data *= 1.01
+            after = np.array(comp.decompress_into(c))
+            np.testing.assert_array_equal(after, comp.decompress(c))
+            assert not np.array_equal(after, before)
+        finally:
+            for p in params:
+                p.data /= 1.01
+
+    def test_fast_decode_tracks_threshold_updates(self, small_model, raw_wedges):
+        comp = BCAECompressor(small_model)
+        c = comp.compress(raw_wedges)
+        original = small_model.threshold
+        try:
+            small_model.threshold = 0.05
+            np.testing.assert_array_equal(
+                np.asarray(comp.decompress_into(c)), comp.decompress(c)
+            )
+        finally:
+            small_model.threshold = original
+
+    def test_decode_batch_invariance(self, small_model, raw_wedges):
+        """Reconstruction bytes must not depend on batch composition —
+        the decode-side twin of payload batch invariance, through the
+        Upsample2d + decoder ResBlock2d stacks and both decode paths."""
+
+        comp = BCAECompressor(small_model)
+        singles = [comp.compress(w) for w in raw_wedges]
+        batch = comp.compress(raw_wedges)
+        ref = np.concatenate([comp.decompress(c) for c in singles])
+        np.testing.assert_array_equal(comp.decompress(batch), ref)
+        # np.array, not np.asarray: decompress_into returns a reused
+        # workspace view — accumulating requires a copy (documented).
+        fast = np.concatenate([np.array(comp.decompress_into(c)) for c in singles])
+        np.testing.assert_array_equal(fast, ref)
+        np.testing.assert_array_equal(np.asarray(comp.decompress_into(batch)), ref)
+
+    def test_decompress_stream_yields_owned_copies(self, small_model, raw_wedges):
+        comp = BCAECompressor(small_model)
+        batches = [comp.compress(raw_wedges[:2]), comp.compress(raw_wedges[2:])]
+        recons = list(comp.decompress_stream(batches))
+        assert len(recons) == 2
+        assert not np.shares_memory(recons[0], recons[1])
+        np.testing.assert_array_equal(
+            np.concatenate(recons), comp.decompress(comp.compress(raw_wedges))
+        )
+
+
 class TestRoundTripZoo:
     """Compress→decompress across the model zoo, including a horizontal
     size that is not a multiple of 8 (exercises pad/unpad end to end)."""

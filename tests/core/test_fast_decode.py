@@ -1,0 +1,201 @@
+"""FastDecoder2D: bit-identity with the module path, plan vocabulary, reuse."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import BCAECompressor, build_model
+from repro.core.blocks import ResBlock2d
+from repro.core.fast_decode import FastDecoder2D, supports_fast_decode
+from repro.core.fast_plan import CompiledStagePlan, stage_kinds
+from repro.nn import Tensor
+
+
+def _wedges(n, spatial, seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.integers(0, 1024, size=(n,) + spatial).astype(np.uint16)
+    w[w < 500] = 0
+    return w
+
+
+def _module_decode(model, codes, half):
+    with nn.no_grad(), nn.amp.autocast(half):
+        seg, reg = model.decode(Tensor(codes.astype(np.float32)))
+    return seg.data, reg.data
+
+
+class TestVocabulary:
+    def test_decoder_stages_classified(self):
+        model = build_model("bcae_2d", wedge_spatial=(16, 24, 32), m=2, n=3, d=2, seed=0)
+        kinds = stage_kinds(model.seg_decoder.stages)
+        assert kinds is not None
+        assert kinds[-1] == "sigmoid" and kinds[-2] == "conv"
+        assert "up" in kinds and "res" in kinds
+        assert stage_kinds(model.reg_decoder.stages)[-1] == "identity"
+
+    def test_trailing_res_rejected(self):
+        """A plan ending in a res block would return quantized values where
+        the module returns the unquantized stream — must not compile."""
+
+        stages = nn.Sequential(nn.Conv2d(4, 4, 3, padding=1), ResBlock2d(4))
+        assert stage_kinds(stages) is None
+        with pytest.raises(TypeError):
+            CompiledStagePlan(stages)
+
+    def test_mid_stack_sigmoid_rejected(self):
+        stages = nn.Sequential(
+            nn.Conv2d(4, 4, 1), nn.Sigmoid(), nn.Conv2d(4, 4, 1)
+        )
+        assert stage_kinds(stages) is None
+
+    def test_sigmoid_requires_conv_upstream(self):
+        stages = nn.Sequential(nn.Upsample2d(2), nn.Sigmoid())
+        assert stage_kinds(stages) is None
+
+    def test_unknown_stage_rejected(self):
+        stages = nn.Sequential(nn.Conv2d(4, 4, 1), nn.Tanh())
+        assert stage_kinds(stages) is None
+
+
+class TestSupports:
+    def test_2d_supported(self):
+        model = build_model("bcae_2d", wedge_spatial=(16, 24, 30), m=2, n=2, d=2, seed=0)
+        assert supports_fast_decode(model)
+
+    def test_3d_not_supported(self):
+        model = build_model("bcae_ht", wedge_spatial=(16, 24, 30), seed=0)
+        assert not supports_fast_decode(model)
+
+    def test_compile_rejects_unsupported(self):
+        model = build_model("bcae_ht", wedge_spatial=(16, 24, 30), seed=0)
+        with pytest.raises(TypeError):
+            FastDecoder2D(model)
+
+
+class TestBitIdentity:
+    """The core contract: fast reconstruction values == module-path values."""
+
+    @pytest.mark.parametrize("half", [True, False])
+    @pytest.mark.parametrize("mkw,spatial", [
+        (dict(m=2, n=2, d=2), (16, 24, 30)),
+        (dict(m=4, n=3, d=3), (16, 24, 32)),
+        (dict(m=3, n=2, d=1), (16, 24, 30)),
+    ])
+    def test_matches_module_path(self, mkw, spatial, half):
+        model = build_model("bcae_2d", wedge_spatial=spatial, seed=0, **mkw)
+        comp = BCAECompressor(model, half=half)
+        fd = FastDecoder2D(model, half=half)
+        for b in (1, 3, 8):
+            c = comp.compress(_wedges(b, spatial, seed=b))
+            ref = comp.decompress(c)
+            fast = fd.decompress(c.codes_view(), c.original_horizontal)
+            assert np.array_equal(ref, np.asarray(fast))
+
+    @pytest.mark.parametrize("half", [True, False])
+    def test_head_outputs_match(self, half):
+        """decode() reproduces both raw head outputs, not just the combine."""
+
+        model = build_model("bcae_2d", wedge_spatial=(16, 24, 32), m=2, n=3, d=2, seed=0)
+        comp = BCAECompressor(model, half=half)
+        fd = FastDecoder2D(model, half=half)
+        c = comp.compress(_wedges(4, (16, 24, 32)))
+        seg_ref, reg_ref = _module_decode(model, c.codes_view(), half)
+        seg, reg = fd.decode(c.codes_view())
+        assert np.array_equal(seg_ref, np.asarray(seg))
+        assert np.array_equal(reg_ref, np.asarray(reg))
+
+    def test_no_upsample_decoder(self):
+        model = build_model("bcae_2d", wedge_spatial=(16, 24, 30), m=1, n=1, d=0, seed=0)
+        comp = BCAECompressor(model)
+        fd = FastDecoder2D(model)
+        c = comp.compress(_wedges(2, (16, 24, 30)))
+        assert np.array_equal(
+            comp.decompress(c),
+            np.asarray(fd.decompress(c.codes_view(), c.original_horizontal)),
+        )
+
+    @pytest.mark.parametrize("scale", [40.0, 400.0])
+    def test_fp16_saturation_paths(self, scale):
+        """Huge weights push activations past ±65504: the elided clip must
+        re-engage and still match quantize_fp16's saturate-then-cast."""
+
+        model = build_model("bcae_2d", wedge_spatial=(16, 24, 30), m=2, n=2, d=2, seed=0)
+        params = [*model.seg_decoder.parameters(), *model.reg_decoder.parameters()]
+        for p in params:
+            p.data *= scale
+        try:
+            comp = BCAECompressor(model)
+            fd = FastDecoder2D(model)
+            c = comp.compress(_wedges(3, (16, 24, 30)))
+            assert np.array_equal(
+                comp.decompress(c),
+                np.asarray(fd.decompress(c.codes_view(), c.original_horizontal)),
+            )
+        finally:
+            for p in params:
+                p.data /= scale
+
+    def test_nonstandard_threshold(self):
+        model = build_model("bcae_2d", wedge_spatial=(16, 24, 30), m=2, n=2, d=2, seed=0)
+        model.threshold = 0.31
+        comp = BCAECompressor(model)
+        fd = FastDecoder2D(model)
+        c = comp.compress(_wedges(2, (16, 24, 30)))
+        assert np.array_equal(
+            comp.decompress(c),
+            np.asarray(fd.decompress(c.codes_view(), c.original_horizontal)),
+        )
+
+    def test_batch_size_change_reuses_instance(self):
+        model = build_model("bcae_2d", wedge_spatial=(16, 24, 30), m=2, n=2, d=2, seed=0)
+        comp = BCAECompressor(model)
+        fd = FastDecoder2D(model)
+        for b in (4, 1, 7, 4):
+            c = comp.compress(_wedges(b, (16, 24, 30), seed=b))
+            assert np.array_equal(
+                comp.decompress(c),
+                np.asarray(fd.decompress(c.codes_view(), c.original_horizontal)),
+            )
+
+
+class TestWorkspace:
+    def test_buffers_are_reused(self):
+        model = build_model("bcae_2d", wedge_spatial=(16, 24, 30), m=2, n=2, d=2, seed=0)
+        comp = BCAECompressor(model)
+        fd = FastDecoder2D(model)
+        c = comp.compress(_wedges(4, (16, 24, 30)))
+        fd.decompress(c.codes_view(), c.original_horizontal)
+        footprint = fd.workspace_bytes
+        assert footprint > 0
+        fd.decompress(c.codes_view(), c.original_horizontal)
+        assert fd.workspace_bytes == footprint  # steady state: no growth
+
+    def test_output_buffer_is_reused(self):
+        model = build_model("bcae_2d", wedge_spatial=(16, 24, 30), m=2, n=2, d=2, seed=0)
+        comp = BCAECompressor(model)
+        fd = FastDecoder2D(model)
+        c = comp.compress(_wedges(2, (16, 24, 30)))
+        a = fd.decompress(c.codes_view(), c.original_horizontal)
+        b = fd.decompress(c.codes_view(), c.original_horizontal)
+        assert np.shares_memory(a, b)  # documented: copy before the next call
+
+    def test_heads_share_one_workspace(self):
+        """The two structurally identical head plans reuse one buffer set —
+        the decode footprint must stay well under two independent plans."""
+
+        model = build_model("bcae_2d", wedge_spatial=(16, 24, 30), m=2, n=2, d=2, seed=0)
+        comp = BCAECompressor(model)
+        fd = FastDecoder2D(model)
+        c = comp.compress(_wedges(2, (16, 24, 30)))
+        fd.decompress(c.codes_view(), c.original_horizontal)
+        shared = fd.workspace_bytes
+        assert shared < 2 * _single_head_bytes(model, c.codes_view())
+
+
+def _single_head_bytes(model, codes) -> int:
+    plan = CompiledStagePlan(model.seg_decoder.stages)
+    n, ch, a, h = codes.shape
+    canvas, interior = plan.input_canvas(n, ch, (a, h))
+    np.copyto(interior, codes.transpose(1, 0, 2, 3))
+    plan.run(canvas, (a, h), 65504.0)
+    return plan.workspace_bytes

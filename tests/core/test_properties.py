@@ -108,6 +108,43 @@ class TestCompressorProperties:
         assert comp.compression_ratio((16, 24, 30)) == comp.compression_ratio((16, 24, 30))
 
 
+class TestBatchInvariance:
+    """Payload → reconstruction bytes must not depend on batch composition.
+
+    The encoder-side property (payload invariance) is pinned in
+    test_compressor.py; these extend it through the decoder stacks —
+    Upsample2d + decoder ResBlock2d chains — and the compiled fast-decode
+    path, across random (n, d) decoder architectures.
+    """
+
+    @settings(**_SETTINGS)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        extra_n=st.integers(0, 2),
+        d=st.integers(0, 2),
+        batch=st.integers(2, 4),
+    )
+    def test_decode_invariant_over_batch_composition(self, seed, extra_n, d, batch):
+        nn.init.seed(7)
+        model = BCAE2D(m=max(d, 1), n=max(d + extra_n, 1), d=d)
+        comp = BCAECompressor(model)
+        rng = np.random.default_rng(seed)
+        raw = rng.integers(0, 1024, size=(batch, 16, 16, 16)).astype(np.uint16)
+        raw[raw < 600] = 0
+        singles = [comp.compress(w) for w in raw]
+        ref = np.concatenate([comp.decompress(c) for c in singles])
+        batched = comp.compress(raw)
+        # Module path, batched == singles...
+        np.testing.assert_array_equal(comp.decompress(batched), ref)
+        # ...and the compiled fast path, batched and single-wedge.
+        np.testing.assert_array_equal(np.asarray(comp.decompress_into(batched)), ref)
+        # np.array copies: decompress_into returns a reused workspace view.
+        fast_singles = np.concatenate(
+            [np.array(comp.decompress_into(c)) for c in singles]
+        )
+        np.testing.assert_array_equal(fast_singles, ref)
+
+
 class TestFailureModes:
     def test_wrong_wedge_rank_raises(self, tiny_model):
         comp = BCAECompressor(tiny_model)

@@ -95,3 +95,25 @@ class TestExtensionCommands:
         ])
         assert rc == 0
         assert "workers=2" in capsys.readouterr().out
+
+    def test_serve_archive_then_decompress(self, tmp_path, capsys):
+        """The round-trip CLI story: serve → archive → decompress --verify."""
+
+        archive = tmp_path / "codes.npz"
+        out = tmp_path / "recon.npz"
+        rc = main([
+            "serve", "--wedges", "6", "--batch", "3",
+            "--m", "2", "--n", "2", "--d", "2", "--archive", str(archive),
+        ])
+        assert rc == 0
+        assert archive.exists()
+        rc = main([
+            "decompress", "--archive", str(archive), "--out", str(out),
+            "--m", "2", "--n", "2", "--d", "2", "--verify", "--adc",
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "parity with module-graph decompress: OK" in text
+        data = np.load(out)
+        assert data["recon_log"].shape[0] == 6
+        assert data["recon_adc"].dtype == np.uint16

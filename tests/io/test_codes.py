@@ -1,0 +1,137 @@
+"""io.codes: archive round trips, metadata validation, rechunking."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import BCAECompressor, build_model
+from repro.io import concat_compressed, load_compressed, save_compressed, split_compressed
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    return build_model("bcae_2d", wedge_spatial=(16, 24, 30), m=2, n=2, d=2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def raw_wedges():
+    rng = np.random.default_rng(3)
+    w = rng.integers(0, 1024, size=(5, 16, 24, 30)).astype(np.uint16)
+    w[w < 600] = 0
+    return w
+
+
+@pytest.fixture(scope="module")
+def compressed(small_model, raw_wedges):
+    return BCAECompressor(small_model).compress(raw_wedges)
+
+
+class TestRoundTrips:
+    def test_empty_model_name(self, compressed, tmp_path):
+        path = save_compressed(compressed, tmp_path / "c.npz")
+        loaded, name = load_compressed(path)
+        assert name == ""
+        assert loaded.payload == compressed.payload
+
+    def test_single_wedge_batch(self, small_model, raw_wedges, tmp_path):
+        comp = BCAECompressor(small_model)
+        c = comp.compress(raw_wedges[0])
+        loaded, _ = load_compressed(save_compressed(c, tmp_path / "one.npz"))
+        assert loaded.n_wedges == 1
+        np.testing.assert_array_equal(comp.decompress(loaded), comp.decompress(c))
+
+    def test_oversized_payload(self, small_model, raw_wedges, tmp_path):
+        """A ring-buffer payload larger than the codes still archives and
+        decodes correctly (codes_view reads exactly n_wedges records)."""
+
+        comp = BCAECompressor(small_model)
+        ref = comp.compress(raw_wedges)
+        out = bytearray(ref.nbytes + 128)
+        c = comp.compress_into(raw_wedges, out=out)
+        loaded, _ = load_compressed(save_compressed(c, tmp_path / "ring.npz"))
+        np.testing.assert_array_equal(loaded.codes_view(), ref.codes_view())
+        np.testing.assert_array_equal(comp.decompress(loaded), comp.decompress(ref))
+
+    def test_precision_mode_round_trips(self, small_model, raw_wedges, tmp_path):
+        for half in (True, False):
+            comp = BCAECompressor(small_model, half=half)
+            c = comp.compress(raw_wedges)
+            loaded, _ = load_compressed(save_compressed(c, tmp_path / f"h{half}.npz"))
+            assert loaded.half is half
+            assert loaded.code_dtype == "<f2"
+            np.testing.assert_array_equal(comp.decompress(loaded), comp.decompress(c))
+
+
+class TestValidation:
+    def test_half_mismatch_rejected_at_decode(self, small_model, compressed, tmp_path):
+        """The motivating bug: a half payload into a full compressor used to
+        decode silently wrong — now it raises."""
+
+        path = save_compressed(compressed, tmp_path / "half.npz")
+        loaded, _ = load_compressed(path)
+        full = BCAECompressor(small_model, half=False)
+        with pytest.raises(ValueError, match="precision"):
+            full.decompress(loaded)
+        with pytest.raises(ValueError, match="precision"):
+            full.decompress_into(loaded)
+
+    def test_legacy_archive_loads_unchecked(self, compressed, small_model, tmp_path):
+        """Archives from before the metadata fields keep working."""
+
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(
+            path,
+            payload=np.frombuffer(compressed.payload, dtype=np.uint8),
+            code_shape=np.array(compressed.code_shape, dtype=np.int64),
+            n_wedges=np.array([compressed.n_wedges], dtype=np.int64),
+            original_horizontal=np.array([compressed.original_horizontal], dtype=np.int64),
+            model_name=np.frombuffer(b"bcae_2d", dtype=np.uint8),
+        )
+        loaded, name = load_compressed(path)
+        assert name == "bcae_2d"
+        assert loaded.half is None  # unknown mode: accepted by either compressor
+        for half in (True, False):
+            BCAECompressor(small_model, half=half).decompress(loaded)
+
+    def test_truncated_archive_fails_at_load(self, compressed, tmp_path):
+        bad = dataclasses.replace(compressed, payload=compressed.payload[:-8])
+        path = save_compressed(bad, tmp_path / "trunc.npz")
+        with pytest.raises(ValueError, match="truncated"):
+            load_compressed(path)
+
+    def test_bad_dtype_rejected_at_decode(self, small_model, compressed):
+        bad = dataclasses.replace(compressed, code_dtype="<f4")
+        with pytest.raises(ValueError, match="dtype"):
+            BCAECompressor(small_model).decompress(bad)
+
+
+class TestRechunking:
+    def test_split_concat_roundtrip(self, compressed):
+        chunks = list(split_compressed(compressed, 2))
+        assert [c.n_wedges for c in chunks] == [2, 2, 1]
+        back = concat_compressed(chunks)
+        assert bytes(back.payload) == compressed.payload
+        assert back.n_wedges == compressed.n_wedges
+        assert back.half == compressed.half
+
+    def test_split_chunks_decode_like_the_whole(self, small_model, compressed):
+        comp = BCAECompressor(small_model)
+        whole = comp.decompress(compressed)
+        parts = np.concatenate(
+            [comp.decompress(c) for c in split_compressed(compressed, 3)]
+        )
+        np.testing.assert_array_equal(whole, parts)
+
+    def test_concat_rejects_mismatched_metadata(self, compressed):
+        other = dataclasses.replace(compressed, original_horizontal=7)
+        with pytest.raises(ValueError):
+            concat_compressed([compressed, other])
+
+    def test_split_validates_batch_size(self, compressed):
+        with pytest.raises(ValueError):
+            list(split_compressed(compressed, 0))
+
+    def test_concat_rejects_empty(self):
+        with pytest.raises(ValueError):
+            concat_compressed([])

@@ -1,10 +1,16 @@
-"""StreamingCompressionService: ordering, parity, stats, worker pool."""
+"""The model-pool services: ordering, parity, stats, worker backends."""
 
 import numpy as np
 import pytest
 
 from repro.core import BCAECompressor, build_model
-from repro.serve import ServiceConfig, StreamingCompressionService, iter_wedges, replay_stream
+from repro.serve import (
+    DecompressionService,
+    ServiceConfig,
+    StreamingCompressionService,
+    iter_wedges,
+    replay_stream,
+)
 
 
 @pytest.fixture(scope="module")
@@ -97,6 +103,97 @@ class TestTimedReplay:
         assert b"".join(bytes(p.payload) for p in payloads) == b"".join(serial_payloads)
 
 
+class TestProcessBackend:
+    """ServiceConfig(backend="process"): GIL-sidestepping worker pool."""
+
+    def test_compression_parity(self, model, wedges, serial_payloads):
+        service = StreamingCompressionService(
+            model, ServiceConfig(max_batch=4, workers=2, backend="process")
+        )
+        payloads, stats = service.run(wedges)
+        assert b"".join(bytes(p.payload) for p in payloads) == b"".join(serial_payloads)
+        assert stats.n_wedges == len(wedges)
+        assert all(r.worker.startswith("p") for r in stats.records)
+
+    def test_decompression_parity(self, model, wedges):
+        comp = BCAECompressor(model)
+        batch = comp.compress(wedges)
+        ref = comp.decompress(batch)
+        service = DecompressionService(
+            model, ServiceConfig(max_batch=4, workers=2, backend="process")
+        )
+        recons, stats = service.run(batch)
+        np.testing.assert_array_equal(np.concatenate(recons), ref)
+        assert stats.n_wedges == len(wedges)
+
+    def test_inline_ignores_backend(self, model, wedges, serial_payloads):
+        """workers=0 runs inline regardless of the configured backend."""
+
+        service = StreamingCompressionService(
+            model, ServiceConfig(max_batch=4, workers=0, backend="process")
+        )
+        payloads, _ = service.run(wedges)
+        assert b"".join(bytes(p.payload) for p in payloads) == b"".join(serial_payloads)
+
+
+class TestDecompressionService:
+    @pytest.fixture(scope="class")
+    def payload_batches(self, model, wedges):
+        comp = BCAECompressor(model)
+        return [comp.compress(wedges[:5]), comp.compress(wedges[5:])]
+
+    @pytest.fixture(scope="class")
+    def serial_recons(self, model, wedges):
+        comp = BCAECompressor(model)
+        return np.concatenate([comp.decompress(comp.compress(w)) for w in wedges])
+
+    @pytest.mark.parametrize("config", [
+        ServiceConfig(max_batch=4, workers=0),
+        ServiceConfig(max_batch=4, workers=2),
+        ServiceConfig(max_batch=1, workers=0),
+        ServiceConfig(max_batch=64, workers=0),
+    ], ids=["inline", "pool2", "batch1", "batch-all"])
+    def test_order_and_parity(self, model, payload_batches, serial_recons, config):
+        service = DecompressionService(model, config)
+        recons, stats = service.run(payload_batches)
+        assert stats.n_wedges == 13
+        got = np.concatenate(recons)
+        np.testing.assert_array_equal(got, serial_recons)
+
+    def test_single_payload_accepted(self, model, payload_batches):
+        service = DecompressionService(model, ServiceConfig(max_batch=4))
+        recons, stats = service.run(payload_batches[0])
+        assert stats.n_wedges == 5
+        assert sum(r.shape[0] for r in recons) == 5
+
+    def test_rechunking_respects_max_batch(self, model, payload_batches):
+        service = DecompressionService(model, ServiceConfig(max_batch=2))
+        _recons, stats = service.run(payload_batches)
+        assert all(r.n_wedges <= 2 for r in stats.records)
+        assert stats.n_batches == 7  # 3+4 chunks from the 5+8 wedge batches
+
+    def test_recons_are_owned(self, model, payload_batches):
+        """Emitted arrays must not alias worker workspaces."""
+
+        service = DecompressionService(model, ServiceConfig(max_batch=4))
+        recons, _ = service.run(payload_batches)
+        for a in recons:
+            for b in recons:
+                assert a is b or not np.shares_memory(a, b)
+
+    def test_empty_source(self, model):
+        recons, stats = DecompressionService(model).run([])
+        assert recons == [] and stats.n_wedges == 0 and stats.n_batches == 0
+
+    def test_half_mismatch_surfaces(self, model, payload_batches):
+        import dataclasses
+
+        bad = dataclasses.replace(payload_batches[0], half=False)
+        service = DecompressionService(model, ServiceConfig(max_batch=4))
+        with pytest.raises(ValueError, match="precision"):
+            service.run(bad)
+
+
 class TestConfigValidation:
     def test_negative_workers_rejected(self):
         with pytest.raises(ValueError):
@@ -105,3 +202,7 @@ class TestConfigValidation:
     def test_zero_inflight_rejected(self):
         with pytest.raises(ValueError):
             ServiceConfig(inflight=0)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(backend="fiber")
