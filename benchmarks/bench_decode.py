@@ -3,8 +3,9 @@
 The paper's loop is bicephalous end to end: payloads written by the
 counting house must be decompressed offline at comparable throughput.  This
 bench measures the analysis-side fast path — both decoder heads and the
-masked combine compiled by :class:`repro.core.FastDecoder2D` through the
-stage-plan engine, served via ``BCAECompressor.decompress_into`` and
+masked combine compiled by the stage-plan engine
+(:class:`repro.core.FastDecoder2D` / :class:`repro.core.FastDecoder3D`),
+served via ``BCAECompressor.decompress_into`` and
 :class:`repro.serve.DecompressionService` — against the naive loop an
 analysis user would write: one module-graph ``decompress`` call per
 archived single-wedge payload.
@@ -12,33 +13,47 @@ archived single-wedge payload.
 Acceptance gates:
 
 * the best fast configuration sustains **≥ 2×** the module-graph loop's
-  wedges/s on the paper-default BCAE-2D(m=4, n=8, d=3);
+  wedges/s on the paper-default BCAE-2D(m=4, n=8, d=3) at tiny geometry
+  **and** on the 3D BCAE-HT at paper-scale geometry ``(16, 192, 249)`` —
+  the regime where the blocked im2col gathers carry the win;
 * reconstructions are **bit-identical** to the module-graph path for every
   payload, in every configuration.
+
+Every run (including ``--smoke``) appends machine-readable rows to
+``BENCH_decode.json`` (model, wedge shape, backend, wedges/s, speedup) so
+future PRs can detect perf regressions.
 
 Timings are best-of-N on both sides.  Runs under pytest (tier-2 bench
 suite) and as a script::
 
-    python benchmarks/bench_decode.py [--smoke]
+    python benchmarks/bench_decode.py [--smoke] [--model NAME] [--paper]
 
 ``--smoke`` shrinks the stream and relaxes the speed gate (CI exercises the
 round-trip wiring on busy shared runners; the 2× claim is the bench's).
+``--model bcae_ht --paper`` runs one 3D paper-scale section only — the CI
+smoke invocation for the 3D fast path.
 """
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
 _N_WEDGES = 24
+_N_WEDGES_PAPER = 4
 _REPEATS = 3
 
+_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_decode.json"
 
-def _stream(n=_N_WEDGES, seed=7):
-    from repro.tpc import TINY_GEOMETRY, generate_wedge_stream
 
-    return generate_wedge_stream(n, geometry=TINY_GEOMETRY, seed=seed)
+def _stream(n, paper=False, seed=7):
+    from repro.tpc import PAPER_GEOMETRY, TINY_GEOMETRY, generate_wedge_stream
+
+    geometry = PAPER_GEOMETRY if paper else TINY_GEOMETRY
+    return generate_wedge_stream(n, geometry=geometry, seed=seed)
 
 
 def _best_of_interleaved(fns, repeats=_REPEATS):
@@ -58,19 +73,22 @@ def _best_of_interleaved(fns, repeats=_REPEATS):
     return best
 
 
-def measure(n_wedges=_N_WEDGES, repeats=_REPEATS, model_kwargs=None):
-    """Run the decode comparison; returns (serial_wps, rows).
+def measure(model_name="bcae_2d", n_wedges=_N_WEDGES, repeats=_REPEATS,
+            paper=False, model_kwargs=None):
+    """Run the decode comparison for one model/geometry; returns a section.
 
-    ``rows`` are ``(label, wedges_per_second, bit_identical)`` for each
-    fast configuration.
+    The section dict carries the module-graph baseline and one row per fast
+    configuration (``backend``, wedges/s, speedup, bit-identity flag).
     """
 
     from repro.core import BCAECompressor, build_model
     from repro.serve import DecompressionService, ServiceConfig
 
-    wedges = _stream(n_wedges)
-    model_kwargs = model_kwargs or dict(m=4, n=8, d=3)
-    model = build_model("bcae_2d", wedge_spatial=wedges.shape[1:], seed=0,
+    wedges = _stream(n_wedges, paper=paper)
+    model_kwargs = model_kwargs or (
+        dict(m=4, n=8, d=3) if model_name == "bcae_2d" else {}
+    )
+    model = build_model(model_name, wedge_spatial=wedges.shape[1:], seed=0,
                         **model_kwargs)
     compressor = BCAECompressor(model)
 
@@ -81,7 +99,7 @@ def measure(n_wedges=_N_WEDGES, repeats=_REPEATS, model_kwargs=None):
 
     # Parity first (bit-exact), then interleaved timing rounds.
     fast = BCAECompressor(model)
-    fast.decompress_into(payloads[0])  # compile + warm workspaces
+    fast.decompress_into(payloads[0])  # compile + calibrate + warm workspaces
     into_identical = b"".join(
         np.ascontiguousarray(fast.decompress_into(c)).tobytes() for c in payloads
     ) == ref_bytes
@@ -103,18 +121,54 @@ def measure(n_wedges=_N_WEDGES, repeats=_REPEATS, model_kwargs=None):
         ("decompress_into", len(wedges) / into_s, into_identical),
         ("service inline", len(wedges) / svc_s, svc_identical),
     ]
-    return serial_wps, rows
+    return {
+        "model": model_name,
+        "wedge_shape": list(wedges.shape[1:]),
+        "paper_scale": bool(paper),
+        "n_wedges": len(wedges),
+        "module_graph_wps": serial_wps,
+        "rows": [
+            {
+                "backend": label,
+                "wedges_per_second": wps,
+                "speedup_vs_module_graph": wps / serial_wps,
+                "bit_identical": bool(identical),
+            }
+            for label, wps, identical in rows
+        ],
+    }
 
 
-def _report_lines(serial_wps, rows, n_wedges):
+def write_bench_json(sections, smoke, path=_BENCH_JSON):
+    """Write the perf-trajectory record future PRs diff against."""
+
+    payload = {
+        "benchmark": "bench_decode",
+        "smoke": bool(smoke),
+        "sections": sections,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def _report_lines(section):
     yield ""
-    yield "Decode — compiled fast path vs module-graph analysis loop"
-    yield f"  stream: {n_wedges} single-wedge payloads (tiny geometry), best of {_REPEATS}"
-    yield f"  BCAE-2D(m=4,n=8,d=3): module-graph serial {serial_wps:7.1f} w/s"
-    for label, wps, identical in rows:
-        yield (f"    fast {label:16s}: {wps:7.1f} w/s  "
-               f"speedup {wps / serial_wps:.2f}x  recon "
-               f"{'identical' if identical else 'MISMATCH'}")
+    yield (f"Decode — {section['model']} at "
+           f"{'paper-scale' if section['paper_scale'] else 'tiny'} geometry "
+           f"{tuple(section['wedge_shape'])}")
+    yield (f"  stream: {section['n_wedges']} single-wedge payloads, "
+           f"module-graph serial {section['module_graph_wps']:7.2f} w/s")
+    for row in section["rows"]:
+        yield (f"    fast {row['backend']:16s}: "
+               f"{row['wedges_per_second']:7.2f} w/s  "
+               f"speedup {row['speedup_vs_module_graph']:.2f}x  recon "
+               f"{'identical' if row['bit_identical'] else 'MISMATCH'}")
+
+
+def _section_ok(section, gate):
+    identical = all(r["bit_identical"] for r in section["rows"])
+    best = max(r["speedup_vs_module_graph"] for r in section["rows"])
+    return identical, best >= gate, best
 
 
 def test_decode_speedup_and_parity(benchmark):
@@ -127,43 +181,88 @@ def test_decode_speedup_and_parity(benchmark):
         return results
 
     benchmark.pedantic(measure_all, rounds=1, iterations=1)
-    serial_wps, rows = results["r"]
-    for line in _report_lines(serial_wps, rows, _N_WEDGES):
+    section = results["r"]
+    for line in _report_lines(section):
         report(line)
 
+    identical, fast_enough, best = _section_ok(section, 2.0)
     # Acceptance: bit-identical reconstructions in every configuration.
-    assert all(identical for _l, _w, identical in rows), "recon mismatch"
+    assert identical, "recon mismatch"
     # Acceptance: >= 2x the module-graph analysis loop.
-    best = max(wps for _l, wps, _i in rows)
-    assert best >= 2.0 * serial_wps, (
-        f"fast decode {best:.1f} w/s < 2x module path {serial_wps:.1f} w/s"
-    )
+    assert fast_enough, f"fast decode only {best:.2f}x the module path"
+
+
+def test_decode_3d_paper_scale(benchmark):
+    """The blocked-gather regime: 3D BCAE-HT at the paper grid, ≥2×."""
+
+    from conftest import report
+
+    results = {}
+
+    def measure_all():
+        results["r"] = measure("bcae_ht", n_wedges=2, repeats=1, paper=True)
+        return results
+
+    benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    section = results["r"]
+    for line in _report_lines(section):
+        report(line)
+
+    identical, fast_enough, best = _section_ok(section, 2.0)
+    assert identical, "recon mismatch"
+    assert fast_enough, f"3D paper-scale decode only {best:.2f}x"
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="small stream, relaxed speed gate (CI wiring check)")
+    parser.add_argument("--model", default=None,
+                        help="run a single model section (default: the full "
+                             "2D-tiny + 3D-paper-scale gate set)")
+    parser.add_argument("--paper", action="store_true",
+                        help="paper-scale geometry (16, 192, 249) for --model")
     parser.add_argument("--wedges", type=int, default=None)
     args = parser.parse_args(argv)
 
-    n = args.wedges or (8 if args.smoke else _N_WEDGES)
     repeats = 1 if args.smoke else _REPEATS
     gate = 1.1 if args.smoke else 2.0
-    serial_wps, rows = measure(n_wedges=n, repeats=repeats)
-    for line in _report_lines(serial_wps, rows, n):
-        print(line)
-    if not all(identical for _l, _w, identical in rows):
-        print("FAIL: reconstruction mismatch")
-        return 1
-    best = max(wps for _l, wps, _i in rows)
-    if best < gate * serial_wps:
-        print(f"FAIL: best fast decode {best:.1f} w/s < {gate}x "
-              f"module path {serial_wps:.1f} w/s")
-        return 1
-    print(f"OK: best fast decode {best / serial_wps:.2f}x module path "
-          f"(gate {gate}x)")
-    return 0
+
+    plan = []
+    if args.model is not None:
+        n = args.wedges or (
+            (2 if args.smoke else _N_WEDGES_PAPER) if args.paper
+            else (8 if args.smoke else _N_WEDGES)
+        )
+        plan.append((args.model, n, args.paper))
+    else:
+        plan.append(("bcae_2d", args.wedges or (8 if args.smoke else _N_WEDGES),
+                     False))
+        if not args.smoke:
+            # The blocked-gather acceptance gate: 3D decode at the paper grid.
+            plan.append(("bcae_ht", args.wedges or _N_WEDGES_PAPER, True))
+
+    sections = []
+    failed = False
+    for model_name, n, paper in plan:
+        section = measure(model_name, n_wedges=n, repeats=repeats, paper=paper)
+        sections.append(section)
+        for line in _report_lines(section):
+            print(line)
+        identical, fast_enough, best = _section_ok(section, gate)
+        if not identical:
+            print(f"FAIL: {model_name} reconstruction mismatch")
+            failed = True
+        elif not fast_enough:
+            print(f"FAIL: {model_name} best fast decode {best:.2f}x < "
+                  f"gate {gate}x")
+            failed = True
+        else:
+            print(f"OK: {model_name} best fast decode {best:.2f}x module "
+                  f"path (gate {gate}x)")
+    path = write_bench_json(sections, args.smoke)
+    print(f"wrote {path}")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

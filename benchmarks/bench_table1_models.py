@@ -15,13 +15,20 @@ throughput with the roofline.  §3.1 ratios (31.125 / 27.041) are asserted
 exactly.
 """
 
+import argparse
+import json
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from conftest import report
 
-from repro.core import BCAECompressor, build_model
-from repro.perf import estimate_throughput, measure_encoder_throughput, trace_encoder
+from repro.core import BCAECompressor, build_model, supports_fast_encode
+from repro.perf import estimate_throughput, measure_compress_throughput, trace_encoder
+
+_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_models.json"
 
 _PAPER = {
     "bcae_2d": dict(mae=0.152, psnr=11.726, precision=0.906, recall=0.907, size=169.0, tput=6900),
@@ -112,24 +119,92 @@ def test_table1_compression_ratios(benchmark, table1_rows):
     assert values["bcae"] == pytest.approx(27.041, abs=1e-3)
 
 
+def measure_cpu_throughput(models, wedge_shape=(16, 192, 249), repeats=1, warmup=1):
+    """Wedges/s of ``compress_into`` per model — like-for-like engines.
+
+    Every model with a compiled stage plan (BCAE-2D *and* the 3D BCAE++/HT)
+    routes through its fast path; only the original BCAE's BatchNorm stack
+    runs the module graph — so Table-1 throughput ordering compares the
+    engines a deployment would actually run.  Returns per-model rows with
+    the backend recorded.
+    """
+
+    rows = {}
+    for name, model in models.items():
+        r = measure_compress_throughput(
+            model, wedge_shape, batch_size=1, half=True,
+            repeats=repeats, warmup=warmup,
+        )
+        rows[name] = {
+            "wedges_per_second": r.wedges_per_second,
+            "wedge_shape": list(wedge_shape),
+            "backend": "fast" if supports_fast_encode(model) else "module_graph",
+            "encoder_parameters": model.encoder_parameters(),
+        }
+    return rows
+
+
+def write_bench_json(rows, smoke, path=_BENCH_JSON):
+    """Write the perf-trajectory record future PRs diff against."""
+
+    payload = {"benchmark": "bench_table1_models", "smoke": bool(smoke),
+               "models": rows}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
 def test_table1_cpu_throughput(benchmark, table1_rows):
-    """Measured wedges/s of this NumPy implementation (batch 1, fp16 mode)."""
+    """Measured wedges/s of this implementation (batch 1, fp16 serving path)."""
 
     results = {}
 
     def measure_all():
-        for name, row in table1_rows.items():
-            shape = (16, 192, 256) if name != "bcae" else (16, 192, 249)
-            r = measure_encoder_throughput(
-                row["paper_model"], shape, batch_size=1, half=True, repeats=1, warmup=0
-            )
-            results[name] = r.wedges_per_second
+        models = {name: row["paper_model"] for name, row in table1_rows.items()}
+        results.update(measure_cpu_throughput(models))
         return results
 
     benchmark.pedantic(measure_all, rounds=1, iterations=1)
     report()
-    report("Table 1 (cont.) — measured CPU throughput of this implementation")
-    for name, tput in results.items():
-        report(f"  {name:9s} {tput:8.2f} wedges/s (CPU)   [paper GPU: ~{_PAPER[name]['tput']}/s]")
+    report("Table 1 (cont.) — measured CPU throughput, compiled serving path")
+    for name, row in results.items():
+        report(f"  {name:9s} {row['wedges_per_second']:8.2f} wedges/s "
+               f"({row['backend']:12s})   [paper GPU: ~{_PAPER[name]['tput']}/s]")
+    write_bench_json(results, smoke=False)
+    # All three stage-plan families must actually be on the fast engine.
+    for name in ("bcae_2d", "bcae_pp", "bcae_ht"):
+        assert results[name]["backend"] == "fast", f"{name} fell off the fast path"
     # The paper's headline: the 2D encoder is the fastest of the family.
-    assert results["bcae_2d"] > results["bcae_pp"]
+    assert (results["bcae_2d"]["wedges_per_second"]
+            > results["bcae_pp"]["wedges_per_second"])
+
+
+def main(argv=None) -> int:
+    """Script mode: the like-for-like throughput table without the training
+    fixtures (metrics need pytest; throughput does not)."""
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small geometry, single repeat (CI wiring check)")
+    args = parser.parse_args(argv)
+
+    wedge_shape = (16, 48, 62) if args.smoke else (16, 192, 249)
+    models = {
+        name: build_model(name, wedge_spatial=wedge_shape, seed=0)
+        for name in ("bcae_2d", "bcae_pp", "bcae_ht", "bcae")
+    }
+    rows = measure_cpu_throughput(models, wedge_shape=wedge_shape)
+    print("Table 1 — measured CPU throughput, compiled serving path")
+    for name, row in rows.items():
+        print(f"  {name:9s} {row['wedges_per_second']:8.2f} wedges/s "
+              f"({row['backend']})")
+    path = write_bench_json(rows, args.smoke)
+    print(f"wrote {path}")
+    for name in ("bcae_2d", "bcae_pp", "bcae_ht"):
+        if rows[name]["backend"] != "fast":
+            print(f"FAIL: {name} fell off the fast path")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

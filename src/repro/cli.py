@@ -329,6 +329,9 @@ def cmd_serve(args) -> int:
     kwargs = _model_kwargs(args)
     model = build_model(args.model, wedge_spatial=geometry.wedge_shape,
                         seed=args.seed, **kwargs)
+    # Inference mode: BatchNorm models (the original BCAE) must use their
+    # running statistics, or payloads would depend on batch composition.
+    model.eval()
     config = ServiceConfig(
         max_batch=args.batch,
         max_delay_s=args.budget_ms / 1e3,
@@ -383,24 +386,51 @@ def cmd_decompress(args) -> int:
     compressed, model_name = load_compressed(args.archive)
     name = model_name or args.model
     kwargs = _model_kwargs(args) if name == "bcae_2d" else {}
-    d = kwargs.get("d", 3)
-    # Recover the wedge geometry the archive describes: the decoder
-    # upsamples the code spatial shape by 2^d, horizontal unpads to the
-    # recorded original size.  (Weights are synthetic — the producer and
-    # consumer must agree on --model/--m/--n/--d/--seed; the code-shape
-    # check below catches family/geometry mismatches loudly.)
-    azim = compressed.code_shape[1]
-    spatial = (16, azim * 2 ** d, compressed.original_horizontal)
-    model = build_model(name, wedge_spatial=spatial, seed=args.seed, **kwargs)
-    try:
-        expected = BCAECompressor(model).code_shape_for(spatial)
-    except ValueError as exc:
-        print(f"archive incompatible with rebuilt model {name}: {exc}")
+    # Recover the wedge geometry the archive describes (weights are
+    # synthetic — the producer and consumer must agree on
+    # --model/--m/--n/--d/--seed; the code-shape check below catches
+    # family/geometry mismatches loudly).
+    if name == "bcae_2d":
+        # 2D: the decoder upsamples the code spatial shape by 2^d, the
+        # horizontal unpads to the recorded original size.
+        d = kwargs.get("d", 3)
+        azim = compressed.code_shape[1]
+        candidates = [(16, azim * 2 ** d, compressed.original_horizontal)]
+    elif len(compressed.code_shape) == 4:
+        # 3D: codes are (C, r, a, h) with the radial axis untouched and
+        # four ×2 azimuthal stages — a·16 for the padded variants, the
+        # legacy-tail inversions (output_padding 0/1) for the original.
+        _c, r, a, _h = compressed.code_shape
+        candidates = [
+            (r, az, compressed.original_horizontal)
+            for az in (a * 16, (2 * a - 3) * 8, (2 * a - 2) * 8)
+            if az > 0
+        ]
+    else:
+        print(
+            f"archive code shape {tuple(compressed.code_shape)} is not a 3D "
+            f"code; pass the producer's --model/--m/--n/--d flags"
+        )
         return 1
-    if tuple(expected) != tuple(compressed.code_shape):
+    model = None
+    for spatial in candidates:
+        try:
+            candidate = build_model(name, wedge_spatial=spatial, seed=args.seed,
+                                    **kwargs)
+            expected = BCAECompressor(candidate).code_shape_for(spatial)
+        except ValueError:
+            continue
+        if tuple(expected) == tuple(compressed.code_shape):
+            model = candidate
+            # Inference mode: BatchNorm models (the original BCAE) must
+            # decode from running statistics, batch-composition-free.
+            model.eval()
+            break
+    if model is None:
         print(
             f"archive code shape {tuple(compressed.code_shape)} does not match "
-            f"model {name} (expects {tuple(expected)}); pass the producer's "
+            f"any {name} geometry (tried wedge shapes "
+            f"{', '.join(str(c) for c in candidates)}); pass the producer's "
             "--model/--m/--n/--d flags"
         )
         return 1

@@ -14,8 +14,18 @@ from .compressor import BCAECompressor, CompressedWedges
 from .decoder2d import BCAEDecoder2D
 from .encoder2d import BCAEEncoder2D
 from .fast_plan import CompiledStagePlan, stage_kinds
-from .fast_encode import FastEncoder2D, supports_fast_encode
-from .fast_decode import FastDecoder2D, supports_fast_decode
+from .fast_encode import (
+    FastEncoder2D,
+    FastEncoder3D,
+    make_fast_encoder,
+    supports_fast_encode,
+)
+from .fast_decode import (
+    FastDecoder2D,
+    FastDecoder3D,
+    make_fast_decoder,
+    supports_fast_decode,
+)
 from .heads import BCAEOutput, BicephalousAutoencoder
 from .search import Candidate, enumerate_candidates, pareto_front, search, throughput_frontier
 from .model_zoo import (
@@ -47,8 +57,12 @@ __all__ = [
     "CompiledStagePlan",
     "stage_kinds",
     "FastEncoder2D",
+    "FastEncoder3D",
+    "make_fast_encoder",
     "supports_fast_encode",
     "FastDecoder2D",
+    "FastDecoder3D",
+    "make_fast_decoder",
     "supports_fast_decode",
     "Candidate",
     "enumerate_candidates",

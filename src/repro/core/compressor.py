@@ -17,16 +17,19 @@ path, bit-identical to each other:
     allocation-heavy, one batch at a time;
 ``compress_into`` / ``compress_stream``
     the serving hot path: persistent workspaces (no per-batch ``np.pad`` /
-    im2col / fp16-cast reallocation) via
-    :class:`~repro.core.fast_encode.FastEncoder2D` where the model supports
-    it, with a reusable-buffer fallback through the module graph otherwise.
-    Output bytes are identical to ``compress`` for the same input;
+    im2col / fp16-cast reallocation) via the compiled encoders of
+    :mod:`~repro.core.fast_encode` — :class:`FastEncoder2D` for the 2D
+    family, :class:`FastEncoder3D` for BCAE++/HT — with a reusable-buffer
+    fallback through the module graph only for genuinely unknown stage
+    stacks (e.g. the original BCAE's BatchNorm blocks).  Output bytes are
+    identical to ``compress`` for the same input;
 ``decompress_into`` / ``decompress_stream``
     the analysis hot path: both decoder heads and the masked combine
-    compiled by :class:`~repro.core.fast_decode.FastDecoder2D` (same
-    stage-plan engine, same bit-identity contract), module-graph fallback
-    for the 3D variants.  Both fast paths re-fingerprint their weights per
-    call and recompile after any parameter update.
+    compiled by :class:`~repro.core.fast_decode.FastDecoder2D` /
+    :class:`~repro.core.fast_decode.FastDecoder3D` (same stage-plan
+    engine, same bit-identity contract), with the same
+    unknown-stack-only fallback.  Both fast paths re-fingerprint their
+    weights per call and recompile after any parameter update.
 """
 
 from __future__ import annotations
@@ -45,8 +48,8 @@ from ..tpc.transforms import (
     padded_length,
     unpad_horizontal,
 )
-from .fast_decode import FastDecoder2D, supports_fast_decode
-from .fast_encode import FastEncoder2D, Workspace, supports_fast_encode
+from .fast_decode import make_fast_decoder, supports_fast_decode
+from .fast_encode import Workspace, make_fast_encoder, supports_fast_encode
 from .heads import BicephalousAutoencoder
 
 __all__ = ["CompressedWedges", "BCAECompressor"]
@@ -127,11 +130,11 @@ class BCAECompressor:
     def __init__(self, model: BicephalousAutoencoder, half: bool = True) -> None:
         self.model = model
         self.half = bool(half)
-        self._fast: FastEncoder2D | None = None
+        self._fast = None
         self._fast_checked = False
         self._supports_fast = False
         self._fast_signature: tuple = ()
-        self._fast_dec: FastDecoder2D | None = None
+        self._fast_dec = None
         self._fast_dec_checked = False
         self._supports_fast_dec = False
         self._fast_dec_signature: tuple = ()
@@ -200,7 +203,7 @@ class BCAECompressor:
             ))
         return tuple(sig)
 
-    def _fast_encoder(self) -> FastEncoder2D | None:
+    def _fast_encoder(self):
         if not self._fast_checked:
             self._fast_checked = True
             self._supports_fast = supports_fast_encode(self.model)
@@ -208,7 +211,7 @@ class BCAECompressor:
             return None
         signature = self._weights_signature()
         if self._fast is None or signature != self._fast_signature:
-            self._fast = FastEncoder2D(self.model.encoder, half=self.half)
+            self._fast = make_fast_encoder(self.model, half=self.half)
             self._fast_signature = signature
         return self._fast
 
@@ -245,8 +248,9 @@ class BCAECompressor:
             x = self._log_into(wedges)
             code16 = fast.encode(x, horizontal_target=self._horizontal_target(horizontal))
         else:
-            # Module-graph fallback (3D variants): still avoids the
-            # per-call log/pad allocations of the reference path.
+            # Module-graph fallback (unknown stage stacks, e.g. the
+            # original BCAE's BatchNorm blocks): still avoids the per-call
+            # log/pad allocations of the reference path.
             x = self._log_into(wedges)
             target = self._horizontal_target(horizontal)
             if target != horizontal:
@@ -372,7 +376,7 @@ class BCAECompressor:
             ))
         return tuple(sig)
 
-    def _fast_decoder(self) -> FastDecoder2D | None:
+    def _fast_decoder(self):
         if not self._fast_dec_checked:
             self._fast_dec_checked = True
             self._supports_fast_dec = supports_fast_decode(self.model)
@@ -380,7 +384,7 @@ class BCAECompressor:
             return None
         signature = self._decoder_signature()
         if self._fast_dec is None or signature != self._fast_dec_signature:
-            self._fast_dec = FastDecoder2D(self.model, half=self.half)
+            self._fast_dec = make_fast_decoder(self.model, half=self.half)
             self._fast_dec_signature = signature
         return self._fast_dec
 
@@ -405,7 +409,8 @@ class BCAECompressor:
         self._check_compressed(compressed)
         fast = self._fast_decoder()
         if fast is None:
-            # Module-graph fallback (3D variants).
+            # Module-graph fallback (unknown stage stacks only — the
+            # BCAE++/HT 3D variants compile like the 2D family).
             recon = self.decompress(compressed)
         else:
             recon = fast.decompress(

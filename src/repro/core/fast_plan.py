@@ -7,52 +7,67 @@ allocations disappear, with **bit-identical** output.  The analysis side of
 the loop needs the same treatment for the decoders, and every future variant
 would otherwise grow its own 500-line kernel file.  This module is that
 machinery extracted into a reusable engine: a *stage-vocabulary compiler*
-plus an executor, shared by :class:`~repro.core.fast_encode.FastEncoder2D`
-and :class:`~repro.core.fast_decode.FastDecoder2D`.
+plus an executor, shared by :class:`~repro.core.fast_encode.FastEncoder2D`,
+:class:`~repro.core.fast_decode.FastDecoder2D` and their 3D twins
+:class:`~repro.core.fast_encode.FastEncoder3D` /
+:class:`~repro.core.fast_decode.FastDecoder3D`.
 
 Stage vocabulary
 ----------------
 
 :func:`stage_kinds` classifies a stage sequence (``nn.Sequential`` or any
 iterable of modules); :class:`CompiledStagePlan` compiles it.  The vocabulary
-is the union of the BCAE-2D encoder (Algorithm 1) and decoder (Algorithm 2)
-stages:
+is the union of the BCAE-2D encoder/decoder stages (Algorithms 1–2) and the
+3D BCAE++/BCAE-HT residual stacks (paper §2.2–2.3, Figure 4):
 
-``conv`` — :class:`repro.nn.Conv2d`
-    Weights are quantized to the fp16 grid and transposed into GEMM layout
-    **once**; at run time the exact ``tensordot`` contraction of
-    :func:`repro.nn.convolution.conv_forward` executes out of a zero-bordered
-    padded canvas into a reused buffer.
-``pool`` — :class:`repro.nn.AvgPool2d` (non-overlapping)
-    fp32 mean of the exact unquantized stream, with a slice-add replica of
-    numpy's pairwise reduction order for the ubiquitous 2×2 kernel.
-``up`` — :class:`repro.nn.Upsample2d`
-    Nearest-neighbour repeat of the exact stream values via a broadcast
-    store into a reused buffer (the module path's ``np.repeat`` without the
-    allocations).
-``res`` — :class:`repro.core.blocks.ResBlock2d` (LeakyReLU activations)
-    ``act2(conv2(act1(conv1(x)))) + x`` with the skip fed from the
-    *unquantized* carry stream, exactly like the module path.
-``sigmoid`` / ``identity`` — output heads (§2.4)
-    The segmentation decoder's numerically-stable logistic (bit-equal to
-    ``Tensor.sigmoid``) and the regression decoder's pass-through.  A
-    ``sigmoid`` head compiles only as the final stage directly after a
-    ``conv``; the plan must end in a ``conv`` (plus an optional head) so
-    that :meth:`CompiledStagePlan.run` returns exactly what the module
-    graph returns.
+=================  ==========================================  =============
+kind               module                                      family
+=================  ==========================================  =============
+``conv``           :class:`repro.nn.Conv2d`                    2D
+``conv3d``         :class:`repro.nn.Conv3d`                    3D
+``convtranspose3d``:class:`repro.nn.ConvTranspose3d`           3D
+``pool``           :class:`repro.nn.AvgPool2d` (k == stride)   2D
+``pool3d``         :class:`repro.nn.AvgPool3d` (k == stride)   3D
+``up``             :class:`repro.nn.Upsample2d`                2D
+``up3d``           :class:`repro.nn.Upsample3d`                3D
+``res``            :class:`repro.core.blocks.ResBlock2d`       2D
+``down3d``         :class:`repro.core.blocks.DownBlock3d`      3D
+``upblock3d``      :class:`repro.core.blocks.UpBlock3d`        3D
+``sigmoid``        :class:`repro.nn.Sigmoid` (head)            2D + 3D
+``regout``         :class:`repro.nn.RegOutputTransform` (head) 3D
+``identity``       :class:`repro.nn.Identity`                  2D + 3D
+=================  ==========================================  =============
+
+Convolutions have their weights quantized to the fp16 grid and transposed
+into GEMM layout **once**; at run time the exact contraction of
+:func:`repro.nn.convolution.conv_forward` executes out of a zero-bordered
+padded canvas into a reused buffer.  A transposed convolution is compiled as
+the stride-1 convolution :func:`repro.nn.convolution.conv_input_grad`
+actually runs: the input is scattered into a persistent *dilated* canvas
+(stride-1 zeros between elements, ``k-1`` border — the ``_dilate``/``pad``
+arrays the module path reallocates every call), the full correlation runs
+through the same GEMM machinery, and the module path's crop happens during
+the store.  The 3D residual blocks (``down3d`` / ``upblock3d``) compile to
+three conv specs sharing one input canvas (main and skip paths consume the
+same quantized store) with the LeakyReLU merges of the 2D ``res`` handler.
+``sigmoid`` / ``regout`` compile only as the final stage directly after a
+conv-like stage; the plan must end in a conv-like stage (plus an optional
+head) so that :meth:`CompiledStagePlan.run` returns exactly what the module
+graph returns.
 
 Execution model
 ---------------
 
 The executor threads two value streams through the ops:
 
-* a padded fp32 **canvas** in channel-major ``(C, B, H, W)`` layout whose
-  interior holds values already snapped onto the fp16 grid — what the next
-  convolution consumes.  Channel-major matches the transposed-GEMM result
-  orientation, so conv outputs, residual accumulates and canvas stores are
-  (semi-)contiguous reshapes instead of 4-byte-strided transposes.  The
-  zero border is the padding the module path re-creates with ``np.pad`` on
-  every call, allocated and zeroed once;
+* a padded fp32 **canvas** in channel-major ``(C, B, *spatial)`` layout
+  whose interior holds values already snapped onto the fp16 grid — what the
+  next convolution consumes.  Channel-major matches the transposed-GEMM
+  result orientation, so conv outputs, residual accumulates and canvas
+  stores are (semi-)contiguous reshapes instead of 4-byte-strided
+  transposes.  The zero border is the padding the module path re-creates
+  with ``np.pad`` on every call, allocated and zeroed once (for transposed
+  convolutions the persistent zeros also include the dilation gaps);
 * an unquantized fp32 **carry** stream — what residual skips, pools and
   upsamples consume (the module path never re-quantizes before those).
 
@@ -66,11 +81,27 @@ storage into fp32 math, the ufunc loop is forced to fp32 (``dtype=`` /
 promotion by a typed scalar), so the arithmetic is exactly the module
 path's fp32 arithmetic on the same grid values.
 
+Blocked im2col gathers
+----------------------
+
+At paper-scale geometry the monolithic im2col buffer of a 3D convolution no
+longer fits any cache (hundreds of MB for a ``(16, 192, 256)`` volume), and
+the gather's write traffic dominates the GEMM.  Above
+``_BLOCKED_MIN_BYTES`` the executor therefore tiles the output spatial
+domain into cache-sized panels of whole innermost-axis rows: each panel is
+gathered into a small reusable ``(K, P)`` workspace, multiplied with one
+``(O, K) @ (K, P)`` GEMM, and the bias / saturating-clip / fp16-grid-snap
+epilogue runs on the panel while it is cache-hot.  Only the ``(O, M)``
+result ever touches main memory.  A per-shape calibration probe
+(:func:`_blocked_gemm_matches`) proves the panel GEMMs reproduce the
+module path's per-sample contraction bit for bit before the formulation is
+used — behaviour is never traded for speed.
+
 The contract, inherited by every plan the engine compiles, is **bit-identical
 output**: for every input accepted by the module path, :meth:`run` returns
 exactly the values ``nn.Sequential`` under ``nn.amp.autocast`` produces.
-The test suite enforces this across model variants, batch sizes and both
-precision modes, for the encoder and for both decoder heads.
+The test suite enforces this across 2D and 3D model variants, batch sizes
+and both precision modes, for the encoders and for both decoder heads.
 """
 
 from __future__ import annotations
@@ -82,7 +113,8 @@ from numpy.lib.stride_tricks import sliding_window_view
 
 from .. import nn
 from ..nn.amp import quantize_fp16
-from .blocks import ResBlock2d
+from ..nn.convolution import conv_transpose_output_shape
+from .blocks import DownBlock3d, ResBlock2d, UpBlock3d
 
 __all__ = ["CompiledStagePlan", "Workspace", "stage_kinds"]
 
@@ -91,46 +123,88 @@ _FP16_MAX = 65504.0
 
 _F32 = np.float32
 
+#: im2col problem size (bytes of the monolithic gather) above which the
+#: panel-blocked formulation is attempted.  Below it the whole-problem
+#: buffers fit comfortably in cache and the monolithic paths win.
+_BLOCKED_MIN_BYTES = 4 << 20
+
+#: Target byte size of one gathered (K, P) panel — sized to keep the
+#: gather destination and the GEMM operands resident in L2.
+_PANEL_BYTES = 1 << 20
+
+
+def _leaky_ok(*acts) -> bool:
+    return all(isinstance(a, nn.LeakyReLU) for a in acts)
+
+
+def _norm_free(*norms) -> bool:
+    return all(isinstance(m, nn.Identity) for m in norms)
+
 
 def stage_kinds(stages) -> list[str] | None:
     """Classify ``stages`` into the compiled vocabulary.
 
-    Returns one kind string per stage (``conv`` / ``pool`` / ``up`` /
-    ``res`` / ``sigmoid`` / ``identity``) when every stage is compilable and
-    the head-placement rules hold, else ``None``.  Use this as the guard
-    before constructing a :class:`CompiledStagePlan`.
+    Returns one kind string per stage (see the module-docstring table) when
+    every stage is compilable and the head-placement rules hold, else
+    ``None``.  Use this as the guard before constructing a
+    :class:`CompiledStagePlan`.  3D residual blocks compile only in their
+    BCAE++/HT form (LeakyReLU activations, no normalization layers — §2.3);
+    the original BCAE's BatchNorm blocks stay on the module path.
     """
 
     kinds: list[str] = []
     for stage in stages:
         if isinstance(stage, nn.Conv2d):
             kinds.append("conv")
+        elif isinstance(stage, nn.Conv3d):
+            kinds.append("conv3d")
+        elif isinstance(stage, nn.ConvTranspose3d):
+            kinds.append("convtranspose3d")
         elif isinstance(stage, nn.AvgPool2d):
             kinds.append("pool")
+        elif isinstance(stage, nn.AvgPool3d):
+            kinds.append("pool3d")
         elif isinstance(stage, nn.Upsample2d):
             kinds.append("up")
+        elif isinstance(stage, nn.Upsample3d):
+            kinds.append("up3d")
         elif isinstance(stage, ResBlock2d):
-            if not isinstance(stage.act1, nn.LeakyReLU) or not isinstance(
-                stage.act2, nn.LeakyReLU
-            ):
+            if not _leaky_ok(stage.act1, stage.act2):
                 return None
             kinds.append("res")
+        elif isinstance(stage, DownBlock3d):
+            if not _leaky_ok(stage.act1, stage.act2, stage.act3):
+                return None
+            if not _norm_free(stage.norm1, stage.norm2, stage.norm3):
+                return None
+            kinds.append("down3d")
+        elif isinstance(stage, UpBlock3d):
+            if not _leaky_ok(stage.act1, stage.act2, stage.act3):
+                return None
+            if not _norm_free(stage.norm1, stage.norm2, stage.norm3):
+                return None
+            kinds.append("upblock3d")
         elif isinstance(stage, nn.Sigmoid):
             kinds.append("sigmoid")
+        elif isinstance(stage, nn.RegOutputTransform):
+            kinds.append("regout")
         elif isinstance(stage, nn.Identity):
             kinds.append("identity")
         else:
             return None
 
     # run() returns the stored output of the last functional stage; only a
-    # conv (whose stored grid values equal the module output exactly) or a
-    # sigmoid directly downstream of one qualifies — a trailing res/pool/up
-    # would return the *quantized* store of an unquantized module output.
+    # conv-like stage (whose stored grid values equal the module output
+    # exactly) or a head directly downstream of one qualifies — a trailing
+    # res/pool/up would return the *quantized* store of an unquantized
+    # module output.
+    conv_like = ("conv", "conv3d", "convtranspose3d")
+    heads = ("sigmoid", "regout")
     body = [k for k in kinds if k != "identity"]
-    if not body or body[-1] not in ("conv", "sigmoid"):
+    if not body or body[-1] not in conv_like + heads:
         return None
     for pos, kind in enumerate(body):
-        if kind == "sigmoid" and (pos != len(body) - 1 or body[pos - 1] != "conv"):
+        if kind in heads and (pos != len(body) - 1 or body[pos - 1] not in conv_like):
             return None
     return kinds
 
@@ -139,46 +213,108 @@ def stage_kinds(stages) -> list[str] | None:
 class _ConvSpec:
     """One convolution with its weight pre-transposed into GEMM layout."""
 
-    wt: np.ndarray   # (C*kh*kw, O) F-contiguous — tensordot's right operand
-    wtT: np.ndarray  # (O, C*kh*kw) C-contiguous — the transposed-GEMM operand
+    wt: np.ndarray   # (C*prod(k), O) F-contiguous — tensordot's right operand
+    wtT: np.ndarray  # (O, C*prod(k)) C-contiguous — the transposed-GEMM operand
     bias: np.ndarray | None
     bias_col: np.ndarray | None  # (O, 1) view for the transposed orientation
-    kernel: tuple[int, int]
-    stride: tuple[int, int]
+    kernel: tuple[int, ...]
+    stride: tuple[int, ...]
     padding: tuple[tuple[int, int], ...]
     out_channels: int
     w_l1: float     # max over output channels of Σ|w| — bound slope
     bias_max: float
 
     @classmethod
-    def from_module(cls, conv: nn.Conv2d, half: bool) -> "_ConvSpec":
-        w = quantize_fp16(conv.weight.data) if half else np.asarray(conv.weight.data)
+    def _from_weight(cls, w: np.ndarray, bias, kernel, stride, padding) -> "_ConvSpec":
         o = w.shape[0]
-        k = int(np.prod(conv.kernel_size))
+        nd = w.ndim - 2
+        k = int(np.prod(kernel))
         # tensordot reshapes the transposed kernel into an F-contiguous
         # (K, O) view; BLAS picks its kernel by operand layout, so the
         # cached weight must keep that exact layout to stay bit-identical.
         wt = np.asfortranarray(
-            w.transpose(1, 2, 3, 0).reshape(w.shape[1] * k, o), dtype=np.float32
+            w.transpose(tuple(range(1, 2 + nd)) + (0,)).reshape(w.shape[1] * k, o),
+            dtype=np.float32,
         )
-        bias = None if conv.bias is None else conv.bias.data.astype(np.float32)
+        bias = None if bias is None else bias.astype(np.float32)
         return cls(
             wt=wt,
             wtT=np.ascontiguousarray(wt.T),
             bias=bias,
             bias_col=None if bias is None else bias.reshape(-1, 1),
-            kernel=conv.kernel_size,
-            stride=conv.stride,
-            padding=conv.padding,
+            kernel=tuple(kernel),
+            stride=tuple(stride),
+            padding=tuple(padding),
             out_channels=o,
             w_l1=float(np.abs(w.reshape(o, -1)).sum(axis=1).max()),
             bias_max=0.0 if bias is None else float(np.abs(bias).max()),
         )
 
+    @classmethod
+    def from_module(cls, conv, half: bool) -> "_ConvSpec":
+        w = quantize_fp16(conv.weight.data) if half else np.asarray(conv.weight.data)
+        bias = None if conv.bias is None else conv.bias.data
+        return cls._from_weight(w, bias, conv.kernel_size, conv.stride, conv.padding)
+
     def out_bound(self, in_bound: float) -> float:
         """Rigorous |output| bound given an |input| magnitude bound."""
 
         return self.w_l1 * in_bound + self.bias_max
+
+
+@dataclasses.dataclass
+class _ConvTSpec:
+    """A transposed convolution compiled to the conv the adjoint runs.
+
+    ``conv_input_grad`` dilates its input by ``stride``, pads by ``k - 1``
+    and correlates with the flipped, channel-swapped kernel at stride 1;
+    :attr:`spec` is that stride-1 convolution with the effective kernel
+    prepared in GEMM layout (quantized first, exactly like the module
+    path).  The original transposed-convolution geometry is kept for the
+    output-shape computation and the crop.
+    """
+
+    spec: _ConvSpec
+    kernel: tuple[int, ...]
+    stride: tuple[int, ...]
+    padding: tuple[tuple[int, int], ...]
+    output_padding: tuple[int, ...]
+    #: Store-spec of the dilated input canvas this stage consumes.
+    store_padding: tuple[tuple[int, int], ...]
+    dilation: tuple[int, ...]
+
+    @classmethod
+    def from_module(cls, convt, half: bool) -> "_ConvTSpec":
+        w = quantize_fp16(convt.weight.data) if half else np.asarray(convt.weight.data)
+        nd = w.ndim - 2
+        flip = (slice(None), slice(None)) + (slice(None, None, -1),) * nd
+        weff = np.ascontiguousarray(np.swapaxes(w[flip], 0, 1))  # (O, I, *k)
+        bias = None if convt.bias is None else convt.bias.data
+        spec = _ConvSpec._from_weight(
+            weff, bias, convt.kernel_size, (1,) * nd,
+            tuple((k - 1, k - 1) for k in convt.kernel_size),
+        )
+        return cls(
+            spec=spec,
+            kernel=tuple(convt.kernel_size),
+            stride=tuple(convt.stride),
+            padding=tuple(convt.padding),
+            output_padding=tuple(convt.output_padding),
+            store_padding=tuple((k - 1, k - 1) for k in convt.kernel_size),
+            dilation=tuple(convt.stride),
+        )
+
+    @property
+    def out_channels(self) -> int:
+        return self.spec.out_channels
+
+    def out_spatial(self, spatial: tuple[int, ...]) -> tuple[int, ...]:
+        return conv_transpose_output_shape(
+            spatial, self.kernel, self.stride, self.padding, self.output_padding
+        )
+
+    def out_bound(self, in_bound: float) -> float:
+        return self.spec.out_bound(in_bound)
 
 
 #: None until calibrated: whether the integer round-to-nearest-even grid
@@ -320,6 +456,101 @@ def _transposed_gemm_matches(n: int, rows: int, K: int, o: int) -> bool:
     return hit
 
 
+#: (n, rows, K, O, P) → whether the panel-blocked transposed GEMMs reproduce
+#: the per-sample reference contraction bit for bit on this BLAS build.
+_BLOCKED_GEMM_OK: dict = {}
+
+#: (n, rows, K, O, P) → whether reference-orientation row panels reproduce
+#: the per-sample reference contraction bit for bit on this BLAS build.
+_BLOCKED_REF_GEMM_OK: dict = {}
+
+
+def _panel_cols(K: int, ow: int, m: int) -> int:
+    """Panel width in columns: whole innermost-axis rows within the budget."""
+
+    per_row = K * ow * 4
+    rows = max(1, _PANEL_BYTES // max(per_row, 1))
+    return min(int(rows) * ow, m)
+
+
+def _blocked_gemm_matches(n: int, rows: int, K: int, o: int, P: int) -> bool:
+    """Calibrate the panel-blocked GEMM formulation for one problem shape.
+
+    The blocked executor runs one ``(O, K) @ (K, P)`` GEMM per gathered
+    panel (plus one tail GEMM when ``P`` does not divide the column count).
+    Each output element is the same K-term dot product as the reference
+    per-sample contraction, and BLAS's k-accumulation order is a function
+    of problem shape only — so one dense-random probe per shape, comparing
+    every panel against the per-sample reference on raw bits, decides
+    whether the blocked formulation may be used.  Behaviour is never traded
+    for speed; the probe costs one reference pass plus the panel GEMMs,
+    once per (batch, shape, panel) — comparable to a single module-path
+    convolution at the same shape.
+    """
+
+    key = (n, rows, K, o, P)
+    hit = _BLOCKED_GEMM_OK.get(key)
+    if hit is None:
+        rng = np.random.default_rng(0xB10C)
+        m = n * rows
+        a = rng.standard_normal((m, K), dtype=np.float32)
+        b = np.asfortranarray(rng.standard_normal((K, o), dtype=np.float32))
+        ref = np.empty((m, o), dtype=np.float32)
+        for i in range(n):
+            np.dot(a[i * rows:(i + 1) * rows], b, out=ref[i * rows:(i + 1) * rows])
+        bt = np.ascontiguousarray(b.T)
+        panel = np.empty((K, P), dtype=np.float32)
+        got = np.empty((o, P), dtype=np.float32)
+        hit = True
+        for c0 in range(0, m, P):
+            pw = min(P, m - c0)
+            if pw == P:
+                np.copyto(panel, a[c0:c0 + P].T)
+                np.dot(bt, panel, out=got)
+                ok = np.array_equal(got.T, ref[c0:c0 + P])
+            else:
+                tail = np.ascontiguousarray(a[c0:c0 + pw].T)
+                got_t = np.dot(bt, tail)
+                ok = np.array_equal(got_t.T, ref[c0:c0 + pw])
+            if not ok:
+                hit = False
+                break
+        _BLOCKED_GEMM_OK[key] = hit
+    return hit
+
+
+def _blocked_ref_gemm_matches(n: int, rows: int, K: int, o: int, P: int) -> bool:
+    """Calibrate reference-orientation row panels for one problem shape.
+
+    The fallback blocked formulation keeps ``conv_forward``'s operand
+    orientation — C-contiguous ``(P, K)`` row panels against the
+    F-contiguous ``(K, O)`` kernel — and splits the per-sample GEMM along
+    its m dimension only.  Useful where the transposed panels fail
+    calibration (very small output-channel counts dispatch to different
+    BLAS kernels per orientation); m-blocking almost always preserves bits
+    because BLAS packs row panels independently.  Same probe protocol as
+    :func:`_blocked_gemm_matches`.
+    """
+
+    key = (n, rows, K, o, P)
+    hit = _BLOCKED_REF_GEMM_OK.get(key)
+    if hit is None:
+        rng = np.random.default_rng(0xB10D)
+        m = n * rows
+        a = rng.standard_normal((m, K), dtype=np.float32)
+        b = np.asfortranarray(rng.standard_normal((K, o), dtype=np.float32))
+        ref = np.empty((m, o), dtype=np.float32)
+        for i in range(n):
+            np.dot(a[i * rows:(i + 1) * rows], b, out=ref[i * rows:(i + 1) * rows])
+        got = np.empty((m, o), dtype=np.float32)
+        for c0 in range(0, m, P):
+            pw = min(P, m - c0)
+            np.dot(np.ascontiguousarray(a[c0:c0 + pw]), b, out=got[c0:c0 + pw])
+        hit = bool(np.array_equal(got, ref))
+        _BLOCKED_REF_GEMM_OK[key] = hit
+    return hit
+
+
 class Workspace:
     """Named, shape-checked reusable buffers (compiled-plan/compressor scratch)."""
 
@@ -355,22 +586,36 @@ class Workspace:
             self._bufs[key] = bundle
         return bundle
 
-    def canvas(self, key, c: int, n: int, spatial: tuple[int, int],
-               padding, dtype=np.float32) -> tuple[np.ndarray, np.ndarray]:
-        """Zero-bordered channel-major canvas ``(C, B, H, W)`` + interior view.
+    def canvas(self, key, c: int, n: int, spatial: tuple[int, ...],
+               padding, dtype=np.float32,
+               dilation: tuple[int, ...] | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-bordered channel-major canvas ``(C, B, *spatial)`` + interior view.
 
         The border is zeroed once at allocation; every later pass writes
         only the interior, so the zeros (= the padding the module path
-        re-creates with ``np.pad`` on every call) persist.
+        re-creates with ``np.pad`` on every call) persist.  With
+        ``dilation`` the interior is a strided view: element ``i`` of each
+        axis lands at ``pad_lo + i·dilation``, and the zeros between (=
+        the ``_dilate`` array of a transposed convolution) persist the same
+        way.
         """
 
-        (plh, phh), (plw, phw) = padding
-        shape = (c, n, spatial[0] + plh + phh, spatial[1] + plw + phw)
+        nd = len(spatial)
+        if dilation is None:
+            dilation = (1,) * nd
+        dil_sz = tuple((s - 1) * d + 1 for s, d in zip(spatial, dilation))
+        shape = (c, n) + tuple(
+            ds + pl + ph for ds, (pl, ph) in zip(dil_sz, padding)
+        )
         buf = self._bufs.get(key)
         if buf is None or buf.shape != shape or buf.dtype != dtype:
             buf = np.zeros(shape, dtype=dtype)
             self._bufs[key] = buf
-        return buf, buf[:, :, plh:plh + spatial[0], plw:plw + spatial[1]]
+        interior = buf[(slice(None), slice(None)) + tuple(
+            slice(pl, pl + ds, d)
+            for ds, d, (pl, _ph) in zip(dil_sz, dilation, padding)
+        )]
+        return buf, interior
 
     def nbytes(self) -> int:
         return sum(
@@ -420,11 +665,13 @@ class CompiledStagePlan:
         self._cdtype = np.float32
         self._ops: list[tuple[str, object]] = []
         for stage, kind in zip(stages, kinds):
-            if kind == "conv":
+            if kind in ("conv", "conv3d"):
                 op: object = _ConvSpec.from_module(stage, self.half)
-            elif kind == "pool":
+            elif kind == "convtranspose3d":
+                op = _ConvTSpec.from_module(stage, self.half)
+            elif kind in ("pool", "pool3d"):
                 op = stage.kernel_size
-            elif kind == "up":
+            elif kind in ("up", "up3d"):
                 op = stage.scale_factor
             elif kind == "res":
                 op = (
@@ -433,9 +680,31 @@ class CompiledStagePlan:
                     float(stage.act1.negative_slope),
                     float(stage.act2.negative_slope),
                 )
+            elif kind == "down3d":
+                op = (
+                    _ConvSpec.from_module(stage.down, self.half),
+                    _ConvSpec.from_module(stage.conv, self.half),
+                    _ConvSpec.from_module(stage.skip, self.half),
+                    float(stage.act1.negative_slope),
+                    float(stage.act2.negative_slope),
+                    float(stage.act3.negative_slope),
+                )
+            elif kind == "upblock3d":
+                op = (
+                    _ConvTSpec.from_module(stage.up, self.half),
+                    _ConvSpec.from_module(stage.conv, self.half),
+                    _ConvTSpec.from_module(stage.skip, self.half),
+                    float(stage.act1.negative_slope),
+                    float(stage.act2.negative_slope),
+                    float(stage.act3.negative_slope),
+                )
+            elif kind == "regout":
+                op = (float(stage.offset), float(stage.scale),
+                      float(stage.max_exponent))
             else:
                 op = None
             self._ops.append((kind, op))
+        self._nd = _plan_nd(self._ops)
         #: Per-op gather-view cache: sliding_window_view / transpose /
         #: reshape cost ~50µs of pure Python per conv — the views are
         #: rebuilt only when their backing buffers are reallocated
@@ -456,44 +725,53 @@ class CompiledStagePlan:
     def input_padding(self) -> tuple[tuple[int, int], ...]:
         """Padding the input canvas needs for the plan's first consumer."""
 
-        return _next_padding(self._ops, -1)
+        return _next_store_spec(self._ops, -1, self._nd)[0]
 
     def input_canvas(self, n: int, c: int,
-                     spatial: tuple[int, int]) -> tuple[np.ndarray, np.ndarray]:
+                     spatial: tuple[int, ...]) -> tuple[np.ndarray, np.ndarray]:
         """The plan's persistent input canvas ``(canvas, interior view)``.
 
-        Channel-major fp32 ``(C, B, H, W)``.  Callers fill the interior
+        Channel-major fp32 ``(C, B, *spatial)``.  Callers fill the interior
         with grid-exact values before :meth:`run`; the zero border doubles
-        as the first convolution's padding.
+        as the first convolution's padding (and, for a leading transposed
+        convolution, the dilation gaps stay zero between the strided
+        interior positions).
         """
 
+        padding, dilation = _next_store_spec(self._ops, -1, self._nd)
         return self._ws.canvas((self.prefix, "in"), c, n, spatial,
-                               self.input_padding(), self._cdtype)
+                               padding, self._cdtype, dilation)
 
     # ------------------------------------------------------------------
-    def run(self, canvas: np.ndarray, spatial: tuple[int, int], bound: float,
+    def run(self, canvas: np.ndarray, spatial: tuple[int, ...], bound: float,
             carry: np.ndarray | None = None, carry_bound: float = 0.0) -> np.ndarray:
         """Execute the plan; returns the module-graph output values.
 
         ``canvas`` is typically :meth:`input_canvas` with the interior
         filled; ``bound`` is a rigorous magnitude bound on those values.
-        The returned array is channel-major fp32 ``(C, B, oh, ow)`` —
-        transpose to ``(B, C, oh, ow)`` with a zero-copy
-        ``.transpose(1, 0, 2, 3)`` view — and is a reused workspace
-        buffer: copy it before the next :meth:`run` on this workspace.
+        The returned array is channel-major fp32 ``(C, B, *out_spatial)`` —
+        transpose to batch-major with a zero-copy ``.transpose`` view — and
+        is a reused workspace buffer: copy it before the next :meth:`run`
+        on this workspace.
         """
 
         ops = self._ops
+        nd = self._nd
         result: np.ndarray | None = None
         for i, (kind, op) in enumerate(ops):
-            out_padding = _next_padding(ops, i)
+            store_spec = _next_store_spec(ops, i, nd)
             key = (self.prefix, i)
-            if kind == "conv":
+            if kind in ("conv", "conv3d"):
                 canvas, result, spatial, bound = self._conv_store(
-                    key, op, canvas, bound, out_padding
+                    key, op, canvas, bound, store_spec
                 )
                 carry = None
-            elif kind in ("pool", "up"):
+            elif kind == "convtranspose3d":
+                canvas, result, spatial, bound = self._convt_store(
+                    key, op, canvas, spatial, bound, store_spec
+                )
+                carry = None
+            elif kind in ("pool", "pool3d", "up", "up3d"):
                 if carry is None:
                     # Input came from a conv: stored grid values are the
                     # exact fp32 values the module path consumes.
@@ -505,42 +783,51 @@ class CompiledStagePlan:
                     # The module path pools/upsamples the *unquantized*
                     # fp32 stream.
                     src, src_bound = carry, carry_bound
-                if kind == "pool":
+                if kind in ("pool", "pool3d"):
                     carry, carry_bound = self._pool(key, op, src, spatial, src_bound)
-                    spatial = (spatial[0] // op[0], spatial[1] // op[1])
+                    spatial = tuple(s // k for s, k in zip(spatial, op))
                 else:
                     carry, carry_bound = self._up(key, op, src, spatial, src_bound)
-                    spatial = (spatial[0] * op[0], spatial[1] * op[1])
+                    spatial = tuple(s * f for s, f in zip(spatial, op))
                 canvas, result, bound = self._store_stream(
-                    key, carry, carry_bound, spatial, out_padding
+                    key, carry, carry_bound, spatial, store_spec
                 )
             elif kind == "res":
                 # The post-block canvas store is dead when the next consumer
                 # is a pool/upsample: those read the carry stream directly.
-                store = _next_consumer(ops, i) not in ("pool", "up")
+                store = _next_consumer(ops, i) not in ("pool", "up", "pool3d", "up3d")
                 canvas, dest, bound, carry, carry_bound = self._res(
                     key, op, canvas, spatial, bound, carry, carry_bound,
-                    out_padding, store,
+                    store_spec, store,
                 )
                 if store:
                     result = dest
+            elif kind in ("down3d", "upblock3d"):
+                canvas, result, spatial, bound, carry, carry_bound = self._block3d(
+                    key, op, canvas, spatial, bound, store_spec,
+                    transposed=(kind == "upblock3d"),
+                )
             elif kind == "sigmoid":
                 result = self._sigmoid(key, result)
+            elif kind == "regout":
+                result = self._regout(key, op, result)
             # "identity": the module pass-through — state is unchanged.
 
         assert result is not None
         return result
 
     # ------------------------------------------------------------------
-    def _gemm(self, key, spec: _ConvSpec, canvas: np.ndarray):
+    def _gemm(self, key, spec: _ConvSpec, canvas: np.ndarray,
+              epilogue_bound: float | None = None):
         """The exact ``conv_forward`` contraction out of a padded canvas.
 
-        Returns ``(rows, out_spatial, cm)``: the GEMM result (bias added),
-        the output spatial shape, and a closure mapping any array of the
-        result's shape to a channel-major ``(O, B, oh, ow)`` view.
+        Returns ``(y2, out_spatial, cm, fused)``: the GEMM result (bias
+        added), the output spatial shape, a closure mapping any array of
+        the result's shape to a channel-major ``(O, B, *out)`` view, and
+        whether the quantize epilogue already ran (see below).
 
-        Two bit-identical formulations, chosen per problem shape by
-        :func:`_transposed_gemm_matches`:
+        Three bit-identical formulations, chosen per problem shape by the
+        calibration probes:
 
         * the reference orientation — the im2col gather follows tensordot's
           element order, so ``np.dot`` sees the same operand matrices
@@ -548,33 +835,75 @@ class CompiledStagePlan:
           identical bits), executed per sample exactly as ``conv_forward``
           does;
         * the transposed orientation — the same matrices built directly in
-          ``(K, B·oh·ow)`` layout with one whole-batch ``wtT @ atT`` call,
+          ``(K, B·rows)`` layout with one whole-batch ``wtT @ atT`` call,
           used only where the calibration probe proved it reproduces the
-          per-sample reference bit for bit.  Its ``(O, B·oh·ow)`` result
-          makes the channel-major store a contiguous reshape.
+          per-sample reference bit for bit.  Its ``(O, B·rows)`` result
+          makes the channel-major store a contiguous reshape;
+        * the panel-blocked orientation — the transposed gather and GEMM
+          executed one cache-sized panel of whole innermost-axis rows at a
+          time, with the bias / saturating-clip / fp16-grid-snap epilogue
+          fused into the panel loop (``epilogue_bound`` is the rigorous
+          magnitude bound; ``fused=True`` signals the caller the values
+          are already on the grid).  Engaged above ``_BLOCKED_MIN_BYTES``,
+          only where :func:`_blocked_gemm_matches` proved bit-equality —
+          the monolithic ``(K, M)`` gather buffer never materializes.
 
-        Payload bits stay invariant to micro-batch composition either way:
-        each output element is a fixed K-term dot product.  The canvas
-        holds quantized (grid) values, so the module path's
+        Payload bits stay invariant to micro-batch composition in every
+        formulation: each output element is a fixed K-term dot product.
+        The canvas holds quantized (grid) values, so the module path's
         quantize-on-entry is a no-op and is skipped.
         """
 
         c, n = canvas.shape[:2]
-        kh, kw = spec.kernel
-        sh, sw = spec.stride
-        oh = (canvas.shape[2] - kh) // sh + 1
-        ow = (canvas.shape[3] - kw) // sw + 1
-        rows = oh * ow
+        nd = len(spec.kernel)
+        kernel = spec.kernel
+        stride = spec.stride
+        out_spatial = tuple(
+            (canvas.shape[2 + i] - kernel[i]) // stride[i] + 1 for i in range(nd)
+        )
+        rows = int(np.prod(out_spatial))
         m = n * rows
+        K = c * int(np.prod(kernel))
         o = spec.out_channels
 
-        if _transposed_gemm_matches(n, rows, c * kh * kw, o):
-            atT = self._ws.get((key, "atT"), (c * kh * kw, m))
+        spatial_axes = tuple(range(2, 2 + nd))
+        ow = out_spatial[-1]
+        P = _panel_cols(K, ow, m)
+        # m = n·prod(out_spatial) is a whole multiple of ow by construction,
+        # so panels always cover whole innermost-axis rows.
+        if m * K * 4 >= _BLOCKED_MIN_BYTES:
+            if _blocked_gemm_matches(n, rows, K, o, P):
+                y2 = self._blocked_gemm(key, spec, canvas, out_spatial, P,
+                                        epilogue_bound)
+
+                def cm(arr, n=n, out_spatial=out_spatial):
+                    return arr.reshape((arr.shape[0], n) + out_spatial)
+
+                return y2, out_spatial, cm, True
+            if _blocked_ref_gemm_matches(n, rows, K, o, P):
+                y2 = self._blocked_ref_gemm(key, spec, canvas, out_spatial, P,
+                                            epilogue_bound)
+
+                def cm(arr, n=n, out_spatial=out_spatial, nd=nd):
+                    return arr.reshape((n,) + out_spatial + (-1,)).transpose(
+                        (1 + nd, 0) + tuple(range(1, 1 + nd))
+                    )
+
+                return y2, out_spatial, cm, True
+
+        if _transposed_gemm_matches(n, rows, K, o):
+            atT = self._ws.get((key, "atT"), (K, m))
             cached = self._wins.get(key)
             if cached is None or cached[0] is not canvas or cached[1] is not atT:
-                win = sliding_window_view(canvas, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
-                cached = (canvas, atT, win.transpose(0, 4, 5, 1, 2, 3),
-                          atT.reshape(c, kh, kw, n, oh, ow))
+                win = sliding_window_view(canvas, kernel, axis=spatial_axes)
+                win = win[(slice(None), slice(None))
+                          + tuple(slice(None, None, s) for s in stride)]
+                tvk = win.transpose(
+                    (0,) + tuple(range(2 + nd, 2 + 2 * nd))
+                    + (1,) + tuple(range(2, 2 + nd))
+                )
+                cached = (canvas, atT, tvk,
+                          atT.reshape((c,) + kernel + (n,) + out_spatial))
                 self._wins[key] = cached
             np.copyto(cached[3], cached[2])
             y2 = self._ws.get((key, "y2T"), (o, m))
@@ -582,15 +911,21 @@ class CompiledStagePlan:
             if spec.bias_col is not None:
                 y2 += spec.bias_col
 
-            def cm(arr, n=n, oh=oh, ow=ow):
-                return arr.reshape(arr.shape[0], n, oh, ow)
+            def cm(arr, n=n, out_spatial=out_spatial):
+                return arr.reshape((arr.shape[0], n) + out_spatial)
         else:
-            at = self._ws.get((key, "at"), (m, c * kh * kw))
+            at = self._ws.get((key, "at"), (m, K))
             cached = self._wins.get(key)
             if cached is None or cached[0] is not canvas or cached[1] is not at:
-                win = sliding_window_view(canvas, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
-                cached = (canvas, at, win.transpose(1, 2, 3, 0, 4, 5),
-                          at.reshape(n, oh, ow, c, kh, kw))
+                win = sliding_window_view(canvas, kernel, axis=spatial_axes)
+                win = win[(slice(None), slice(None))
+                          + tuple(slice(None, None, s) for s in stride)]
+                tv = win.transpose(
+                    (1,) + tuple(range(2, 2 + nd))
+                    + (0,) + tuple(range(2 + nd, 2 + 2 * nd))
+                )
+                cached = (canvas, at, tv,
+                          at.reshape((n,) + out_spatial + (c,) + kernel))
                 self._wins[key] = cached
             np.copyto(cached[3], cached[2])
             y2 = self._ws.get((key, "y2"), (m, o))
@@ -601,10 +936,170 @@ class CompiledStagePlan:
             if spec.bias is not None:
                 y2 += spec.bias
 
-            def cm(arr, n=n, oh=oh, ow=ow):
-                return arr.reshape(n, oh, ow, -1).transpose(3, 0, 1, 2)
+            def cm(arr, n=n, out_spatial=out_spatial, nd=nd):
+                return arr.reshape((n,) + out_spatial + (-1,)).transpose(
+                    (1 + nd, 0) + tuple(range(1, 1 + nd))
+                )
 
-        return y2, (oh, ow), cm
+        return y2, out_spatial, cm, False
+
+    # ------------------------------------------------------------------
+    def _blocked_gemm(self, key, spec: _ConvSpec, canvas: np.ndarray,
+                      out_spatial: tuple[int, ...], P: int,
+                      epilogue_bound: float | None) -> np.ndarray:
+        """Panel-blocked transposed gather + GEMM with a fused epilogue.
+
+        Gathers whole innermost-axis output rows into a cache-sized
+        ``(K, P)`` panel, runs one ``(O, K) @ (K, P)`` GEMM, applies bias —
+        and, in half mode with ``epilogue_bound`` given, the saturating
+        clip (only when the bound says ±65504 is reachable) and the
+        fp16-grid snap — while the panel is hot, then writes the finished
+        columns into the monolithic ``(O, M)`` result.  Bits are identical
+        to the monolithic formulations (calibrated); only the memory
+        traffic changes: the ``(K, M)`` im2col buffer never exists and the
+        epilogue reads come from cache instead of DRAM.
+        """
+
+        c, n = canvas.shape[:2]
+        nd = len(spec.kernel)
+        kernel = spec.kernel
+        stride = spec.stride
+        rows = int(np.prod(out_spatial))
+        m = n * rows
+        K = c * int(np.prod(kernel))
+        o = spec.out_channels
+        ow = out_spatial[-1]
+        outer_shape = (n,) + out_spatial[:-1]
+
+        cached = self._wins.get(key)
+        if cached is None or cached[0] is not canvas:
+            win = sliding_window_view(canvas, kernel, axis=tuple(range(2, 2 + nd)))
+            win = win[(slice(None), slice(None))
+                      + tuple(slice(None, None, s) for s in stride)]
+            # (C, *k, B, *out): kernel taps lead so one gathered w-row is a
+            # (C, *k, ow) block — the panel's column group.
+            tvk = win.transpose(
+                (0,) + tuple(range(2 + nd, 2 + 2 * nd))
+                + (1,) + tuple(range(2, 2 + nd))
+            )
+            cached = (canvas, tvk)
+            self._wins[key] = cached
+        tvk = cached[1]
+
+        panel = self._ws.get((key, "panel"), ((c,) + kernel + (P,)))
+        panel2 = panel.reshape(K, P)
+        y2 = self._ws.get((key, "y2B"), (o, m))
+        lead = (slice(None),) * (1 + nd)
+        snap = self.half and epilogue_bound is not None
+        clip = snap and epilogue_bound >= _FP16_MAX
+        use_bits = _fast_snap_ok()
+
+        for c0 in range(0, m, P):
+            pw = min(P, m - c0)
+            if pw == P:
+                dst, mat = panel, panel2
+                yp = self._ws.get((key, "yp"), (o, P))
+            else:
+                dst = self._ws.get((key, "panel_t"), ((c,) + kernel + (pw,)))
+                mat = dst.reshape(K, pw)
+                yp = self._ws.get((key, "yp_t"), (o, pw))
+            # Gather whole w-rows: each copy moves a (C, *k, ow) block.
+            for j in range(pw // ow):
+                idx = np.unravel_index((c0 + j * ow) // ow, outer_shape)
+                np.copyto(
+                    dst[lead + (slice(j * ow, (j + 1) * ow),)],
+                    tvk[lead + tuple(idx)],
+                )
+            np.dot(spec.wtT, mat, out=yp)
+            if spec.bias_col is not None:
+                yp += spec.bias_col
+            if snap:
+                if clip:
+                    np.clip(yp, -_FP16_MAX, _FP16_MAX, out=yp)
+                if use_bits:
+                    u, uf, a, mask, d = self._ws.snap_scratch(
+                        (key, "psnap", pw), yp.shape
+                    )
+                    out = _snap_bits(yp, u, uf, a, mask, d)
+                else:
+                    s16 = self._ws.get((key, "ps16", pw), yp.shape, np.float16)
+                    np.copyto(s16, yp, casting="unsafe")
+                    np.copyto(yp, s16)
+                    out = yp
+                np.copyto(y2[:, c0:c0 + pw], out)
+            else:
+                np.copyto(y2[:, c0:c0 + pw], yp)
+        return y2
+
+    # ------------------------------------------------------------------
+    def _blocked_ref_gemm(self, key, spec: _ConvSpec, canvas: np.ndarray,
+                          out_spatial: tuple[int, ...], P: int,
+                          epilogue_bound: float | None) -> np.ndarray:
+        """Row-panel blocked GEMM in ``conv_forward``'s operand orientation.
+
+        Gathers whole innermost-axis output rows into a cache-sized
+        ``(P, K)`` panel and multiplies straight into the corresponding
+        contiguous rows of the monolithic ``(M, O)`` result, fusing the
+        bias / clip / fp16-grid-snap epilogue on the hot rows.  Used where
+        the transposed panels fail calibration (tiny output-channel
+        counts); bits are identical to the per-sample reference
+        (calibrated), only the ``(M, K)`` im2col buffer disappears.
+        """
+
+        c, n = canvas.shape[:2]
+        nd = len(spec.kernel)
+        kernel = spec.kernel
+        stride = spec.stride
+        rows = int(np.prod(out_spatial))
+        m = n * rows
+        K = c * int(np.prod(kernel))
+        o = spec.out_channels
+        ow = out_spatial[-1]
+        outer_shape = (n,) + out_spatial[:-1]
+
+        cached = self._wins.get(key)
+        if cached is None or cached[0] is not canvas:
+            win = sliding_window_view(canvas, kernel, axis=tuple(range(2, 2 + nd)))
+            win = win[(slice(None), slice(None))
+                      + tuple(slice(None, None, s) for s in stride)]
+            # (B, *out, C, *k): one gathered w-row is an (ow, C, *k) block.
+            tv = win.transpose(
+                (1,) + tuple(range(2, 2 + nd))
+                + (0,) + tuple(range(2 + nd, 2 + 2 * nd))
+            )
+            cached = (canvas, tv)
+            self._wins[key] = cached
+        tv = cached[1]
+
+        panel = self._ws.get((key, "rpanel"), (P, K))
+        pv = panel.reshape((P, c) + kernel)
+        y2 = self._ws.get((key, "y2R"), (m, o))
+        snap = self.half and epilogue_bound is not None
+        clip = snap and epilogue_bound >= _FP16_MAX
+        use_bits = _fast_snap_ok()
+
+        for c0 in range(0, m, P):
+            pw = min(P, m - c0)
+            for j in range(pw // ow):
+                idx = np.unravel_index((c0 + j * ow) // ow, outer_shape)
+                np.copyto(pv[j * ow:(j + 1) * ow], tv[tuple(idx)])
+            yp = y2[c0:c0 + pw]
+            np.dot(panel[:pw] if pw < P else panel, spec.wt, out=yp)
+            if spec.bias is not None:
+                yp += spec.bias
+            if snap:
+                if clip:
+                    np.clip(yp, -_FP16_MAX, _FP16_MAX, out=yp)
+                if use_bits:
+                    u, uf, a, mask, d = self._ws.snap_scratch(
+                        (key, "rsnap", pw), yp.shape
+                    )
+                    np.copyto(yp, _snap_bits(yp, u, uf, a, mask, d))
+                else:
+                    s16 = self._ws.get((key, "rs16", pw), yp.shape, np.float16)
+                    np.copyto(s16, yp, casting="unsafe")
+                    np.copyto(yp, s16)
+        return y2
 
     # ------------------------------------------------------------------
     def _grid(self, key, src: np.ndarray, bound: float,
@@ -643,68 +1138,158 @@ class CompiledStagePlan:
         return out, bound
 
     # ------------------------------------------------------------------
-    def _conv_store(self, key, spec, canvas, bound, out_padding):
+    def _conv_store(self, key, spec, canvas, bound, store_spec):
         """Convolve and store the (quantized) output into the next canvas."""
 
         n = canvas.shape[1]
-        y2, out_spatial, cm = self._gemm(key, spec, canvas)
         out_bound = spec.out_bound(bound)
+        y2, out_spatial, cm, fused = self._gemm(key, spec, canvas, out_bound)
         out_canvas, dest = self._ws.canvas(
-            (key, "out"), spec.out_channels, n, out_spatial, out_padding,
-            self._cdtype,
+            (key, "out"), spec.out_channels, n, out_spatial, store_spec[0],
+            self._cdtype, store_spec[1],
         )
         if self.half:
-            q32, out_bound = self._grid(key, y2, out_bound, mutable=True)
-            np.copyto(dest, cm(q32))
+            if fused:
+                out_bound = min(out_bound, _FP16_MAX)
+                np.copyto(dest, cm(y2))
+            else:
+                q32, out_bound = self._grid(key, y2, out_bound, mutable=True)
+                np.copyto(dest, cm(q32))
         else:
             np.copyto(dest, cm(y2))
         return out_canvas, dest, out_spatial, out_bound
 
     # ------------------------------------------------------------------
+    def _convt_gemm(self, key, tspec: _ConvTSpec, canvas, spatial, bound):
+        """Full-correlation GEMM of a transposed conv over its dilated canvas.
+
+        Returns ``(vals, out_spatial, crop, fill, out_bound)``: the
+        channel-major ``(O, B, *full)`` view of the (quantized, in half
+        mode) full correlation, the transposed-conv output spatial shape,
+        the per-axis ``(lo, avail)`` crop mapping full indices onto output
+        positions, the per-channel fill value for output positions beyond
+        the full correlation's support (the module path's zero canvas plus
+        bias and quantize — only nonzero when ``output_padding`` reaches
+        past the correlation), and the output magnitude bound.
+        """
+
+        out_sp = tspec.out_spatial(spatial)
+        out_bound = tspec.out_bound(bound)
+        y2, full_sp, cm, fused = self._gemm(key, tspec.spec, canvas, out_bound)
+        if self.half:
+            if fused:
+                out_bound = min(out_bound, _FP16_MAX)
+                vals = cm(y2)
+            else:
+                q32, out_bound = self._grid(key, y2, out_bound, mutable=True)
+                vals = cm(q32)
+        else:
+            vals = cm(y2)
+
+        lo = tuple(pl for (pl, _ph) in tspec.padding)
+        avail = tuple(
+            min(osz, f - l) for osz, f, l in zip(out_sp, full_sp, lo)
+        )
+        fill = None
+        if avail != out_sp:
+            # Output positions past the correlation's support: the module
+            # path leaves canvas zeros there, adds the bias, and quantizes.
+            b = tspec.spec.bias
+            fv = np.zeros(tspec.out_channels, np.float32) if b is None else b
+            fill = quantize_fp16(fv) if self.half else fv.copy()
+        return vals, out_sp, (lo, avail), fill, out_bound
+
+    @staticmethod
+    def _crop_view(vals, crop):
+        lo, avail = crop
+        return vals[(slice(None), slice(None)) + tuple(
+            slice(l, l + a) for l, a in zip(lo, avail)
+        )]
+
+    @staticmethod
+    def _avail_slices(avail):
+        return (slice(None), slice(None)) + tuple(slice(0, a) for a in avail)
+
+    def _convt_store(self, key, tspec, canvas, spatial, bound, store_spec):
+        """Transposed-convolve and store the quantized crop into the next canvas."""
+
+        n = canvas.shape[1]
+        vals, out_sp, crop, fill, out_bound = self._convt_gemm(
+            key, tspec, canvas, spatial, bound
+        )
+        out_canvas, dest = self._ws.canvas(
+            (key, "out"), tspec.out_channels, n, out_sp, store_spec[0],
+            self._cdtype, store_spec[1],
+        )
+        if fill is not None:
+            dest[:] = fill.reshape((-1, 1) + (1,) * len(out_sp))
+        np.copyto(dest[self._avail_slices(crop[1])], self._crop_view(vals, crop))
+        return out_canvas, dest, out_sp, out_bound
+
+    # ------------------------------------------------------------------
     def _pool(self, key, kernel, src, spatial, bound):
-        """AvgPool2d replica: fp32 mean of the exact unquantized values.
+        """AvgPool replica: fp32 mean of the exact unquantized values.
 
         For the ubiquitous 2×2 pool the multi-axis ``mean`` reduction is
         replicated with slice adds in numpy's pairwise order
         ``((x00+x01) + (x10+x11)) / 4`` — bit-equal (the full-model
         identity tests guard this against numpy reduction-order changes)
-        and ~3× faster than the strided ``mean`` kernel.  ``dtype=float32``
-        pins the arithmetic to fp32 when the source is an fp16-stored
-        canvas (the widening cast is exact).
+        and ~3× faster than the strided ``mean`` kernel.  Other kernels
+        (including 3D pools) run the same multi-axis ``mean`` call the
+        module path runs, pinned to fp32.  ``dtype=float32`` pins the
+        arithmetic to fp32 when the source is an fp16-stored canvas (the
+        widening cast is exact).
         """
 
-        kh, kw = kernel
+        kernel = tuple(kernel)
         c, n = src.shape[:2]
-        a, h = spatial
-        out = self._ws.get((key, "poolout"), (c, n, a // kh, h // kw))
-        if (kh, kw) == (2, 2):
+        out_sp = tuple(s // k for s, k in zip(spatial, kernel))
+        out = self._ws.get((key, "poolout"), (c, n) + out_sp)
+        if kernel == (2, 2):
+            a, h = spatial
             v = src.reshape(c, n, a // 2, 2, h // 2, 2)
             t1 = self._ws.get((key, "pt1"), out.shape)
             np.add(v[:, :, :, 0, :, 0], v[:, :, :, 0, :, 1], out=t1, dtype=_F32)
             np.add(v[:, :, :, 1, :, 0], v[:, :, :, 1, :, 1], out=out, dtype=_F32)
             np.add(t1, out, out=out)
             np.divide(out, np.float32(4.0), out=out)
-        else:  # pragma: no cover - the BCAE family uses 2x2 pools
-            src.reshape(c, n, a // kh, kh, h // kw, kw).mean(
-                axis=(3, 5), dtype=_F32, out=out
-            )
+        else:
+            # The module path's exact call: reshape to interleaved
+            # (.., s/k, k, ..) axes and mean over the kernel axes.  The
+            # source may be a canvas interior view; the reduction is made
+            # from a contiguous copy so the ufunc loop matches the module
+            # path's contiguous input (bit-for-bit identical pairing).
+            if not src.flags.c_contiguous:
+                buf = self._ws.get((key, "poolsrc"), src.shape)
+                np.copyto(buf, src)
+                src = buf
+            shape: list[int] = [c, n]
+            for s, k in zip(spatial, kernel):
+                shape.extend([s // k, k])
+            kernel_axes = tuple(range(3, 3 + 2 * len(kernel), 2))
+            src.reshape(shape).mean(axis=kernel_axes, dtype=_F32, out=out)
         return out, bound  # mean cannot grow the magnitude bound
 
     # ------------------------------------------------------------------
     def _up(self, key, factors, src, spatial, bound):
-        """Upsample2d replica: nearest-neighbour repeat of the exact values.
+        """Upsample replica: nearest-neighbour repeat of the exact values.
 
         A broadcast store into the reused output buffer places value ``v``
-        at every position of its ``fa×fh`` block — the same values the
-        module path's per-axis ``np.repeat`` produces, without the two
-        intermediate allocations.  Repetition cannot grow the bound.
+        at every position of its factor block — the same values the module
+        path's per-axis ``np.repeat`` produces, without the intermediate
+        allocations.  Repetition cannot grow the bound.
         """
 
-        fa, fh = factors
+        factors = tuple(factors)
         c, n = src.shape[:2]
-        a, h = spatial
-        out = self._ws.get((key, "upout"), (c, n, a * fa, h * fh))
-        out.reshape(c, n, a, fa, h, fh)[:] = src[:, :, :, None, :, None]
+        out_sp = tuple(s * f for s, f in zip(spatial, factors))
+        out = self._ws.get((key, "upout"), (c, n) + out_sp)
+        shape: list[int] = [c, n]
+        src_index: list = [slice(None), slice(None)]
+        for s, f in zip(spatial, factors):
+            shape.extend([s, f])
+            src_index.extend([slice(None), None])
+        out.reshape(shape)[:] = src[tuple(src_index)]
         return out, bound
 
     # ------------------------------------------------------------------
@@ -739,8 +1324,49 @@ class CompiledStagePlan:
         return out
 
     # ------------------------------------------------------------------
+    def _regout(self, key, op, x):
+        """``RegOutputTransform`` replica: ``offset + scale · exp(min(x, c))``.
+
+        The module path clamps with a weak python-float bound (fp32
+        arithmetic under NEP 50), exponentiates, and scales/offsets with
+        fp32 scalars (``Tensor`` coerces python floats to fp32) — the same
+        ufunc chain over the same contiguous grid values, staged through a
+        reused buffer.
+        """
+
+        offset, scale, max_exponent = op
+        out = self._ws.get((key, "ro"), x.shape)
+        np.clip(x, None, max_exponent, out=out)
+        np.exp(out, out=out)
+        np.multiply(out, np.float32(scale), out=out)
+        np.add(out, np.float32(offset), out=out)
+        return out
+
+    # ------------------------------------------------------------------
+    def _leaky_merge(self, key, v, slope, bound, requantize):
+        """LeakyReLU on grid values ``v`` (mutating): ``x·slope`` merged back.
+
+        The module computes ``x * where(x > 0, 1, slope)``: positive lanes
+        keep their exact value, negative (and ±0) lanes become the fp32
+        product ``x · slope``.  With ``requantize`` the product is snapped
+        back onto the grid — act fused with the *next* convolution's entry
+        quantize (positives are already grid values, so only the scaled
+        lanes move).  Returns the merged array (``v`` mutated in place).
+        """
+
+        neg = self._ws.get((key, "neg"), v.shape)
+        np.multiply(v, np.float32(slope), out=neg)
+        if requantize and self.half:
+            neg, _b = self._grid((key, "negq"), neg, bound * abs(slope),
+                                 mutable=True)
+        mask = self._ws.get((key, "m"), v.shape, np.bool_)
+        np.less_equal(v, np.float32(0), out=mask)
+        np.copyto(v, neg, where=mask)
+        return v
+
+    # ------------------------------------------------------------------
     def _res(self, key, op, canvas, spatial, bound, carry, carry_bound,
-             out_padding, store: bool = True):
+             store_spec, store: bool = True):
         """ResBlock2d replica: ``act2(conv2(act1(conv1(x)))) + x``.
 
         ``carry`` is the unquantized fp32 block input the skip needs (None
@@ -753,25 +1379,22 @@ class CompiledStagePlan:
         n = canvas.shape[1]
 
         # conv1 → act1, stored (re-quantized) as conv2's input.
-        y2, out_spatial, cm1 = self._gemm((key, 0), spec1, canvas)
+        b1_raw = spec1.out_bound(bound)
+        y2, out_spatial, cm1, fused1 = self._gemm((key, 0), spec1, canvas, b1_raw)
         mid_canvas, mid_dest = self._ws.canvas(
             (key, "mid"), spec1.out_channels, n, out_spatial, spec2.padding,
             self._cdtype,
         )
         if self.half:
-            v, b1 = self._grid((key, "v1"), y2, spec1.out_bound(bound),
-                               mutable=True)
+            if fused1:
+                v, b1 = y2, min(b1_raw, _FP16_MAX)
+            else:
+                v, b1 = self._grid((key, "v1"), y2, b1_raw, mutable=True)
             # act1 merged with conv2's entry quantize on the fp16 grid:
             # positives keep their grid value (leaky × 1, then a no-op
             # re-quantize), negatives are x·slope snapped back to the grid.
-            neg = self._ws.get((key, "neg"), y2.shape)
-            np.multiply(v, np.float32(slope1), out=neg)  # fp32, exactly x * scale
-            negq, _ = self._grid((key, "negq"), neg, b1 * abs(slope1),
-                                 mutable=True)
-            mask = self._ws.get((key, "m1"), y2.shape, np.bool_)
-            np.less_equal(v, np.float32(0), out=mask)
-            np.copyto(v, negq, where=mask)           # merge contiguously...
-            np.copyto(mid_dest, cm1(v))              # ...one layout pass
+            v = self._leaky_merge((key, "a1"), v, slope1, b1, requantize=True)
+            np.copyto(mid_dest, cm1(v))
         else:
             b1 = 0.0
             scale = np.where(y2 > 0, 1.0, slope1).astype(np.float32)
@@ -779,15 +1402,15 @@ class CompiledStagePlan:
 
         # conv2 → act2 kept unquantized fp32 (the module path does not
         # re-quantize before the residual sum).
-        y2b, _sp, cm2 = self._gemm((key, 1), spec2, mid_canvas)
+        b2_raw = spec2.out_bound(b1)
+        y2b, _sp, cm2, fused2 = self._gemm((key, 1), spec2, mid_canvas, b2_raw)
         if self.half:
-            v2, b2 = self._grid((key, "v2"), y2b, spec2.out_bound(b1),
-                                mutable=True)
-            l2 = self._ws.get((key, "l2"), y2b.shape)
-            np.multiply(v2, np.float32(slope2), out=l2)
-            mask2 = self._ws.get((key, "m2"), y2b.shape, np.bool_)
-            np.greater(v2, np.float32(0), out=mask2)
-            np.copyto(l2, v2, where=mask2)
+            if fused2:
+                v2, b2 = y2b, min(b2_raw, _FP16_MAX)
+            else:
+                v2, b2 = self._grid((key, "v2"), y2b, b2_raw, mutable=True)
+            l2 = self._leaky_merge((key, "a2"), v2, slope2, b2,
+                                   requantize=False)
             l2_bound = b2
         else:
             scale2 = np.where(y2b > 0, 1.0, slope2).astype(np.float32)
@@ -807,17 +1430,142 @@ class CompiledStagePlan:
         if not store:
             return canvas, None, carry_bound, carry, carry_bound
         out_canvas, dest, stored_bound = self._store_stream(
-            (key, "store"), carry, carry_bound, out_spatial, out_padding
+            (key, "store"), carry, carry_bound, out_spatial, store_spec
         )
         return out_canvas, dest, stored_bound, carry, carry_bound
 
     # ------------------------------------------------------------------
-    def _store_stream(self, key, src, bound, spatial, padding):
+    def _block3d(self, key, op, canvas, spatial, bound, store_spec,
+                 transposed: bool):
+        """DownBlock3d / UpBlock3d replica (Figure 4, BCAE++/HT form).
+
+        ``main + skip`` where ``main = act2(conv(act1(sconv(x))))`` and
+        ``skip = act3(sconv'(x))``; ``sconv`` is the strided convolution
+        (``transposed=False``, encoder side) or the transposed convolution
+        over the shared dilated canvas (``transposed=True``, decoder
+        side).  Both strided convolutions consume the same quantized input
+        canvas — the module path quantizes the same tensor twice and gets
+        the same grid values.  The block output (the fp32 sum of the two
+        unquantized activation streams) is returned as the carry and
+        stored re-quantized for the next stage's convolutions.
+        """
+
+        main_spec, inner_spec, skip_spec, s1, s2, s3 = op
+        n = canvas.shape[1]
+        o = inner_spec.out_channels
+
+        # Main path, first (strided / transposed) convolution → act1,
+        # stored re-quantized as the inner convolution's input.
+        if transposed:
+            v1, out_sp, crop1, fill1, b1 = self._convt_gemm(
+                (key, 0), main_spec, canvas, spatial, bound
+            )
+        else:
+            b1_raw = main_spec.out_bound(bound)
+            y1, out_sp, cm1, fused1 = self._gemm((key, 0), main_spec, canvas,
+                                                 b1_raw)
+            if self.half:
+                if fused1:
+                    v1m, b1 = y1, min(b1_raw, _FP16_MAX)
+                else:
+                    v1m, b1 = self._grid((key, "v1"), y1, b1_raw, mutable=True)
+            else:
+                v1m, b1 = y1, 0.0
+            v1, crop1, fill1 = cm1(v1m), None, None
+
+        mid_canvas, mid_dest = self._ws.canvas(
+            (key, "mid"), o, n, out_sp, inner_spec.padding, self._cdtype,
+        )
+        if self.half:
+            merged = self._leaky_merge((key, "a1"), v1, s1, b1, requantize=True)
+        else:
+            merged = v1 * np.where(v1 > 0, 1.0, s1).astype(np.float32)
+        if crop1 is not None:
+            if fill1 is not None:
+                # Beyond the correlation's support the module stream is
+                # act1(q(bias)) re-quantized by the inner conv's entry.
+                f = np.where(
+                    fill1 > 0, fill1,
+                    quantize_fp16(fill1 * np.float32(s1)) if self.half
+                    else fill1 * np.float32(s1),
+                )
+                mid_dest[:] = f.reshape((-1, 1) + (1,) * len(out_sp))
+            np.copyto(mid_dest[self._avail_slices(crop1[1])],
+                      self._crop_view(merged, crop1))
+        else:
+            np.copyto(mid_dest, merged)
+
+        # Inner 3³ convolution → act2, kept unquantized fp32 (the module
+        # path does not re-quantize before the residual sum).
+        b2_raw = inner_spec.out_bound(b1)
+        y2, _sp2, cm2, fused2 = self._gemm((key, 1), inner_spec, mid_canvas,
+                                           b2_raw)
+        if self.half:
+            if fused2:
+                v2, b2 = y2, min(b2_raw, _FP16_MAX)
+            else:
+                v2, b2 = self._grid((key, "v2"), y2, b2_raw, mutable=True)
+            l2 = self._leaky_merge((key, "a2"), v2, s2, b2, requantize=False)
+            b_l2 = b2
+        else:
+            l2 = y2 * np.where(y2 > 0, 1.0, s2).astype(np.float32)
+            b_l2 = 0.0
+
+        # Skip path over the same input canvas → act3, unquantized.
+        if transposed:
+            v3, _osp, crop3, fill3, b3 = self._convt_gemm(
+                (key, 2), skip_spec, canvas, spatial, bound
+            )
+            # The merge reproduces x·where(x>0, 1, slope) bit for bit in
+            # both precision modes (positives keep their exact value).
+            l3 = self._leaky_merge((key, "a3"), v3, s3, b3, requantize=False)
+            b_l3 = b3 if self.half else 0.0
+        else:
+            b3_raw = skip_spec.out_bound(bound)
+            y3, _sp3, cm3, fused3 = self._gemm((key, 2), skip_spec, canvas,
+                                               b3_raw)
+            if self.half:
+                if fused3:
+                    v3m, b3 = y3, min(b3_raw, _FP16_MAX)
+                else:
+                    v3m, b3 = self._grid((key, "v3"), y3, b3_raw, mutable=True)
+                l3f = self._leaky_merge((key, "a3"), v3m, s3, b3,
+                                        requantize=False)
+                b_l3 = b3
+            else:
+                l3f = y3 * np.where(y3 > 0, 1.0, s3).astype(np.float32)
+                b_l3 = 0.0
+            l3, crop3, fill3 = cm3(l3f), None, None
+
+        # Residual sum — the module path's plain fp32 ``main + skip``.
+        sum_buf = self._ws.get((key, "sum"), (o, n) + out_sp)
+        if crop3 is not None:
+            if fill3 is not None:
+                f3 = np.where(fill3 > 0, fill3, fill3 * np.float32(s3))
+                l3_full = self._ws.get((key, "l3c"), (o, n) + out_sp)
+                l3_full[:] = f3.reshape((-1, 1) + (1,) * len(out_sp))
+                np.copyto(l3_full[self._avail_slices(crop3[1])],
+                          self._crop_view(l3, crop3))
+                np.add(cm2(l2), l3_full, out=sum_buf)
+            else:
+                np.add(cm2(l2), self._crop_view(l3, crop3), out=sum_buf)
+        else:
+            np.add(cm2(l2), l3, out=sum_buf)
+        carry_bound = b_l2 + b_l3
+
+        out_canvas, dest, stored_bound = self._store_stream(
+            (key, "store"), sum_buf, carry_bound, out_sp, store_spec
+        )
+        return out_canvas, dest, out_sp, stored_bound, sum_buf, carry_bound
+
+    # ------------------------------------------------------------------
+    def _store_stream(self, key, src, bound, spatial, store_spec):
         """Store the unquantized fp32 stream into a conv-input canvas."""
 
         c, n = src.shape[:2]
-        canvas, dest = self._ws.canvas((key, "canvas"), c, n, spatial, padding,
-                                       self._cdtype)
+        canvas, dest = self._ws.canvas((key, "canvas"), c, n, spatial,
+                                       store_spec[0], self._cdtype,
+                                       store_spec[1])
         if self.half:
             q32, bound = self._grid(key, src, bound)
             np.copyto(dest, q32)
@@ -826,17 +1574,39 @@ class CompiledStagePlan:
         return canvas, dest, bound
 
 
-def _interior(canvas: np.ndarray, padding, spatial: tuple[int, int]) -> np.ndarray:
-    (plh, _phh), (plw, _phw) = padding
-    return canvas[:, :, plh:plh + spatial[0], plw:plw + spatial[1]]
+def _interior(canvas: np.ndarray, padding, spatial: tuple[int, ...]) -> np.ndarray:
+    return canvas[(slice(None), slice(None)) + tuple(
+        slice(pl, pl + s) for s, (pl, _ph) in zip(spatial, padding)
+    )]
 
 
 def _canvas_padding(canvas: np.ndarray, spatial) -> tuple[tuple[int, int], ...]:
     """Recover the (symmetric) padding a canvas was allocated with."""
 
-    ph = canvas.shape[2] - spatial[0]
-    pw = canvas.shape[3] - spatial[1]
-    return ((ph // 2, ph - ph // 2), (pw // 2, pw - pw // 2))
+    out = []
+    for axis, s in enumerate(spatial):
+        p = canvas.shape[2 + axis] - s
+        out.append((p // 2, p - p // 2))
+    return tuple(out)
+
+
+def _plan_nd(ops) -> int:
+    """Spatial rank of a compiled plan, from its first geometric op."""
+
+    for kind, op in ops:
+        if kind in ("conv", "conv3d"):
+            return len(op.kernel)
+        if kind == "convtranspose3d":
+            return len(op.kernel)
+        if kind == "res":
+            return len(op[0].kernel)
+        if kind in ("down3d", "upblock3d"):
+            return 3
+        if kind in ("pool", "up"):
+            return 2
+        if kind in ("pool3d", "up3d"):
+            return 3
+    return 2
 
 
 def _next_consumer(ops, i) -> str | None:
@@ -848,16 +1618,29 @@ def _next_consumer(ops, i) -> str | None:
     return None
 
 
-def _next_padding(ops, i) -> tuple[tuple[int, int], ...]:
-    """Padding the next convolution consumer needs its input stored with."""
+def _next_store_spec(ops, i, nd) -> tuple[tuple[tuple[int, int], ...], tuple[int, ...]]:
+    """(padding, dilation) the next consumer needs its input stored with.
 
+    Ordinary convolutions need their zero padding pre-allocated around the
+    interior; transposed convolutions additionally need the stride-dilation
+    gaps (the module path's ``_dilate`` + ``np.pad``, kept as persistent
+    zeros).  Pools, upsamples and heads consume raw interior values.
+    """
+
+    ones = (1,) * nd
     for kind, op in ops[i + 1:]:
-        if kind == "conv":
-            return op.padding
+        if kind in ("conv", "conv3d"):
+            return op.padding, ones
+        if kind == "convtranspose3d":
+            return op.store_padding, op.dilation
         if kind == "res":
-            return op[0].padding
-        if kind in ("pool", "up", "sigmoid"):
+            return op[0].padding, ones
+        if kind == "down3d":
+            return op[0].padding, ones
+        if kind == "upblock3d":
+            return op[0].store_padding, op[0].dilation
+        if kind in ("pool", "pool3d", "up", "up3d", "sigmoid", "regout"):
             # These consume raw interior values — no conv padding needed.
-            return ((0, 0), (0, 0))
+            return ((0, 0),) * nd, ones
         # "identity" is transparent: keep scanning for the real consumer.
-    return ((0, 0), (0, 0))
+    return ((0, 0),) * nd, ones

@@ -19,6 +19,7 @@ from .roofline import (
 )
 from .timing import (
     ThroughputResult,
+    measure_compress_throughput,
     measure_curve,
     measure_encoder_throughput,
     throughput_from_batches,
@@ -39,6 +40,7 @@ __all__ = [
     "speedup_half",
     "ThroughputResult",
     "measure_encoder_throughput",
+    "measure_compress_throughput",
     "measure_curve",
     "throughput_from_batches",
 ]

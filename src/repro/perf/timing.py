@@ -26,6 +26,7 @@ from ..nn import Tensor
 __all__ = [
     "ThroughputResult",
     "measure_encoder_throughput",
+    "measure_compress_throughput",
     "measure_curve",
     "throughput_from_batches",
 ]
@@ -82,6 +83,55 @@ def measure_encoder_throughput(
             t0 = time.perf_counter()
             model.encode(x)
             times.append(time.perf_counter() - t0)
+    best = min(times)
+    return ThroughputResult(
+        batch_size=batch_size,
+        half=half,
+        wedges_per_second=batch_size / best,
+        seconds_per_batch=best,
+        repeats=repeats,
+        seconds_per_batch_mean=float(np.mean(times)),
+    )
+
+
+def measure_compress_throughput(
+    model,
+    wedge_shape: tuple[int, ...],
+    batch_size: int = 1,
+    half: bool = True,
+    repeats: int = 3,
+    warmup: int = 1,
+    seed: int = 0,
+) -> ThroughputResult:
+    """Time ``BCAECompressor.compress_into`` on raw wedges of ``wedge_shape``.
+
+    Unlike :func:`measure_encoder_throughput` (module graph only), this
+    measures the *deployable* serving operation: log transform, padding and
+    encode through the compiled fast path wherever the model has one (the
+    2D family and the 3D BCAE++/HT), with the module-graph fallback
+    otherwise — so cross-model comparisons are like-for-like engines.
+    ``wedge_shape`` excludes the batch axis (raw ADC, e.g. ``(16, 192, 249)``).
+    """
+
+    from ..core.compressor import BCAECompressor  # deferred: perf ← core cycle
+
+    rng = np.random.default_rng(seed)
+    wedges = rng.integers(
+        0, 1024, size=(batch_size,) + tuple(wedge_shape)
+    ).astype(np.uint16)
+    wedges[wedges < 700] = 0  # zero-suppressed occupancy, §2.1
+    # Inference mode: BatchNorm models (the original BCAE) must encode
+    # from running statistics, or the timed op would mutate model state
+    # and depend on batch composition.
+    model.eval()
+    compressor = BCAECompressor(model, half=half)
+    times: list[float] = []
+    for _ in range(warmup):
+        compressor.compress_into(wedges)
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        compressor.compress_into(wedges)
+        times.append(time.perf_counter() - t0)
     best = min(times)
     return ThroughputResult(
         batch_size=batch_size,

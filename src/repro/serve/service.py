@@ -29,7 +29,12 @@ Execution backends, per :class:`ServiceConfig`:
   by value.
 
 Payload/reconstruction bytes are identical to serial single-call
-``compress``/``decompress`` in every configuration.
+``compress``/``decompress`` in every configuration.  Every model with a
+compiled stage plan — the 2D family *and* the 3D BCAE++/HT variants —
+serves through the fast ``compress_into``/``decompress_into`` paths and is
+eligible for the ≥2× serving gates of ``bench_serving.py`` /
+``bench_decode.py``; only unknown stage stacks (the original BCAE's
+BatchNorm blocks) degrade to the module graph inside the same services.
 """
 
 from __future__ import annotations

@@ -6,7 +6,12 @@ import pytest
 from repro import nn
 from repro.core import BCAECompressor, build_model
 from repro.core.blocks import ResBlock2d
-from repro.core.fast_decode import FastDecoder2D, supports_fast_decode
+from repro.core.fast_decode import (
+    FastDecoder2D,
+    FastDecoder3D,
+    make_fast_decoder,
+    supports_fast_decode,
+)
 from repro.core.fast_plan import CompiledStagePlan, stage_kinds
 from repro.nn import Tensor
 
@@ -62,14 +67,23 @@ class TestSupports:
         model = build_model("bcae_2d", wedge_spatial=(16, 24, 30), m=2, n=2, d=2, seed=0)
         assert supports_fast_decode(model)
 
-    def test_3d_not_supported(self):
-        model = build_model("bcae_ht", wedge_spatial=(16, 24, 30), seed=0)
+    def test_3d_variants_supported(self):
+        """BCAE++/HT decoders compile through the 3D stage kinds."""
+
+        for name in ("bcae_ht", "bcae_pp"):
+            model = build_model(name, wedge_spatial=(16, 24, 30), seed=0)
+            assert supports_fast_decode(model)
+
+    def test_batchnorm_bcae_not_supported(self):
+        """The original BCAE keeps BatchNorm blocks — outside the vocabulary."""
+
+        model = build_model("bcae", wedge_spatial=(16, 24, 30), seed=0)
         assert not supports_fast_decode(model)
 
     def test_compile_rejects_unsupported(self):
         model = build_model("bcae_ht", wedge_spatial=(16, 24, 30), seed=0)
         with pytest.raises(TypeError):
-            FastDecoder2D(model)
+            FastDecoder2D(model)  # 3D decoders need FastDecoder3D
 
 
 class TestBitIdentity:
@@ -190,6 +204,66 @@ class TestWorkspace:
         fd.decompress(c.codes_view(), c.original_horizontal)
         shared = fd.workspace_bytes
         assert shared < 2 * _single_head_bytes(model, c.codes_view())
+
+
+class TestBitIdentity3D:
+    """FastDecoder3D: fast reconstruction values == module-path values."""
+
+    @pytest.mark.parametrize("half", [True, False])
+    @pytest.mark.parametrize("name", ["bcae_ht", "bcae_pp"])
+    def test_matches_module_path(self, name, half):
+        spatial = (8, 24, 30)
+        model = build_model(name, wedge_spatial=spatial, seed=0)
+        comp = BCAECompressor(model, half=half)
+        fd = make_fast_decoder(model, half=half)
+        assert isinstance(fd, FastDecoder3D)
+        for b in (1, 3):
+            c = comp.compress(_wedges(b, spatial, seed=b))
+            ref = comp.decompress(c)
+            codes = c.codes_view().astype(np.float32)
+            fast = fd.decompress(codes, c.original_horizontal)
+            assert np.array_equal(ref, np.asarray(fast))
+
+    @pytest.mark.parametrize("half", [True, False])
+    def test_head_outputs_match(self, half):
+        """decode() reproduces both raw head outputs (sigmoid + regout)."""
+
+        spatial = (8, 24, 30)
+        model = build_model("bcae_ht", wedge_spatial=spatial, seed=0)
+        comp = BCAECompressor(model, half=half)
+        fd = FastDecoder3D(model, half=half)
+        c = comp.compress(_wedges(2, spatial))
+        codes = c.codes_view().astype(np.float32)
+        seg_ref, reg_ref = _module_decode(model, codes, half)
+        seg, reg = fd.decode(codes)
+        assert np.array_equal(seg_ref, np.asarray(seg))
+        assert np.array_equal(reg_ref, np.asarray(reg))
+
+    def test_batch_size_change_reuses_instance(self):
+        spatial = (8, 24, 30)
+        model = build_model("bcae_pp", wedge_spatial=spatial, seed=0)
+        comp = BCAECompressor(model)
+        fd = FastDecoder3D(model)
+        for b in (3, 1, 4, 3):
+            c = comp.compress(_wedges(b, spatial, seed=b))
+            codes = c.codes_view().astype(np.float32)
+            assert np.array_equal(
+                comp.decompress(c),
+                np.asarray(fd.decompress(codes, c.original_horizontal)),
+            )
+
+    def test_heads_share_one_workspace(self):
+        spatial = (8, 24, 30)
+        model = build_model("bcae_ht", wedge_spatial=spatial, seed=0)
+        comp = BCAECompressor(model)
+        fd = FastDecoder3D(model)
+        c = comp.compress(_wedges(2, spatial))
+        codes = c.codes_view().astype(np.float32)
+        fd.decompress(codes, c.original_horizontal)
+        footprint = fd.workspace_bytes
+        assert footprint > 0
+        fd.decompress(codes, c.original_horizontal)
+        assert fd.workspace_bytes == footprint  # steady state: no growth
 
 
 def _single_head_bytes(model, codes) -> int:

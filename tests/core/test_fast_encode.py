@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core import BCAECompressor, build_model
-from repro.core.fast_encode import FastEncoder2D, supports_fast_encode
+from repro.core.fast_encode import (
+    FastEncoder2D,
+    FastEncoder3D,
+    make_fast_encoder,
+    supports_fast_encode,
+)
 from repro.tpc.transforms import log_transform, padded_length
 
 
@@ -25,14 +30,23 @@ class TestSupports:
         model = build_model("bcae_2d", wedge_spatial=(16, 24, 30), m=2, n=2, d=2, seed=0)
         assert supports_fast_encode(model)
 
-    def test_3d_not_supported(self):
-        model = build_model("bcae_ht", wedge_spatial=(16, 24, 30), seed=0)
+    def test_3d_variants_supported(self):
+        """BCAE++/HT compile through the 3D stage kinds (ROADMAP follow-on)."""
+
+        for name in ("bcae_ht", "bcae_pp"):
+            model = build_model(name, wedge_spatial=(16, 24, 30), seed=0)
+            assert supports_fast_encode(model)
+
+    def test_batchnorm_bcae_not_supported(self):
+        """The original BCAE keeps BatchNorm blocks — outside the vocabulary."""
+
+        model = build_model("bcae", wedge_spatial=(16, 24, 30), seed=0)
         assert not supports_fast_encode(model)
 
     def test_compile_rejects_unsupported(self):
         model = build_model("bcae_ht", wedge_spatial=(16, 24, 30), seed=0)
         with pytest.raises(TypeError):
-            FastEncoder2D(model.encoder)
+            FastEncoder2D(model.encoder)  # 3D encoders need FastEncoder3D
 
 
 class TestBitIdentity:
@@ -111,3 +125,43 @@ class TestWorkspace:
         a = fe.encode(w, horizontal_target=32)
         b = fe.encode(w, horizontal_target=32)
         assert a is b  # documented: copy before the next call
+
+
+class TestBitIdentity3D:
+    """FastEncoder3D: fast payload bytes == module-path bytes for BCAE++/HT."""
+
+    @pytest.mark.parametrize("half", [True, False])
+    @pytest.mark.parametrize("name", ["bcae_ht", "bcae_pp"])
+    def test_matches_module_path(self, name, half):
+        spatial = (8, 24, 30)
+        model = build_model(name, wedge_spatial=spatial, seed=0)
+        fe = make_fast_encoder(model, half=half)
+        assert isinstance(fe, FastEncoder3D)
+        comp = BCAECompressor(model, half=half)
+        target = model.encoder.spatial[-1]
+        for b in (1, 3, 5):
+            w = _wedges(b, spatial, seed=b)
+            got = fe.encode(log_transform(w), horizontal_target=target).tobytes()
+            assert got == comp.compress(w).payload
+
+    def test_batch_size_change_reuses_instance(self):
+        spatial = (8, 24, 30)
+        model = build_model("bcae_ht", wedge_spatial=spatial, seed=0)
+        fe = FastEncoder3D(model.encoder, half=True)
+        comp = BCAECompressor(model)
+        target = model.encoder.spatial[-1]
+        for b in (4, 1, 6, 4):
+            w = _wedges(b, spatial, seed=b)
+            got = fe.encode(log_transform(w), horizontal_target=target).tobytes()
+            assert got == comp.compress(w).payload
+
+    def test_workspace_steady_state(self):
+        spatial = (8, 24, 30)
+        model = build_model("bcae_ht", wedge_spatial=spatial, seed=0)
+        fe = FastEncoder3D(model.encoder, half=True)
+        w = log_transform(_wedges(3, spatial))
+        fe.encode(w, horizontal_target=32)
+        footprint = fe.workspace_bytes
+        assert footprint > 0
+        fe.encode(w, horizontal_target=32)
+        assert fe.workspace_bytes == footprint  # steady state: no growth

@@ -145,6 +145,91 @@ class TestBatchInvariance:
         np.testing.assert_array_equal(fast_singles, ref)
 
 
+class TestBatchInvariance3D:
+    """The 3D fast paths inherit the batch-composition contract.
+
+    BCAE++/HT now compile through the same stage-plan engine (conv3d /
+    convtranspose3d / residual-block stage kinds), so payload bytes and
+    reconstruction values must be invariant to how wedges are batched —
+    through ``compress_into`` / ``decompress_into`` and the archive round
+    trip, in both precision modes.
+    """
+
+    @settings(max_examples=4, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        batch=st.integers(2, 3),
+        name=st.sampled_from(["bcae_ht", "bcae_pp"]),
+        half=st.booleans(),
+    )
+    def test_3d_fast_paths_invariant_over_batch_composition(
+        self, seed, batch, name, half
+    ):
+        model = build_model(name, wedge_spatial=(8, 16, 14), seed=3)
+        comp = BCAECompressor(model, half=half)
+        rng = np.random.default_rng(seed)
+        raw = rng.integers(0, 1024, size=(batch, 8, 16, 14)).astype(np.uint16)
+        raw[raw < 600] = 0
+        # Module path, one wedge at a time — the reference composition.
+        singles = [comp.compress(w) for w in raw]
+        ref = np.concatenate([comp.decompress(c) for c in singles])
+        # Fast encode: batched payload bytes == concatenated single bytes.
+        batched = comp.compress_into(raw)
+        assert bytes(batched.payload) == b"".join(c.payload for c in singles)
+        # Fast decode, batched and single-wedge, == module reference.
+        np.testing.assert_array_equal(
+            np.asarray(comp.decompress_into(batched)), ref
+        )
+        fast_singles = np.concatenate(
+            [np.array(comp.decompress_into(c)) for c in singles]
+        )
+        np.testing.assert_array_equal(fast_singles, ref)
+
+    @settings(max_examples=3, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), half=st.booleans())
+    def test_3d_archive_roundtrip_bitexact(self, seed, half, tmp_path_factory):
+        """compress_into → io.codes archive → decompress_into, bit for bit."""
+
+        from repro.io.codes import load_compressed, save_compressed
+
+        model = build_model("bcae_ht", wedge_spatial=(8, 16, 14), seed=3)
+        comp = BCAECompressor(model, half=half)
+        rng = np.random.default_rng(seed)
+        raw = rng.integers(0, 1024, size=(2, 8, 16, 14)).astype(np.uint16)
+        raw[raw < 600] = 0
+        compressed = comp.compress_into(raw)
+        path = tmp_path_factory.mktemp("arch") / "codes.npz"
+        save_compressed(compressed, path, model_name="bcae_ht")
+        loaded, name = load_compressed(path)
+        assert name == "bcae_ht"
+        assert bytes(loaded.payload) == bytes(compressed.payload)
+        np.testing.assert_array_equal(
+            np.asarray(comp.decompress_into(loaded)), comp.decompress(loaded)
+        )
+
+
+class TestNoFallback3D:
+    """Regression: BCAE++/HT must use the compiled paths, not the fallback."""
+
+    @pytest.mark.parametrize("name", ["bcae_ht", "bcae_pp"])
+    def test_compress_and_decompress_take_fast_path(self, name):
+        model = build_model(name, wedge_spatial=(8, 16, 14), seed=0)
+        comp = BCAECompressor(model)
+        raw = np.zeros((1, 8, 16, 14), dtype=np.uint16)
+        comp.compress_into(raw)
+        assert comp._fast is not None, f"{name} compress_into fell back"
+        comp.decompress_into(comp.compress(raw))
+        assert comp._fast_dec is not None, f"{name} decompress_into fell back"
+
+    def test_original_bcae_still_falls_back(self):
+        model = build_model("bcae", wedge_spatial=(8, 16, 14), seed=0)
+        comp = BCAECompressor(model)
+        raw = np.zeros((1, 8, 16, 14), dtype=np.uint16)
+        comp.compress_into(raw)
+        comp.decompress_into(comp.compress(raw))
+        assert comp._fast is None and comp._fast_dec is None
+
+
 class TestFailureModes:
     def test_wrong_wedge_rank_raises(self, tiny_model):
         comp = BCAECompressor(tiny_model)
