@@ -1,34 +1,56 @@
-"""Serving bench — micro-batched service vs serial single-wedge compression.
+"""Serving bench — the micro-batched service, and the process hand-off.
 
-The paper's deployment argument (§1, §3.2) is throughput: the encoder must
-keep up with streaming readout.  This bench measures the first executable
-slice of that system, :class:`repro.serve.StreamingCompressionService`
-(micro-batching + persistent fast-path workspaces + optional worker pool),
-against the naive loop a non-serving user would write — one
-``BCAECompressor.compress`` call per wedge — on the same synthetic stream.
+The paper's deployment argument (§1, §3.2) is throughput under a wall-clock
+budget: the encoder must keep up with streaming readout.  This bench
+measures three slices of the serving system:
+
+1. **service vs serial** — :class:`repro.serve.StreamingCompressionService`
+   (micro-batching + persistent fast-path workspaces + optional pool)
+   against the naive loop a non-serving user would write, one
+   ``BCAECompressor.compress`` call per wedge;
+2. **process hand-off** — the shared-memory slab transport against the
+   pickle transport on **paper-scale payloads**, measured through
+   :class:`repro.serve.HandoffProbeService` (the pool engine with the model
+   call replaced by a checksum) so the comparison isolates what actually
+   changed: serialization and copies per unit.  End-to-end numbers with a
+   real encoder are reported alongside for context — there, model compute
+   (hundreds of ms/unit on CPU) dominates both transports equally;
+3. **async gateway** — the asyncio ingestion path on a wall-clock-paced
+   replay: byte parity with the serial path plus batch-latency percentiles
+   under the monotonic deadline budget.
 
 Acceptance gates:
 
-* the service sustains **≥ 2×** the serial wedges/s (asserted on the
-  deepest encoder of the paper's Figure-6E/7 grid, BCAE-2D(m=7, n=8, d=3),
-  where per-call overheads bite hardest; the paper-default m=4 is reported
-  alongside);
-* payload bytes are **identical** to the serial path for every wedge.
+* service ≥ 2× serial wedges/s on the deep Figure-6E/7 encoder, payloads
+  byte-identical (as before);
+* shm hand-off ≥ 1.5× the pickle hand-off on paper-scale payloads;
+* async gateway payloads byte-identical to the serial path.
 
-Timings are best-of-N on both sides (see ``repro.perf.timing``).
+Every run (including ``--smoke``) writes machine-readable sections to
+``BENCH_serving.json`` so future PRs can diff perf trajectories.  Runs
+under pytest (tier-2 bench suite) and as a script::
+
+    python benchmarks/bench_serving.py [--smoke]
+
+``--smoke`` shrinks streams and relaxes the speed gates (CI exercises the
+wiring on busy shared runners; the 2×/1.5× claims are the bench's).
 """
 
+import argparse
+import asyncio
+import json
+import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
-from conftest import report
-
-from repro.core import BCAECompressor, build_model
-from repro.serve import ServiceConfig, StreamingCompressionService
-
 _N_WEDGES = 48
 _REPEATS = 3
+_HANDOFF_UNITS = 24
+_HANDOFF_SHAPE = (4, 16, 192, 249)  # paper-geometry wedge batches, uint16
+
+_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
 
 
 def _stream(n=_N_WEDGES, seed=7):
@@ -48,7 +70,27 @@ def _best_of(fn, repeats=_REPEATS):
     return best
 
 
-def _measure(model_kwargs, wedges, service_configs):
+def _best_of_interleaved(fns, repeats):
+    """Interleaved best-of rounds: every contender samples the same machine
+    states instead of one side monopolizing the warm (or noisy) phase."""
+
+    best = [float("inf")] * len(fns)
+    for _ in range(repeats):
+        for i, fn in enumerate(fns):
+            t0 = time.perf_counter()
+            fn()
+            best[i] = min(best[i], time.perf_counter() - t0)
+    return best
+
+
+# ----------------------------------------------------------------------
+# section 1: micro-batched service vs serial single-wedge compression
+# ----------------------------------------------------------------------
+
+def measure_service(model_kwargs, wedges, service_configs, repeats=_REPEATS):
+    from repro.core import BCAECompressor, build_model
+    from repro.serve import StreamingCompressionService
+
     model = build_model("bcae_2d", wedge_spatial=wedges.shape[1:], seed=0, **model_kwargs)
     compressor = BCAECompressor(model)
 
@@ -59,7 +101,7 @@ def _measure(model_kwargs, wedges, service_configs):
         serial.extend(compressor.compress(w) for w in wedges)
 
     run_serial()  # warm
-    serial_s = _best_of(run_serial)
+    serial_s = _best_of(run_serial, repeats)
     serial_wps = len(wedges) / serial_s
     serial_bytes = b"".join(c.payload for c in serial)
 
@@ -74,62 +116,306 @@ def _measure(model_kwargs, wedges, service_configs):
         def run_service():
             service.run(wedges, keep_payloads=False)
 
-        service_s = _best_of(run_service)
-        rows.append((label, len(wedges) / service_s, identical))
-    return serial_wps, rows
+        service_s = _best_of(run_service, repeats)
+        rows.append({
+            "label": label,
+            "wedges_per_second": len(wedges) / service_s,
+            "speedup_vs_serial": (len(wedges) / service_s) / serial_wps,
+            "bit_identical": bool(identical),
+        })
+    return {"serial_wps": serial_wps, "rows": rows}
 
 
-def test_serving_speedup_and_parity(benchmark):
-    wedges = _stream()
+def service_section(wedges, repeats=_REPEATS):
+    from repro.serve import ServiceConfig
+
     configs = [
         ("inline b16", ServiceConfig(max_batch=16, workers=0)),
         ("pool2  b16", ServiceConfig(max_batch=16, workers=2)),
     ]
+    return {
+        "section": "service_vs_serial",
+        "n_wedges": len(wedges),
+        "wedge_shape": list(wedges.shape[1:]),
+        "deep": measure_service(dict(m=7, n=8, d=3), wedges, configs, repeats),
+        "default": measure_service(dict(m=4, n=8, d=3), wedges, configs, repeats),
+    }
+
+
+# ----------------------------------------------------------------------
+# section 2: process hand-off — shm slabs vs pickle, paper-scale payloads
+# ----------------------------------------------------------------------
+
+def handoff_section(n_units=_HANDOFF_UNITS, unit_shape=_HANDOFF_SHAPE,
+                    repeats=_REPEATS):
+    """Time the process-boundary round trip of paper-scale payload units.
+
+    The probe worker touches every input byte and acks with a float, so
+    per-unit cost is transport + checksum on both sides; the transports
+    differ only in how the bytes cross.  Units are uint16 wedge batches of
+    ``unit_shape`` (~6 MiB each at the paper geometry defaults).
+    """
+
+    from repro.serve import HandoffProbeService, ServiceConfig
+
+    rng = np.random.default_rng(3)
+    arrays = [
+        rng.integers(0, 1024, size=unit_shape).astype(np.uint16)
+        for _ in range(n_units)
+    ]
+    unit_mb = arrays[0].nbytes / (1 << 20)
+    expected = [float(a.sum(dtype=np.float64)) for a in arrays]
+
+    services = {
+        "shm": HandoffProbeService(ServiceConfig(
+            workers=1, backend="process", inflight=4,
+            shm_slab_mb=max(16.0, unit_mb + 1),
+        )),
+        "pickle": HandoffProbeService(ServiceConfig(
+            workers=1, backend="process", inflight=4, transport="pickle",
+        )),
+    }
+
+    rows = {}
+    for label, probe in services.items():
+        results, stats = probe.run(arrays, keep_results=True)  # warm + verify
+        assert results == expected, f"{label} checksum mismatch"
+        assert all(r.transport == label for r in stats.records), (
+            f"{label}: units crossed as "
+            f"{sorted({r.transport for r in stats.records})}"
+        )
+        rows[label] = {"correct": True}
+
+    shm_s, pickle_s = _best_of_interleaved(
+        [
+            lambda: services["shm"].run(arrays),
+            lambda: services["pickle"].run(arrays),
+        ],
+        repeats,
+    )
+    rows["shm"].update(units_per_second=n_units / shm_s, seconds=shm_s)
+    rows["pickle"].update(units_per_second=n_units / pickle_s, seconds=pickle_s)
+    return {
+        "section": "process_handoff",
+        "n_units": n_units,
+        "unit_shape": list(unit_shape),
+        "unit_mb": unit_mb,
+        "shm": rows["shm"],
+        "pickle": rows["pickle"],
+        "speedup_shm_vs_pickle": pickle_s / shm_s,
+    }
+
+
+def handoff_end_to_end_section(n_wedges=8, repeats=1):
+    """Context row: a *real* paper-scale encoder through both transports.
+
+    Model compute dominates per unit on CPU, so this is not the gate —
+    it shows the shm win is free even when amortized against real work,
+    and proves bit-identity at paper scale.
+    """
+
+    from repro.core import BCAECompressor, build_model
+    from repro.serve import ServiceConfig, StreamingCompressionService
+    from repro.tpc import PAPER_GEOMETRY, generate_wedge_stream
+
+    wedges = generate_wedge_stream(n_wedges, geometry=PAPER_GEOMETRY, seed=7)
+    model = build_model("bcae_2d", wedge_spatial=wedges.shape[1:], seed=0,
+                        m=1, n=1, d=1)
+    reference = b"".join(BCAECompressor(model).compress(w).payload
+                         for w in wedges)
+
+    rows = {}
+    services = {}
+    for transport in ("shm", "pickle"):
+        service = StreamingCompressionService(model, ServiceConfig(
+            max_batch=4, workers=1, backend="process", inflight=4,
+            transport=transport, shm_slab_mb=32.0,
+        ))
+        payloads, _ = service.run(wedges)
+        rows[transport] = {
+            "bit_identical": b"".join(bytes(p.payload) for p in payloads)
+            == reference,
+        }
+        services[transport] = service
+    shm_s, pickle_s = _best_of_interleaved(
+        [
+            lambda: services["shm"].run(wedges, keep_payloads=False),
+            lambda: services["pickle"].run(wedges, keep_payloads=False),
+        ],
+        repeats,
+    )
+    rows["shm"]["wedges_per_second"] = n_wedges / shm_s
+    rows["pickle"]["wedges_per_second"] = n_wedges / pickle_s
+    return {
+        "section": "process_end_to_end_paper_scale",
+        "n_wedges": n_wedges,
+        "wedge_shape": list(wedges.shape[1:]),
+        "shm": rows["shm"],
+        "pickle": rows["pickle"],
+        "speedup_shm_vs_pickle": pickle_s / shm_s,
+    }
+
+
+# ----------------------------------------------------------------------
+# section 3: async ingestion gateway on a wall-clock-paced replay
+# ----------------------------------------------------------------------
+
+def async_section(n_wedges=30, budget_s=2e-3):
+    from repro.core import BCAECompressor, build_model
+    from repro.daq import DAQConfig, StreamingCompressionSim
+    from repro.serve import ServiceConfig, StreamingCompressionService, async_replay_stream
+
+    wedges = _stream(n=n_wedges)
+    model = build_model("bcae_2d", wedge_spatial=wedges.shape[1:], seed=0,
+                        m=2, n=2, d=2)
+    reference = b"".join(BCAECompressor(model).compress(w).payload
+                         for w in wedges)
+    sim = StreamingCompressionSim(
+        DAQConfig(frame_rate_hz=1000.0, wedges_per_frame=3), seed=1
+    )
+    service = StreamingCompressionService(
+        model, ServiceConfig(max_batch=16, max_delay_s=budget_s)
+    )
+    service.run(wedges[:16])  # warm
+    payloads, stats = asyncio.run(
+        service.run_async(async_replay_stream(sim.wedge_stream(wedges), speed=2.0))
+    )
+    from repro.perf import summarize_latencies
+
+    latency = stats.batch_latency()
+    return {
+        "section": "async_gateway",
+        "n_wedges": stats.n_wedges,
+        "n_batches": stats.n_batches,
+        "budget_s": budget_s,
+        "bit_identical": b"".join(bytes(p.payload) for p in payloads) == reference,
+        "wedges_per_second": stats.wedges_per_second,
+        "wait_p99_s": summarize_latencies([r.wait_s for r in stats.records]).p99_s,
+        "batch_latency_ms": {
+            "mean": latency.mean_s * 1e3,
+            "p50": latency.p50_s * 1e3,
+            "p99": latency.p99_s * 1e3,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# reporting / gates / entry points
+# ----------------------------------------------------------------------
+
+def write_bench_json(sections, smoke, path=_BENCH_JSON):
+    payload = {
+        "benchmark": "bench_serving",
+        "smoke": bool(smoke),
+        "sections": sections,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def _service_lines(section):
+    yield ""
+    yield "Serving — micro-batched service vs serial single-wedge compress"
+    yield (f"  stream: {section['n_wedges']} synthetic wedges "
+           f"{tuple(section['wedge_shape'])}")
+    for name, mkw in (("deep", "BCAE-2D(m=7,n=8,d=3)"),
+                      ("default", "BCAE-2D(m=4,n=8,d=3)")):
+        block = section[name]
+        yield f"  {mkw}: serial {block['serial_wps']:7.1f} w/s"
+        for row in block["rows"]:
+            yield (f"    service {row['label']}: "
+                   f"{row['wedges_per_second']:7.1f} w/s  "
+                   f"speedup {row['speedup_vs_serial']:.2f}x  payloads "
+                   f"{'identical' if row['bit_identical'] else 'MISMATCH'}")
+
+
+def _handoff_lines(section):
+    yield ""
+    yield ("Process hand-off — shm slab ring vs pickle, paper-scale payloads "
+           f"({section['unit_mb']:.1f} MiB x {section['n_units']} units)")
+    for label in ("pickle", "shm"):
+        row = section[label]
+        yield (f"  {label:6s}: {row['units_per_second']:7.1f} units/s "
+               f"({row['units_per_second'] * section['unit_mb']:7.0f} MiB/s)")
+    yield f"  shm speedup: {section['speedup_shm_vs_pickle']:.2f}x"
+
+
+def _end_to_end_lines(section):
+    yield ""
+    yield ("Process end-to-end — real paper-scale encoder through both "
+           "transports (compute-dominated; context, not the gate)")
+    for label in ("pickle", "shm"):
+        row = section[label]
+        yield (f"  {label:6s}: {row['wedges_per_second']:7.2f} w/s  payloads "
+               f"{'identical' if row['bit_identical'] else 'MISMATCH'}")
+    yield f"  shm speedup: {section['speedup_shm_vs_pickle']:.2f}x"
+
+
+def _async_lines(section):
+    yield ""
+    yield (f"Async gateway — wall-clock replay under a "
+           f"{section['budget_s'] * 1e3:.0f} ms monotonic budget")
+    yield (f"  {section['n_wedges']} wedges in {section['n_batches']} batches, "
+           f"{section['wedges_per_second']:7.1f} w/s, payloads "
+           f"{'identical' if section['bit_identical'] else 'MISMATCH'}")
+    lat = section["batch_latency_ms"]
+    yield (f"  batch latency (wait+compute) mean/p50/p99: "
+           f"{lat['mean']:.2f}/{lat['p50']:.2f}/{lat['p99']:.2f} ms; "
+           f"accumulation p99 {section['wait_p99_s'] * 1e3:.2f} ms")
+
+
+def test_serving_speedup_and_parity(benchmark):
+    from conftest import report
+
+    wedges = _stream()
+    results = {}
+
+    def measure_all():
+        results["r"] = service_section(wedges)
+        return results
+
+    benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    section = results["r"]
+    for line in _service_lines(section):
+        report(line)
+
+    # Acceptance: every configuration byte-identical to the serial path.
+    for name in ("deep", "default"):
+        assert all(r["bit_identical"] for r in section[name]["rows"]), name
+    # Acceptance: >= 2x serial throughput on the deep-grid encoder.
+    best = max(r["speedup_vs_serial"] for r in section["deep"]["rows"])
+    assert best >= 2.0, f"service only {best:.2f}x serial"
+    best_d = max(r["speedup_vs_serial"] for r in section["default"]["rows"])
+    assert best_d >= 1.5
+
+
+def test_handoff_shm_beats_pickle(benchmark):
+    from conftest import report
 
     results = {}
 
     def measure_all():
-        results["deep"] = _measure(dict(m=7, n=8, d=3), wedges, configs)
-        results["default"] = _measure(dict(m=4, n=8, d=3), wedges, configs)
+        results["r"] = handoff_section()
         return results
 
     benchmark.pedantic(measure_all, rounds=1, iterations=1)
-
-    report()
-    report("Serving — micro-batched service vs serial single-wedge compress")
-    report(f"  stream: {_N_WEDGES} synthetic wedges {wedges.shape[1:]}, best of {_REPEATS}")
-    for name, mkw in (("deep", "BCAE-2D(m=7,n=8,d=3)"), ("default", "BCAE-2D(m=4,n=8,d=3)")):
-        serial_wps, rows = results[name]
-        report(f"  {mkw}: serial {serial_wps:7.1f} w/s")
-        for label, wps, identical in rows:
-            report(
-                f"    service {label}: {wps:7.1f} w/s  "
-                f"speedup {wps / serial_wps:.2f}x  payloads "
-                f"{'identical' if identical else 'MISMATCH'}"
-            )
-
-    # Acceptance: every configuration byte-identical to the serial path.
-    for name in ("deep", "default"):
-        _wps, rows = results[name]
-        assert all(identical for _l, _w, identical in rows), f"{name}: payload mismatch"
-
-    # Acceptance: >= 2x serial throughput on the deep-grid encoder.
-    serial_wps, rows = results["deep"]
-    best = max(wps for _l, wps, _i in rows)
-    assert best >= 2.0 * serial_wps, (
-        f"service {best:.1f} w/s < 2x serial {serial_wps:.1f} w/s"
+    section = results["r"]
+    for line in _handoff_lines(section):
+        report(line)
+    # Acceptance: shm hand-off >= 1.5x pickle on paper-scale payloads.
+    assert section["speedup_shm_vs_pickle"] >= 1.5, (
+        f"shm only {section['speedup_shm_vs_pickle']:.2f}x pickle"
     )
-    # The paper-default encoder must still see a solid win.
-    serial_wps_d, rows_d = results["default"]
-    best_d = max(wps for _l, wps, _i in rows_d)
-    assert best_d >= 1.5 * serial_wps_d
 
 
 def test_serving_latency_budget(benchmark):
     """DAQ-timed replay: the batcher respects the accumulation budget."""
 
+    from conftest import report
+
+    from repro.core import build_model
     from repro.daq import DAQConfig, StreamingCompressionSim
-    from repro.serve import replay_stream
+    from repro.serve import ServiceConfig, StreamingCompressionService, replay_stream
 
     wedges = _stream(n=30)
     model = build_model("bcae_2d", wedge_spatial=wedges.shape[1:], seed=0, m=2, n=2, d=2)
@@ -152,3 +438,81 @@ def test_serving_latency_budget(benchmark):
     assert stats.n_wedges == 30
     assert all(r.n_wedges <= 16 for r in stats.records)
     assert stats.n_batches >= 3  # the budget must split a 30-wedge stream
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small streams, relaxed speed gates (CI wiring check)")
+    args = parser.parse_args(argv)
+
+    repeats = 1 if args.smoke else _REPEATS
+    service_gate = 1.1 if args.smoke else 2.0
+    # Smoke checks the hand-off *wiring* (checksums + transport labels are
+    # asserted inside handoff_section); a relative speed gate on one
+    # repeat of six units would be CI noise, so it's full-mode only.
+    handoff_gate = None if args.smoke else 1.5
+
+    wedges = _stream(n=16 if args.smoke else _N_WEDGES)
+    sections = []
+    failed = False
+
+    section = service_section(wedges, repeats=repeats)
+    sections.append(section)
+    for line in _service_lines(section):
+        print(line)
+    identical = all(
+        r["bit_identical"] for n in ("deep", "default") for r in section[n]["rows"]
+    )
+    best = max(r["speedup_vs_serial"] for r in section["deep"]["rows"])
+    if not identical:
+        print("FAIL: service payload mismatch")
+        failed = True
+    elif best < service_gate:
+        print(f"FAIL: service {best:.2f}x < gate {service_gate}x")
+        failed = True
+    else:
+        print(f"OK: service {best:.2f}x serial (gate {service_gate}x)")
+
+    section = handoff_section(
+        n_units=6 if args.smoke else _HANDOFF_UNITS, repeats=repeats
+    )
+    sections.append(section)
+    for line in _handoff_lines(section):
+        print(line)
+    speedup = section["speedup_shm_vs_pickle"]
+    if handoff_gate is None:
+        print(f"OK: shm hand-off wiring verified ({speedup:.2f}x pickle; "
+              "speed gate is full-mode only)")
+    elif speedup < handoff_gate:
+        print(f"FAIL: shm hand-off {speedup:.2f}x < gate {handoff_gate}x")
+        failed = True
+    else:
+        print(f"OK: shm hand-off {speedup:.2f}x pickle (gate {handoff_gate}x)")
+
+    if not args.smoke:
+        section = handoff_end_to_end_section()
+        sections.append(section)
+        for line in _end_to_end_lines(section):
+            print(line)
+        if not all(section[t]["bit_identical"] for t in ("shm", "pickle")):
+            print("FAIL: end-to-end paper-scale payload mismatch")
+            failed = True
+
+    section = async_section(n_wedges=12 if args.smoke else 30)
+    sections.append(section)
+    for line in _async_lines(section):
+        print(line)
+    if not section["bit_identical"]:
+        print("FAIL: async gateway payload mismatch")
+        failed = True
+    else:
+        print("OK: async gateway byte-identical under the wall-clock budget")
+
+    path = write_bench_json(sections, args.smoke)
+    print(f"\nwrote {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

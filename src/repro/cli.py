@@ -98,9 +98,19 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--wedges", type=int, default=64)
     v.add_argument("--batch", type=int, default=8, help="micro-batch size cap")
     v.add_argument("--budget-ms", type=float, default=0.0,
-                   help="stream-time accumulation budget (0 = never wait)")
+                   help="accumulation budget (0 = never wait); stream-time "
+                        "for the sync service, wall-clock under --async")
     v.add_argument("--workers", type=int, default=0,
-                   help="worker threads (0 = inline, best on one core)")
+                   help="worker pool size (0 = inline, best on one core)")
+    v.add_argument("--backend", choices=("thread", "process"), default="thread")
+    v.add_argument("--transport", choices=("shm", "pickle"), default="shm",
+                   help="process-backend payload hand-off (default: shared-"
+                        "memory slab ring)")
+    v.add_argument("--shm-slab-mb", type=float, default=16.0,
+                   help="slab size [MiB] of the shm transport ring")
+    v.add_argument("--async", dest="use_async", action="store_true",
+                   help="run the asyncio ingestion gateway (wall-clock "
+                        "latency budget, paced arrival replay)")
     v.add_argument("--full", action="store_true", help="fp32 instead of fp16 inference")
     v.add_argument("--baseline", action="store_true",
                    help="also time serial single-wedge compress + verify parity")
@@ -120,6 +130,10 @@ def build_parser() -> argparse.ArgumentParser:
     x.add_argument("--workers", type=int, default=0,
                    help="worker pool size (0 = inline)")
     x.add_argument("--backend", choices=("thread", "process"), default="thread")
+    x.add_argument("--transport", choices=("shm", "pickle"), default="shm",
+                   help="process-backend payload hand-off")
+    x.add_argument("--shm-slab-mb", type=float, default=16.0,
+                   help="slab size [MiB] of the shm transport ring")
     x.add_argument("--full", action="store_true", help="fp32 instead of fp16 inference")
     x.add_argument("--adc", action="store_true",
                    help="also invert the log transform back to integer ADC")
@@ -317,10 +331,11 @@ def cmd_daq(args) -> int:
 def cmd_serve(args) -> int:
     """``serve``: micro-batched streaming compression on synthetic wedges."""
 
+    import asyncio
     import time
 
     from .core import BCAECompressor, build_model
-    from .serve import ServiceConfig, StreamingCompressionService
+    from .serve import ServiceConfig, StreamingCompressionService, async_replay_stream
     from .tpc import generate_wedge_stream
 
     geometry = _geometry(args.scale)
@@ -336,14 +351,37 @@ def cmd_serve(args) -> int:
         max_batch=args.batch,
         max_delay_s=args.budget_ms / 1e3,
         workers=args.workers,
+        backend=args.backend,
+        transport=args.transport,
+        shm_slab_mb=args.shm_slab_mb,
         half=not args.full,
     )
     service = StreamingCompressionService(model, config)
-    service.run(wedges[: min(args.batch, len(wedges))])  # warm the workspaces
-    payloads, stats = service.run(wedges)
+    if config.workers == 0 or config.backend == "thread":
+        # Warm the pooled parent-side compressors.  Pointless for the
+        # process backend: its workers live only as long as one stream's
+        # pool, so a warm-up run would just fork and discard one.
+        service.run(wedges[: min(args.batch, len(wedges))])
+    if args.use_async:
+        # The asyncio gateway: arrivals replayed on the wall clock from the
+        # DAQ process, batches closed by monotonic-deadline budget.
+        from .daq import DAQConfig, StreamingCompressionSim
+
+        sim = StreamingCompressionSim(
+            DAQConfig(frame_rate_hz=2000.0, wedges_per_frame=4), seed=args.seed
+        )
+        source = async_replay_stream(sim.wedge_stream(wedges))
+        payloads, stats = asyncio.run(service.run_async(source))
+    else:
+        payloads, stats = service.run(wedges)
+    gateway = "async gateway" if args.use_async else "sync service"
     print(f"served {wedges.shape[0]} wedges {wedges.shape[1:]} "
-          f"[{args.model}, {'fp32' if args.full else 'fp16'}]")
+          f"[{args.model}, {'fp32' if args.full else 'fp16'}, {gateway}]")
     print(stats.row())
+    if args.use_async:
+        print(f"batch latency (wait+compute): {stats.batch_latency().row()}")
+    if service.last_shm:
+        print(f"process hand-off: {service.last_shm}")
     if stats.n_batches:
         tr = stats.to_throughput_result()
         print(f"best batch: {tr.seconds_per_batch * 1e3:.2f} ms "
@@ -439,6 +477,8 @@ def cmd_decompress(args) -> int:
         max_batch=args.batch,
         workers=args.workers,
         backend=args.backend,
+        transport=args.transport,
+        shm_slab_mb=args.shm_slab_mb,
         half=not args.full,
     )
     service = DecompressionService(model, config)

@@ -18,10 +18,12 @@ from .roofline import (
     throughput_curve,
 )
 from .timing import (
+    LatencySummary,
     ThroughputResult,
     measure_compress_throughput,
     measure_curve,
     measure_encoder_throughput,
+    summarize_latencies,
     throughput_from_batches,
 )
 
@@ -39,6 +41,8 @@ __all__ = [
     "throughput_curve",
     "speedup_half",
     "ThroughputResult",
+    "LatencySummary",
+    "summarize_latencies",
     "measure_encoder_throughput",
     "measure_compress_throughput",
     "measure_curve",

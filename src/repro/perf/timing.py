@@ -25,11 +25,56 @@ from ..nn import Tensor
 
 __all__ = [
     "ThroughputResult",
+    "LatencySummary",
+    "summarize_latencies",
     "measure_encoder_throughput",
     "measure_compress_throughput",
     "measure_curve",
     "throughput_from_batches",
 ]
+
+
+@dataclasses.dataclass
+class LatencySummary:
+    """Percentile summary of a latency sample (seconds).
+
+    The serving currency for tail behaviour: a wall-clock budget is a
+    promise about p99, not about the mean — a DAQ link cares whether *any*
+    wedge waited too long.
+    """
+
+    n: int
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+
+    def row(self) -> str:
+        """One-line summary for logs and benches (milliseconds)."""
+
+        return (
+            f"n={self.n} mean={self.mean_s * 1e3:.2f} ms "
+            f"p50/p95/p99={self.p50_s * 1e3:.2f}/{self.p95_s * 1e3:.2f}/"
+            f"{self.p99_s * 1e3:.2f} ms max={self.max_s * 1e3:.2f} ms"
+        )
+
+
+def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
+    """Summarize latency samples; an empty sample gives an all-zero row."""
+
+    if len(samples) == 0:
+        return LatencySummary(n=0, mean_s=0.0, p50_s=0.0, p95_s=0.0, p99_s=0.0, max_s=0.0)
+    arr = np.asarray(samples, dtype=np.float64)
+    p50, p95, p99 = (float(q) for q in np.quantile(arr, (0.5, 0.95, 0.99)))
+    return LatencySummary(
+        n=int(arr.size),
+        mean_s=float(arr.mean()),
+        p50_s=p50,
+        p95_s=p95,
+        p99_s=p99,
+        max_s=float(arr.max()),
+    )
 
 
 @dataclasses.dataclass

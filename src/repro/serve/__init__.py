@@ -20,33 +20,85 @@ The two instantiations:
   batches → :func:`repro.io.split_compressed` re-chunking →
   ``decompress_into`` → reconstructions in arrival order.
 
-Stream adapters live in :mod:`repro.serve.source` (in-memory arrays,
-DAQ-timed replay via :meth:`repro.daq.StreamingCompressionSim.wedge_stream`).
+**Async ingestion gateway.**  Every service also has an asyncio face:
+``compress_stream_async``/``run_async`` pull an async source
+(:class:`~repro.serve.source.AsyncQueueSource`,
+:class:`~repro.serve.source.AsyncSocketSource`, or anything
+:func:`~repro.serve.source.aiter_wedges` can lift) through
+:class:`~repro.serve.batcher.AsyncMicroBatcher`, whose latency budget is a
+**monotonic wall-clock deadline** — a batch flushes ``max_delay_s`` after
+its first wedge arrives even if the link stalls, which replayed stream
+time cannot promise.  ``max_delay_s = 0`` means "never wait".  Beneath
+them, :class:`~repro.serve.service.AsyncServingSession` is the raw façade:
+``await submit(unit)`` returns the unit's future (worker faults surface
+there and nowhere else), results emit in submission order through the same
+bounded in-flight window, and early close drains in-flight work cleanly.
+
+**Shared-memory hand-off.**  With ``ServiceConfig.backend="process"``, the
+default ``transport="shm"`` moves payloads through a ring of pre-sized
+:mod:`multiprocessing.shared_memory` slabs (:mod:`repro.serve.shm`): the
+parent leases a slab and memcpys the unit in, the worker reads it in place
+and writes its result back into the *same* slab, and only tiny descriptors
+(slab index + dtype/shape headers) are ever pickled.  Units larger than a
+slab (``shm_slab_mb``) degrade per-unit to the ``"pickle"`` transport.
+Slabs are released on emission, on worker exception, and at stream close
+(the segment is unlinked; ``service.last_shm`` records the counters).
+
 Output bytes are identical to serial single-call compress/decompress in
-every configuration — batching and pooling are free correctness-wise.
+every configuration — batching, pooling, async ingestion and the slab
+transport are all free correctness-wise.
 """
 
-from .batcher import MicroBatch, MicroBatcher
+from .batcher import AsyncMicroBatcher, MicroBatch, MicroBatcher
 from .service import (
+    AsyncServingSession,
     BatchRecord,
     DecompressionService,
+    HandoffProbeService,
     ModelPoolService,
+    ProbeItem,
     ServiceConfig,
     ServiceStats,
     StreamingCompressionService,
 )
-from .source import StreamItem, iter_wedges, replay_stream
+from .shm import SlabRing, SlabSpec, shm_available
+from .source import (
+    AsyncQueueSource,
+    AsyncSocketSource,
+    AsyncWedgeSource,
+    StreamItem,
+    aiter_wedges,
+    async_replay_stream,
+    iter_wedges,
+    read_wedge_frame,
+    replay_stream,
+    write_wedge_frame,
+)
 
 __all__ = [
     "BatchRecord",
     "MicroBatch",
     "MicroBatcher",
+    "AsyncMicroBatcher",
     "ModelPoolService",
     "ServiceConfig",
     "ServiceStats",
     "StreamingCompressionService",
     "DecompressionService",
+    "HandoffProbeService",
+    "ProbeItem",
+    "AsyncServingSession",
+    "SlabRing",
+    "SlabSpec",
+    "shm_available",
     "StreamItem",
     "iter_wedges",
     "replay_stream",
+    "AsyncWedgeSource",
+    "AsyncQueueSource",
+    "AsyncSocketSource",
+    "aiter_wedges",
+    "async_replay_stream",
+    "write_wedge_frame",
+    "read_wedge_frame",
 ]

@@ -12,18 +12,27 @@ closes a batch when either
 For untimed sources (all arrivals at 0.0) the second rule never fires and
 the batcher degenerates to plain chunking, which is exactly right for
 offline replays.
+
+:class:`AsyncMicroBatcher` is the online twin: it consumes an *async*
+stream and enforces the budget against the **monotonic wall clock** — a
+batch is flushed at ``first-wedge receipt + max_delay_s`` whether or not
+another wedge ever arrives, which replayed stream time cannot promise.
+``max_delay_s = 0`` means "never wait": a batch closes as soon as the
+source would block.
 """
 
 from __future__ import annotations
 
+import asyncio
 import dataclasses
-from typing import Iterable, Iterator
+import time
+from typing import AsyncIterable, AsyncIterator, Iterable, Iterator
 
 import numpy as np
 
 from .source import StreamItem
 
-__all__ = ["MicroBatch", "MicroBatcher"]
+__all__ = ["MicroBatch", "MicroBatcher", "AsyncMicroBatcher"]
 
 
 @dataclasses.dataclass
@@ -41,6 +50,12 @@ class MicroBatch:
         to a worker thread.
     oldest_arrival_s / newest_arrival_s:
         Stream-time arrival span covered by the batch.
+    closed_by:
+        Why the batch closed: ``"full"`` (hit ``max_batch``), ``"budget"``
+        (latency budget expired) or ``"eof"`` (stream ended).
+    wait_s:
+        Wall-clock time the batch accumulated before closing (async
+        batcher only; the sync batcher has no wall clock and leaves 0).
     """
 
     seq: int
@@ -48,6 +63,8 @@ class MicroBatch:
     wedges: np.ndarray
     oldest_arrival_s: float
     newest_arrival_s: float
+    closed_by: str = ""
+    wait_s: float = 0.0
 
     @property
     def n_wedges(self) -> int:
@@ -88,15 +105,9 @@ class MicroBatcher:
         pending: list[StreamItem] = []
         batch_seq = 0
 
-        def flush() -> MicroBatch:
+        def flush(closed_by: str) -> MicroBatch:
             nonlocal batch_seq, pending
-            batch = MicroBatch(
-                seq=batch_seq,
-                first_seq=pending[0].seq,
-                wedges=np.stack([item.wedge for item in pending]),
-                oldest_arrival_s=pending[0].arrival_s,
-                newest_arrival_s=pending[-1].arrival_s,
-            )
+            batch = _make_batch(batch_seq, pending, closed_by)
             batch_seq += 1
             pending = []
             return batch
@@ -106,9 +117,117 @@ class MicroBatcher:
                 self.max_delay_s > 0
                 and item.arrival_s - pending[0].arrival_s > self.max_delay_s
             ):
-                yield flush()
+                yield flush("budget")
             pending.append(item)
             if len(pending) >= self.max_batch:
-                yield flush()
+                yield flush("full")
         if pending:
-            yield flush()
+            yield flush("eof")
+
+
+def _make_batch(
+    batch_seq: int, pending: list[StreamItem], closed_by: str, wait_s: float = 0.0
+) -> MicroBatch:
+    return MicroBatch(
+        seq=batch_seq,
+        first_seq=pending[0].seq,
+        wedges=np.stack([item.wedge for item in pending]),
+        oldest_arrival_s=pending[0].arrival_s,
+        newest_arrival_s=pending[-1].arrival_s,
+        closed_by=closed_by,
+        wait_s=wait_s,
+    )
+
+
+class AsyncMicroBatcher:
+    """Wall-clock micro-batching of an async wedge stream.
+
+    Parameters mirror :class:`MicroBatcher`, but ``max_delay_s`` is a
+    **wall-clock** budget against :func:`time.monotonic`: the moment a
+    batch's first wedge is received, a deadline is armed, and the batch is
+    flushed when the deadline passes even if the source never produces
+    another wedge (the case replayed stream time cannot handle — a stalled
+    DAQ link must not stall the wedges already waiting).  ``max_delay_s =
+    0`` means "never wait": the batch closes as soon as the source would
+    block, so a wedge is never held hostage to timing.
+
+    The source is pulled through a single persistent task, so a flush on
+    timeout never cancels (or loses) an in-progress pull.
+    """
+
+    def __init__(self, max_batch: int = 8, max_delay_s: float = 0.0) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_s < 0:
+            raise ValueError(f"max_delay_s must be >= 0, got {max_delay_s}")
+        self.max_batch = int(max_batch)
+        self.max_delay_s = float(max_delay_s)
+
+    async def batches(
+        self, source: AsyncIterable[StreamItem]
+    ) -> AsyncIterator[MicroBatch]:
+        """Yield :class:`MicroBatch` chunks in stream order, on deadline."""
+
+        iterator = source.__aiter__()
+        pending: list[StreamItem] = []
+        batch_seq = 0
+        deadline = 0.0
+        first_receipt = 0.0
+        pull: asyncio.Future | None = None
+        exhausted = False
+
+        def flush(closed_by: str) -> MicroBatch:
+            nonlocal batch_seq, pending
+            batch = _make_batch(
+                batch_seq, pending, closed_by, time.monotonic() - first_receipt
+            )
+            batch_seq += 1
+            pending = []
+            return batch
+
+        try:
+            while not exhausted:
+                if pull is None:
+                    pull = asyncio.ensure_future(iterator.__anext__())
+                if not pending:
+                    # Nothing waiting: block indefinitely for the next wedge.
+                    try:
+                        item = await pull
+                    except StopAsyncIteration:
+                        break
+                    finally:
+                        pull = None
+                else:
+                    # A batch is accumulating: wait at most until its
+                    # monotonic deadline, without cancelling the pull.
+                    timeout = (
+                        max(0.0, deadline - time.monotonic())
+                        if self.max_delay_s > 0
+                        else 0.0
+                    )
+                    done, _ = await asyncio.wait((pull,), timeout=timeout)
+                    if pull not in done:
+                        yield flush("budget")
+                        continue
+                    try:
+                        item = pull.result()
+                    except StopAsyncIteration:
+                        exhausted = True
+                        pull = None
+                        continue
+                    pull = None
+                if not pending:
+                    first_receipt = time.monotonic()
+                    deadline = first_receipt + self.max_delay_s
+                pending.append(item)
+                if len(pending) >= self.max_batch:
+                    yield flush("full")
+            if pending:
+                yield flush("eof")
+        finally:
+            if pull is not None:
+                pull.cancel()
+                try:
+                    await pull
+                except (StopAsyncIteration, asyncio.CancelledError):
+                    pass

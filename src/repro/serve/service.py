@@ -25,8 +25,17 @@ Execution backends, per :class:`ServiceConfig`:
   the GIL during GEMMs);
 * ``backend="process"`` — a process pool that sidesteps the GIL entirely on
   multi-core boxes: each worker process builds its own compressor from the
-  (pickled/forked) model, work units and results cross the process boundary
-  by value.
+  (pickled/forked) model.  Per ``ServiceConfig.transport``, payloads cross
+  the boundary through a shared-memory slab ring (``"shm"``, the default —
+  lease a slab, memcpy in, worker writes the result back into the same
+  slab; only descriptors are pickled) or by per-unit pickling
+  (``"pickle"``), with graceful per-unit fallback when a payload exceeds
+  the slab size.
+
+Every backend also has an asyncio face: :class:`AsyncServingSession`
+(``await submit`` / ordered ``async for`` results) under the
+``serve_async``/``run_async``/``compress_stream_async`` entry points, fed
+by the wall-clock :class:`~repro.serve.batcher.AsyncMicroBatcher`.
 
 Payload/reconstruction bytes are identical to serial single-call
 ``compress``/``decompress`` in every configuration.  Every model with a
@@ -39,6 +48,7 @@ BatchNorm blocks) degrade to the module graph inside the same services.
 
 from __future__ import annotations
 
+import asyncio
 import collections
 import concurrent.futures
 import dataclasses
@@ -46,15 +56,16 @@ import itertools
 import os
 import threading
 import time
-from typing import Iterable, Iterator, Sequence
+from typing import AsyncIterator, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from ..core.compressor import BCAECompressor, CompressedWedges
 from ..io.codes import split_compressed
-from ..perf.timing import ThroughputResult, throughput_from_batches
-from .batcher import MicroBatch, MicroBatcher
-from .source import StreamItem, iter_wedges
+from ..perf.timing import LatencySummary, ThroughputResult, summarize_latencies, throughput_from_batches
+from .batcher import AsyncMicroBatcher, MicroBatch, MicroBatcher
+from .shm import SlabArray, SlabRing, shm_available
+from .source import StreamItem, aiter_wedges, iter_wedges
 
 __all__ = [
     "ServiceConfig",
@@ -63,9 +74,13 @@ __all__ = [
     "ModelPoolService",
     "StreamingCompressionService",
     "DecompressionService",
+    "ProbeItem",
+    "HandoffProbeService",
+    "AsyncServingSession",
 ]
 
 _BACKENDS = ("thread", "process")
+_TRANSPORTS = ("shm", "pickle")
 
 
 @dataclasses.dataclass
@@ -92,6 +107,17 @@ class ServiceConfig:
         fp16 inference mode (paper §3.3 deployment default).
     inflight:
         Bound on units submitted but not yet emitted (backpressure).
+    transport:
+        How process-backend payloads cross the boundary: ``"shm"``
+        (default) leases pre-sized shared-memory slabs — work units and
+        results move by memcpy, only tiny descriptors are pickled — while
+        ``"pickle"`` serializes every unit through the executor pipe.
+        Units larger than a slab fall back to pickle per unit.  Ignored by
+        the inline/thread backends (no process boundary to cross).
+    shm_slab_mb:
+        Slab size in MiB for ``transport="shm"``.  One slab serves both
+        directions of a unit, so it should fit ``max(input, result)``
+        bytes; the ring holds ``inflight`` slabs.
     """
 
     max_batch: int = 8
@@ -100,6 +126,8 @@ class ServiceConfig:
     backend: str = "thread"
     half: bool = True
     inflight: int = 8
+    transport: str = "shm"
+    shm_slab_mb: float = 16.0
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -110,6 +138,16 @@ class ServiceConfig:
             raise ValueError(
                 f"backend must be one of {_BACKENDS}, got {self.backend!r}"
             )
+        if self.transport not in _TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {_TRANSPORTS}, got {self.transport!r}"
+            )
+        if self.shm_slab_mb <= 0:
+            raise ValueError(f"shm_slab_mb must be > 0, got {self.shm_slab_mb}")
+
+    @property
+    def slab_nbytes(self) -> int:
+        return int(self.shm_slab_mb * (1 << 20))
 
 
 @dataclasses.dataclass
@@ -121,6 +159,15 @@ class BatchRecord:
     n_wedges: int
     compress_s: float  # time inside the worker's compressor call
     worker: str
+    #: How the unit crossed to its worker: "local" (inline/thread), "shm"
+    #: (slab lease) or "pickle" (serialized — the pickle transport, or a
+    #: unit too large for its slab).
+    transport: str = ""
+    #: Wall-clock accumulation time of the batch (async ingestion only).
+    wait_s: float = 0.0
+    #: Why the micro-batch closed ("full"/"budget"/"eof"; empty for units
+    #: that never passed through a batcher, e.g. decode chunks).
+    closed_by: str = ""
 
 
 @dataclasses.dataclass
@@ -154,6 +201,15 @@ class ServiceStats:
     @property
     def mean_batch_size(self) -> float:
         return self.n_wedges / max(self.n_batches, 1)
+
+    def batch_latency(self) -> LatencySummary:
+        """Percentile summary of per-**batch** service time: wall-clock
+        accumulation wait plus the worker's compute, one sample per served
+        micro-batch (not per wedge)."""
+
+        return summarize_latencies(
+            [r.compress_s + r.wait_s for r in self.records]
+        )
 
     def to_throughput_result(self) -> ThroughputResult:
         """This run in the currency of :mod:`repro.perf` microbenchmarks."""
@@ -216,6 +272,11 @@ class ModelPoolService:
         self._idle: list[BCAECompressor] = [
             BCAECompressor(model, half=self.config.half) for _ in range(prewarm)
         ]
+        #: Debug counters of the last process-backend stream's transport
+        #: (shm ring name, slab stats, fallback counts) — see
+        #: :meth:`_ProcessTransport.close`.  Tests use this to assert the
+        #: lease/release protocol leaks nothing.
+        self.last_shm: dict = {}
 
     # ------------------------------------------------------------------
     def _acquire(self) -> BCAECompressor:
@@ -245,6 +306,9 @@ class ModelPoolService:
             n_wedges=item.n_wedges,
             compress_s=dt,
             worker=name,
+            transport="local",
+            wait_s=getattr(item, "wait_s", 0.0),
+            closed_by=getattr(item, "closed_by", ""),
         )
         return record, result
 
@@ -263,14 +327,19 @@ class ModelPoolService:
             return
 
         if cfg.backend == "process":
-            with concurrent.futures.ProcessPoolExecutor(
-                cfg.workers,
-                initializer=_process_init,
-                initargs=(self.model, cfg.half),
-            ) as pool:
-                yield from self._drain_ordered(
-                    pool, items, lambda p, it: p.submit(_process_work, self._kind, it)
-                )
+            transport = _ProcessTransport(self)
+            try:
+                with concurrent.futures.ProcessPoolExecutor(
+                    cfg.workers,
+                    initializer=_process_init,
+                    initargs=transport.initargs(),
+                ) as pool:
+                    yield from self._drain_ordered(
+                        pool, items, transport.submit,
+                        finalize=transport.finalize, fail=transport.fail,
+                    )
+            finally:
+                transport.close()
             return
 
         checkout = _Checkout(self)
@@ -282,23 +351,39 @@ class ModelPoolService:
         finally:
             checkout.release()
 
-    def _drain_ordered(self, pool, items, submit):
+    def _drain_ordered(self, pool, items, submit, finalize=None, fail=None):
         """Bounded in-flight window: emission order == submission order ==
-        stream order, and the bound is backpressure."""
+        stream order, and the bound is backpressure.
+
+        ``finalize``/``fail`` are the transport's result hooks: materialize
+        a descriptor into an owned object and release the unit's slab (also
+        on worker exception, so a failed unit never strands its slab).
+        """
 
         window: collections.deque = collections.deque()
         for item in items:
             window.append(submit(pool, item))
             while len(window) >= self.config.inflight:
-                yield window.popleft().result()
+                yield self._pop(window, finalize, fail)
         while window:
-            yield window.popleft().result()
+            yield self._pop(window, finalize, fail)
+
+    def _pop(self, window, finalize, fail):
+        future = window.popleft()
+        try:
+            record, result = future.result()
+        except BaseException:
+            if fail is not None:
+                fail(future)
+            raise
+        if finalize is not None:
+            record, result = finalize(future, record, result)
+        return record, result
 
     # ------------------------------------------------------------------
     def _collect(self, stream, keep: bool) -> tuple[list, ServiceStats]:
         """Drain a served stream into (results, stats)."""
 
-        cfg = self.config
         results: list = []
         records: list[BatchRecord] = []
         n_wedges = 0
@@ -308,17 +393,70 @@ class ModelPoolService:
             n_wedges += record.n_wedges
             if keep:
                 results.append(result)
-        elapsed = time.perf_counter() - t0
-        stats = ServiceStats(
+        return results, self._stats(records, n_wedges, time.perf_counter() - t0)
+
+    def _stats(self, records, n_wedges: int, elapsed_s: float) -> ServiceStats:
+        """One ServiceStats assembly shared by the sync and async drains."""
+
+        cfg = self.config
+        return ServiceStats(
             n_wedges=n_wedges,
             n_batches=len(records),
-            elapsed_s=elapsed,
+            elapsed_s=elapsed_s,
             half=cfg.half,
             max_batch=cfg.max_batch,
             workers=cfg.workers,
             records=records,
         )
-        return results, stats
+
+    # ------------------------------------------------------------------
+    # async façade
+    # ------------------------------------------------------------------
+    def session(self) -> "AsyncServingSession":
+        """Open an async session on this service (must run inside a loop).
+
+        The session is the raw façade — ``await session.submit(unit)``
+        returns the unit's future, ``async for`` over
+        :meth:`AsyncServingSession.results` emits in order.  Most callers
+        want :meth:`serve_async` / ``run_async`` instead.
+        """
+
+        return AsyncServingSession(self)
+
+    async def serve_async(self, items) -> AsyncIterator[tuple[BatchRecord, object]]:
+        """Serve an async iterable of work units; ordered async emission.
+
+        The asyncio twin of :meth:`_serve`: same backends, same bounded
+        in-flight window, same stream-order emission — but submission and
+        emission interleave on the event loop, so an async source keeps
+        producing while workers compute.  Closing the generator early
+        drains in-flight units cleanly (no orphaned work, no leaked slabs).
+        """
+
+        session = self.session()
+        try:
+            async for item in _ensure_async(items):
+                while session.pending >= self.config.inflight:
+                    yield await session.next_result()
+                await session.submit(item)
+            while session.pending:
+                yield await session.next_result()
+        finally:
+            await session.aclose()
+
+    async def _collect_async(self, stream, keep: bool) -> tuple[list, ServiceStats]:
+        """Drain an async served stream into (results, stats)."""
+
+        results: list = []
+        records: list[BatchRecord] = []
+        n_wedges = 0
+        t0 = time.perf_counter()
+        async for record, result in stream:
+            records.append(record)
+            n_wedges += record.n_wedges
+            if keep:
+                results.append(result)
+        return results, self._stats(records, n_wedges, time.perf_counter() - t0)
 
 
 class StreamingCompressionService(ModelPoolService):
@@ -362,6 +500,34 @@ class StreamingCompressionService(ModelPoolService):
 
         return self._collect(self.compress_stream(source), keep_payloads)
 
+    # ------------------------------------------------------------------
+    def compress_stream_async(
+        self, source
+    ) -> AsyncIterator[tuple[BatchRecord, CompressedWedges]]:
+        """Async ingestion: wedges → wall-clock micro-batches → payloads.
+
+        ``source`` may be any async iterable of wedges/:class:`StreamItem`
+        (e.g. an :class:`~repro.serve.source.AsyncQueueSource` or
+        :class:`~repro.serve.source.AsyncSocketSource`) or any source
+        :meth:`compress_stream` accepts.  Batches close on ``max_batch`` or
+        when ``config.max_delay_s`` of *wall-clock* time (monotonic, not
+        replayed stream time) elapses since the batch's first wedge
+        arrived; ``(record, payload)`` pairs emit in arrival order through
+        the bounded in-flight window.
+        """
+
+        batcher = AsyncMicroBatcher(self.config.max_batch, self.config.max_delay_s)
+        return self.serve_async(batcher.batches(aiter_wedges(source)))
+
+    async def run_async(
+        self, source, keep_payloads: bool = True
+    ) -> tuple[list[CompressedWedges], ServiceStats]:
+        """Serve a whole async stream; returns payloads (in order) and stats."""
+
+        return await self._collect_async(
+            self.compress_stream_async(source), keep_payloads
+        )
+
 
 class DecompressionService(ModelPoolService):
     """Multi-worker payload decompression — the analysis side of the loop.
@@ -387,7 +553,14 @@ class DecompressionService(ModelPoolService):
     ) -> Iterator[PayloadItem]:
         if isinstance(source, CompressedWedges):
             source = [source]
-        pickled = self.config.backend == "process" and self.config.workers > 0
+        # Only the pickle transport needs owned bytes up front; the shm
+        # path memcpys straight from the memoryview (its oversize fallback
+        # converts per unit via _picklable).
+        pickled = (
+            self.config.backend == "process"
+            and self.config.workers > 0
+            and self.config.transport == "pickle"
+        )
         seq = 0
         first = 0
         for compressed in source:
@@ -415,37 +588,357 @@ class DecompressionService(ModelPoolService):
 
         return self._collect(self.decompress_stream(source), keep_recons)
 
+    # ------------------------------------------------------------------
+    def decompress_stream_async(
+        self, source
+    ) -> AsyncIterator[tuple[BatchRecord, np.ndarray]]:
+        """Async twin of :meth:`decompress_stream` (same re-chunking)."""
+
+        return self.serve_async(self._as_items(source))
+
+    async def run_async(
+        self, source, keep_recons: bool = True
+    ) -> tuple[list[np.ndarray], ServiceStats]:
+        """Serve a payload stream asynchronously; recons and stats."""
+
+        return await self._collect_async(
+            self.decompress_stream_async(source), keep_recons
+        )
+
+
+# ----------------------------------------------------------------------
+# Probe workload: the hand-off measured in isolation.
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class ProbeItem:
+    """One transport-probe work unit: an array to ship, touch, and ack.
+
+    ``poison=True`` makes the worker raise instead — the fault-injection
+    hook the serving tests use to exercise error containment without
+    corrupting real model state.
+    """
+
+    seq: int
+    first_seq: int
+    payload: np.ndarray
+    poison: bool = False
+
+    @property
+    def n_wedges(self) -> int:
+        return int(self.payload.shape[0]) if self.payload.ndim else 1
+
+
+def _probe_work(payload: np.ndarray, poison: bool):
+    if poison:
+        raise RuntimeError("injected worker fault (poisoned probe unit)")
+    # Touch every input byte — a real worker reads its whole unit — and
+    # return a checksum small enough that the ack cost is the floor.
+    return float(np.asarray(payload).sum(dtype=np.float64))
+
+
+class HandoffProbeService(ModelPoolService):
+    """The serving engine with the model call replaced by a checksum.
+
+    Same batching, pooling, ordering, and transport machinery as the real
+    services — but each unit's "work" is reading the payload and returning
+    a float.  This isolates the process-boundary hand-off, which is what
+    ``bench_serving.py`` gates shm against pickle on, and gives the fault
+    tests a worker that fails on command (``ProbeItem.poison``).
+    """
+
+    _kind = "probe"
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        super().__init__(model=None, config=config)
+
+    def _work(self, compressor: BCAECompressor, item: ProbeItem):
+        return _probe_work(item.payload, item.poison)
+
+    @staticmethod
+    def items(arrays: Sequence[np.ndarray], poison_seqs: Sequence[int] = ()) -> list[ProbeItem]:
+        """Wrap arrays as probe units (optionally poisoning some seqs)."""
+
+        items, first = [], 0
+        for seq, a in enumerate(arrays):
+            a = np.asarray(a)
+            items.append(ProbeItem(seq=seq, first_seq=first, payload=a,
+                                   poison=seq in set(poison_seqs)))
+            first += int(a.shape[0]) if a.ndim else 1
+        return items
+
+    def run(self, arrays, keep_results: bool = False):
+        """Serve arrays (or prebuilt :class:`ProbeItem` units)."""
+
+        items = [a for a in arrays]
+        if items and not isinstance(items[0], ProbeItem):
+            items = self.items(items)
+        return self._collect(self._serve(iter(items)), keep_results)
+
 
 # ----------------------------------------------------------------------
 # Process-backend plumbing: workers own a resident compressor built once in
-# the child (model crosses by fork/pickle at pool start, never per unit).
+# the child (model crosses by fork/pickle at pool start, never per unit) and,
+# under transport="shm", a mapped view of the parent's slab ring.
 # ----------------------------------------------------------------------
 
 _PROCESS_COMPRESSOR: BCAECompressor | None = None
+_PROCESS_RING: SlabRing | None = None
 
 
-def _process_init(model, half: bool) -> None:
-    global _PROCESS_COMPRESSOR
+def _process_init(model, half: bool, ring_spec=None) -> None:
+    global _PROCESS_COMPRESSOR, _PROCESS_RING
     _PROCESS_COMPRESSOR = BCAECompressor(model, half=half)
+    _PROCESS_RING = SlabRing.attach(ring_spec) if ring_spec is not None else None
+
+
+def _record(item_or_work, dt: float) -> BatchRecord:
+    return BatchRecord(
+        seq=item_or_work.seq,
+        first_seq=item_or_work.first_seq,
+        n_wedges=item_or_work.n_wedges,
+        compress_s=dt,
+        worker=f"p{os.getpid()}",
+        wait_s=getattr(item_or_work, "wait_s", 0.0),
+        closed_by=getattr(item_or_work, "closed_by", ""),
+    )
 
 
 def _process_work(kind: str, item) -> tuple[BatchRecord, object]:
+    """Pickle-transport worker: the whole unit crossed by value."""
+
     compressor = _PROCESS_COMPRESSOR
     assert compressor is not None, "process pool initializer did not run"
     t0 = time.perf_counter()
     if kind == "compress":
         result: object = compressor.compress_into(item.wedges)
-    else:
+    elif kind == "decompress":
         result = np.array(compressor.decompress_into(item.compressed))
-    dt = time.perf_counter() - t0
-    record = BatchRecord(
-        seq=item.seq,
-        first_seq=item.first_seq,
-        n_wedges=item.n_wedges,
-        compress_s=dt,
-        worker=f"p{os.getpid()}",
-    )
-    return record, result
+    else:
+        result = _probe_work(item.payload, item.poison)
+    return _record(item, time.perf_counter() - t0), result
+
+
+@dataclasses.dataclass
+class _ShmWork:
+    """Slab-transport work descriptor — the only thing pickled per unit."""
+
+    kind: str
+    seq: int
+    first_seq: int
+    n_wedges: int
+    array: SlabArray          # the unit's input payload, in its slab
+    meta: tuple = ()          # kind-specific extras (see _ProcessTransport)
+    wait_s: float = 0.0
+    closed_by: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class _SlabPayload:
+    """Result descriptor: a CompressedWedges whose bytes live in the slab."""
+
+    slab: int
+    nbytes: int
+    code_shape: tuple[int, ...]
+    n_wedges: int
+    original_horizontal: int
+    half: bool | None
+    code_dtype: str
+
+
+@dataclasses.dataclass(frozen=True)
+class _SlabFallback:
+    """A result that did not fit its slab and crossed by value instead."""
+
+    value: object
+
+
+def _process_work_shm(work: _ShmWork) -> tuple[BatchRecord, object]:
+    """Slab-transport worker: payloads move by memcpy, never by pickle.
+
+    The input is read in place from the unit's slab; the result is written
+    back into the *same* slab (the input has been consumed by then), so one
+    lease covers the unit's whole round trip.  Results larger than the slab
+    cross by value, wrapped in :class:`_SlabFallback`.
+    """
+
+    compressor = _PROCESS_COMPRESSOR
+    ring = _PROCESS_RING
+    assert compressor is not None and ring is not None, "shm pool init did not run"
+    t0 = time.perf_counter()
+    result: object
+    if work.kind == "compress":
+        wedges = ring.read_array(work.array, copy=False)
+        code_shape = compressor.code_shape_for(wedges.shape[1:])
+        code_nbytes = wedges.shape[0] * int(np.prod(code_shape)) * 2
+        if code_nbytes <= ring.slab_nbytes:
+            # Zero-copy result: compress_into writes the fp16 codes
+            # straight into the slab (over the consumed input).
+            out = ring.view(work.array.slab)
+            compressed = compressor.compress_into(wedges, out=out)
+            result = _SlabPayload(
+                slab=work.array.slab,
+                nbytes=compressed.nbytes,
+                code_shape=tuple(compressed.code_shape),
+                n_wedges=compressed.n_wedges,
+                original_horizontal=compressed.original_horizontal,
+                half=compressed.half,
+                code_dtype=compressed.code_dtype,
+            )
+        else:
+            compressed = compressor.compress_into(wedges)
+            result = _SlabFallback(dataclasses.replace(
+                compressed, payload=bytes(compressed.payload)
+            ))
+    elif work.kind == "decompress":
+        code_shape, n_payload, horizontal, half, code_dtype = work.meta
+        compressed = CompressedWedges(
+            payload=ring.view(work.array.slab, work.array.nbytes),
+            code_shape=code_shape,
+            n_wedges=n_payload,
+            original_horizontal=horizontal,
+            half=half,
+            code_dtype=code_dtype,
+        )
+        recon = compressor.decompress_into(compressed)
+        if recon.nbytes <= ring.slab_nbytes:
+            result = ring.write_array(work.array.slab, recon)
+        else:
+            result = _SlabFallback(np.array(recon))
+    else:
+        (poison,) = work.meta
+        result = _probe_work(ring.read_array(work.array, copy=False), poison)
+    return _record(work, time.perf_counter() - t0), result
+
+
+class _ProcessTransport:
+    """Per-stream hand-off policy for the process backend.
+
+    Owns the slab ring (``transport="shm"``), decides shm-vs-pickle per
+    unit (graceful fallback when a payload exceeds the slab), materializes
+    result descriptors, and guarantees every leased slab is released — on
+    success, on worker exception, and (via :meth:`close`) when the stream
+    is abandoned.  One instance per served stream; :meth:`close` publishes
+    debug counters to ``service.last_shm`` and unlinks the segment.
+    """
+
+    def __init__(self, service: ModelPoolService) -> None:
+        cfg = service.config
+        self._service = service
+        self._kind = service._kind
+        self.ring: SlabRing | None = None
+        self.input_fallbacks = 0
+        self.result_fallbacks = 0
+        if cfg.transport == "shm" and cfg.workers > 0 and shm_available():
+            self.ring = SlabRing.create(cfg.inflight, cfg.slab_nbytes)
+
+    def initargs(self) -> tuple:
+        spec = self.ring.spec() if self.ring is not None else None
+        return (self._service.model, self._service.config.half, spec)
+
+    # -- per-kind payload plumbing --------------------------------------
+    def _unit_array(self, item) -> np.ndarray:
+        if self._kind == "compress":
+            return item.wedges
+        if self._kind == "decompress":
+            return np.frombuffer(item.compressed.payload, dtype=np.uint8)
+        return np.asarray(item.payload)
+
+    def _unit_meta(self, item) -> tuple:
+        if self._kind == "decompress":
+            c = item.compressed
+            return (tuple(c.code_shape), c.n_wedges, c.original_horizontal,
+                    c.half, c.code_dtype)
+        if self._kind == "probe":
+            return (item.poison,)
+        return ()
+
+    # -- submit/finalize hooks ------------------------------------------
+    def submit(self, pool, item):
+        ring = self.ring
+        if ring is not None:
+            array = self._unit_array(item)
+            slab = ring.try_lease() if array.nbytes <= ring.slab_nbytes else None
+            if slab is not None:
+                work = _ShmWork(
+                    kind=self._kind,
+                    seq=item.seq,
+                    first_seq=item.first_seq,
+                    n_wedges=item.n_wedges,
+                    array=ring.write_array(slab, array),
+                    meta=self._unit_meta(item),
+                    wait_s=getattr(item, "wait_s", 0.0),
+                    closed_by=getattr(item, "closed_by", ""),
+                )
+                future = pool.submit(_process_work_shm, work)
+                future._slab = slab
+                return future
+            self.input_fallbacks += 1
+        future = pool.submit(_process_work, self._kind, _picklable(item))
+        future._slab = None
+        return future
+
+    def finalize(self, future, record: BatchRecord, result):
+        slab = getattr(future, "_slab", None)
+        try:
+            if isinstance(result, _SlabPayload):
+                result = CompressedWedges(
+                    payload=self.ring.read_bytes(result.slab, result.nbytes),
+                    code_shape=result.code_shape,
+                    n_wedges=result.n_wedges,
+                    original_horizontal=result.original_horizontal,
+                    half=result.half,
+                    code_dtype=result.code_dtype,
+                )
+            elif isinstance(result, SlabArray):
+                result = self.ring.read_array(result, copy=True)
+            elif isinstance(result, _SlabFallback):
+                self.result_fallbacks += 1
+                result = result.value
+            record.transport = "shm" if slab is not None else "pickle"
+        finally:
+            if slab is not None:
+                self.ring.release(slab)
+        return record, result
+
+    def fail(self, future) -> None:
+        """Release a failed unit's slab (the worker raised)."""
+
+        slab = getattr(future, "_slab", None)
+        if slab is not None and self.ring is not None:
+            self.ring.release(slab)
+
+    def close(self) -> None:
+        """Publish debug stats and destroy the segment (idempotent)."""
+
+        stats = {
+            "transport": "shm" if self.ring is not None else "pickle",
+            "input_fallbacks": self.input_fallbacks,
+            "result_fallbacks": self.result_fallbacks,
+        }
+        if self.ring is not None:
+            stats.update(
+                name=self.ring.spec().name,
+                n_slabs=self.ring.n_slabs,
+                slab_nbytes=self.ring.slab_nbytes,
+                leased_at_close=self.ring.leased,
+            )
+            self.ring.destroy()
+        self._service.last_shm = stats
+
+
+def _picklable(item):
+    """Ensure a fallback unit survives pickling (memoryview payloads)."""
+
+    compressed = getattr(item, "compressed", None)
+    if compressed is not None and not isinstance(compressed.payload, bytes):
+        return dataclasses.replace(
+            item, compressed=dataclasses.replace(
+                compressed, payload=bytes(compressed.payload)
+            )
+        )
+    return item
 
 
 class _Checkout:
@@ -479,6 +972,185 @@ class _Checkout:
         with self._lock:
             taken, self._taken = self._taken, []
         self._service._release(taken)
+
+
+class AsyncServingSession:
+    """Async façade over one :class:`ModelPoolService` stream.
+
+    Opens the configured backend once (private single-thread executor for
+    ``workers=0`` so inline work never blocks the event loop, thread pool,
+    or process pool with the shm/pickle transport), then:
+
+    * ``await submit(unit)`` — hands one work unit to the backend and
+      returns its :class:`asyncio.Future`.  Backpressure: when
+      ``config.inflight`` units are submitted but not yet emitted, submit
+      awaits until the consumer pops a result.
+    * ``await next_result()`` / ``async for ... in results()`` — ordered
+      emission: units come back in submission order regardless of which
+      worker finished first.
+    * ``await aclose()`` — drains every in-flight unit (nothing is
+      orphaned; failed units release their slabs), shuts the backend down,
+      and destroys the slab ring.  Also an async context manager.
+
+    A worker exception surfaces on the owning unit's future (and from
+    ``next_result`` at that unit's position); other units and later
+    streams are unaffected.
+    """
+
+    def __init__(self, service: ModelPoolService) -> None:
+        cfg = service.config
+        self._service = service
+        self._loop = asyncio.get_running_loop()
+        self._window: collections.deque = collections.deque()
+        self._emitted = asyncio.Event()
+        self._closed = False
+        self._transport: _ProcessTransport | None = None
+        self._checkout: _Checkout | None = None
+        if cfg.workers > 0 and cfg.backend == "process":
+            self._transport = _ProcessTransport(service)
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                cfg.workers,
+                initializer=_process_init,
+                initargs=self._transport.initargs(),
+            )
+        else:
+            self._checkout = _Checkout(service)
+            self._pool = concurrent.futures.ThreadPoolExecutor(max(1, cfg.workers))
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Units submitted but not yet emitted."""
+
+        return len(self._window)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def submit(self, item) -> asyncio.Future:
+        """Submit one work unit; returns the unit's future.
+
+        The future completes when the unit's worker finishes, and a worker
+        exception surfaces as the future's exception — that is its primary
+        contract.  Its *value* is the materialized result only for the
+        inline/thread backends; under the process backend it may be an
+        internal transport descriptor (the slab is materialized and
+        released by the ordered emission path), so consume results through
+        :meth:`next_result`/:meth:`results`, not from this future.
+        """
+
+        if self._closed:
+            raise RuntimeError("session is closed")
+        while len(self._window) >= self._service.config.inflight:
+            self._emitted.clear()
+            await self._emitted.wait()
+        if self._transport is not None:
+            cf = self._transport.submit(self._pool, item)
+        else:
+            cf = self._pool.submit(self._service._execute, self._checkout, item)
+        future = asyncio.wrap_future(cf, loop=self._loop)
+        future._cf = cf
+        self._window.append(future)
+        return future
+
+    async def next_result(self) -> tuple[BatchRecord, object]:
+        """Await and emit the oldest in-flight unit (submission order)."""
+
+        if not self._window:
+            raise RuntimeError("no in-flight units")
+        future = self._window.popleft()
+        try:
+            return await self._finish(future)
+        finally:
+            self._emitted.set()
+
+    async def results(self) -> AsyncIterator[tuple[BatchRecord, object]]:
+        """Ordered async iteration over everything currently in flight."""
+
+        while self._window:
+            yield await self.next_result()
+
+    async def _finish(self, future) -> tuple[BatchRecord, object]:
+        cf = getattr(future, "_cf", future)
+        try:
+            record, result = await future
+        except BaseException:
+            # Release the slab only when the worker is actually done with
+            # it (worker exception).  If *this await* was cancelled while
+            # the worker still runs, the slab stays leased — it is
+            # reclaimed when the ring is destroyed at close, and must not
+            # be handed to another unit mid-write.
+            if self._transport is not None and cf.done():
+                self._transport.fail(cf)
+            raise
+        if self._transport is not None:
+            record, result = self._transport.finalize(cf, record, result)
+        return record, result
+
+    # ------------------------------------------------------------------
+    async def aclose(self) -> None:
+        """Drain in-flight units, release all slabs, shut the backend down.
+
+        Robust to being called from a *cancelled* task (the common early-
+        close path): draining may be cut short by the pending
+        ``CancelledError``, but the backend shutdown below is synchronous —
+        it waits out whatever is still executing — so no unit is ever
+        orphaned and the slab ring is always destroyed.  The cancellation
+        is re-raised after cleanup.
+        """
+
+        if self._closed:
+            return
+        self._closed = True
+        cancelled: BaseException | None = None
+        try:
+            while self._window:
+                try:
+                    await self.next_result()
+                except asyncio.CancelledError:
+                    raise
+                except Exception:
+                    pass  # drained; the error already surfaced on its future
+        except asyncio.CancelledError as exc:
+            cancelled = exc
+        finally:
+            try:
+                # Wait out in-flight workers off the event loop so
+                # co-scheduled tasks keep running during long compute; if
+                # even that wait is cancelled, fall back to blocking —
+                # the no-orphaned-work guarantee outranks loop liveness.
+                try:
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, lambda: self._pool.shutdown(wait=True)
+                    )
+                except asyncio.CancelledError as exc:
+                    cancelled = exc
+                    self._pool.shutdown(wait=True)
+            finally:
+                if self._transport is not None:
+                    self._transport.close()
+                if self._checkout is not None:
+                    self._checkout.release()
+        if cancelled is not None:
+            raise cancelled
+
+    async def __aenter__(self) -> "AsyncServingSession":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+
+async def _ensure_async(items):
+    """Lift a sync iterable of work units into an async one."""
+
+    if hasattr(items, "__aiter__"):
+        async for item in items:
+            yield item
+        return
+    for item in items:
+        yield item
 
 
 def _as_stream(source) -> Iterator[StreamItem]:

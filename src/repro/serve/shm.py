@@ -1,0 +1,196 @@
+"""Shared-memory slab ring — the zero-copy process-boundary hand-off.
+
+The process backend's original transport pickles every work unit and result
+across the executor pipe: for paper-scale wedge batches that is several
+copies plus chunked pipe syscalls *per unit*, all serialized through the
+parent.  This module replaces the payload bytes with a ring of pre-sized
+slabs in one :class:`multiprocessing.shared_memory.SharedMemory` segment:
+
+* the parent leases a slab, memcpys the unit's payload array into it, and
+  submits only a tiny descriptor (slab index + dtype/shape header) through
+  the executor;
+* the worker maps the same segment once (at pool init), reads the payload
+  in place, and writes its *result* back into the same slab — the input has
+  been consumed by then, so one slab serves both directions of a unit;
+* the parent copies the result out and releases the slab.
+
+Lease bookkeeping lives entirely in the parent (the submit/emit loop is
+single-threaded), so there are no cross-process locks: exclusivity comes
+from the lease protocol — a slab is touched by exactly one side at a time.
+
+Units larger than a slab degrade gracefully to the pickle transport (the
+descriptor is simply not used); see ``ServiceConfig.shm_slab_mb``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+try:  # pragma: no cover - exercised indirectly everywhere below
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - platforms without shm support
+    shared_memory = None
+
+__all__ = ["SlabSpec", "SlabArray", "SlabRing", "shm_available"]
+
+
+def shm_available() -> bool:
+    """Whether :mod:`multiprocessing.shared_memory` exists on this platform."""
+
+    return shared_memory is not None
+
+
+@dataclasses.dataclass(frozen=True)
+class SlabSpec:
+    """Pickle-cheap handle workers use to attach to the creator's ring."""
+
+    name: str
+    n_slabs: int
+    slab_nbytes: int
+
+
+@dataclasses.dataclass(frozen=True)
+class SlabArray:
+    """Descriptor of an ndarray stored at the start of one slab.
+
+    This — not the array — is what crosses the process boundary: a few
+    dozen bytes regardless of payload size.
+    """
+
+    slab: int
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+class SlabRing:
+    """A fixed set of equally sized slabs in one shared-memory segment.
+
+    Create with :meth:`create` in the parent (which owns the lease state and
+    the segment's lifetime) and :meth:`attach` in workers (read/write views
+    only).  All offsets are ``slab * slab_nbytes``; payloads always start at
+    offset 0 of their slab.
+    """
+
+    def __init__(self, shm, n_slabs: int, slab_nbytes: int, owner: bool) -> None:
+        self._shm = shm
+        self.n_slabs = int(n_slabs)
+        self.slab_nbytes = int(slab_nbytes)
+        self._owner = owner
+        # Parent-side lease state; workers never touch it.
+        self._free: list[int] = list(range(self.n_slabs - 1, -1, -1)) if owner else []
+        self._leased: set[int] = set()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, n_slabs: int, slab_nbytes: int) -> "SlabRing":
+        if shared_memory is None:  # pragma: no cover
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        if n_slabs < 1:
+            raise ValueError(f"n_slabs must be >= 1, got {n_slabs}")
+        if slab_nbytes < 1:
+            raise ValueError(f"slab_nbytes must be >= 1, got {slab_nbytes}")
+        shm = shared_memory.SharedMemory(create=True, size=n_slabs * slab_nbytes)
+        return cls(shm, n_slabs, slab_nbytes, owner=True)
+
+    @classmethod
+    def attach(cls, spec: SlabSpec) -> "SlabRing":
+        # The attaching worker must not count the segment as its own to
+        # clean up — the creator unlinks it.  ``track=False`` (3.13+) says
+        # exactly that; under fork on older Pythons the worker shares the
+        # parent's resource tracker, where re-registering the same name is
+        # an idempotent no-op, so plain attach is already safe.
+        try:
+            shm = shared_memory.SharedMemory(name=spec.name, track=False)
+        except TypeError:  # pragma: no cover - Python < 3.13
+            shm = shared_memory.SharedMemory(name=spec.name)
+        return cls(shm, spec.n_slabs, spec.slab_nbytes, owner=False)
+
+    def spec(self) -> SlabSpec:
+        return SlabSpec(self._shm.name, self.n_slabs, self.slab_nbytes)
+
+    # ------------------------------------------------------------------
+    # lease protocol (parent side)
+    # ------------------------------------------------------------------
+    @property
+    def leased(self) -> int:
+        return len(self._leased)
+
+    def try_lease(self) -> int | None:
+        """Take a free slab, or ``None`` when the ring is exhausted."""
+
+        if not self._free:
+            return None
+        slab = self._free.pop()
+        self._leased.add(slab)
+        return slab
+
+    def release(self, slab: int) -> None:
+        """Return a leased slab to the free list (idempotent)."""
+
+        if slab in self._leased:
+            self._leased.discard(slab)
+            self._free.append(slab)
+
+    # ------------------------------------------------------------------
+    # payload access (both sides)
+    # ------------------------------------------------------------------
+    def view(self, slab: int, nbytes: int | None = None) -> memoryview:
+        """Writable bytes view of one slab (its first ``nbytes`` bytes)."""
+
+        start = slab * self.slab_nbytes
+        stop = start + (self.slab_nbytes if nbytes is None else nbytes)
+        return self._shm.buf[start:stop]
+
+    def write_array(self, slab: int, array: np.ndarray) -> SlabArray:
+        """memcpy ``array`` into ``slab``; returns the wire descriptor."""
+
+        array = np.ascontiguousarray(array)
+        if array.nbytes > self.slab_nbytes:
+            raise ValueError(
+                f"array of {array.nbytes} bytes exceeds slab size {self.slab_nbytes}"
+            )
+        dest = np.frombuffer(self.view(slab, array.nbytes), dtype=array.dtype)
+        np.copyto(dest.reshape(array.shape), array)
+        return SlabArray(slab=slab, shape=tuple(array.shape), dtype=array.dtype.str)
+
+    def read_array(self, desc: SlabArray, copy: bool = True) -> np.ndarray:
+        """The array a descriptor points at — owned copy or in-place view."""
+
+        arr = np.frombuffer(
+            self.view(desc.slab, desc.nbytes), dtype=np.dtype(desc.dtype)
+        ).reshape(desc.shape)
+        if copy:
+            return arr.copy()
+        arr.flags.writeable = False
+        return arr
+
+    def read_bytes(self, slab: int, nbytes: int) -> bytes:
+        """Owned copy of the first ``nbytes`` payload bytes of a slab."""
+
+        return bytes(self.view(slab, nbytes))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unmap this process's view (workers call this implicitly at exit)."""
+
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+
+    def destroy(self) -> None:
+        """Unmap and unlink the segment (creator only; idempotent)."""
+
+        self.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+            self._owner = False

@@ -1,20 +1,48 @@
-"""Wedge stream sources for the compression service.
+"""Wedge stream sources for the compression service — sync and async.
 
 A stream is an iterable of :class:`StreamItem`: a sequence number, an
-arrival timestamp (in stream time — simulated seconds for DAQ replays) and
-the raw ADC wedge.  Sources are plain generators so the service composes
-with anything: in-memory arrays, the DAQ arrival process, or a custom
-iterator.
+arrival timestamp and the raw ADC wedge.  Sync sources are plain generators
+(in-memory arrays, DAQ stream-time replays); async sources subclass
+:class:`AsyncWedgeSource` and stamp arrivals with the **monotonic wall
+clock** at receipt — the timestamp the async gateway's latency budget is
+enforced against (a live DAQ feed has no replayed stream time to lean on).
+
+Adapters:
+
+* :func:`iter_wedges` / :func:`replay_stream` — sync, as before;
+* :func:`aiter_wedges` — lift *anything* (stacked array, sync iterable,
+  async iterable, already-wrapped items) into an async stream;
+* :class:`AsyncQueueSource` — an :class:`asyncio.Queue`-fed live source
+  (the in-process stand-in for a DAQ push feed);
+* :class:`AsyncSocketSource` — length-prefixed wedge frames from an
+  :class:`asyncio.StreamReader` (see :func:`write_wedge_frame`);
+* :func:`async_replay_stream` — replay ``(arrival_s, wedge)`` pairs *on
+  the wall clock* (sleeps out the inter-arrival gaps instead of merely
+  labelling items with simulated time).
 """
 
 from __future__ import annotations
 
+import asyncio
 import dataclasses
-from typing import Iterable, Iterator
+import struct
+import time
+from typing import AsyncIterator, Iterable, Iterator
 
 import numpy as np
 
-__all__ = ["StreamItem", "iter_wedges", "replay_stream"]
+__all__ = [
+    "StreamItem",
+    "iter_wedges",
+    "replay_stream",
+    "AsyncWedgeSource",
+    "AsyncQueueSource",
+    "AsyncSocketSource",
+    "aiter_wedges",
+    "async_replay_stream",
+    "write_wedge_frame",
+    "read_wedge_frame",
+]
 
 
 @dataclasses.dataclass
@@ -54,3 +82,241 @@ def replay_stream(
 
     for seq, (arrival, wedge) in enumerate(timed_wedges):
         yield StreamItem(seq=seq, arrival_s=float(arrival), wedge=np.asarray(wedge))
+
+
+# ----------------------------------------------------------------------
+# async sources
+# ----------------------------------------------------------------------
+
+
+class AsyncWedgeSource:
+    """Base class of asyncio wedge sources.
+
+    Subclasses implement :meth:`frames` — an async iterator of raw wedges
+    (or ready-made :class:`StreamItem`) — and inherit the stamping loop:
+    ``async for item in source`` yields :class:`StreamItem` with dense
+    sequence numbers and monotonic-clock arrival timestamps.
+    """
+
+    def frames(self) -> AsyncIterator[np.ndarray]:
+        raise NotImplementedError
+
+    async def __aiter__(self) -> AsyncIterator[StreamItem]:
+        seq = 0
+        async for frame in self.frames():
+            if isinstance(frame, StreamItem):
+                yield dataclasses.replace(frame, seq=seq)
+            else:
+                yield StreamItem(
+                    seq=seq, arrival_s=time.monotonic(), wedge=np.asarray(frame)
+                )
+            seq += 1
+
+
+class AsyncQueueSource(AsyncWedgeSource):
+    """A live push-fed source: producers ``put`` wedges, the gateway pulls.
+
+    The in-process stand-in for a DAQ feed — arrival timing is whatever the
+    producer does, which is exactly what the wall-clock batcher budget is
+    about.  ``close()`` ends the stream once the queue drains.
+    """
+
+    _DONE = object()
+
+    def __init__(self, maxsize: int = 0) -> None:
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=maxsize)
+        self._closed = False
+        self._pending_puts = 0
+
+    async def put(self, wedge: np.ndarray) -> None:
+        if self._closed:
+            raise RuntimeError("source is closed")
+        # Counted so a put() blocked on a full queue when close() lands is
+        # still delivered before the consumer declares EOF.
+        self._pending_puts += 1
+        try:
+            await self._queue.put(wedge)
+        finally:
+            self._pending_puts -= 1
+
+    def put_nowait(self, wedge: np.ndarray) -> None:
+        if self._closed:
+            raise RuntimeError("source is closed")
+        self._queue.put_nowait(wedge)
+
+    def close(self) -> None:
+        """No more wedges; the stream ends after the queue drains."""
+
+        if not self._closed:
+            self._closed = True
+            try:
+                # Wakes a consumer blocked on an empty queue.  On a *full*
+                # bounded queue the sentinel doesn't fit — but then the
+                # consumer isn't blocked: it drains the backlog and sees
+                # the closed-and-empty condition below.
+                self._queue.put_nowait(self._DONE)
+            except asyncio.QueueFull:
+                pass
+
+    async def frames(self):
+        while True:
+            if self._closed and self._pending_puts == 0 and self._queue.empty():
+                return
+            frame = await self._queue.get()
+            if frame is self._DONE:
+                # The sentinel can land *ahead* of a put() that was
+                # blocked on a full queue when close() ran; keep draining
+                # until every counted put has been delivered.
+                if self._pending_puts or not self._queue.empty():
+                    continue
+                return
+            yield frame
+
+
+# Wedge frame wire format: magic, dtype tag, shape, then raw bytes.
+_FRAME_MAGIC = b"WDG1"
+
+
+def write_wedge_frame(writer: asyncio.StreamWriter, wedge: np.ndarray) -> None:
+    """Serialize one wedge onto a stream (pair with :func:`read_wedge_frame`).
+
+    Frame layout: ``b"WDG1"``, u8 dtype-string length, the numpy dtype
+    string, u8 ndim, ndim × u32 dims, then the C-order array bytes.
+
+    This only queues bytes on the transport; producers streaming many
+    frames must ``await writer.drain()`` periodically (per frame or per
+    batch) or the write buffer grows without bound when the consumer is
+    slower.
+    """
+
+    wedge = np.ascontiguousarray(wedge)
+    dtype = wedge.dtype.str.encode("ascii")
+    header = _FRAME_MAGIC + struct.pack("<B", len(dtype)) + dtype
+    header += struct.pack("<B", wedge.ndim)
+    header += struct.pack(f"<{wedge.ndim}I", *wedge.shape)
+    writer.write(header + wedge.tobytes())
+
+
+async def read_wedge_frame(reader: asyncio.StreamReader) -> np.ndarray | None:
+    """Read one wedge frame; ``None`` on clean EOF at a frame boundary."""
+
+    try:
+        magic = await reader.readexactly(len(_FRAME_MAGIC))
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ValueError("truncated wedge frame header") from exc
+    if magic != _FRAME_MAGIC:
+        raise ValueError(f"bad wedge frame magic {magic!r}")
+    try:
+        (dtype_len,) = struct.unpack("<B", await reader.readexactly(1))
+        dtype = np.dtype((await reader.readexactly(dtype_len)).decode("ascii"))
+        (ndim,) = struct.unpack("<B", await reader.readexactly(1))
+        shape = struct.unpack(f"<{ndim}I", await reader.readexactly(4 * ndim))
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        data = await reader.readexactly(nbytes)
+    except asyncio.IncompleteReadError as exc:
+        # A link that dies anywhere inside a frame is one condition to the
+        # caller, wherever the bytes stopped.
+        raise ValueError("truncated wedge frame") from exc
+    return np.frombuffer(data, dtype=dtype).reshape(shape)
+
+
+class AsyncSocketSource(AsyncWedgeSource):
+    """Wedge frames from an :class:`asyncio.StreamReader` (socket ingest).
+
+    The other end writes frames with :func:`write_wedge_frame`; the stream
+    ends on clean EOF.  Use :meth:`connect` for a TCP client, or wrap the
+    reader an ``asyncio.start_server`` callback hands you.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter | None = None,
+    ) -> None:
+        self._reader = reader
+        # The writer must stay referenced for the connection's lifetime —
+        # dropping it garbage-collects the transport and closes the socket.
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncSocketSource":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+
+    async def frames(self):
+        # finally (not just the EOF return) so a malformed frame or an
+        # abandoned iteration doesn't pin the TCP transport open.
+        try:
+            while True:
+                wedge = await read_wedge_frame(self._reader)
+                if wedge is None:
+                    return
+                yield wedge
+        finally:
+            await self.aclose()
+
+
+def aiter_wedges(source) -> AsyncIterator[StreamItem]:
+    """Lift any wedge source into an async :class:`StreamItem` stream.
+
+    Accepts an :class:`AsyncWedgeSource`, any async iterable (of wedges or
+    items), a stacked ``(N, R, A, H)`` array, or any sync iterable the sync
+    service accepts.  Sync sources yield without blocking the loop; wedges
+    without timestamps are stamped with the monotonic receipt clock.
+    """
+
+    class _Lifted(AsyncWedgeSource):
+        async def frames(self):
+            if hasattr(source, "__aiter__"):
+                async for frame in source:
+                    yield frame
+                return
+            wedges = source
+            if isinstance(wedges, np.ndarray):
+                if wedges.ndim != 4:
+                    raise ValueError(
+                        f"stacked source must be (N, R, A, H), got {wedges.shape}"
+                    )
+            for frame in wedges:
+                yield frame
+
+    return _Lifted().__aiter__()
+
+
+async def async_replay_stream(
+    timed_wedges: Iterable[tuple[float, np.ndarray]], speed: float = 1.0
+) -> AsyncIterator[StreamItem]:
+    """Replay ``(arrival_s, wedge)`` pairs **on the wall clock**.
+
+    Unlike :func:`replay_stream` (which only labels items with simulated
+    time), this sleeps out the inter-arrival gaps, so downstream wall-clock
+    machinery — the async batcher's monotonic deadline above all — sees the
+    arrival process for real.  ``speed > 1`` replays faster than recorded.
+    """
+
+    if speed <= 0:
+        raise ValueError(f"speed must be > 0, got {speed}")
+    start = time.monotonic()
+    t0 = None
+    seq = 0
+    for arrival, wedge in timed_wedges:
+        arrival = float(arrival)
+        if t0 is None:
+            t0 = arrival
+        due = start + (arrival - t0) / speed
+        delay = due - time.monotonic()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        yield StreamItem(seq=seq, arrival_s=time.monotonic(), wedge=np.asarray(wedge))
+        seq += 1

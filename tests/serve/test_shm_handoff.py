@@ -1,0 +1,272 @@
+"""The shared-memory slab transport: bit-identity, fallback, leak checks.
+
+The shm ring is a pure transport — its contract is that every byte that
+comes out is the byte the pickle transport (and the serial path) would
+have produced, across every model family and both precision modes, while
+slabs are leased and released so tightly that nothing survives a stream:
+not on success, not on per-unit fallback, not on a worker exception.
+"""
+
+import asyncio
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core import BCAECompressor, build_model
+from repro.serve import (
+    DecompressionService,
+    HandoffProbeService,
+    ServiceConfig,
+    SlabRing,
+    StreamingCompressionService,
+)
+
+WEDGE_SPATIAL = (16, 24, 32)
+ALL_MODELS = ("bcae_2d", "bcae_pp", "bcae_ht", "bcae")
+
+
+@pytest.fixture(scope="module")
+def wedges():
+    rng = np.random.default_rng(11)
+    w = rng.integers(0, 1024, size=(5,) + WEDGE_SPATIAL).astype(np.uint16)
+    w[w < 600] = 0
+    return w
+
+
+def _model(name, half=True):
+    kwargs = dict(m=2, n=2, d=2) if name == "bcae_2d" else {}
+    model = build_model(name, wedge_spatial=WEDGE_SPATIAL, seed=0, **kwargs)
+    # BatchNorm models (the original BCAE) must serve from running
+    # statistics or payloads would depend on batch composition.
+    model.eval()
+    return model
+
+
+def _service_bytes(service, wedges):
+    payloads, stats = service.run(wedges)
+    return b"".join(bytes(p.payload) for p in payloads), stats
+
+
+class TestBitIdentity:
+    """shm vs pickle vs serial — all four models, both precision modes."""
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    @pytest.mark.parametrize("half", [True, False], ids=["half", "full"])
+    def test_compress_payloads_identical(self, name, half, wedges):
+        model = _model(name)
+        serial = BCAECompressor(model, half=half)
+        reference = b"".join(serial.compress(w).payload for w in wedges)
+
+        configs = {
+            "shm": ServiceConfig(max_batch=2, workers=1, backend="process",
+                                 half=half, shm_slab_mb=4.0),
+            "pickle": ServiceConfig(max_batch=2, workers=1, backend="process",
+                                    half=half, transport="pickle"),
+        }
+        for label, config in configs.items():
+            service = StreamingCompressionService(model, config)
+            got, stats = _service_bytes(service, wedges)
+            assert got == reference, f"{name}/{label} payload mismatch"
+            assert {r.transport for r in stats.records} == {label}
+
+    @pytest.mark.parametrize("half", [True, False], ids=["half", "full"])
+    def test_decompress_recons_identical(self, half, wedges):
+        model = _model("bcae_2d")
+        serial = BCAECompressor(model, half=half)
+        batch = serial.compress(wedges)
+        reference = serial.decompress(batch)
+        for transport in ("shm", "pickle"):
+            service = DecompressionService(
+                model,
+                ServiceConfig(max_batch=2, workers=1, backend="process",
+                              half=half, transport=transport, shm_slab_mb=4.0),
+            )
+            recons, stats = service.run(batch)
+            np.testing.assert_array_equal(np.concatenate(recons), reference)
+            assert {r.transport for r in stats.records} == {transport}
+
+
+class TestSlabFallback:
+    def test_input_exhaustion_falls_back_to_pickle(self, wedges):
+        """Units larger than a slab cross by pickle — same bytes."""
+
+        model = _model("bcae_2d")
+        reference = b"".join(
+            BCAECompressor(model).compress(w).payload for w in wedges
+        )
+        # 1 KiB slabs: no wedge batch fits, every unit must fall back.
+        service = StreamingCompressionService(
+            model,
+            ServiceConfig(max_batch=2, workers=1, backend="process",
+                          shm_slab_mb=1 / 1024),
+        )
+        got, stats = _service_bytes(service, wedges)
+        assert got == reference
+        assert all(r.transport == "pickle" for r in stats.records)
+        assert service.last_shm["input_fallbacks"] == stats.n_batches
+        assert service.last_shm["leased_at_close"] == 0
+
+    def test_result_too_large_falls_back_by_value(self, wedges):
+        """Input fits the slab but the reconstruction does not: the input
+        still rides shm, the result crosses by value — bit-identical."""
+
+        model = _model("bcae_2d")
+        serial = BCAECompressor(model)
+        batch = serial.compress(wedges)
+        reference = serial.decompress(batch)
+        # Per 2-wedge chunk: fp16 codes ~6 KiB (fits), float32 recon
+        # ~90 KiB (does not) with 16 KiB slabs.
+        service = DecompressionService(
+            model,
+            ServiceConfig(max_batch=2, workers=1, backend="process",
+                          shm_slab_mb=16 / 1024),
+        )
+        recons, stats = service.run(batch)
+        np.testing.assert_array_equal(np.concatenate(recons), reference)
+        assert all(r.transport == "shm" for r in stats.records)
+        assert service.last_shm["result_fallbacks"] == stats.n_batches
+        assert service.last_shm["leased_at_close"] == 0
+
+    def test_mixed_unit_sizes(self, wedges):
+        """Tail batches smaller than the slab ride shm while oversize
+        units fall back, in one stream."""
+
+        model = _model("bcae_2d")
+        reference = b"".join(
+            BCAECompressor(model).compress(w).payload for w in wedges
+        )
+        # A wedge is 24 KiB of uint16 input: with 64 KiB slabs the 4-wedge
+        # batch (96 KiB) falls back while the 1-wedge tail rides shm.
+        service = StreamingCompressionService(
+            model,
+            ServiceConfig(max_batch=4, workers=1, backend="process",
+                          shm_slab_mb=64 / 1024),
+        )
+        got, stats = _service_bytes(service, wedges)
+        assert got == reference
+        assert [r.transport for r in stats.records] == ["pickle", "shm"]
+        assert service.last_shm["input_fallbacks"] == 1
+        assert service.last_shm["leased_at_close"] == 0
+
+
+class TestLeaks:
+    def _assert_ring_gone(self, service):
+        assert service.last_shm["leased_at_close"] == 0
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=service.last_shm["name"])
+
+    def test_all_slabs_released_after_close(self, wedges):
+        service = StreamingCompressionService(
+            _model("bcae_2d"),
+            ServiceConfig(max_batch=2, workers=1, backend="process",
+                          shm_slab_mb=4.0),
+        )
+        service.run(wedges)
+        self._assert_ring_gone(service)
+
+    def test_ring_destroyed_on_worker_exception(self):
+        """A worker fault mid-stream must not leak the segment or slabs."""
+
+        probe = HandoffProbeService(
+            ServiceConfig(max_batch=4, workers=1, backend="process",
+                          inflight=2, shm_slab_mb=1.0)
+        )
+        arrays = [np.ones((4, 8), np.uint16) * i for i in range(6)]
+        items = probe.items(arrays, poison_seqs=[2])
+        with pytest.raises(RuntimeError, match="injected"):
+            probe.run(items)
+        assert probe.last_shm["transport"] == "shm"
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=probe.last_shm["name"])
+        # ... and the service stays serviceable.
+        results, stats = probe.run(arrays, keep_results=True)
+        assert results == [float(a.sum()) for a in arrays]
+        self._assert_ring_gone(probe)
+
+    def test_async_session_releases_ring(self, wedges):
+        service = StreamingCompressionService(
+            _model("bcae_2d"),
+            ServiceConfig(max_batch=2, workers=1, backend="process",
+                          shm_slab_mb=4.0),
+        )
+        asyncio.run(service.run_async(wedges))
+        self._assert_ring_gone(service)
+
+
+class TestSlabRingUnit:
+    """The ring primitive itself (no pools involved)."""
+
+    def test_lease_release_cycle(self):
+        ring = SlabRing.create(n_slabs=2, slab_nbytes=64)
+        try:
+            a, b = ring.try_lease(), ring.try_lease()
+            assert {a, b} == {0, 1}
+            assert ring.try_lease() is None  # exhausted
+            ring.release(a)
+            assert ring.leased == 1
+            assert ring.try_lease() == a
+            ring.release(a)
+            ring.release(a)  # idempotent
+            assert ring.leased == 1
+        finally:
+            ring.destroy()
+
+    def test_array_round_trip(self):
+        ring = SlabRing.create(n_slabs=1, slab_nbytes=1024)
+        try:
+            arr = np.arange(12, dtype=np.int32).reshape(3, 4)
+            desc = ring.write_array(0, arr)
+            np.testing.assert_array_equal(ring.read_array(desc), arr)
+            view = ring.read_array(desc, copy=False)
+            assert not view.flags.writeable
+            del view  # a live view would block closing the segment
+        finally:
+            ring.destroy()
+
+    def test_oversize_write_rejected(self):
+        ring = SlabRing.create(n_slabs=1, slab_nbytes=16)
+        try:
+            with pytest.raises(ValueError, match="exceeds"):
+                ring.write_array(0, np.zeros(64, np.float64))
+        finally:
+            ring.destroy()
+
+    def test_attach_sees_creator_bytes(self):
+        ring = SlabRing.create(n_slabs=1, slab_nbytes=64)
+        try:
+            desc = ring.write_array(0, np.arange(8, dtype=np.uint8))
+            other = SlabRing.attach(ring.spec())
+            np.testing.assert_array_equal(
+                other.read_array(desc), np.arange(8, dtype=np.uint8)
+            )
+            other.close()
+        finally:
+            ring.destroy()
+
+    def test_destroy_idempotent_and_unlinks(self):
+        ring = SlabRing.create(n_slabs=1, slab_nbytes=64)
+        name = ring.spec().name
+        ring.destroy()
+        ring.destroy()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            SlabRing.create(n_slabs=0, slab_nbytes=64)
+        with pytest.raises(ValueError):
+            SlabRing.create(n_slabs=1, slab_nbytes=0)
+
+
+class TestConfigValidation:
+    def test_bad_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            ServiceConfig(transport="carrier-pigeon")
+
+    def test_bad_slab_size_rejected(self):
+        with pytest.raises(ValueError, match="shm_slab_mb"):
+            ServiceConfig(shm_slab_mb=0)
+
+    def test_slab_nbytes_derived(self):
+        assert ServiceConfig(shm_slab_mb=2.0).slab_nbytes == 2 << 20

@@ -1,0 +1,44 @@
+"""Repository hygiene: no bytecode or cache artifacts may be tracked.
+
+``__pycache__`` directories regenerate on every run; once one is
+committed it shadows real changes and bloats every diff.  CI greps for
+this too, but running the same guard in tier-1 catches it before a PR is
+even opened — at any directory depth.
+"""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _git_ls_files() -> list[str]:
+    if shutil.which("git") is None:
+        pytest.skip("git unavailable")
+    proc = subprocess.run(
+        ["git", "ls-files"], cwd=REPO_ROOT, capture_output=True, text=True
+    )
+    if proc.returncode != 0:
+        pytest.skip(f"not a git checkout: {proc.stderr.strip()}")
+    return proc.stdout.splitlines()
+
+def test_no_tracked_bytecode_at_any_depth():
+    offenders = [
+        path
+        for path in _git_ls_files()
+        if "__pycache__" in Path(path).parts
+        or path.endswith((".pyc", ".pyo"))
+    ]
+    assert not offenders, (
+        "tracked bytecode/cache files (git rm -r --cached them): "
+        + ", ".join(offenders[:10])
+    )
+
+
+def test_gitignore_covers_caches():
+    ignore = (REPO_ROOT / ".gitignore").read_text()
+    for pattern in ("__pycache__", ".pytest_cache", ".benchmarks"):
+        assert pattern in ignore, f".gitignore is missing {pattern!r}"
