@@ -13,9 +13,12 @@ archived single-wedge payload.
 Acceptance gates:
 
 * the best fast configuration sustains **≥ 2×** the module-graph loop's
-  wedges/s on the paper-default BCAE-2D(m=4, n=8, d=3) at tiny geometry
-  **and** on the 3D BCAE-HT at paper-scale geometry ``(16, 192, 249)`` —
-  the regime where the blocked im2col gathers carry the win;
+  wedges/s on the paper-default BCAE-2D(m=4, n=8, d=3) at tiny geometry,
+  on the 3D BCAE-HT at paper-scale geometry ``(16, 192, 249)`` — the
+  regime where the blocked im2col gathers carry the win — **and** on the
+  original BCAE at paper-scale geometry, whose eval-mode BatchNorm stacks
+  run the compiled fold/affine stages instead of the module graph
+  (measured ~6×);
 * reconstructions are **bit-identical** to the module-graph path for every
   payload, in every configuration.
 
@@ -90,6 +93,9 @@ def measure(model_name="bcae_2d", n_wedges=_N_WEDGES, repeats=_REPEATS,
     )
     model = build_model(model_name, wedge_spatial=wedges.shape[1:], seed=0,
                         **model_kwargs)
+    # Inference mode: the original BCAE's BatchNorm must decode from
+    # running statistics — also what puts it on the compiled engine.
+    model.eval()
     compressor = BCAECompressor(model)
 
     # The archive: one payload per wedge, as a DAQ stream would write them.
@@ -213,6 +219,31 @@ def test_decode_3d_paper_scale(benchmark):
     assert fast_enough, f"3D paper-scale decode only {best:.2f}x"
 
 
+def test_decode_original_bcae_batchnorm(benchmark):
+    """The BatchNorm regime: the original BCAE's eval-mode norm stacks
+    (folded conv or exact affine stages) must decode ≥2× the module graph
+    through the compiled engine at paper-scale geometry, bit for bit
+    (measured ~6×; at tiny geometry the affine passes and the module
+    graph's allocations nearly cancel, ~1.6×)."""
+
+    from conftest import report
+
+    results = {}
+
+    def measure_all():
+        results["r"] = measure("bcae", n_wedges=2, repeats=1, paper=True)
+        return results
+
+    benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    section = results["r"]
+    for line in _report_lines(section):
+        report(line)
+
+    identical, fast_enough, best = _section_ok(section, 2.0)
+    assert identical, "recon mismatch"
+    assert fast_enough, f"original-BCAE compiled decode only {best:.2f}x"
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -238,9 +269,16 @@ def main(argv=None) -> int:
     else:
         plan.append(("bcae_2d", args.wedges or (8 if args.smoke else _N_WEDGES),
                      False))
-        if not args.smoke:
+        if args.smoke:
+            # BatchNorm wiring check: original-BCAE through the compiled
+            # fold/affine stages at tiny geometry, relaxed gate.
+            plan.append(("bcae", args.wedges or 4, False))
+        else:
             # The blocked-gather acceptance gate: 3D decode at the paper grid.
             plan.append(("bcae_ht", args.wedges or _N_WEDGES_PAPER, True))
+            # The BatchNorm acceptance gate: original-BCAE decode at the
+            # paper grid (~6× — the affine stages ride the blocked gathers).
+            plan.append(("bcae", args.wedges or 2, True))
 
     sections = []
     failed = False

@@ -92,7 +92,15 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--headroom", type=float, default=1.2)
     q.add_argument("--frames", type=int, default=3000)
 
-    v = sub.add_parser("serve", help="run the micro-batching compression service")
+    v = sub.add_parser(
+        "serve", help="run the micro-batching compression service",
+        epilog="transport defaults per backend: --backend process moves "
+               "payloads through the shared-memory slab ring "
+               "(--transport shm, sized by --shm-slab-mb; oversized units "
+               "fall back to pickle per unit), while the inline/thread "
+               "backends hand results off in memory and ignore "
+               "--transport/--shm-slab-mb entirely.",
+    )
     v.add_argument("--model", default="bcae_2d")
     v.add_argument("--scale", choices=_SCALES, default="tiny")
     v.add_argument("--wedges", type=int, default=64)
@@ -121,8 +129,16 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--archive", default=None,
                    help="save the served payloads as one io.codes npz archive")
 
-    x = sub.add_parser("decompress",
-                       help="decompress an io.codes archive (analysis side)")
+    x = sub.add_parser(
+        "decompress",
+        help="decompress an io.codes archive (analysis side)",
+        epilog="transport defaults per backend: --backend process moves "
+               "payload batches and reconstructions through the shared-"
+               "memory slab ring (--transport shm, sized by --shm-slab-mb; "
+               "oversized units fall back to pickle per unit), while the "
+               "inline/thread backends hand results off in memory and "
+               "ignore --transport/--shm-slab-mb entirely.",
+    )
     x.add_argument("--archive", required=True, help="npz from `serve --archive`")
     x.add_argument("--out", default=None, help="write reconstructions to npz")
     x.add_argument("--model", default="bcae_2d")

@@ -13,7 +13,7 @@ from .blocks import DownBlock3d, ResBlock2d, UpBlock3d, make_activation
 from .compressor import BCAECompressor, CompressedWedges
 from .decoder2d import BCAEDecoder2D
 from .encoder2d import BCAEEncoder2D
-from .fast_plan import CompiledStagePlan, stage_kinds
+from .fast_plan import CompiledStagePlan, fold_batchnorm, stage_kinds
 from .fast_encode import (
     FastEncoder2D,
     FastEncoder3D,
@@ -55,6 +55,7 @@ __all__ = [
     "BCAECompressor",
     "CompressedWedges",
     "CompiledStagePlan",
+    "fold_batchnorm",
     "stage_kinds",
     "FastEncoder2D",
     "FastEncoder3D",

@@ -19,10 +19,12 @@ path, bit-identical to each other:
     the serving hot path: persistent workspaces (no per-batch ``np.pad`` /
     im2col / fp16-cast reallocation) via the compiled encoders of
     :mod:`~repro.core.fast_encode` — :class:`FastEncoder2D` for the 2D
-    family, :class:`FastEncoder3D` for BCAE++/HT — with a reusable-buffer
-    fallback through the module graph only for genuinely unknown stage
-    stacks (e.g. the original BCAE's BatchNorm blocks).  Output bytes are
-    identical to ``compress`` for the same input;
+    family, :class:`FastEncoder3D` for every 3D variant including the
+    original BCAE (eval-mode BatchNorm compiles to folded convolutions or
+    exact affine stages) — with a reusable-buffer fallback through the
+    module graph only for genuinely unknown stage stacks (custom modules,
+    or BatchNorm still in training mode).  Output bytes are identical to
+    ``compress`` for the same input;
 ``decompress_into`` / ``decompress_stream``
     the analysis hot path: both decoder heads and the masked combine
     compiled by :class:`~repro.core.fast_decode.FastDecoder2D` /
@@ -131,12 +133,8 @@ class BCAECompressor:
         self.model = model
         self.half = bool(half)
         self._fast = None
-        self._fast_checked = False
-        self._supports_fast = False
         self._fast_signature: tuple = ()
         self._fast_dec = None
-        self._fast_dec_checked = False
-        self._supports_fast_dec = False
         self._fast_dec_signature: tuple = ()
         self._scratch = Workspace()
 
@@ -184,30 +182,47 @@ class BCAECompressor:
         )
 
     # ------------------------------------------------------------------
-    def _weights_signature(self) -> tuple:
-        """Cheap content fingerprint of the encoder weights.
+    @staticmethod
+    def _state_signature(*modules) -> tuple:
+        """Cheap content fingerprint of module parameters *and* buffers.
 
-        Two float64 reductions per parameter (~0.1 ms for paper-sized
-        encoders) — any realistic weight update (optimizer step, checkpoint
-        load, manual edit) perturbs them, so a stale compiled fast path is
-        detected and rebuilt instead of silently serving old weights.
+        Two float64 reductions per array (~0.1 ms for paper-sized
+        encoders) — any realistic state update (optimizer step, checkpoint
+        load, manual edit, BatchNorm running-statistics refresh) perturbs
+        them, so a stale compiled fast path is detected and rebuilt instead
+        of silently serving old weights.  Buffers matter since the original
+        BCAE compiles: its folded/affine BatchNorm stages snapshot
+        ``running_mean``/``running_var``.
         """
 
         sig = []
-        for p in self.model.encoder.parameters():
-            a = p.data
-            sig.append((
-                a.shape,
-                float(a.sum(dtype=np.float64)),
-                float(np.abs(a).sum(dtype=np.float64)),
-            ))
+        for module in modules:
+            for p in module.parameters():
+                a = p.data
+                sig.append((
+                    a.shape,
+                    float(a.sum(dtype=np.float64)),
+                    float(np.abs(a).sum(dtype=np.float64)),
+                ))
+            for _name, b in module.named_buffers():
+                a = np.asarray(b)
+                sig.append((
+                    a.shape,
+                    float(a.sum(dtype=np.float64)),
+                    float(np.abs(a).sum(dtype=np.float64)),
+                ))
         return tuple(sig)
 
+    def _weights_signature(self) -> tuple:
+        """Encoder state fingerprint (see :meth:`_state_signature`)."""
+
+        return self._state_signature(self.model.encoder)
+
     def _fast_encoder(self):
-        if not self._fast_checked:
-            self._fast_checked = True
-            self._supports_fast = supports_fast_encode(self.model)
-        if not self._supports_fast:
+        # Support is re-checked per call (an isinstance scan, trivial next
+        # to the signature reductions below): eval()/train() flips move
+        # BatchNorm models on and off the compiled path.
+        if not supports_fast_encode(self.model):
             return None
         signature = self._weights_signature()
         if self._fast is None or signature != self._fast_signature:
@@ -248,9 +263,10 @@ class BCAECompressor:
             x = self._log_into(wedges)
             code16 = fast.encode(x, horizontal_target=self._horizontal_target(horizontal))
         else:
-            # Module-graph fallback (unknown stage stacks, e.g. the
-            # original BCAE's BatchNorm blocks): still avoids the per-call
-            # log/pad allocations of the reference path.
+            # Module-graph fallback (genuinely unknown stage stacks, or
+            # training-mode BatchNorm — every zoo model in eval mode
+            # compiles): still avoids the per-call log/pad allocations of
+            # the reference path.
             x = self._log_into(wedges)
             target = self._horizontal_target(horizontal)
             if target != horizontal:
@@ -361,26 +377,19 @@ class BCAECompressor:
     def _decoder_signature(self) -> tuple:
         """Content fingerprint of both decoder heads plus the threshold.
 
-        Same two-reduction scheme as :meth:`_weights_signature`; the
-        threshold is included because the compiled combine snapshots it.
+        Same two-reduction scheme as :meth:`_state_signature` (parameters
+        *and* buffers — the compiled BatchNorm stages snapshot running
+        statistics); the threshold is included because the compiled combine
+        snapshots it.
         """
 
-        sig: list = [("threshold", float(self.model.threshold))]
-        for p in (*self.model.seg_decoder.parameters(),
-                  *self.model.reg_decoder.parameters()):
-            a = p.data
-            sig.append((
-                a.shape,
-                float(a.sum(dtype=np.float64)),
-                float(np.abs(a).sum(dtype=np.float64)),
-            ))
-        return tuple(sig)
+        return (("threshold", float(self.model.threshold)),) + \
+            self._state_signature(self.model.seg_decoder, self.model.reg_decoder)
 
     def _fast_decoder(self):
-        if not self._fast_dec_checked:
-            self._fast_dec_checked = True
-            self._supports_fast_dec = supports_fast_decode(self.model)
-        if not self._supports_fast_dec:
+        # Re-checked per call, like the encoder side: eval()/train() flips
+        # move BatchNorm models on and off the compiled path.
+        if not supports_fast_decode(self.model):
             return None
         signature = self._decoder_signature()
         if self._fast_dec is None or signature != self._fast_dec_signature:
@@ -409,8 +418,9 @@ class BCAECompressor:
         self._check_compressed(compressed)
         fast = self._fast_decoder()
         if fast is None:
-            # Module-graph fallback (unknown stage stacks only — the
-            # BCAE++/HT 3D variants compile like the 2D family).
+            # Module-graph fallback (genuinely unknown stage stacks, or
+            # training-mode BatchNorm — every zoo model in eval mode
+            # compiles, the original BCAE included).
             recon = self.decompress(compressed)
         else:
             recon = fast.decompress(

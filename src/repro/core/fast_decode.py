@@ -11,10 +11,12 @@ encoder side.
 :class:`FastDecoder2D` compiles **both** decoder heads of a 2D BCAE through
 the shared stage-plan engine of :mod:`repro.core.fast_plan` (Algorithm 2:
 ``Upsample2d`` + residual stacks, then a 1×1 conv under a sigmoid or
-identity head); :class:`FastDecoder3D` does the same for the BCAE++/HT
-decoders (transposed-convolution residual up blocks over persistent dilated
+identity head); :class:`FastDecoder3D` does the same for the 3D decoders —
+BCAE++/HT and the original BCAE's eval-mode BatchNorm stacks
+(transposed-convolution residual up blocks over persistent dilated
 canvases, then a 1×1 conv under the sigmoid / ``RegOutputTransform`` head,
-with blocked im2col gathers at paper-scale geometry).  In both wrappers the
+with blocked im2col gathers at paper-scale geometry and the BatchNorm
+fold/affine machinery of :mod:`repro.core.fast_plan`).  In both wrappers the
 two plans share one workspace *and* one key namespace: the heads are
 structurally identical (only weights and the output activation differ), so
 every buffer the regression pass reads is fully rewritten before use and
@@ -39,7 +41,14 @@ import numpy as np
 
 from .bcae3d import BCAEDecoder3D
 from .decoder2d import BCAEDecoder2D
-from .fast_plan import CompiledStagePlan, Workspace, _FP16_MAX, stage_kinds
+from .fast_plan import (
+    CompiledStagePlan,
+    DECODE_ENTRY_KINDS,
+    Workspace,
+    _FP16_MAX,
+    entry_kinds_ok,
+    stage_kinds,
+)
 
 __all__ = [
     "FastDecoder2D",
@@ -48,9 +57,9 @@ __all__ = [
     "supports_fast_decode",
 ]
 
-_DECODER2D_KINDS = {"conv", "up", "res", "sigmoid", "identity"}
+_DECODER2D_KINDS = {"conv", "up", "res", "bnorm", "sigmoid", "identity"}
 _DECODER3D_KINDS = {
-    "conv3d", "convtranspose3d", "upblock3d", "pool3d", "up3d",
+    "conv3d", "convtranspose3d", "upblock3d", "pool3d", "up3d", "bnorm",
     "sigmoid", "regout", "identity",
 }
 
@@ -66,26 +75,28 @@ def supports_fast_decode(model) -> bool:
 
     Covers the BCAE-2D family (Algorithm 2 decoders built from
     nearest-neighbour upsampling, leaky-ReLU residual blocks and a final
-    convolution under a sigmoid/identity head) and the 3D BCAE++/HT family
-    (norm-free transposed-convolution up blocks under a sigmoid /
-    ``RegOutputTransform`` head, §2.3).  The original BCAE's BatchNorm
-    blocks fall back to the module path.
+    convolution under a sigmoid/identity head) and the 3D family — the
+    norm-free BCAE++/HT transposed-convolution up blocks (§2.3) *and* the
+    original BCAE's eval-mode BatchNorm up blocks (folded conv or exact
+    affine stage), both under a sigmoid / ``RegOutputTransform`` head.  A
+    model whose BatchNorm layers are in training mode stays on the module
+    path: call ``model.eval()``.
     """
 
     seg = getattr(model, "seg_decoder", None)
     reg = getattr(model, "reg_decoder", None)
     if isinstance(seg, BCAEDecoder2D) and isinstance(reg, BCAEDecoder2D):
-        for decoder in (seg, reg):
-            kinds = stage_kinds(decoder.stages)
-            if kinds is None or not set(kinds) <= _DECODER2D_KINDS:
-                return False
-        return True
+        return all(
+            entry_kinds_ok(stage_kinds(d.stages), _DECODER2D_KINDS,
+                           entry=DECODE_ENTRY_KINDS)
+            for d in (seg, reg)
+        )
     if isinstance(seg, BCAEDecoder3D) and isinstance(reg, BCAEDecoder3D):
-        for decoder in (seg, reg):
-            kinds = stage_kinds(_decoder3d_stages(decoder))
-            if kinds is None or not set(kinds) <= _DECODER3D_KINDS:
-                return False
-        return True
+        return all(
+            entry_kinds_ok(stage_kinds(_decoder3d_stages(d)),
+                           _DECODER3D_KINDS, entry=DECODE_ENTRY_KINDS)
+            for d in (seg, reg)
+        )
     return False
 
 
@@ -141,6 +152,12 @@ class FastDecoder2D:
         """Current workspace footprint (grows to the largest batch seen)."""
 
         return self._ws.nbytes()
+
+    @property
+    def bn_folds(self) -> list[dict]:
+        """Per-BatchNorm fold decisions of both head plans (seg then reg)."""
+
+        return list(self._seg.bn_folds) + list(self._reg.bn_folds)
 
     # ------------------------------------------------------------------
     def _input_canvas(self, codes: np.ndarray) -> tuple[np.ndarray, tuple[int, int], float]:
@@ -227,6 +244,12 @@ class FastDecoder3D:
         """Current workspace footprint (grows to the largest batch seen)."""
 
         return self._ws.nbytes()
+
+    @property
+    def bn_folds(self) -> list[dict]:
+        """Per-BatchNorm fold decisions of both head plans (seg then reg)."""
+
+        return list(self._seg.bn_folds) + list(self._reg.bn_folds)
 
     # ------------------------------------------------------------------
     def _input_canvas(self, codes: np.ndarray):

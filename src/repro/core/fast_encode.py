@@ -10,7 +10,8 @@ and reused.
 
 :class:`FastEncoder2D` compiles a :class:`~repro.core.encoder2d.BCAEEncoder2D`
 and :class:`FastEncoder3D` a :class:`~repro.core.bcae3d.BCAEEncoder3D`
-(BCAE++/HT residual stacks) through the shared stage-plan engine of
+(BCAE++/HT norm-free residual stacks *and* the original BCAE's eval-mode
+BatchNorm stacks) through the shared stage-plan engine of
 :mod:`repro.core.fast_plan` (see that module's docstring for the vocabulary,
 the canvas/carry execution model, the blocked im2col gathers and the
 clip-elision interval analysis).  These wrappers own only what is
@@ -32,7 +33,7 @@ import numpy as np
 
 from .bcae3d import BCAEEncoder3D
 from .encoder2d import BCAEEncoder2D
-from .fast_plan import CompiledStagePlan, Workspace, stage_kinds
+from .fast_plan import CompiledStagePlan, Workspace, entry_kinds_ok, stage_kinds
 
 __all__ = [
     "FastEncoder2D",
@@ -49,8 +50,8 @@ _LOG_INPUT_BOUND = 150.0
 
 #: Stage kinds an encoder plan may contain (no output heads: the payload
 #: cast expects the stored grid values of the final convolution).
-_ENCODER2D_KINDS = {"conv", "pool", "res"}
-_ENCODER3D_KINDS = {"conv3d", "down3d", "pool3d", "up3d"}
+_ENCODER2D_KINDS = {"conv", "pool", "res", "bnorm"}
+_ENCODER3D_KINDS = {"conv3d", "down3d", "pool3d", "up3d", "bnorm"}
 
 
 def supports_fast_encode(model) -> bool:
@@ -58,18 +59,18 @@ def supports_fast_encode(model) -> bool:
 
     Covers the BCAE-2D family (Algorithm 1 encoders built from
     convolutions, non-overlapping average pooling and leaky-ReLU residual
-    blocks) and the 3D BCAE++/HT family (norm-free residual down blocks,
-    §2.3).  The original BCAE's BatchNorm blocks fall back to the module
-    path.
+    blocks) and the 3D family — the norm-free BCAE++/HT residual stacks
+    (§2.3) *and* the original BCAE's BatchNorm stacks in eval mode (the
+    norm compiles to a folded conv or an exact affine stage).  A model
+    whose BatchNorm layers are in training mode stays on the module path
+    (batch statistics are not a compilable graph): call ``model.eval()``.
     """
 
     encoder = getattr(model, "encoder", model)
     if isinstance(encoder, BCAEEncoder2D):
-        kinds = stage_kinds(encoder.stages)
-        return kinds is not None and set(kinds) <= _ENCODER2D_KINDS
+        return entry_kinds_ok(stage_kinds(encoder.stages), _ENCODER2D_KINDS)
     if isinstance(encoder, BCAEEncoder3D):
-        kinds = stage_kinds(encoder.blocks)
-        return kinds is not None and set(kinds) <= _ENCODER3D_KINDS
+        return entry_kinds_ok(stage_kinds(encoder.blocks), _ENCODER3D_KINDS)
     return False
 
 
@@ -108,6 +109,12 @@ class FastEncoder2D:
         self.code_channels = encoder.code_channels
         self._plan = CompiledStagePlan(encoder.stages, half=self.half)
         self._ws = self._plan.workspace
+
+    @property
+    def bn_folds(self) -> list[dict]:
+        """Per-BatchNorm fold decisions of the compiled plan (see fast_plan)."""
+
+        return list(self._plan.bn_folds)
 
     # ------------------------------------------------------------------
     @property
@@ -156,7 +163,7 @@ class FastEncoder2D:
 
 
 class FastEncoder3D:
-    """Compiled, buffer-reusing twin of a 3D BCAE++/HT encoder.
+    """Compiled, buffer-reusing twin of a 3D BCAE encoder (original/++/HT).
 
     The wedge's radial axis is spatial here (the network input is a
     single-channel ``(B, 1, R, A, H)`` volume — §2.2), so the wrapper
@@ -167,7 +174,8 @@ class FastEncoder3D:
     ----------
     encoder:
         The :class:`BCAEEncoder3D` to compile (must pass
-        :func:`supports_fast_encode` — norm-free residual stacks).
+        :func:`supports_fast_encode` — BCAE++/HT norm-free stacks, or the
+        original BCAE's eval-mode BatchNorm stacks).
     half:
         Replicate the fp16 autocast numerics (§3.3 deployment mode).
     """
@@ -183,6 +191,12 @@ class FastEncoder3D:
         self.code_channels = encoder.code_channels
         self._plan = CompiledStagePlan(encoder.blocks, half=self.half)
         self._ws = self._plan.workspace
+
+    @property
+    def bn_folds(self) -> list[dict]:
+        """Per-BatchNorm fold decisions of the compiled plan (see fast_plan)."""
+
+        return list(self._plan.bn_folds)
 
     # ------------------------------------------------------------------
     @property

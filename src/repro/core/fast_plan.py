@@ -33,10 +33,21 @@ kind               module                                      family
 ``res``            :class:`repro.core.blocks.ResBlock2d`       2D
 ``down3d``         :class:`repro.core.blocks.DownBlock3d`      3D
 ``upblock3d``      :class:`repro.core.blocks.UpBlock3d`        3D
+``bnorm``          :class:`repro.nn.norm.BatchNormNd` (eval)   2D + 3D
 ``sigmoid``        :class:`repro.nn.Sigmoid` (head)            2D + 3D
 ``regout``         :class:`repro.nn.RegOutputTransform` (head) 3D
 ``identity``       :class:`repro.nn.Identity`                  2D + 3D
 =================  ==========================================  =============
+
+Eval-mode BatchNorm (the original BCAE's normalization — arXiv:2111.05423
+keeps it, §2.3 of this paper removes it) is a per-channel affine transform
+``y = ((x − μ)·(1/σ))·γ + β``, so the residual blocks accept it after each
+activation (``down3d`` / ``upblock3d`` with norms) and a standalone
+``bnorm`` stage covers any other placement.  A *training-mode* BatchNorm is
+not a compilable graph (its output depends on batch statistics) and keeps
+the whole stack on the module path — call ``model.eval()`` before
+compiling.  See *BatchNorm folding* below for when the affine disappears
+into an adjacent convolution entirely.
 
 Convolutions have their weights quantized to the fp16 grid and transposed
 into GEMM layout **once**; at run time the exact contraction of
@@ -97,6 +108,35 @@ result ever touches main memory.  A per-shape calibration probe
 module path's per-sample contraction bit for bit before the formulation is
 used — behaviour is never traded for speed.
 
+BatchNorm folding
+-----------------
+
+In eval mode a BatchNorm is the fixed per-channel affine ``s_c·x + t_c``
+with ``s_c = γ_c/σ_c`` and ``t_c = β_c − μ_c·γ_c/σ_c``, and an affine
+directly adjacent to a convolution folds into it algebraically: for
+``BatchNorm → Conv`` the scale multiplies the conv's prequantized weight
+*columns* (input-channel axis) and the shift collapses into the bias
+epilogue ``b'_o = b_o + Σ_{c,k} W_{o,c,k}·t_c``; for ``Conv → BatchNorm``
+the scale multiplies the weight *rows* (output-channel axis) and
+``b'_o = b_o·s_o + t_o``.  :func:`fold_batchnorm` implements both
+orientations; at compile time every ``BatchNorm → Conv`` adjacency is
+fused *speculatively* and kept only where a calibration probe
+(:func:`_bn_fold_matches`) proves the folded stage reproduces the exact
+module chain — affine, entry quantize, contraction — bit for bit.  That
+proof usually fails: the module computes ``Σ q(W)·q(s·x + t)`` while the
+fold computes ``Σ (q(W)·s)·x + const``, a reassociation that changes fp32
+rounding (and, in half mode, moves the fp16 grid snap across the affine)
+for any non-trivial statistics.  Exactly as PR 3 did for the two huge
+transposed-conv GEMM shapes, the stage then falls back — here to the
+standalone ``bnorm`` affine pass, which replicates the module's eval-mode
+ufunc chain verbatim and is therefore *always* bit-identical — and the
+decision is recorded on :attr:`CompiledStagePlan.bn_folds` with the
+reason.  ``Conv → BatchNorm`` pairs always run as conv + affine stage: the
+folded conv's output would be off the fp16 grid, breaking the canvas
+invariant that stored conv outputs are grid values.  Behaviour is never
+traded for speed; the affine stage costs four elementwise passes, noise
+next to the convolutions it sits between.
+
 The contract, inherited by every plan the engine compiles, is **bit-identical
 output**: for every input accepted by the module path, :meth:`run` returns
 exactly the values ``nn.Sequential`` under ``nn.amp.autocast`` produces.
@@ -113,10 +153,11 @@ from numpy.lib.stride_tricks import sliding_window_view
 
 from .. import nn
 from ..nn.amp import quantize_fp16
-from ..nn.convolution import conv_transpose_output_shape
+from ..nn.convolution import conv_forward, conv_transpose_output_shape
+from ..nn.norm import BatchNormNd
 from .blocks import DownBlock3d, ResBlock2d, UpBlock3d
 
-__all__ = ["CompiledStagePlan", "Workspace", "stage_kinds"]
+__all__ = ["CompiledStagePlan", "Workspace", "fold_batchnorm", "stage_kinds"]
 
 #: Largest finite fp16 magnitude — the saturation point of quantize_fp16.
 _FP16_MAX = 65504.0
@@ -137,8 +178,30 @@ def _leaky_ok(*acts) -> bool:
     return all(isinstance(a, nn.LeakyReLU) for a in acts)
 
 
-def _norm_free(*norms) -> bool:
-    return all(isinstance(m, nn.Identity) for m in norms)
+def _bn_compilable(m) -> bool:
+    """Whether a BatchNorm is a compilable *eval-mode* affine.
+
+    Training-mode BatchNorm outputs depend on the batch statistics of the
+    call — not a fixed graph, stays on the module path (``model.eval()``
+    first).  Non-fp32 parameters/buffers would change the module's ufunc
+    dtypes, so they are rejected rather than silently replicated wrong.
+    """
+
+    return (
+        not m.training
+        and all(
+            np.asarray(a).dtype == np.float32
+            for a in (m.weight.data, m.bias.data, m.running_mean, m.running_var)
+        )
+    )
+
+
+def _norm_ok(*norms) -> bool:
+    return all(
+        isinstance(m, nn.Identity)
+        or (isinstance(m, BatchNormNd) and _bn_compilable(m))
+        for m in norms
+    )
 
 
 def stage_kinds(stages) -> list[str] | None:
@@ -147,9 +210,10 @@ def stage_kinds(stages) -> list[str] | None:
     Returns one kind string per stage (see the module-docstring table) when
     every stage is compilable and the head-placement rules hold, else
     ``None``.  Use this as the guard before constructing a
-    :class:`CompiledStagePlan`.  3D residual blocks compile only in their
-    BCAE++/HT form (LeakyReLU activations, no normalization layers — §2.3);
-    the original BCAE's BatchNorm blocks stay on the module path.
+    :class:`CompiledStagePlan`.  3D residual blocks compile with LeakyReLU
+    activations and either no normalization (BCAE++/HT, §2.3) or eval-mode
+    BatchNorm (the original BCAE); training-mode BatchNorm keeps the stack
+    on the module path.
     """
 
     kinds: list[str] = []
@@ -175,15 +239,19 @@ def stage_kinds(stages) -> list[str] | None:
         elif isinstance(stage, DownBlock3d):
             if not _leaky_ok(stage.act1, stage.act2, stage.act3):
                 return None
-            if not _norm_free(stage.norm1, stage.norm2, stage.norm3):
+            if not _norm_ok(stage.norm1, stage.norm2, stage.norm3):
                 return None
             kinds.append("down3d")
         elif isinstance(stage, UpBlock3d):
             if not _leaky_ok(stage.act1, stage.act2, stage.act3):
                 return None
-            if not _norm_free(stage.norm1, stage.norm2, stage.norm3):
+            if not _norm_ok(stage.norm1, stage.norm2, stage.norm3):
                 return None
             kinds.append("upblock3d")
+        elif isinstance(stage, BatchNormNd):
+            if not _bn_compilable(stage):
+                return None
+            kinds.append("bnorm")
         elif isinstance(stage, nn.Sigmoid):
             kinds.append("sigmoid")
         elif isinstance(stage, nn.RegOutputTransform):
@@ -196,8 +264,8 @@ def stage_kinds(stages) -> list[str] | None:
     # run() returns the stored output of the last functional stage; only a
     # conv-like stage (whose stored grid values equal the module output
     # exactly) or a head directly downstream of one qualifies — a trailing
-    # res/pool/up would return the *quantized* store of an unquantized
-    # module output.
+    # res/pool/up/bnorm would return the *quantized* store of an
+    # unquantized module output.
     conv_like = ("conv", "conv3d", "convtranspose3d")
     heads = ("sigmoid", "regout")
     body = [k for k in kinds if k != "identity"]
@@ -207,6 +275,42 @@ def stage_kinds(stages) -> list[str] | None:
         if kind in heads and (pos != len(body) - 1 or body[pos - 1] not in conv_like):
             return None
     return kinds
+
+
+#: Stage kinds whose first consumer is a convolution reading the quantized
+#: input canvas — what an encoder-wrapper-snapped canvas may lead with.
+CONV_ENTRY_KINDS = frozenset(
+    {"conv", "conv3d", "convtranspose3d", "res", "down3d", "upblock3d"}
+)
+
+#: What a decoder-wrapper-prepared code canvas may lead with: the entry
+#: prep there is a saturating *clip* of values already on the fp16 grid —
+#: the identity on every payload a saturating compressor can produce — so
+#: pools/upsamples (which consume the unquantized stream) stay bit-exact.
+DECODE_ENTRY_KINDS = CONV_ENTRY_KINDS | {"pool", "pool3d", "up", "up3d"}
+
+
+def entry_kinds_ok(kinds: list[str] | None, allowed: set[str],
+                   entry: frozenset | set = CONV_ENTRY_KINDS) -> bool:
+    """Kind-set check plus the shared entry-placement rule for wrappers.
+
+    The encoder/decoder wrappers prepare the input canvas once, standing in
+    for the *first convolution's* entry quantize, so the first functional
+    stage must come from ``entry``.  The encoder wrapper grid-snaps
+    arbitrary network input — a leading pool/upsample/``bnorm`` consumes
+    the unquantized stream in the module path, and a pre-snapped canvas
+    would break bit identity (``CONV_ENTRY_KINDS``).  The decoder wrapper
+    only clips grid-valued codes, which additionally makes leading
+    pools/upsamples exact (``DECODE_ENTRY_KINDS``).  A leading ``bnorm``
+    never compiles through a wrapper.  Every model-zoo encoder starts with
+    a convolution or residual block; the BCAE-2D decoders start with an
+    upsample.
+    """
+
+    if kinds is None or not set(kinds) <= allowed:
+        return False
+    body = [k for k in kinds if k != "identity"]
+    return bool(body) and body[0] in entry
 
 
 @dataclasses.dataclass
@@ -223,6 +327,7 @@ class _ConvSpec:
     out_channels: int
     w_l1: float     # max over output channels of Σ|w| — bound slope
     bias_max: float
+    w_raw: np.ndarray | None = None  # (O, C, *k) prequantized — fold source
 
     @classmethod
     def _from_weight(cls, w: np.ndarray, bias, kernel, stride, padding) -> "_ConvSpec":
@@ -248,6 +353,7 @@ class _ConvSpec:
             out_channels=o,
             w_l1=float(np.abs(w.reshape(o, -1)).sum(axis=1).max()),
             bias_max=0.0 if bias is None else float(np.abs(bias).max()),
+            w_raw=np.ascontiguousarray(w, dtype=np.float32),
         )
 
     @classmethod
@@ -315,6 +421,186 @@ class _ConvTSpec:
 
     def out_bound(self, in_bound: float) -> float:
         return self.spec.out_bound(in_bound)
+
+
+@dataclasses.dataclass
+class _BNSpec:
+    """One eval-mode BatchNorm as the per-channel affine it is (§ fold docs).
+
+    :attr:`mean` / :attr:`inv_std` / :attr:`gamma` / :attr:`beta` are the
+    operands of the module's exact four-ufunc eval chain
+    ``((x − μ)·inv_std)·γ + β`` (``inv_std`` precomputed with the module's
+    own expression ``1.0 / np.sqrt(running_var + eps)``);
+    :attr:`scale` / :attr:`shift` are the composed single-affine
+    coefficients the fold uses.  Statistics are snapshot at construction —
+    rebuild after training (the compressor's fingerprint covers buffers).
+    """
+
+    mean: np.ndarray      # (C,) running_mean
+    inv_std: np.ndarray   # (C,) 1/sqrt(running_var + eps), module arithmetic
+    gamma: np.ndarray     # (C,) weight
+    beta: np.ndarray      # (C,) bias
+    scale: np.ndarray     # (C,) folded affine slope  s = inv_std·γ
+    shift: np.ndarray     # (C,) folded affine offset t = β − μ·s
+    num_features: int
+
+    @classmethod
+    def from_module(cls, bn) -> "_BNSpec":
+        mean = np.asarray(bn.running_mean, dtype=np.float32)
+        var = np.asarray(bn.running_var, dtype=np.float32)
+        # The module's exact expression (NEP 50: python-float eps stays
+        # weak, the chain is fp32 end to end).
+        inv_std = 1.0 / np.sqrt(var + bn.eps)
+        gamma = np.asarray(bn.weight.data, dtype=np.float32)
+        beta = np.asarray(bn.bias.data, dtype=np.float32)
+        scale = (inv_std * gamma).astype(np.float32)
+        shift = (beta - mean * scale).astype(np.float32)
+        return cls(
+            mean=mean,
+            inv_std=inv_std.astype(np.float32),
+            gamma=gamma,
+            beta=beta,
+            scale=scale,
+            shift=shift,
+            num_features=int(mean.shape[0]),
+        )
+
+    # ------------------------------------------------------------------
+    def _col(self, a: np.ndarray, ndim: int) -> np.ndarray:
+        return a.reshape((self.num_features,) + (1,) * (ndim - 1))
+
+    def apply(self, ws: "Workspace", key, src: np.ndarray) -> np.ndarray:
+        """The module's eval forward on a channel-major stream, verbatim.
+
+        Four ufunc passes — subtract μ, multiply inv_std, multiply γ, add β
+        — staged through one reused buffer.  Elementwise fp32 ops round
+        identically regardless of layout, so the values are bit for bit the
+        module path's ``(x_hat·γ + β)`` on the same stream.
+        """
+
+        out = ws.get((key, "bn"), src.shape)
+        np.subtract(src, self._col(self.mean, src.ndim), out=out)
+        np.multiply(out, self._col(self.inv_std, src.ndim), out=out)
+        np.multiply(out, self._col(self.gamma, src.ndim), out=out)
+        np.add(out, self._col(self.beta, src.ndim), out=out)
+        return out
+
+    def apply_channels(self, vals: np.ndarray) -> np.ndarray:
+        """The same chain on a per-channel ``(C,)`` vector (fill values)."""
+
+        x_hat = (vals - self.mean) * self.inv_std
+        return x_hat * self.gamma + self.beta
+
+    def out_bound(self, in_bound: float) -> float:
+        """Rigorous |output| bound given an |input| magnitude bound.
+
+        ``|((x−μ)·i)·γ + β| ≤ |i·γ|·(|x|+|μ|) + |β|`` per channel; computed
+        in float64 and inflated by 1 ppm to stay an upper bound on the
+        module's fp32 intermediate roundings (bounds only gate clip
+        elision, so inflation is always safe).
+        """
+
+        s = np.abs(self.inv_std.astype(np.float64) * self.gamma.astype(np.float64))
+        b = s * (in_bound + np.abs(self.mean.astype(np.float64)))
+        b += np.abs(self.beta.astype(np.float64))
+        return float(b.max() * (1.0 + 1e-6))
+
+
+def fold_batchnorm(bn_spec, conv_weight: np.ndarray, conv_bias,
+                   direction: str) -> tuple[np.ndarray, np.ndarray]:
+    """Fold a BatchNorm affine into an adjacent convolution's weight/bias.
+
+    ``direction="bn_conv"`` folds ``Conv(BN(x))``: the per-input-channel
+    scale ``s_c`` multiplies the weight *columns* and the shift enters the
+    bias epilogue as ``b'_o = b_o + Σ_{c,k} W_{o,c,k}·t_c``.
+    ``direction="conv_bn"`` folds ``BN(Conv(x))``: the per-output-channel
+    scale multiplies the weight *rows* and ``b'_o = b_o·s_o + t_o``.
+    ``conv_weight`` is the (prequantized, in half mode) ``(O, C, *k)``
+    kernel.  Returns ``(folded_weight, folded_bias)`` as fp32 arrays.
+
+    This is exact *algebra*, not exact *floating point*: whether the folded
+    stage reproduces the module chain bit for bit is decided by the
+    calibration probe (:func:`_bn_fold_matches`), never assumed.  Two
+    caveats the probe also covers: the ``bn_conv`` bias absorption assumes
+    every kernel tap reads a normalized value, which zero padding violates
+    at the borders whenever ``t ≠ 0`` (the module pads the *normalized*
+    map with zeros, not with ``t``); and any fold reassociates fp32
+    products.  Either effect fails the probe and keeps the exact affine
+    stage.
+    """
+
+    if direction not in ("bn_conv", "conv_bn"):
+        raise ValueError(f"unknown fold direction {direction!r}")
+    w = np.asarray(conv_weight, dtype=np.float32)
+    o = w.shape[0]
+    nd = w.ndim - 2
+    s, t = bn_spec.scale, bn_spec.shift
+    if direction == "bn_conv":
+        w_f = (w * s.reshape((1, -1) + (1,) * nd)).astype(np.float32)
+        shift_in = (w.reshape(o, w.shape[1], -1)
+                    * t.reshape(1, -1, 1)).sum(axis=(1, 2), dtype=np.float32)
+        b_f = shift_in if conv_bias is None else (conv_bias + shift_in)
+    else:
+        w_f = (w * s.reshape((-1, 1) + (1,) * nd)).astype(np.float32)
+        b_f = t.copy() if conv_bias is None else (conv_bias * s + t)
+    return w_f, b_f.astype(np.float32)
+
+
+def _bn_fold_matches(bn_spec, spec: "_ConvSpec", folded: "_ConvSpec",
+                     half: bool) -> bool:
+    """Calibrate one speculative ``BatchNorm → Conv`` fold for bit-equality.
+
+    The exact chain is ``q(((x−μ)·i)·γ + β)`` into the convolution (``q``
+    is the fp16-grid entry quantize in half mode, identity in full); the
+    folded chain is ``q(x)`` into the scale/shift-fused weights.  One dense
+    probe — random values across the exponent range, exact zeros and
+    negatives, values straddling the fp16 denormal boundary where
+    power-of-two scale folds break — is pushed through both, compared on
+    raw values.  Any deviation rejects the fold and the stage runs as the
+    exact affine pass instead; for non-trivial statistics the reassociated
+    fp32 rounding deviates and this probe is expected to reject (recorded
+    on the plan).  Behaviour is never traded for speed.
+    """
+
+    nd = len(spec.kernel)
+    c = spec.w_raw.shape[1]
+    rng = np.random.default_rng(0xB409)
+    spatial = tuple(k + s for k, s in zip(spec.kernel, spec.stride))
+    x = rng.standard_normal((2, c) + spatial).astype(np.float32)
+    x *= np.float32(2.0) ** rng.integers(-24, 5, x.shape).astype(np.float32)
+    # Exact zeros/negatives and fp16-denormal-boundary lanes.
+    flat = x.reshape(-1)
+    flat[:: 7] = 0.0
+    flat[1:: 11] *= np.float32(-1.0)
+    flat[2:: 13] = np.float32(2.0 ** -14) * flat[2:: 13].clip(-2.0, 2.0)
+
+    def q(a):
+        return quantize_fp16(a) if half else a
+
+    shape = (1, c) + (1,) * nd
+    x_hat = (x - bn_spec.mean.reshape(shape)) * bn_spec.inv_std.reshape(shape)
+    bn_out = x_hat * bn_spec.gamma.reshape(shape) + bn_spec.beta.reshape(shape)
+    ref = conv_forward(q(bn_out), spec.w_raw, spec.stride, spec.padding,
+                       bias=spec.bias)
+    got = conv_forward(q(x), folded.w_raw, folded.stride, folded.padding,
+                       bias=folded.bias)
+    if half:
+        ref = quantize_fp16(ref)
+        got = quantize_fp16(got)
+    return bool(np.array_equal(got, ref))
+
+
+def _try_fold_bn_conv(bn_spec, spec: "_ConvSpec",
+                      half: bool) -> tuple["_ConvSpec | None", str]:
+    """Speculatively fold ``BN → Conv``; returns (folded spec | None, reason)."""
+
+    w_f, b_f = fold_batchnorm(bn_spec, spec.w_raw, spec.bias, "bn_conv")
+    folded = _ConvSpec._from_weight(w_f, b_f, spec.kernel, spec.stride,
+                                    spec.padding)
+    if _bn_fold_matches(bn_spec, spec, folded, half):
+        return folded, "folded: probe proved bit-equality"
+    return None, ("kept affine stage: fold reassociates fp32 rounding "
+                  "(calibration probe mismatch on this build)")
 
 
 #: None until calibrated: whether the integer round-to-nearest-even grid
@@ -663,6 +949,9 @@ class CompiledStagePlan:
         # than a same-dtype copy, and the im2col gather reads canvases far
         # more often than stores write them.
         self._cdtype = np.float32
+        #: Per-BatchNorm fold decisions (stage index, placement, folded
+        #: flag, reason) — the per-stage record the fold contract requires.
+        self.bn_folds: list[dict] = []
         self._ops: list[tuple[str, object]] = []
         for stage, kind in zip(stages, kinds):
             if kind in ("conv", "conv3d"):
@@ -688,7 +977,7 @@ class CompiledStagePlan:
                     float(stage.act1.negative_slope),
                     float(stage.act2.negative_slope),
                     float(stage.act3.negative_slope),
-                )
+                ) + self._block_norms(stage)
             elif kind == "upblock3d":
                 op = (
                     _ConvTSpec.from_module(stage.up, self.half),
@@ -697,19 +986,121 @@ class CompiledStagePlan:
                     float(stage.act1.negative_slope),
                     float(stage.act2.negative_slope),
                     float(stage.act3.negative_slope),
-                )
+                ) + self._block_norms(stage)
+            elif kind == "bnorm":
+                op = _BNSpec.from_module(stage)
             elif kind == "regout":
                 op = (float(stage.offset), float(stage.scale),
                       float(stage.max_exponent))
             else:
                 op = None
             self._ops.append((kind, op))
+        self._fold_batchnorms()
+        self._release_fold_sources()
         self._nd = _plan_nd(self._ops)
         #: Per-op gather-view cache: sliding_window_view / transpose /
         #: reshape cost ~50µs of pure Python per conv — the views are
         #: rebuilt only when their backing buffers are reallocated
         #: (identity-checked), which only happens on a shape change.
         self._wins: dict = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _block_norms(stage) -> tuple:
+        """The three block norms as ``_BNSpec``/None, in path order."""
+
+        return tuple(
+            _BNSpec.from_module(m) if isinstance(m, BatchNormNd) else None
+            for m in (stage.norm1, stage.norm2, stage.norm3)
+        )
+
+    def _fold_batchnorms(self) -> None:
+        """Speculative BN folds over the compiled ops (see module docs).
+
+        Two fold sites exist in this vocabulary:
+
+        * a standalone ``bnorm`` whose next non-identity op is an ordinary
+          convolution (``BatchNorm → Conv``) — on success the affine stage
+          collapses to ``identity`` and the conv spec is replaced by the
+          scale/shift-fused one;
+        * ``norm1`` inside a residual block, which sits directly before the
+          block's inner 3³ convolution.
+
+        Every other placement (``norm2``/``norm3`` feed the residual sum
+        through an activation; ``Conv → BatchNorm`` would store off-grid
+        values in the conv canvas) runs as the exact affine pass.  Each
+        decision lands in :attr:`bn_folds` with its reason.
+        """
+
+        conv_kinds = ("conv", "conv3d")
+        for i, (kind, op) in enumerate(self._ops):
+            if kind == "bnorm":
+                nxt = _next_consumer(self._ops, i)
+                if nxt in conv_kinds:
+                    j = next(
+                        k for k in range(i + 1, len(self._ops))
+                        if self._ops[k][0] != "identity"
+                    )
+                    folded, reason = _try_fold_bn_conv(op, self._ops[j][1],
+                                                       self.half)
+                    if folded is not None:
+                        self._ops[i] = ("identity", None)
+                        self._ops[j] = (self._ops[j][0], folded)
+                    self.bn_folds.append(
+                        {"stage": i, "site": "bnorm->conv",
+                         "folded": folded is not None, "reason": reason}
+                    )
+                else:
+                    self.bn_folds.append(
+                        {"stage": i, "site": "bnorm", "folded": False,
+                         "reason": "kept affine stage: no adjacent "
+                                   "convolution to absorb it"}
+                    )
+            elif kind in ("down3d", "upblock3d"):
+                specs, norms = op[:6], op[6:]
+                if not any(norms):
+                    continue
+                bn1, bn2, bn3 = norms
+                if bn1 is not None:
+                    folded, reason = _try_fold_bn_conv(bn1, specs[1],
+                                                       self.half)
+                    if folded is not None:
+                        specs = specs[:1] + (folded,) + specs[2:]
+                        bn1 = None
+                    self.bn_folds.append(
+                        {"stage": i, "site": "norm1->inner-conv",
+                         "folded": folded is not None, "reason": reason}
+                    )
+                for site, bn in (("norm2", bn2), ("norm3", bn3)):
+                    if bn is not None:
+                        self.bn_folds.append(
+                            {"stage": i, "site": site, "folded": False,
+                             "reason": "kept affine stage: activation "
+                                       "between conv and norm"}
+                        )
+                self._ops[i] = (kind, specs + (bn1, bn2, bn3))
+
+    def _release_fold_sources(self) -> None:
+        """Drop the ``w_raw`` fold sources once folding has run.
+
+        ``w_raw`` is a third full copy of every conv weight (next to ``wt``
+        and ``wtT``) needed only by the compile-time fold probes; plans are
+        long-lived and pooled per serving worker, so it is released rather
+        than carried.
+        """
+
+        def specs(op):
+            if isinstance(op, _ConvSpec):
+                yield op
+            elif isinstance(op, _ConvTSpec):
+                yield op.spec
+            elif isinstance(op, tuple):
+                for part in op:
+                    yield from specs(part)
+
+        for _kind, op in self._ops:
+            for spec in specs(op):
+                spec.w_raw = None
 
     # ------------------------------------------------------------------
     @property
@@ -792,10 +1183,29 @@ class CompiledStagePlan:
                 canvas, result, bound = self._store_stream(
                     key, carry, carry_bound, spatial, store_spec
                 )
+            elif kind == "bnorm":
+                if carry is None:
+                    # Input came from a conv: stored grid values are the
+                    # exact fp32 stream the module's norm consumes.
+                    src, src_bound = (
+                        _interior(canvas, _canvas_padding(canvas, spatial), spatial),
+                        bound,
+                    )
+                else:
+                    # The module path normalizes the *unquantized* stream.
+                    src, src_bound = carry, carry_bound
+                carry = op.apply(self._ws, key, src)
+                carry_bound = op.out_bound(src_bound)
+                canvas, result, bound = self._store_stream(
+                    key, carry, carry_bound, spatial, store_spec
+                )
             elif kind == "res":
                 # The post-block canvas store is dead when the next consumer
-                # is a pool/upsample: those read the carry stream directly.
-                store = _next_consumer(ops, i) not in ("pool", "up", "pool3d", "up3d")
+                # is a pool/upsample/norm: those read the carry stream
+                # directly.
+                store = _next_consumer(ops, i) not in (
+                    "pool", "up", "pool3d", "up3d", "bnorm"
+                )
                 canvas, dest, bound, carry, carry_bound = self._res(
                     key, op, canvas, spatial, bound, carry, carry_bound,
                     store_spec, store,
@@ -1437,25 +1847,30 @@ class CompiledStagePlan:
     # ------------------------------------------------------------------
     def _block3d(self, key, op, canvas, spatial, bound, store_spec,
                  transposed: bool):
-        """DownBlock3d / UpBlock3d replica (Figure 4, BCAE++/HT form).
+        """DownBlock3d / UpBlock3d replica (Figure 4, both norm forms).
 
-        ``main + skip`` where ``main = act2(conv(act1(sconv(x))))`` and
-        ``skip = act3(sconv'(x))``; ``sconv`` is the strided convolution
-        (``transposed=False``, encoder side) or the transposed convolution
-        over the shared dilated canvas (``transposed=True``, decoder
-        side).  Both strided convolutions consume the same quantized input
-        canvas — the module path quantizes the same tensor twice and gets
-        the same grid values.  The block output (the fp32 sum of the two
-        unquantized activation streams) is returned as the carry and
-        stored re-quantized for the next stage's convolutions.
+        ``main + skip`` where ``main = norm2(act2(conv(norm1(act1(sconv(x))))))``
+        and ``skip = norm3(act3(sconv'(x)))``; ``sconv`` is the strided
+        convolution (``transposed=False``, encoder side) or the transposed
+        convolution over the shared dilated canvas (``transposed=True``,
+        decoder side), and each ``norm`` is either absent (BCAE++/HT, §2.3)
+        or an eval-mode BatchNorm affine (the original BCAE) — ``norm1``
+        may already be folded into the inner convolution's weights at
+        compile time (see :meth:`_fold_batchnorms`), in which case its slot
+        is None here and the no-norm path runs with the fused spec.  Both
+        strided convolutions consume the same quantized input canvas — the
+        module path quantizes the same tensor twice and gets the same grid
+        values.  The block output (the fp32 sum of the two unquantized
+        streams) is returned as the carry and stored re-quantized for the
+        next stage's convolutions.
         """
 
-        main_spec, inner_spec, skip_spec, s1, s2, s3 = op
+        main_spec, inner_spec, skip_spec, s1, s2, s3, bn1, bn2, bn3 = op
         n = canvas.shape[1]
         o = inner_spec.out_channels
 
-        # Main path, first (strided / transposed) convolution → act1,
-        # stored re-quantized as the inner convolution's input.
+        # Main path, first (strided / transposed) convolution → act1
+        # (→ norm1), stored re-quantized as the inner convolution's input.
         if transposed:
             v1, out_sp, crop1, fill1, b1 = self._convt_gemm(
                 (key, 0), main_spec, canvas, spatial, bound
@@ -1476,28 +1891,46 @@ class CompiledStagePlan:
         mid_canvas, mid_dest = self._ws.canvas(
             (key, "mid"), o, n, out_sp, inner_spec.padding, self._cdtype,
         )
-        if self.half:
-            merged = self._leaky_merge((key, "a1"), v1, s1, b1, requantize=True)
+        if bn1 is None:
+            if self.half:
+                merged = self._leaky_merge((key, "a1"), v1, s1, b1,
+                                           requantize=True)
+            else:
+                merged = v1 * np.where(v1 > 0, 1.0, s1).astype(np.float32)
         else:
-            merged = v1 * np.where(v1 > 0, 1.0, s1).astype(np.float32)
+            # norm1 sits between act1 and the inner conv's entry quantize:
+            # leaky on the exact stream, the affine on the fp32 values,
+            # then one grid snap during the mid store.
+            if self.half:
+                l1 = self._leaky_merge((key, "a1"), v1, s1, b1,
+                                       requantize=False)
+            else:
+                l1 = v1 * np.where(v1 > 0, 1.0, s1).astype(np.float32)
+            merged = bn1.apply(self._ws, (key, "bn1"), l1)
+            if self.half:
+                merged, _bq = self._grid((key, "bn1q"), merged,
+                                         bn1.out_bound(b1), mutable=True)
         if crop1 is not None:
             if fill1 is not None:
                 # Beyond the correlation's support the module stream is
-                # act1(q(bias)) re-quantized by the inner conv's entry.
-                f = np.where(
-                    fill1 > 0, fill1,
-                    quantize_fp16(fill1 * np.float32(s1)) if self.half
-                    else fill1 * np.float32(s1),
-                )
+                # (norm1 ∘) act1 of q(bias), re-quantized by the inner
+                # conv's entry — the same scalar ufunc chain on (C,).
+                f = fill1 * np.where(fill1 > 0, np.float32(1.0),
+                                     np.float32(s1))
+                if bn1 is not None:
+                    f = bn1.apply_channels(f)
+                if self.half:
+                    f = quantize_fp16(f)
                 mid_dest[:] = f.reshape((-1, 1) + (1,) * len(out_sp))
             np.copyto(mid_dest[self._avail_slices(crop1[1])],
                       self._crop_view(merged, crop1))
         else:
             np.copyto(mid_dest, merged)
+        b_mid = b1 if bn1 is None else min(bn1.out_bound(b1), _FP16_MAX)
 
-        # Inner 3³ convolution → act2, kept unquantized fp32 (the module
-        # path does not re-quantize before the residual sum).
-        b2_raw = inner_spec.out_bound(b1)
+        # Inner 3³ convolution → act2 (→ norm2), kept unquantized fp32
+        # (the module path does not re-quantize before the residual sum).
+        b2_raw = inner_spec.out_bound(b_mid)
         y2, _sp2, cm2, fused2 = self._gemm((key, 1), inner_spec, mid_canvas,
                                            b2_raw)
         if self.half:
@@ -1510,8 +1943,13 @@ class CompiledStagePlan:
         else:
             l2 = y2 * np.where(y2 > 0, 1.0, s2).astype(np.float32)
             b_l2 = 0.0
+        l2cm = cm2(l2)
+        if bn2 is not None:
+            # The affine is per channel — applied on the channel-major view.
+            l2cm = bn2.apply(self._ws, (key, "bn2"), l2cm)
+            b_l2 = bn2.out_bound(b_l2)
 
-        # Skip path over the same input canvas → act3, unquantized.
+        # Skip path over the same input canvas → act3 (→ norm3), unquantized.
         if transposed:
             v3, _osp, crop3, fill3, b3 = self._convt_gemm(
                 (key, 2), skip_spec, canvas, spatial, bound
@@ -1520,6 +1958,9 @@ class CompiledStagePlan:
             # both precision modes (positives keep their exact value).
             l3 = self._leaky_merge((key, "a3"), v3, s3, b3, requantize=False)
             b_l3 = b3 if self.half else 0.0
+            if bn3 is not None:
+                l3 = bn3.apply(self._ws, (key, "bn3"), l3)
+                b_l3 = bn3.out_bound(b_l3)
         else:
             b3_raw = skip_spec.out_bound(bound)
             y3, _sp3, cm3, fused3 = self._gemm((key, 2), skip_spec, canvas,
@@ -1535,22 +1976,29 @@ class CompiledStagePlan:
             else:
                 l3f = y3 * np.where(y3 > 0, 1.0, s3).astype(np.float32)
                 b_l3 = 0.0
-            l3, crop3, fill3 = cm3(l3f), None, None
+            l3 = cm3(l3f)
+            if bn3 is not None:
+                l3 = bn3.apply(self._ws, (key, "bn3"), l3)
+                b_l3 = bn3.out_bound(b_l3)
+            crop3, fill3 = None, None
 
         # Residual sum — the module path's plain fp32 ``main + skip``.
         sum_buf = self._ws.get((key, "sum"), (o, n) + out_sp)
         if crop3 is not None:
             if fill3 is not None:
-                f3 = np.where(fill3 > 0, fill3, fill3 * np.float32(s3))
+                f3 = fill3 * np.where(fill3 > 0, np.float32(1.0),
+                                      np.float32(s3))
+                if bn3 is not None:
+                    f3 = bn3.apply_channels(f3)
                 l3_full = self._ws.get((key, "l3c"), (o, n) + out_sp)
                 l3_full[:] = f3.reshape((-1, 1) + (1,) * len(out_sp))
                 np.copyto(l3_full[self._avail_slices(crop3[1])],
                           self._crop_view(l3, crop3))
-                np.add(cm2(l2), l3_full, out=sum_buf)
+                np.add(l2cm, l3_full, out=sum_buf)
             else:
-                np.add(cm2(l2), self._crop_view(l3, crop3), out=sum_buf)
+                np.add(l2cm, self._crop_view(l3, crop3), out=sum_buf)
         else:
-            np.add(cm2(l2), l3, out=sum_buf)
+            np.add(l2cm, l3, out=sum_buf)
         carry_bound = b_l2 + b_l3
 
         out_canvas, dest, stored_bound = self._store_stream(
@@ -1639,7 +2087,7 @@ def _next_store_spec(ops, i, nd) -> tuple[tuple[tuple[int, int], ...], tuple[int
             return op[0].padding, ones
         if kind == "upblock3d":
             return op[0].store_padding, op[0].dilation
-        if kind in ("pool", "pool3d", "up", "up3d", "sigmoid", "regout"):
+        if kind in ("pool", "pool3d", "up", "up3d", "bnorm", "sigmoid", "regout"):
             # These consume raw interior values — no conv padding needed.
             return ((0, 0),) * nd, ones
         # "identity" is transparent: keep scanning for the real consumer.

@@ -152,10 +152,11 @@ def measure_compress_throughput(
 
     Unlike :func:`measure_encoder_throughput` (module graph only), this
     measures the *deployable* serving operation: log transform, padding and
-    encode through the compiled fast path wherever the model has one (the
-    2D family and the 3D BCAE++/HT), with the module-graph fallback
-    otherwise — so cross-model comparisons are like-for-like engines.
-    ``wedge_shape`` excludes the batch axis (raw ADC, e.g. ``(16, 192, 249)``).
+    encode through the compiled fast path wherever the model has one —
+    every zoo variant in eval mode, the original BCAE's BatchNorm stacks
+    included — with the module-graph fallback otherwise, so cross-model
+    comparisons are like-for-like engines.  ``wedge_shape`` excludes the
+    batch axis (raw ADC, e.g. ``(16, 192, 249)``).
     """
 
     from ..core.compressor import BCAECompressor  # deferred: perf ← core cycle

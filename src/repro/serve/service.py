@@ -118,6 +118,14 @@ class ServiceConfig:
         Slab size in MiB for ``transport="shm"``.  One slab serves both
         directions of a unit, so it should fit ``max(input, result)``
         bytes; the ring holds ``inflight`` slabs.
+
+    Example
+    -------
+    >>> from repro.serve import ServiceConfig
+    >>> ServiceConfig(max_batch=16, workers=4, backend="process").transport
+    'shm'
+    >>> ServiceConfig(max_delay_s=0.002)          # 2 ms latency budget
+    ServiceConfig(max_batch=8, max_delay_s=0.002, workers=0, backend='thread', half=True, inflight=8, transport='shm', shm_slab_mb=16.0)
     """
 
     max_batch: int = 8
@@ -254,6 +262,12 @@ class ModelPoolService:
     compressor pooling/checkout, inline / thread / process execution, the
     bounded in-flight ordered emission, and stats assembly — lives here, so
     compression and decompression are two instantiations of one engine.
+
+    Constructing a service calls ``model.eval()`` — a deliberate, *lasting*
+    side effect on the caller's model: serving is inference, and BatchNorm
+    must run from running statistics both for batch-composition-free bytes
+    and to compile onto the stage-plan fast path.  A caller that resumes
+    training the same object afterwards must call ``model.train()`` again.
     """
 
     #: Work dispatch tag for the process backend ("compress"/"decompress").
@@ -261,6 +275,12 @@ class ModelPoolService:
 
     def __init__(self, model, config: ServiceConfig | None = None) -> None:
         self.config = config or ServiceConfig()
+        # Serving is inference by definition: normalization layers must run
+        # from their running statistics, both for batch-composition-free
+        # payload bytes and so BatchNorm models (the original BCAE) compile
+        # onto the stage-plan fast path instead of the module graph.
+        if hasattr(model, "eval"):
+            model.eval()
         self.model = model
         # Warm compressors are pooled on the instance so back-to-back
         # streams reuse their compiled workspaces; checkouts are per-stream
@@ -466,9 +486,20 @@ class StreamingCompressionService(ModelPoolService):
     ----------
     model:
         A :class:`BicephalousAutoencoder`; each worker compiles its own
-        compressor (and fast-path workspaces) against it.
+        compressor (and fast-path workspaces) against it.  The service
+        puts the model in eval mode — serving is inference.
     config:
         :class:`ServiceConfig`; defaults are single-core friendly.
+
+    Example
+    -------
+    >>> from repro.core import build_model
+    >>> from repro.serve import ServiceConfig, StreamingCompressionService
+    >>> model = build_model("bcae_2d", wedge_spatial=(16, 24, 32), seed=0)
+    >>> service = StreamingCompressionService(model, ServiceConfig(max_batch=8))
+    >>> payloads, stats = service.run(wedges)      # wedges: iterable of (R, A, H)
+    >>> stats.wedges_per_second                    # doctest: +SKIP
+    812.4
     """
 
     _kind = "compress"
@@ -514,6 +545,12 @@ class StreamingCompressionService(ModelPoolService):
         replayed stream time) elapses since the batch's first wedge
         arrived; ``(record, payload)`` pairs emit in arrival order through
         the bounded in-flight window.
+
+        Example
+        -------
+        >>> async def pump(service, source):
+        ...     async for record, payload in service.compress_stream_async(source):
+        ...         archive.append(payload)            # doctest: +SKIP
         """
 
         batcher = AsyncMicroBatcher(self.config.max_batch, self.config.max_delay_s)
@@ -539,6 +576,14 @@ class DecompressionService(ModelPoolService):
     the model supports it).  Reconstructions are owned float32 arrays
     ``(B, R, A, H)``, emitted in stream order, bit-identical to serial
     ``decompress`` calls.
+
+    Example
+    -------
+    >>> from repro.io import load_compressed
+    >>> from repro.serve import DecompressionService, ServiceConfig
+    >>> compressed, name = load_compressed("codes.npz")   # doctest: +SKIP
+    >>> service = DecompressionService(model, ServiceConfig(max_batch=8))
+    >>> recons, stats = service.run([compressed])         # doctest: +SKIP
     """
 
     _kind = "decompress"
@@ -995,6 +1040,13 @@ class AsyncServingSession:
     A worker exception surfaces on the owning unit's future (and from
     ``next_result`` at that unit's position); other units and later
     streams are unaffected.
+
+    Example
+    -------
+    >>> async with service.session() as session:         # doctest: +SKIP
+    ...     fut = await session.submit(unit)
+    ...     async for result in session.results():
+    ...         consume(result)
     """
 
     def __init__(self, service: ModelPoolService) -> None:

@@ -75,6 +75,16 @@ class SlabRing:
     the segment's lifetime) and :meth:`attach` in workers (read/write views
     only).  All offsets are ``slab * slab_nbytes``; payloads always start at
     offset 0 of their slab.
+
+    Example
+    -------
+    >>> ring = SlabRing.create(n_slabs=4, slab_nbytes=1 << 20)
+    >>> slab = ring.try_lease()                   # parent: pick a free slab
+    >>> ring.view(slab, 3)[:] = b"abc"            # memcpy the unit in
+    >>> worker = SlabRing.attach(ring.spec())     # in the worker process
+    >>> bytes(worker.view(slab, 3))
+    b'abc'
+    >>> ring.release(slab); worker.close(); ring.destroy()
     """
 
     def __init__(self, shm, n_slabs: int, slab_nbytes: int, owner: bool) -> None:
@@ -112,6 +122,8 @@ class SlabRing:
         return cls(shm, spec.n_slabs, spec.slab_nbytes, owner=False)
 
     def spec(self) -> SlabSpec:
+        """Pickle-cheap handle for :meth:`attach` in a worker process."""
+
         return SlabSpec(self._shm.name, self.n_slabs, self.slab_nbytes)
 
     # ------------------------------------------------------------------

@@ -99,6 +99,8 @@ class AsyncWedgeSource:
     """
 
     def frames(self) -> AsyncIterator[np.ndarray]:
+        """Async iterator of raw wedges / items (subclass hook)."""
+
         raise NotImplementedError
 
     async def __aiter__(self) -> AsyncIterator[StreamItem]:
@@ -129,6 +131,8 @@ class AsyncQueueSource(AsyncWedgeSource):
         self._pending_puts = 0
 
     async def put(self, wedge: np.ndarray) -> None:
+        """Feed one wedge; awaits while a bounded queue is full."""
+
         if self._closed:
             raise RuntimeError("source is closed")
         # Counted so a put() blocked on a full queue when close() lands is
@@ -140,6 +144,8 @@ class AsyncQueueSource(AsyncWedgeSource):
             self._pending_puts -= 1
 
     def put_nowait(self, wedge: np.ndarray) -> None:
+        """Feed one wedge without awaiting; raises when the queue is full."""
+
         if self._closed:
             raise RuntimeError("source is closed")
         self._queue.put_nowait(wedge)
@@ -159,6 +165,8 @@ class AsyncQueueSource(AsyncWedgeSource):
                 pass
 
     async def frames(self):
+        """Yield queued wedges until ``close()`` and the backlog drain."""
+
         while True:
             if self._closed and self._pending_puts == 0 and self._queue.empty():
                 return
@@ -242,10 +250,14 @@ class AsyncSocketSource(AsyncWedgeSource):
 
     @classmethod
     async def connect(cls, host: str, port: int) -> "AsyncSocketSource":
+        """Open a TCP connection and wrap it as a wedge source."""
+
         reader, writer = await asyncio.open_connection(host, port)
         return cls(reader, writer)
 
     async def aclose(self) -> None:
+        """Close the transport (idempotent; also runs on stream end)."""
+
         if self._writer is not None:
             self._writer.close()
             try:
@@ -255,6 +267,8 @@ class AsyncSocketSource(AsyncWedgeSource):
             self._writer = None
 
     async def frames(self):
+        """Yield length-prefixed frames until EOF; always closes the socket."""
+
         # finally (not just the EOF return) so a malformed frame or an
         # abandoned iteration doesn't pin the TCP transport open.
         try:

@@ -74,10 +74,15 @@ class TestSupports:
             model = build_model(name, wedge_spatial=(16, 24, 30), seed=0)
             assert supports_fast_decode(model)
 
-    def test_batchnorm_bcae_not_supported(self):
-        """The original BCAE keeps BatchNorm blocks — outside the vocabulary."""
+    def test_batchnorm_bcae_supported_in_eval(self):
+        """The original BCAE's BatchNorm compiles in eval mode only:
+        training-mode statistics are batch-dependent, not a fixed graph."""
 
         model = build_model("bcae", wedge_spatial=(16, 24, 30), seed=0)
+        assert not supports_fast_decode(model)  # training mode
+        model.eval()
+        assert supports_fast_decode(model)
+        model.train()
         assert not supports_fast_decode(model)
 
     def test_compile_rejects_unsupported(self):

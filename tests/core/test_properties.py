@@ -159,13 +159,16 @@ class TestBatchInvariance3D:
     @given(
         seed=st.integers(0, 2**31 - 1),
         batch=st.integers(2, 3),
-        name=st.sampled_from(["bcae_ht", "bcae_pp"]),
+        name=st.sampled_from(["bcae_ht", "bcae_pp", "bcae"]),
         half=st.booleans(),
     )
     def test_3d_fast_paths_invariant_over_batch_composition(
         self, seed, batch, name, half
     ):
         model = build_model(name, wedge_spatial=(8, 16, 14), seed=3)
+        # eval(): the original BCAE's BatchNorm must run from running
+        # statistics for payloads to be batch-composition-free at all.
+        model.eval()
         comp = BCAECompressor(model, half=half)
         rng = np.random.default_rng(seed)
         raw = rng.integers(0, 1024, size=(batch, 8, 16, 14)).astype(np.uint16)
@@ -209,11 +212,20 @@ class TestBatchInvariance3D:
 
 
 class TestNoFallback3D:
-    """Regression: BCAE++/HT must use the compiled paths, not the fallback."""
+    """Regression: **no model** takes the module-graph fallback.
 
-    @pytest.mark.parametrize("name", ["bcae_ht", "bcae_pp"])
+    Since the BatchNorm fold/affine stages landed, every zoo variant — the
+    original BCAE included — must route ``compress_into`` /
+    ``decompress_into`` through the compiled stage-plan engine once the
+    model is in eval mode.  Training-mode BatchNorm is the one legitimate
+    fallback left (batch statistics are not a compilable graph).
+    """
+
+    @pytest.mark.parametrize("name", ["bcae_ht", "bcae_pp", "bcae", "bcae_2d"])
     def test_compress_and_decompress_take_fast_path(self, name):
-        model = build_model(name, wedge_spatial=(8, 16, 14), seed=0)
+        kwargs = dict(m=2, n=2, d=2) if name == "bcae_2d" else {}
+        model = build_model(name, wedge_spatial=(8, 16, 14), seed=0, **kwargs)
+        model.eval()
         comp = BCAECompressor(model)
         raw = np.zeros((1, 8, 16, 14), dtype=np.uint16)
         comp.compress_into(raw)
@@ -221,13 +233,20 @@ class TestNoFallback3D:
         comp.decompress_into(comp.compress(raw))
         assert comp._fast_dec is not None, f"{name} decompress_into fell back"
 
-    def test_original_bcae_still_falls_back(self):
+    def test_training_mode_batchnorm_falls_back(self):
+        """Training-mode BN depends on batch statistics — module path only,
+        and the compiled path re-engages after ``eval()``."""
+
         model = build_model("bcae", wedge_spatial=(8, 16, 14), seed=0)
         comp = BCAECompressor(model)
         raw = np.zeros((1, 8, 16, 14), dtype=np.uint16)
         comp.compress_into(raw)
         comp.decompress_into(comp.compress(raw))
         assert comp._fast is None and comp._fast_dec is None
+        model.eval()
+        comp.compress_into(raw)
+        comp.decompress_into(comp.compress(raw))
+        assert comp._fast is not None and comp._fast_dec is not None
 
 
 class TestFailureModes:

@@ -1,0 +1,49 @@
+"""Documentation health: links resolve, the quickstart parses, docs exist.
+
+The heavyweight check (actually *running* the README quickstart) lives in
+CI's docs job via ``tools/check_docs.py --quickstart``; tier-1 keeps the
+cheap invariants: every documented file exists, every relative markdown
+link resolves, and the quickstart block at least compiles.
+"""
+
+import importlib.util
+import pathlib
+
+_REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", _REPO / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDocsPresent:
+    def test_required_documents_exist(self):
+        for rel in ("README.md", "docs/ARCHITECTURE.md", "docs/BENCHMARKS.md",
+                    "ROADMAP.md", "CHANGES.md"):
+            assert (_REPO / rel).is_file(), f"missing {rel}"
+
+
+class TestLinks:
+    def test_all_relative_markdown_links_resolve(self):
+        checker = _checker()
+        problems = checker.broken_links()
+        assert not problems, "\n".join(problems)
+
+    def test_link_check_covers_the_docs(self):
+        checker = _checker()
+        names = {p.name for p in checker.iter_markdown_files()}
+        assert {"README.md", "ARCHITECTURE.md", "BENCHMARKS.md",
+                "ROADMAP.md"} <= names
+
+
+class TestQuickstart:
+    def test_readme_quickstart_compiles(self):
+        checker = _checker()
+        code = checker.readme_quickstart()
+        assert "BCAECompressor" in code
+        compile(code, "README.md#quickstart", "exec")
