@@ -1,0 +1,182 @@
+"""Public-API audit: ``__all__`` consistency and cross-module privacy.
+
+A purely syntactic pass over the package's module sources (no imports —
+the CI job must be able to audit modules whose runtime deps are gated):
+
+``AP001`` (warning)
+    A module imports an underscore-private name from *another* repro
+    module (``from .fast_plan import _FP16_MAX``).  Private names are a
+    module-local contract; cross-module use should be promoted to a
+    public export or the dependency inverted.  Existing offenders live in
+    the baseline and ratchet down.
+``AP002`` (error)
+    A name listed in a module's ``__all__`` is not bound anywhere in that
+    module (the drift :mod:`repro.core.fast_plan` had with
+    ``entry_kinds_ok``): ``from module import name`` would raise.
+``AP003`` (info)
+    A public (non-underscore) top-level function/class is missing from a
+    module's declared ``__all__`` — intentional for internal helpers, so
+    informational only.
+
+The runtime complement (``tests/test_public_api.py``) re-checks AP002
+against the *imported* modules and asserts the exports are documented.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from .diagnostics import Diagnostic
+
+__all__ = ["audit_package", "audit_source"]
+
+
+def audit_package(src_root: str | Path,
+                  package: str = "repro") -> list[Diagnostic]:
+    """Audit every module under ``src_root/package`` (recursively)."""
+
+    src_root = Path(src_root)
+    out: list[Diagnostic] = []
+    for path in sorted((src_root / package).rglob("*.py")):
+        label = str(path.relative_to(src_root))
+        submodules: set[str] = set()
+        if path.name == "__init__.py":
+            # A package __init__ may legitimately list submodules in
+            # __all__: `from pkg import sub` binds them implicitly.
+            submodules = {
+                p.stem for p in path.parent.iterdir()
+                if p.suffix == ".py" and p.name != "__init__.py"
+            } | {
+                p.name for p in path.parent.iterdir()
+                if (p / "__init__.py").exists()
+            }
+        out.extend(audit_source(path.read_text(), label,
+                                submodules=submodules))
+    return out
+
+
+def audit_source(source: str, path: str,
+                 submodules: set[str] = frozenset()) -> list[Diagnostic]:
+    """Audit one module's source text (``path`` labels it;
+    ``submodules`` are implicitly importable names for a package
+    ``__init__``)."""
+
+    tree = ast.parse(source, filename=path)
+    diags: list[Diagnostic] = []
+    bound = _module_bindings(tree) | set(submodules)
+    declared = _declared_all(tree)
+
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.ImportFrom) and node.level == 0
+                and node.module is not None
+                and not node.module.startswith("repro")):
+            continue
+        if isinstance(node, ast.ImportFrom) and (
+                node.level > 0 or (node.module or "").startswith("repro")):
+            for alias in node.names:
+                if alias.name.startswith("_") and alias.name != "__version__":
+                    diags.append(Diagnostic(
+                        pass_name="api", rule="AP001", severity="warning",
+                        location=f"{path}:{node.lineno}",
+                        scope=f"{path}:<module>",
+                        message=(f"cross-module import of private name "
+                                 f"{alias.name!r} from "
+                                 f"{node.module or '.' * node.level} — "
+                                 "promote it to a public export or invert "
+                                 "the dependency"),
+                        token=alias.name,
+                    ))
+
+    if declared is not None:
+        for name in declared:
+            if name not in bound:
+                diags.append(Diagnostic(
+                    pass_name="api", rule="AP002", severity="error",
+                    location=path, scope=f"{path}:<module>",
+                    message=(f"__all__ lists {name!r} but the module never "
+                             "binds it — `from module import` would raise"),
+                    token=name,
+                ))
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                if not node.name.startswith("_") and node.name not in declared:
+                    diags.append(Diagnostic(
+                        pass_name="api", rule="AP003", severity="info",
+                        location=f"{path}:{node.lineno}",
+                        scope=f"{path}:<module>",
+                        message=(f"public top-level {node.name!r} is not in "
+                                 "__all__ (fine if internal; underscore it "
+                                 "to silence)"),
+                        token=node.name,
+                    ))
+    return diags
+
+
+def _declared_all(tree: ast.Module) -> list[str] | None:
+    """The module's literal ``__all__`` list, or None if not declared."""
+
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(node.value, (ast.List, ast.Tuple)):
+                        return [
+                            elt.value for elt in node.value.elts
+                            if isinstance(elt, ast.Constant)
+                            and isinstance(elt.value, str)
+                        ]
+    return None
+
+
+def _module_bindings(tree: ast.Module) -> set[str]:
+    """Names a module binds at import time (top level, including inside
+    ``if``/``try``/``with`` blocks but not inside functions/classes)."""
+
+    bound: set[str] = set()
+
+    def visit(stmts):
+        for node in stmts:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    _bind_target(target, bound)
+            elif isinstance(node, ast.AnnAssign):
+                _bind_target(node.target, bound)
+            elif isinstance(node, ast.AugAssign):
+                _bind_target(node.target, bound)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    bound.add(alias.asname or alias.name)
+            elif isinstance(node, ast.If):
+                visit(node.body)
+                visit(node.orelse)
+            elif isinstance(node, ast.Try):
+                visit(node.body)
+                for handler in node.handlers:
+                    visit(handler.body)
+                visit(node.orelse)
+                visit(node.finalbody)
+            elif isinstance(node, ast.With):
+                visit(node.body)
+            elif isinstance(node, (ast.For, ast.While)):
+                if isinstance(node, ast.For):
+                    _bind_target(node.target, bound)
+                visit(node.body)
+                visit(node.orelse)
+
+    def _bind_target(target, bound):
+        if isinstance(target, ast.Name):
+            bound.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                _bind_target(elt, bound)
+
+    visit(tree.body)
+    return bound

@@ -160,6 +160,29 @@ def build_parser() -> argparse.ArgumentParser:
     x.add_argument("--n", type=int, default=8)
     x.add_argument("--d", type=int, default=None)
 
+    z = sub.add_parser(
+        "analyze",
+        help="static analysis: plan verifier + hot-path/concurrency lints",
+        epilog="runs the plan verifier over all four Table-1 model plans "
+               "plus the hot-path allocation, lease-discipline, async-"
+               "blocking and public-API lints; with --baseline only NEW "
+               "findings (vs tools/analysis_baseline.json) fail.",
+    )
+    z.add_argument("--json", action="store_true",
+                   help="machine-readable JSON report instead of text")
+    z.add_argument("--passes", default="plan,hotpath,concurrency,api",
+                   help="comma-separated pass subset to run")
+    z.add_argument("--baseline", default=None,
+                   help="baseline JSON path; gate only new findings")
+    z.add_argument("--extra-source", action="append", default=[],
+                   help="additional source file for the lint passes "
+                        "(repeatable; used by the CI injected-finding "
+                        "fixture)")
+    z.add_argument("--verbose", action="store_true",
+                   help="include info-severity diagnostics in text output")
+    z.add_argument("--full", action="store_true",
+                   help="verify the fp32 plans instead of fp16")
+
     return parser
 
 
@@ -186,7 +209,7 @@ def _model_kwargs(args) -> dict:
     return {"m": args.m, "n": args.n, "d": d}
 
 
-def cmd_generate(args) -> int:
+def _cmd_generate(args) -> int:
     """``generate``: write a synthetic wedge dataset to npz."""
 
     from .tpc import HijingLikeGenerator, WedgeDataset
@@ -207,7 +230,7 @@ def cmd_generate(args) -> int:
     return 0
 
 
-def cmd_train(args) -> int:
+def _cmd_train(args) -> int:
     """``train``: run the paper training loop and save a checkpoint."""
 
     from .core import build_model
@@ -230,7 +253,7 @@ def cmd_train(args) -> int:
     return 0
 
 
-def cmd_evaluate(args) -> int:
+def _cmd_evaluate(args) -> int:
     """``evaluate``: Table-1 metrics of a checkpoint on a dataset."""
 
     from .core import build_model
@@ -248,7 +271,7 @@ def cmd_evaluate(args) -> int:
     return 0
 
 
-def cmd_throughput(args) -> int:
+def _cmd_throughput(args) -> int:
     """``throughput``: roofline curves (and optional CPU timing)."""
 
     from .core import build_model
@@ -275,7 +298,7 @@ def cmd_throughput(args) -> int:
     return 0
 
 
-def cmd_compare(args) -> int:
+def _cmd_compare(args) -> int:
     """``compare``: learning-free codec sweep on a wedge dataset."""
 
     from .baselines import MGARDLikeCodec, SZLikeCodec, ZFPLikeCodec, evaluate_codec
@@ -298,7 +321,7 @@ def cmd_compare(args) -> int:
     return 0
 
 
-def cmd_search(args) -> int:
+def _cmd_search(args) -> int:
     """``search``: structural BCAE-2D(m, n, d) architecture ranking."""
 
     from .core import enumerate_candidates, pareto_front, search, throughput_frontier
@@ -318,7 +341,7 @@ def cmd_search(args) -> int:
     return 0
 
 
-def cmd_daq(args) -> int:
+def _cmd_daq(args) -> int:
     """``daq``: GPU-farm sizing for the sPHENIX stream."""
 
     from .daq import (
@@ -344,7 +367,7 @@ def cmd_daq(args) -> int:
     return 0
 
 
-def cmd_serve(args) -> int:
+def _cmd_serve(args) -> int:
     """``serve``: micro-batched streaming compression on synthetic wedges."""
 
     import asyncio
@@ -427,7 +450,7 @@ def cmd_serve(args) -> int:
     return 0
 
 
-def cmd_decompress(args) -> int:
+def _cmd_decompress(args) -> int:
     """``decompress``: serve an io.codes archive back to reconstructions."""
 
     from .core import build_model
@@ -520,20 +543,49 @@ def cmd_decompress(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    """Run the static analyzer; exit 1 on (new) gating findings."""
+
+    from .analysis import load_baseline, run_analysis
+
+    passes = tuple(p.strip() for p in args.passes.split(",") if p.strip())
+    report, records = run_analysis(passes=passes,
+                                   extra_sources=args.extra_source,
+                                   half=not args.full)
+    baseline = None if args.baseline is None else load_baseline(args.baseline)
+    if args.json:
+        print(report.to_json(baseline))
+    else:
+        if "plan" in passes:
+            for rec in records:
+                out = rec["out"]
+                sites = rec["clip_sites"]
+                elided = sum(1 for s in sites if s["clip_elided"])
+                status = "ok" if rec["ok"] else "FAIL"
+                print(f"plan {rec['label']:24s} {status}  out "
+                      f"{out['channels']}x{out['spatial']}  "
+                      f"{elided}/{len(sites)} clips elided")
+        print(report.format_text(baseline, verbose=args.verbose))
+    failing = (report.new_findings(baseline) if baseline is not None
+               else report.gating())
+    return 1 if failing else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of the ``repro-tpc`` console script."""
 
     args = build_parser().parse_args(argv)
     handlers = {
-        "generate": cmd_generate,
-        "train": cmd_train,
-        "evaluate": cmd_evaluate,
-        "throughput": cmd_throughput,
-        "compare": cmd_compare,
-        "search": cmd_search,
-        "daq": cmd_daq,
-        "serve": cmd_serve,
-        "decompress": cmd_decompress,
+        "generate": _cmd_generate,
+        "train": _cmd_train,
+        "evaluate": _cmd_evaluate,
+        "throughput": _cmd_throughput,
+        "compare": _cmd_compare,
+        "search": _cmd_search,
+        "daq": _cmd_daq,
+        "serve": _cmd_serve,
+        "decompress": _cmd_decompress,
+        "analyze": _cmd_analyze,
     }
     return handlers[args.command](args)
 

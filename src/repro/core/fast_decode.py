@@ -44,8 +44,8 @@ from .decoder2d import BCAEDecoder2D
 from .fast_plan import (
     CompiledStagePlan,
     DECODE_ENTRY_KINDS,
+    FP16_MAX,
     Workspace,
-    _FP16_MAX,
     entry_kinds_ok,
     stage_kinds,
 )
@@ -159,6 +159,12 @@ class FastDecoder2D:
 
         return list(self._seg.bn_folds) + list(self._reg.bn_folds)
 
+    @property
+    def plans(self) -> dict[str, CompiledStagePlan]:
+        """Both head plans keyed ``seg`` / ``reg`` (used by repro.analysis)."""
+
+        return {"seg": self._seg, "reg": self._reg}
+
     # ------------------------------------------------------------------
     def _input_canvas(self, codes: np.ndarray) -> tuple[np.ndarray, tuple[int, int], float]:
         if codes.ndim != 4:
@@ -251,6 +257,12 @@ class FastDecoder3D:
 
         return list(self._seg.bn_folds) + list(self._reg.bn_folds)
 
+    @property
+    def plans(self) -> dict[str, CompiledStagePlan]:
+        """Both head plans keyed ``seg`` / ``reg`` (used by repro.analysis)."""
+
+        return {"seg": self._seg, "reg": self._reg}
+
     # ------------------------------------------------------------------
     def _input_canvas(self, codes: np.ndarray):
         if codes.ndim != 5:
@@ -307,7 +319,7 @@ def _entry_bound(interior: np.ndarray, half: bool) -> float:
     """
 
     if half:
-        np.clip(interior, -_FP16_MAX, _FP16_MAX, out=interior)
+        np.clip(interior, -FP16_MAX, FP16_MAX, out=interior)
     with np.errstate(invalid="ignore"):
         bound = float(np.nanmax(np.abs(interior))) if interior.size else 0.0
     if np.isnan(bound):

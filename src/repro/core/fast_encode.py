@@ -38,6 +38,7 @@ from .fast_plan import CompiledStagePlan, Workspace, entry_kinds_ok, stage_kinds
 __all__ = [
     "FastEncoder2D",
     "FastEncoder3D",
+    "LOG_INPUT_BOUND",
     "Workspace",
     "make_fast_encoder",
     "supports_fast_encode",
@@ -45,8 +46,10 @@ __all__ = [
 
 #: Rigorous magnitude bound on ``log2`` of any positive finite float
 #: (float32 denormals bottom out at 2^-149), i.e. on any network input
-#: produced by the log transform.
-_LOG_INPUT_BOUND = 150.0
+#: produced by the log transform.  Public: the static plan verifier
+#: (:mod:`repro.analysis.plan_verifier`) re-derives the encoder plans'
+#: clip-elision intervals from this same entry bound.
+LOG_INPUT_BOUND = 150.0
 
 #: Stage kinds an encoder plan may contain (no output heads: the payload
 #: cast expects the stored grid values of the final convolution).
@@ -116,6 +119,12 @@ class FastEncoder2D:
 
         return list(self._plan.bn_folds)
 
+    @property
+    def plan(self) -> CompiledStagePlan:
+        """The compiled stage plan (read-only; used by repro.analysis)."""
+
+        return self._plan
+
     # ------------------------------------------------------------------
     @property
     def workspace_bytes(self) -> int:
@@ -147,12 +156,12 @@ class FastEncoder2D:
             # Entry quantize.  |log2| of any positive float is < 65504, so
             # the clip is the identity and the grid snap is the whole job
             # (one snap pass, then the layout pass to channel-major).
-            q32, _b = self._plan._grid("in", x, _LOG_INPUT_BOUND)
+            q32, _b = self._plan._grid("in", x, LOG_INPUT_BOUND)
             np.copyto(interior[..., :h], q32.transpose(1, 0, 2, 3))
         else:
             np.copyto(interior[..., :h], x.transpose(1, 0, 2, 3))
 
-        code = self._plan.run(canvas, (a, target), _LOG_INPUT_BOUND)
+        code = self._plan.run(canvas, (a, target), LOG_INPUT_BOUND)
         out16 = self._ws.get(
             "code16", (code.shape[1], code.shape[0]) + code.shape[2:], np.float16
         )
@@ -198,6 +207,12 @@ class FastEncoder3D:
 
         return list(self._plan.bn_folds)
 
+    @property
+    def plan(self) -> CompiledStagePlan:
+        """The compiled stage plan (read-only; used by repro.analysis)."""
+
+        return self._plan
+
     # ------------------------------------------------------------------
     @property
     def workspace_bytes(self) -> int:
@@ -226,12 +241,12 @@ class FastEncoder3D:
         if target != h:
             interior[..., h:] = 0
         if self.half:
-            q32, _b = self._plan._grid("in", x, _LOG_INPUT_BOUND)
+            q32, _b = self._plan._grid("in", x, LOG_INPUT_BOUND)
             np.copyto(interior[..., :h], q32[None])
         else:
             np.copyto(interior[..., :h], x[None])
 
-        code = self._plan.run(canvas, (r, a, target), _LOG_INPUT_BOUND)
+        code = self._plan.run(canvas, (r, a, target), LOG_INPUT_BOUND)
         out16 = self._ws.get(
             "code16", (code.shape[1], code.shape[0]) + code.shape[2:], np.float16
         )

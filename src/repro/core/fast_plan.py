@@ -157,10 +157,24 @@ from ..nn.convolution import conv_forward, conv_transpose_output_shape
 from ..nn.norm import BatchNormNd
 from .blocks import DownBlock3d, ResBlock2d, UpBlock3d
 
-__all__ = ["CompiledStagePlan", "Workspace", "fold_batchnorm", "stage_kinds"]
+__all__ = [
+    "CONV_ENTRY_KINDS",
+    "CompiledStagePlan",
+    "DECODE_ENTRY_KINDS",
+    "FP16_MAX",
+    "Workspace",
+    "entry_kinds_ok",
+    "fold_batchnorm",
+    "stage_kinds",
+]
 
 #: Largest finite fp16 magnitude — the saturation point of quantize_fp16.
-_FP16_MAX = 65504.0
+#: Public: the clip-elision interval analysis here, the decode entry clip in
+#: :mod:`repro.core.fast_decode` and the static plan verifier
+#: (:mod:`repro.analysis.plan_verifier`) all reason against this bound.
+FP16_MAX = 65504.0
+
+_FP16_MAX = FP16_MAX
 
 _F32 = np.float32
 
@@ -952,6 +966,12 @@ class CompiledStagePlan:
         #: Per-BatchNorm fold decisions (stage index, placement, folded
         #: flag, reason) — the per-stage record the fold contract requires.
         self.bn_folds: list[dict] = []
+        #: Static-verification record, attached by
+        #: :func:`repro.analysis.plan_verifier.verify_plan` (None until a
+        #: verifier pass has run).  Mirrors the :attr:`bn_folds` idiom: the
+        #: plan carries its own decision/diagnostic trail so calibration
+        #: rejections and legality checks are explainable after the fact.
+        self.verification: dict | None = None
         self._ops: list[tuple[str, object]] = []
         for stage, kind in zip(stages, kinds):
             if kind in ("conv", "conv3d"):

@@ -95,6 +95,9 @@ class SlabRing:
         # Parent-side lease state; workers never touch it.
         self._free: list[int] = list(range(self.n_slabs - 1, -1, -1)) if owner else []
         self._leased: set[int] = set()
+        # Slabs released since their last lease: release() stays idempotent
+        # for these, but rejects slabs that were never leased at all.
+        self._released: set[int] = set()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -140,14 +143,28 @@ class SlabRing:
             return None
         slab = self._free.pop()
         self._leased.add(slab)
+        self._released.discard(slab)
         return slab
 
     def release(self, slab: int) -> None:
-        """Return a leased slab to the free list (idempotent)."""
+        """Return a leased slab to the free list.
+
+        Idempotent per lease: the success path and the failure hook may
+        both release the same slab (the second call is a no-op).  A slab
+        that was *never* leased raises — silently accepting any index
+        would mask double-release bugs the lease-discipline lint
+        (``repro.analysis.concurrency_lint``) exists to catch.
+        """
 
         if slab in self._leased:
             self._leased.discard(slab)
+            self._released.add(slab)
             self._free.append(slab)
+        elif slab not in self._released:
+            raise ValueError(
+                f"release of slab {slab!r} that was never leased "
+                f"({self.n_slabs}-slab ring, {len(self._leased)} leased)"
+            )
 
     # ------------------------------------------------------------------
     # payload access (both sides)

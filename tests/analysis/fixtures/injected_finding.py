@@ -1,0 +1,17 @@
+"""CI fixture: a deliberately un-baselined hot-loop allocation.
+
+Fed to the analyzer via ``--extra-source`` by the CI ``analyze`` job (and
+``tests/analysis/test_runner.py``) to prove the baseline gate fails on a
+fresh finding.  Never imported.
+"""
+
+import numpy as np
+
+
+def hot_loop(batches):
+    total = 0.0
+    for batch in batches:
+        scratch = np.zeros(batch.shape, dtype=np.float32)  # HP001: injected
+        np.add(batch, scratch, out=scratch)
+        total += float(scratch.sum())
+    return total

@@ -1,0 +1,77 @@
+"""End-to-end analysis runs: the repo lints clean against its baseline,
+and the ratchet actually bites on a fresh finding."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import load_baseline, run_analysis
+
+REPO = Path(__file__).resolve().parents[2]
+BASELINE = REPO / "tools" / "analysis_baseline.json"
+FIXTURE = Path(__file__).parent / "fixtures" / "injected_finding.py"
+
+
+@pytest.fixture(scope="module")
+def full_report():
+    report, records = run_analysis()
+    return report, records
+
+
+class TestRepoIsClean:
+    def test_zero_unbaselined_findings(self, full_report):
+        """The acceptance gate CI runs: all four passes over the repo and
+        all twelve Table-1 plans, nothing new against the baseline."""
+
+        report, records = full_report
+        baseline = load_baseline(BASELINE)
+        assert baseline, "checked-in baseline must not be empty"
+        new = report.new_findings(baseline)
+        assert new == [], [d.format() for d in new]
+        assert all(r["ok"] for r in records)
+
+    def test_no_errors_anywhere(self, full_report):
+        report, _ = full_report
+        assert report.counts().get("error", 0) == 0
+
+    def test_baseline_file_is_exact(self, full_report):
+        """Every baselined fingerprint is still produced: a fixed finding
+        must be removed from the baseline (that is the ratchet)."""
+
+        report, _ = full_report
+        baseline = load_baseline(BASELINE)
+        assert report.fixed_fingerprints(baseline) == []
+        assert {d.fingerprint for d in report.gating()} == baseline
+
+    def test_baseline_schema(self):
+        data = json.loads(BASELINE.read_text())
+        assert data["version"] == 1
+        prints = data["fingerprints"]
+        assert prints == sorted(prints) and len(set(prints)) == len(prints)
+
+
+class TestRatchetBites:
+    def test_injected_finding_is_new(self):
+        report, _ = run_analysis(
+            passes=("hotpath",), extra_sources=(FIXTURE,))
+        baseline = load_baseline(BASELINE)
+        new = report.new_findings(baseline)
+        assert len(new) == 1
+        diag = new[0]
+        assert diag.rule == "HP001" and "injected_finding" in diag.scope
+        assert diag.scope.endswith(":hot_loop")
+
+    def test_missing_baseline_means_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == set()
+
+
+class TestJsonReport:
+    def test_to_json_round_trips(self, full_report):
+        report, _ = full_report
+        payload = json.loads(report.to_json(load_baseline(BASELINE)))
+        assert payload["baseline"]["new"] == []
+        assert payload["baseline"]["fixed"] == []
+        assert payload["counts"].get("error", 0) == 0
+        assert all({"rule", "severity", "location", "message", "fingerprint"}
+                   <= set(d) for d in payload["diagnostics"])

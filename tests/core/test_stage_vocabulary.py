@@ -1,0 +1,116 @@
+"""Edge cases of the stage-vocabulary guards and the fold record contract.
+
+``stage_kinds`` / ``entry_kinds_ok`` are the only gate between a model and
+the compiled fast path; these tests pin their boundary behavior — empty
+sequences, training-mode BatchNorm rejection, entry-placement rules — and
+the ``bn_folds`` explainability contract (every decision carries a
+non-empty reason) across all four Table-1 zoo models.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import MODEL_NAMES, build_model
+from repro.core.fast_decode import make_fast_decoder, supports_fast_decode
+from repro.core.fast_encode import make_fast_encoder, supports_fast_encode
+from repro.core.fast_plan import (
+    CONV_ENTRY_KINDS,
+    DECODE_ENTRY_KINDS,
+    CompiledStagePlan,
+    entry_kinds_ok,
+    stage_kinds,
+)
+from repro.nn.norm import BatchNorm2d
+
+
+def _model(name):
+    kwargs = {"m": 2, "n": 2, "d": 2} if name == "bcae_2d" else {}
+    model = build_model(name, wedge_spatial=(8, 16, 14), seed=0, **kwargs)
+    model.eval()
+    return model
+
+
+class TestStageKindsEdges:
+    def test_empty_sequence_classifies_but_fails_entry(self):
+        """An empty stage list has no returnable output: ``stage_kinds``
+        rejects it, and ``entry_kinds_ok`` rejects the None."""
+
+        assert stage_kinds([]) is None
+        assert entry_kinds_ok(stage_kinds([]), {"conv"}) is False
+        assert entry_kinds_ok(None, {"conv"}) is False
+
+    def test_identity_only_sequence_rejected(self):
+        """All-identity bodies have no functional output stage."""
+
+        assert stage_kinds([nn.Identity(), nn.Identity()]) is None
+        assert entry_kinds_ok(["identity", "identity"], {"identity"}) is False
+
+    def test_empty_kinds_list_rejected_by_entry_rule(self):
+        assert entry_kinds_ok([], set()) is False
+        assert entry_kinds_ok([], {"conv"}, entry=DECODE_ENTRY_KINDS) is False
+
+    def test_unknown_stage_rejected(self):
+        class Exotic:
+            pass
+
+        assert stage_kinds([Exotic()]) is None
+
+    def test_training_mode_batchnorm_rejected(self):
+        """Training-mode BN depends on batch statistics — not a fixed
+        graph; the sequence must stay on the module path until eval()."""
+
+        bn = BatchNorm2d(3)
+        conv = nn.Conv2d(3, 4, kernel_size=3, padding=1)
+        bn.train()
+        assert stage_kinds([bn, conv]) is None
+        bn.eval()
+        kinds = stage_kinds([bn, conv])
+        assert kinds == ["bnorm", "conv"]
+        # ... but a leading bnorm still never compiles through a wrapper
+        # (the entry snap would quantize what the module normalizes raw).
+        assert entry_kinds_ok(kinds, {"bnorm", "conv"}) is False
+        assert entry_kinds_ok(kinds, {"bnorm", "conv"},
+                              entry=DECODE_ENTRY_KINDS) is False
+
+    def test_non_fp32_batchnorm_rejected(self):
+        bn = BatchNorm2d(3)
+        bn.eval()
+        bn.set_buffer("running_mean",
+                      np.zeros(3, dtype=np.float64))
+        conv = nn.Conv2d(3, 4, kernel_size=3, padding=1)
+        assert stage_kinds([bn, conv]) is None
+
+    def test_compiled_plan_guards_with_stage_kinds(self):
+        with pytest.raises(TypeError, match="vocabulary"):
+            CompiledStagePlan([])
+
+    def test_entry_kind_sets_are_consistent(self):
+        """Decode entries are a superset: the decode entry prep (a clip of
+        grid values) is exact for pools/upsamples too."""
+
+        assert CONV_ENTRY_KINDS < DECODE_ENTRY_KINDS
+        assert {"pool", "pool3d", "up", "up3d"} <= DECODE_ENTRY_KINDS
+        assert "bnorm" not in DECODE_ENTRY_KINDS
+
+
+class TestBnFoldRecordContract:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_every_fold_decision_has_a_reason(self, name):
+        """Explainability contract: every ``bn_folds`` entry across the
+        whole zoo carries a non-empty reason string and the full record
+        schema (the static plan verifier surfaces these verbatim)."""
+
+        model = _model(name)
+        assert supports_fast_encode(model) and supports_fast_decode(model)
+        enc = make_fast_encoder(model)
+        dec = make_fast_decoder(model)
+        folds = enc.bn_folds + dec.bn_folds
+        if name == "bcae":
+            assert folds, "the original BCAE must record BN decisions"
+        else:
+            assert folds == [], f"{name} has no BatchNorm to decide on"
+        for entry in folds:
+            assert {"stage", "site", "folded", "reason"} <= set(entry)
+            assert isinstance(entry["reason"], str) and entry["reason"].strip()
+            assert isinstance(entry["folded"], bool)

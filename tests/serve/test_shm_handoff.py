@@ -212,6 +212,26 @@ class TestSlabRingUnit:
         finally:
             ring.destroy()
 
+    def test_release_never_leased_rejected(self):
+        """A never-leased slab must not be silently accepted — that would
+        mask double-release bugs (release-after-lease stays idempotent)."""
+
+        ring = SlabRing.create(n_slabs=2, slab_nbytes=64)
+        try:
+            with pytest.raises(ValueError, match="never leased"):
+                ring.release(0)
+            with pytest.raises(ValueError, match="never leased"):
+                ring.release(99)  # out of range entirely
+            slab = ring.try_lease()
+            ring.release(slab)
+            ring.release(slab)  # idempotent after a real lease
+            # Re-leasing arms the slab again: bookkeeping is per lease.
+            assert ring.try_lease() == slab
+            ring.release(slab)
+            assert ring.leased == 0 and ring.try_lease() is not None
+        finally:
+            ring.destroy()
+
     def test_array_round_trip(self):
         ring = SlabRing.create(n_slabs=1, slab_nbytes=1024)
         try:

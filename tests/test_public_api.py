@@ -8,6 +8,7 @@ documented locations.
 
 import importlib
 import inspect
+import pathlib
 
 import pytest
 
@@ -27,6 +28,7 @@ _PACKAGES = [
     "repro.io",
     "repro.viz",
     "repro.cli",
+    "repro.analysis",
 ]
 
 
@@ -40,6 +42,39 @@ class TestExports:
         module = importlib.import_module(name)
         for symbol in getattr(module, "__all__", []):
             assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+    @pytest.mark.parametrize("name", _PACKAGES)
+    def test_no_public_definition_escapes_all(self, name):
+        """The reverse direction of the ``__all__`` contract: every public
+        function/class *defined* in the module must be advertised, so the
+        declared surface and the actual surface cannot drift apart."""
+
+        module = importlib.import_module(name)
+        declared = getattr(module, "__all__", None)
+        if declared is None:
+            pytest.skip(f"{name} declares no __all__")
+        undeclared = [
+            symbol for symbol, obj in vars(module).items()
+            if not symbol.startswith("_")
+            and symbol not in declared
+            and (inspect.isclass(obj) or inspect.isfunction(obj))
+            and getattr(obj, "__module__", "") == module.__name__
+        ]
+        assert not undeclared, (
+            f"{name} defines public names missing from __all__: {undeclared}"
+        )
+
+    def test_static_all_audit_is_clean(self):
+        """The static half of the two-way check: ``repro.analysis.api_lint``
+        walks every module *without importing it* and errors (AP002) on any
+        ``__all__`` entry with no corresponding binding."""
+
+        import repro
+        from repro.analysis.api_lint import audit_package
+
+        src_root = pathlib.Path(repro.__file__).resolve().parent.parent
+        errors = [d for d in audit_package(src_root) if d.severity == "error"]
+        assert not errors, [d.format() for d in errors]
 
     @pytest.mark.parametrize("name", _PACKAGES)
     def test_module_docstring(self, name):

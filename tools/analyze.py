@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""CI entry for the static analyzer (``repro.analysis``).
+
+Three modes, all exercised by the CI ``analyze`` job:
+
+``python tools/analyze.py --baseline``
+    Run every pass and gate against ``tools/analysis_baseline.json``:
+    grandfathered findings pass, any *new* warning/error fails (exit 1).
+    This is the ratchet — the default CI invocation.
+
+``python tools/analyze.py --write-baseline``
+    Regenerate the baseline from the current findings.  Run after fixing
+    findings (the file shrinks) — never to paper over new ones in review.
+
+``python tools/analyze.py``
+    Report everything with no baseline; exit 1 on any gating finding.
+    Useful locally to see the full grandfathered set.
+
+``--extra-source FILE`` feeds additional files to the lint passes; CI uses
+it with the injected-finding fixture to prove the gate actually fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+BASELINE = REPO / "tools" / "analysis_baseline.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", action="store_true",
+                        help="gate only findings absent from "
+                             "tools/analysis_baseline.json")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="regenerate the baseline from current findings")
+    parser.add_argument("--extra-source", action="append", default=[],
+                        help="additional source file for the lint passes")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the JSON report")
+    args = parser.parse_args(argv)
+
+    from repro.analysis import load_baseline, run_analysis, write_baseline
+
+    report, records = run_analysis(extra_sources=args.extra_source)
+    bad_plans = [r["label"] for r in records if not r["ok"]]
+
+    if args.write_baseline:
+        write_baseline(BASELINE, report)
+        print(f"baseline -> {BASELINE.relative_to(REPO)} "
+              f"({len(report.gating())} findings grandfathered)")
+        return 0
+
+    baseline = load_baseline(BASELINE) if args.baseline else None
+    if args.json:
+        print(report.to_json(baseline))
+    else:
+        print(report.format_text(baseline))
+    if bad_plans:
+        print(f"plan verification FAILED: {', '.join(bad_plans)}")
+        return 1
+    failing = (report.new_findings(baseline) if baseline is not None
+               else report.gating())
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
