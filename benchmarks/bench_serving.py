@@ -49,6 +49,8 @@ _N_WEDGES = 48
 _REPEATS = 3
 _HANDOFF_UNITS = 24
 _HANDOFF_SHAPE = (4, 16, 192, 249)  # paper-geometry wedge batches, uint16
+#: Trajectory depth: runs kept in BENCH_serving.json before the oldest drop.
+_MAX_RUNS = 20
 
 _BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
 
@@ -303,13 +305,29 @@ def async_section(n_wedges=30, budget_s=2e-3):
 # reporting / gates / entry points
 # ----------------------------------------------------------------------
 
-def write_bench_json(sections, smoke, path=_BENCH_JSON):
-    payload = {
-        "benchmark": "bench_serving",
-        "smoke": bool(smoke),
-        "sections": sections,
-    }
-    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+def write_bench_json(sections, smoke, path=_BENCH_JSON, label=None):
+    """Append one run to the perf-trajectory record future PRs diff
+    against (last :data:`_MAX_RUNS` runs kept under ``"runs"``; a
+    pre-trajectory single-run file is absorbed as the first entry)."""
+
+    run = {"smoke": bool(smoke), "sections": sections}
+    if label:
+        run["label"] = label
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError):
+        doc = None
+    if isinstance(doc, dict) and isinstance(doc.get("runs"), list):
+        runs = doc["runs"]
+    elif isinstance(doc, dict) and "sections" in doc:
+        runs = [{"smoke": doc.get("smoke", False),
+                 "sections": doc["sections"]}]
+    else:
+        runs = []
+    runs = (runs + [run])[-_MAX_RUNS:]
+    path.write_text(json.dumps(
+        {"benchmark": "bench_serving", "runs": runs}, indent=2) + "\n")
     return path
 
 

@@ -29,6 +29,8 @@ from repro.core import BCAECompressor, build_model, supports_fast_encode
 from repro.perf import estimate_throughput, measure_compress_throughput, trace_encoder
 
 _BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_models.json"
+#: Trajectory depth: runs kept in BENCH_models.json before the oldest drop.
+_MAX_RUNS = 20
 
 _PAPER = {
     "bcae_2d": dict(mae=0.152, psnr=11.726, precision=0.906, recall=0.907, size=169.0, tput=6900),
@@ -146,12 +148,28 @@ def measure_cpu_throughput(models, wedge_shape=(16, 192, 249), repeats=1, warmup
     return rows
 
 
-def write_bench_json(rows, smoke, path=_BENCH_JSON):
-    """Write the perf-trajectory record future PRs diff against."""
+def write_bench_json(rows, smoke, path=_BENCH_JSON, label=None):
+    """Append one run to the perf-trajectory record future PRs diff
+    against (last :data:`_MAX_RUNS` runs kept under ``"runs"``; a
+    pre-trajectory single-run file is absorbed as the first entry)."""
 
-    payload = {"benchmark": "bench_table1_models", "smoke": bool(smoke),
-               "models": rows}
-    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    run = {"smoke": bool(smoke), "models": rows}
+    if label:
+        run["label"] = label
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError):
+        doc = None
+    if isinstance(doc, dict) and isinstance(doc.get("runs"), list):
+        runs = doc["runs"]
+    elif isinstance(doc, dict) and "models" in doc:
+        runs = [{"smoke": doc.get("smoke", False), "models": doc["models"]}]
+    else:
+        runs = []
+    runs = (runs + [run])[-_MAX_RUNS:]
+    path.write_text(json.dumps(
+        {"benchmark": "bench_table1_models", "runs": runs}, indent=2) + "\n")
     return path
 
 

@@ -21,6 +21,15 @@ of every stage-execution and batch loop), the constructs that allocate:
 ``HP004``
     Python list building — ``.append(...)`` calls and list
     comprehensions.
+``HP005``
+    Workspace slab acquisition (``self._ws.get(...)``) inside a nested
+    function — the lexical shape of the panel-executor worker closures.
+    :class:`~repro.core.fast_plan.Workspace` is not thread-safe by
+    contract: the parallel panel path must acquire every per-slot slab on
+    the caller thread *before* the workers start, so a ``_ws.get`` inside
+    a closure is a per-call allocation racing the other slots.  Unlike
+    HP001–HP004 this rule applies at any loop depth (the closure body is
+    the worker's whole run).
 
 Compile-time loops (plan construction, calibration probes) trip these
 rules too; those findings are *grandfathered* in the checked-in baseline
@@ -107,6 +116,7 @@ class _HotPathVisitor(ast.NodeVisitor):
         self.diags: list[Diagnostic] = []
         self._funcs: list[str] = []
         self._loop_depth = 0
+        self._def_depth = 0  # function-def nesting; ≥2 means a closure
 
     # -- helpers --------------------------------------------------------
     def _scope(self) -> str:
@@ -130,10 +140,12 @@ class _HotPathVisitor(ast.NodeVisitor):
     # -- nesting --------------------------------------------------------
     def _visit_func(self, node) -> None:
         self._funcs.append(node.name)
+        self._def_depth += 1
         outer_loops = self._loop_depth
         self._loop_depth = 0  # a nested def resets the loop context
         self.generic_visit(node)
         self._loop_depth = outer_loops
+        self._def_depth -= 1
         self._funcs.pop()
 
     visit_FunctionDef = _visit_func
@@ -171,6 +183,17 @@ class _HotPathVisitor(ast.NodeVisitor):
 
     # -- findings -------------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
+        func0 = node.func
+        if (self._def_depth >= 2
+                and isinstance(func0, ast.Attribute)
+                and func0.attr == "get"
+                and isinstance(func0.value, ast.Attribute)
+                and func0.value.attr == "_ws"):
+            self._emit("HP005", node,
+                       "_ws.get() inside a nested function — the panel "
+                       "worker closures run concurrently, so workspace "
+                       "slabs must be acquired on the caller thread "
+                       "before the workers start", token="_ws.get")
         if self._loop_depth > 0:
             func = node.func
             if (isinstance(func, ast.Attribute)

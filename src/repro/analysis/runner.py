@@ -47,6 +47,7 @@ def _package_root() -> Path:
 
 def analyze_model_plans(names=None, half: bool = True,
                         wedge_spatial: tuple[int, int, int] = SMOKE_WEDGE,
+                        precision: str = "bit",
                         ) -> tuple[list[Diagnostic], list[dict]]:
     """Verify encoder + decoder plans of the zoo models; returns
     ``(diagnostics, verification records)``.
@@ -55,7 +56,10 @@ def analyze_model_plans(names=None, half: bool = True,
     with the horizontal padded to the encoder's ``2**d`` grid); the 3D
     families consume a single-channel volume at the model's own spatial
     shape.  Decoder inputs are the encoder's *inferred* output — the
-    chain is fully static.
+    chain is fully static.  Each record additionally carries the plan's
+    :meth:`~repro.core.fast_plan.CompiledStagePlan.plan_stats` summary
+    under ``"stats"`` (``analyze --stats`` prints it); GEMM execution
+    entries stay empty here because verification never runs the plan.
     """
 
     from repro.core import MODEL_NAMES, build_model
@@ -81,7 +85,7 @@ def analyze_model_plans(names=None, half: bool = True,
                 token="vocabulary",
             ))
             continue
-        enc = make_fast_encoder(model, half=half)
+        enc = make_fast_encoder(model, half=half, precision=precision)
         if hasattr(enc, "spatial"):           # 3D: single-channel volume
             in_channels, in_spatial = 1, tuple(enc.spatial)
         else:                                 # 2D: radial axis as channels
@@ -91,15 +95,17 @@ def analyze_model_plans(names=None, half: bool = True,
             in_spatial = (a, -(-h // grid) * grid)
         rec = verify_plan(enc.plan, in_channels, in_spatial,
                           LOG_INPUT_BOUND, label=f"{name}.encoder")
+        rec["stats"] = enc.plan.plan_stats()
         records.append(rec)
         diags.extend(rec["diagnostic_objects"])
 
-        dec = make_fast_decoder(model, half=half)
+        dec = make_fast_decoder(model, half=half, precision=precision)
         code = rec["out"]
         entry = FP16_MAX if half else rec["out"]["bound"]
         for head, plan in dec.plans.items():
             rec_d = verify_plan(plan, code["channels"], code["spatial"],
                                 entry, label=f"{name}.decoder.{head}")
+            rec_d["stats"] = plan.plan_stats()
             records.append(rec_d)
             diags.extend(rec_d["diagnostic_objects"])
     return diags, records
@@ -107,12 +113,15 @@ def analyze_model_plans(names=None, half: bool = True,
 
 def run_analysis(passes=("plan", "hotpath", "concurrency", "api"),
                  extra_sources=(), half: bool = True,
+                 precision: str = "bit",
                  ) -> tuple[AnalysisReport, list[dict]]:
     """Run the selected passes; returns ``(report, plan records)``.
 
     ``extra_sources`` are additional file paths fed to the hot-path and
     concurrency lints — the CI injected-finding fixture uses this to prove
-    the gate fails on a fresh finding.
+    the gate fails on a fresh finding.  ``precision`` selects the compile
+    tier for the plan pass (``"ulp"`` exercises the relaxed-numerics
+    ledger rules PV050–PV052).
     """
 
     root = _package_root()
@@ -120,7 +129,8 @@ def run_analysis(passes=("plan", "hotpath", "concurrency", "api"),
     records: list[dict] = []
     extra = [Path(p) for p in extra_sources]
     if "plan" in passes:
-        plan_diags, records = analyze_model_plans(half=half)
+        plan_diags, records = analyze_model_plans(half=half,
+                                                  precision=precision)
         diags.extend(plan_diags)
     if "hotpath" in passes:
         diags.extend(hotpath_lint_paths(hotpath_targets(root),

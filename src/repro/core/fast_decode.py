@@ -100,14 +100,18 @@ def supports_fast_decode(model) -> bool:
     return False
 
 
-def make_fast_decoder(model, half: bool = True):
+def make_fast_decoder(model, half: bool = True, precision: str = "bit",
+                      panel_threads: int | None = None):
     """Build the compiled decoder pair for a model that passes
     :func:`supports_fast_decode` (2D and 3D families dispatch to their
-    wrapper)."""
+    wrapper).  ``precision`` and ``panel_threads`` forward to both head
+    plans (:class:`~repro.core.fast_plan.CompiledStagePlan`)."""
 
     if isinstance(getattr(model, "seg_decoder", None), BCAEDecoder2D):
-        return FastDecoder2D(model, half=half)
-    return FastDecoder3D(model, half=half)
+        return FastDecoder2D(model, half=half, precision=precision,
+                             panel_threads=panel_threads)
+    return FastDecoder3D(model, half=half, precision=precision,
+                         panel_threads=panel_threads)
 
 
 class FastDecoder2D:
@@ -126,7 +130,8 @@ class FastDecoder2D:
         replicates the full-precision module path.
     """
 
-    def __init__(self, model, half: bool = True) -> None:
+    def __init__(self, model, half: bool = True, precision: str = "bit",
+                 panel_threads: int | None = None) -> None:
         if not (isinstance(getattr(model, "seg_decoder", None), BCAEDecoder2D)
                 and supports_fast_decode(model)):
             raise TypeError(
@@ -141,9 +146,13 @@ class FastDecoder2D:
         # identical, so the sequential seg → reg runs reuse every buffer
         # (each op fully rewrites what it reads; see CompiledStagePlan).
         self._seg = CompiledStagePlan(model.seg_decoder.stages, half=self.half,
-                                      workspace=ws, prefix="d")
+                                      workspace=ws, prefix="d",
+                                      precision=precision,
+                                      panel_threads=panel_threads)
         self._reg = CompiledStagePlan(model.reg_decoder.stages, half=self.half,
-                                      workspace=ws, prefix="d")
+                                      workspace=ws, prefix="d",
+                                      precision=precision,
+                                      panel_threads=panel_threads)
         self._ws = ws
 
     # ------------------------------------------------------------------
@@ -228,7 +237,8 @@ class FastDecoder3D:
         replicates the full-precision module path.
     """
 
-    def __init__(self, model, half: bool = True) -> None:
+    def __init__(self, model, half: bool = True, precision: str = "bit",
+                 panel_threads: int | None = None) -> None:
         if not (isinstance(getattr(model, "seg_decoder", None), BCAEDecoder3D)
                 and supports_fast_decode(model)):
             raise TypeError(
@@ -239,9 +249,13 @@ class FastDecoder3D:
         self.threshold = float(model.threshold)
         ws = Workspace()
         self._seg = CompiledStagePlan(_decoder3d_stages(model.seg_decoder),
-                                      half=self.half, workspace=ws, prefix="d")
+                                      half=self.half, workspace=ws, prefix="d",
+                                      precision=precision,
+                                      panel_threads=panel_threads)
         self._reg = CompiledStagePlan(_decoder3d_stages(model.reg_decoder),
-                                      half=self.half, workspace=ws, prefix="d")
+                                      half=self.half, workspace=ws, prefix="d",
+                                      precision=precision,
+                                      panel_threads=panel_threads)
         self._ws = ws
 
     # ------------------------------------------------------------------

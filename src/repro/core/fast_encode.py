@@ -77,15 +77,20 @@ def supports_fast_encode(model) -> bool:
     return False
 
 
-def make_fast_encoder(model, half: bool = True):
+def make_fast_encoder(model, half: bool = True, precision: str = "bit",
+                      panel_threads: int | None = None):
     """Build the compiled encoder for a model that passes
     :func:`supports_fast_encode` (2D and 3D families dispatch to their
-    wrapper)."""
+    wrapper).  ``precision`` and ``panel_threads`` forward to
+    :class:`~repro.core.fast_plan.CompiledStagePlan` (the opt-in ulp tier
+    and the intra-plan panel executor)."""
 
     encoder = getattr(model, "encoder", model)
     if isinstance(encoder, BCAEEncoder2D):
-        return FastEncoder2D(encoder, half=half)
-    return FastEncoder3D(encoder, half=half)
+        return FastEncoder2D(encoder, half=half, precision=precision,
+                             panel_threads=panel_threads)
+    return FastEncoder3D(encoder, half=half, precision=precision,
+                         panel_threads=panel_threads)
 
 
 class FastEncoder2D:
@@ -99,9 +104,16 @@ class FastEncoder2D:
     half:
         Replicate the fp16 autocast numerics (the deployment mode, §3.3).
         When False the full-precision module path is replicated instead.
+    precision:
+        ``"bit"`` (default) or the opt-in ``"ulp"`` serving tier — see
+        :class:`~repro.core.fast_plan.CompiledStagePlan`.
+    panel_threads:
+        Intra-plan panel executor width (None → ``REPRO_PANEL_THREADS``).
     """
 
-    def __init__(self, encoder: BCAEEncoder2D, half: bool = True) -> None:
+    def __init__(self, encoder: BCAEEncoder2D, half: bool = True,
+                 precision: str = "bit",
+                 panel_threads: int | None = None) -> None:
         if not (isinstance(encoder, BCAEEncoder2D) and supports_fast_encode(encoder)):
             raise TypeError(
                 f"FastEncoder2D cannot compile {type(encoder).__name__}; "
@@ -110,7 +122,9 @@ class FastEncoder2D:
         self.half = bool(half)
         self.d = encoder.d
         self.code_channels = encoder.code_channels
-        self._plan = CompiledStagePlan(encoder.stages, half=self.half)
+        self._plan = CompiledStagePlan(encoder.stages, half=self.half,
+                                       precision=precision,
+                                       panel_threads=panel_threads)
         self._ws = self._plan.workspace
 
     @property
@@ -187,9 +201,16 @@ class FastEncoder3D:
         original BCAE's eval-mode BatchNorm stacks).
     half:
         Replicate the fp16 autocast numerics (§3.3 deployment mode).
+    precision:
+        ``"bit"`` (default) or the opt-in ``"ulp"`` serving tier — see
+        :class:`~repro.core.fast_plan.CompiledStagePlan`.
+    panel_threads:
+        Intra-plan panel executor width (None → ``REPRO_PANEL_THREADS``).
     """
 
-    def __init__(self, encoder: BCAEEncoder3D, half: bool = True) -> None:
+    def __init__(self, encoder: BCAEEncoder3D, half: bool = True,
+                 precision: str = "bit",
+                 panel_threads: int | None = None) -> None:
         if not (isinstance(encoder, BCAEEncoder3D) and supports_fast_encode(encoder)):
             raise TypeError(
                 f"FastEncoder3D cannot compile {type(encoder).__name__}; "
@@ -198,7 +219,9 @@ class FastEncoder3D:
         self.half = bool(half)
         self.spatial = tuple(encoder.spatial)
         self.code_channels = encoder.code_channels
-        self._plan = CompiledStagePlan(encoder.blocks, half=self.half)
+        self._plan = CompiledStagePlan(encoder.blocks, half=self.half,
+                                       precision=precision,
+                                       panel_threads=panel_threads)
         self._ws = self._plan.workspace
 
     @property

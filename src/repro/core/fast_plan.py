@@ -146,7 +146,9 @@ and both precision modes, for the encoders and for both decoder heads.
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
+import os
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
@@ -162,9 +164,15 @@ __all__ = [
     "CompiledStagePlan",
     "DECODE_ENTRY_KINDS",
     "FP16_MAX",
+    "PANEL_THREADS_ENV",
+    "PRECISIONS",
+    "ULP_TIER_MAX_ULP",
+    "ULP_TIER_RECON_GRID_STEPS",
     "Workspace",
     "entry_kinds_ok",
     "fold_batchnorm",
+    "grid_steps_at_scale",
+    "max_ulp_diff",
     "stage_kinds",
 ]
 
@@ -186,6 +194,140 @@ _BLOCKED_MIN_BYTES = 4 << 20
 #: Target byte size of one gathered (K, P) panel — sized to keep the
 #: gather destination and the GEMM operands resident in L2.
 _PANEL_BYTES = 1 << 20
+
+#: Environment knob for the intra-plan panel executor: the number of worker
+#: threads independent im2col panels fan out to inside one GEMM.  An
+#: explicit ``panel_threads=`` argument on :class:`CompiledStagePlan` (and
+#: everything that forwards to it — the fast wrappers, ``BCAECompressor``,
+#: ``ServiceConfig``) overrides the environment.  Panels write disjoint
+#: column ranges of the result and each thread owns its workspace slabs, so
+#: output bits are identical at every thread count.
+PANEL_THREADS_ENV = "REPRO_PANEL_THREADS"
+
+#: The two compilation tiers: ``"bit"`` (default — every fast formulation
+#: must be proven bit-identical by its calibration probe) and ``"ulp"``
+#: (opt-in serving tier — BN→Conv folds and panel-blocked GEMM formulations
+#: whose probe measures a nonzero but bounded stored-grid deviation are
+#: kept, each engagement recorded on :attr:`CompiledStagePlan.ulp_sites`).
+PRECISIONS = ("bit", "ulp")
+
+#: Per-site cap of the ulp tier: a probe-rejected fold/formulation may be
+#: kept under ``precision="ulp"`` only when the probe measured its maximum
+#: absolute deviation at or below this many **grid steps at the stage's
+#: magnitude scale** — the stored grid's spacing evaluated at the probe's
+#: maximum reference magnitude (fp16 grid in half mode, the deployment
+#: representation every stage output is snapped onto; fp32 in full).  This
+#: is the range-relative error bound of the SZ/ZFP error-bounded-lossy
+#: tradition expressed in units of the stored grid (see
+#: :func:`grid_steps_at_scale`); *elementwise* ulp distance is deliberately
+#: not the metric — reassociated cancellation noise near zero measures in
+#: the billions of elementwise ulps while being physically negligible.
+ULP_TIER_MAX_ULP = 2
+
+#: End-to-end contract of the ulp tier, asserted by the archive round-trip
+#: test and the bench: reconstructions deviate from the bit tier's by at
+#: most this many grid steps at the reconstruction scale
+#: (``grid_steps_at_scale(recon_ulp, recon_bit, True)``; measured
+#: deviations are typically ≤ 1 — the slack covers the rare multi-stage
+#: compounding of single-step flips through downstream convolutions).
+ULP_TIER_RECON_GRID_STEPS = 4
+
+#: Byte size of one cache-resident block of the fused BatchNorm affine
+#: kernel (see :meth:`_BNSpec.apply`).
+_BN_BLOCK = 1 << 18
+
+#: A/B switch for the fused BatchNorm traversal — flipped (to False) only
+#: by the decode bench to measure the fused kernel against the plain
+#: 4-ufunc broadcast chain.  Both evaluate the same per-channel affine in
+#: the same operation order, so bits are identical either way.
+_FUSED_BNORM = True
+
+
+def _resolve_panel_threads(requested: int | None) -> int:
+    """Panel-executor thread count: explicit argument, else the
+    ``REPRO_PANEL_THREADS`` environment knob, else 1 (serial)."""
+
+    if requested is None:
+        env = os.environ.get(PANEL_THREADS_ENV, "").strip()
+        try:
+            requested = int(env) if env else 1
+        except ValueError:
+            raise ValueError(
+                f"{PANEL_THREADS_ENV} must be an integer, got {env!r}"
+            ) from None
+    return max(1, int(requested))
+
+
+def max_ulp_diff(a: np.ndarray, b: np.ndarray) -> int:
+    """Largest elementwise distance between two same-dtype float arrays,
+    in units-in-the-last-place of that dtype's grid.
+
+    The IEEE-754 bit patterns are mapped onto a monotone integer scale
+    (two's-complement folding of the sign), where adjacent representable
+    floats differ by exactly 1 — the standard ulp metric the calibration
+    probes record and the ulp tier bounds.  float16 inputs are measured on
+    the fp16 grid (one ulp = one grid step of the stored deployment
+    representation), everything else on the fp32 grid.  Any non-finite
+    lane on either side that is not bit-equal counts as an infinite
+    distance (the probes only feed finite values, so this is defensive).
+    """
+
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.dtype == np.float16 and b.dtype == np.float16:
+        itype, sign_fold = np.int16, np.int64(-1) << 15
+        ai = a.view(np.int16).astype(np.int64)
+        bi = b.view(np.int16).astype(np.int64)
+    else:
+        itype = np.int32
+        sign_fold = np.int64(-1) << 31
+        a = np.asarray(a, dtype=np.float32)
+        b = np.asarray(b, dtype=np.float32)
+        ai = a.view(np.int32).astype(np.int64)
+        bi = b.view(np.int32).astype(np.int64)
+    np.subtract(sign_fold, ai, out=ai, where=ai < 0)
+    np.subtract(sign_fold, bi, out=bi, where=bi < 0)
+    d = np.abs(ai - bi)
+    finite = np.isfinite(a) & np.isfinite(b)
+    if not finite.all():
+        if not np.array_equal(a[~finite].view(itype), b[~finite].view(itype)):
+            return int(np.iinfo(np.int64).max)
+        d[~finite] = 0
+    return int(d.max()) if d.size else 0
+
+
+def grid_steps_at_scale(got, ref, half: bool) -> int:
+    """Deviation of ``got`` from ``ref`` in grid steps at the data's scale.
+
+    The metric of the ulp tier: the maximum absolute elementwise deviation,
+    divided by the stored grid's spacing at the reference's maximum
+    magnitude (the fp16 grid in half mode, fp32 in full), rounded up.
+    0 means value-equal; 1 means every value moved by less than one grid
+    step *as measured at the stage's largest output* — the range-relative
+    bound of the SZ/ZFP error-bounded tradition in stored-grid units.
+
+    Elementwise ulp distance (:func:`max_ulp_diff`) is deliberately not
+    used here: reassociated fp32 rounding flips the sign of outputs that
+    cancel to ≈0, and the elementwise metric counts every denormal between
+    them — billions of ulps for a physically negligible deviation — so it
+    can never certify a real BN fold.  Scaling the absolute deviation by
+    the stage's own grid spacing bounds what any downstream consumer of
+    the stored representation can observe.
+    """
+
+    got = np.asarray(got, dtype=np.float32)
+    ref = np.asarray(ref, dtype=np.float32)
+    if got.size == 0 or np.array_equal(got, ref):
+        return 0
+    err = float(np.max(np.abs(got - ref)))
+    if not np.isfinite(err):
+        return int(np.iinfo(np.int64).max)
+    scale = float(np.max(np.abs(ref)))
+    if half:
+        step = float(np.spacing(np.float16(min(scale, _FP16_MAX))))
+    else:
+        step = float(np.spacing(np.float32(scale)))
+    return int(np.ceil(err / step))
 
 
 def _leaky_ok(*acts) -> bool:
@@ -486,17 +628,46 @@ class _BNSpec:
     def apply(self, ws: "Workspace", key, src: np.ndarray) -> np.ndarray:
         """The module's eval forward on a channel-major stream, verbatim.
 
-        Four ufunc passes — subtract μ, multiply inv_std, multiply γ, add β
-        — staged through one reused buffer.  Elementwise fp32 ops round
-        identically regardless of layout, so the values are bit for bit the
-        module path's ``(x_hat·γ + β)`` on the same stream.
+        The chain is the module's exact four fp32 ufuncs — subtract μ,
+        multiply inv_std, multiply γ, add β.  Elementwise fp32 ops round
+        identically regardless of layout or blocking, so the values are bit
+        for bit the module path's ``(x_hat·γ + β)`` on the same stream.
+
+        Two traversals implement that same chain:
+
+        * the broadcast path — four whole-array passes with per-channel
+          operand columns, used for small streams (and as the bench's A/B
+          reference via the ``_FUSED_BNORM`` switch);
+        * the fused path — one pass over memory: per (channel, sample) the
+          stream is cut into ``_BN_BLOCK``-sized row blocks, the first
+          subtract pulls a block out of the (possibly strided) source into
+          the contiguous output once, and the remaining three ufuncs rewrite
+          it while it is cache-resident with *scalar* per-channel operands.
+          Each element is loaded from DRAM once and stored once, versus four
+          load/store round trips for the broadcast path.
         """
 
         out = ws.get((key, "bn"), src.shape)
-        np.subtract(src, self._col(self.mean, src.ndim), out=out)
-        np.multiply(out, self._col(self.inv_std, src.ndim), out=out)
-        np.multiply(out, self._col(self.gamma, src.ndim), out=out)
-        np.add(out, self._col(self.beta, src.ndim), out=out)
+        if not _FUSED_BNORM or src[:1].nbytes <= _BN_BLOCK:
+            np.subtract(src, self._col(self.mean, src.ndim), out=out)
+            np.multiply(out, self._col(self.inv_std, src.ndim), out=out)
+            np.multiply(out, self._col(self.gamma, src.ndim), out=out)
+            np.add(out, self._col(self.beta, src.ndim), out=out)
+            return out
+        mean, inv_std, gamma, beta = self.mean, self.inv_std, self.gamma, self.beta
+        n = src.shape[1]
+        sp0 = src.shape[2] if src.ndim > 2 else 1
+        row_bytes = max(src[0, 0].nbytes // max(sp0, 1), 1)
+        step = max(1, _BN_BLOCK // row_bytes)
+        for ci in range(src.shape[0]):
+            mu, i, g, b = mean[ci], inv_std[ci], gamma[ci], beta[ci]
+            for bi in range(n):
+                for z0 in range(0, sp0, step):
+                    blk = out[ci, bi, z0:z0 + step]
+                    np.subtract(src[ci, bi, z0:z0 + step], mu, out=blk)
+                    np.multiply(blk, i, out=blk)
+                    np.multiply(blk, g, out=blk)
+                    np.add(blk, b, out=blk)
         return out
 
     def apply_channels(self, vals: np.ndarray) -> np.ndarray:
@@ -561,19 +732,26 @@ def fold_batchnorm(bn_spec, conv_weight: np.ndarray, conv_bias,
 
 
 def _bn_fold_matches(bn_spec, spec: "_ConvSpec", folded: "_ConvSpec",
-                     half: bool) -> bool:
-    """Calibrate one speculative ``BatchNorm → Conv`` fold for bit-equality.
+                     half: bool) -> tuple[bool, int]:
+    """Calibrate one speculative ``BatchNorm → Conv`` fold.
 
     The exact chain is ``q(((x−μ)·i)·γ + β)`` into the convolution (``q``
     is the fp16-grid entry quantize in half mode, identity in full); the
     folded chain is ``q(x)`` into the scale/shift-fused weights.  One dense
     probe — random values across the exponent range, exact zeros and
     negatives, values straddling the fp16 denormal boundary where
-    power-of-two scale folds break — is pushed through both, compared on
-    raw values.  Any deviation rejects the fold and the stage runs as the
-    exact affine pass instead; for non-trivial statistics the reassociated
-    fp32 rounding deviates and this probe is expected to reject (recorded
-    on the plan).  Behaviour is never traded for speed.
+    power-of-two scale folds break — is pushed through both.
+
+    Returns ``(bit_ok, grid_ulp)``: whether the final (post-quantize, in
+    half mode) outputs are bit-equal — the only signal the default
+    ``precision="bit"`` tier consults — and the measured maximum deviation
+    of those outputs in grid steps at the stage's scale
+    (:func:`grid_steps_at_scale`), which the opt-in ulp tier bounds
+    against :data:`ULP_TIER_MAX_ULP`.  Under the bit tier any deviation rejects
+    the fold and the stage runs as the exact affine pass instead; for
+    non-trivial statistics the reassociated fp32 rounding deviates and
+    this probe is expected to reject (recorded on the plan).  Behaviour is
+    never traded for speed.
     """
 
     nd = len(spec.kernel)
@@ -599,22 +777,40 @@ def _bn_fold_matches(bn_spec, spec: "_ConvSpec", folded: "_ConvSpec",
     got = conv_forward(q(x), folded.w_raw, folded.stride, folded.padding,
                        bias=folded.bias)
     if half:
-        ref = quantize_fp16(ref)
-        got = quantize_fp16(got)
-    return bool(np.array_equal(got, ref))
+        refq = quantize_fp16(ref)
+        gotq = quantize_fp16(got)
+        return (bool(np.array_equal(gotq, refq)),
+                grid_steps_at_scale(gotq, refq, True))
+    return bool(np.array_equal(got, ref)), grid_steps_at_scale(got, ref, False)
 
 
-def _try_fold_bn_conv(bn_spec, spec: "_ConvSpec",
-                      half: bool) -> tuple["_ConvSpec | None", str]:
-    """Speculatively fold ``BN → Conv``; returns (folded spec | None, reason)."""
+def _try_fold_bn_conv(bn_spec, spec: "_ConvSpec", half: bool,
+                      precision: str = "bit",
+                      ) -> tuple["_ConvSpec | None", str, int]:
+    """Speculatively fold ``BN → Conv``.
+
+    Returns ``(folded spec | None, reason, max_ulp)``.  Under the default
+    ``precision="bit"`` only a probe-proven bit-equal fold is kept
+    (``max_ulp`` is then 0 by definition of the probe).  Under
+    ``precision="ulp"`` a probe-rejected fold is still kept when its
+    measured deviation in grid steps at the stage's scale
+    (:func:`grid_steps_at_scale`) is within :data:`ULP_TIER_MAX_ULP` — the
+    caller must record the returned bound on the plan's
+    :attr:`~CompiledStagePlan.ulp_sites`.
+    """
 
     w_f, b_f = fold_batchnorm(bn_spec, spec.w_raw, spec.bias, "bn_conv")
     folded = _ConvSpec._from_weight(w_f, b_f, spec.kernel, spec.stride,
                                     spec.padding)
-    if _bn_fold_matches(bn_spec, spec, folded, half):
-        return folded, "folded: probe proved bit-equality"
+    bit_ok, raw_ulp = _bn_fold_matches(bn_spec, spec, folded, half)
+    if bit_ok:
+        return folded, "folded: probe proved bit-equality", 0
+    if precision == "ulp" and raw_ulp <= ULP_TIER_MAX_ULP:
+        return folded, (f"folded under ulp tier: probe measured max "
+                        f"{raw_ulp} grid step(s) at stage scale "
+                        f"(cap {ULP_TIER_MAX_ULP})"), raw_ulp
     return None, ("kept affine stage: fold reassociates fp32 rounding "
-                  "(calibration probe mismatch on this build)")
+                  "(calibration probe mismatch on this build)"), raw_ulp
 
 
 #: None until calibrated: whether the integer round-to-nearest-even grid
@@ -756,13 +952,28 @@ def _transposed_gemm_matches(n: int, rows: int, K: int, o: int) -> bool:
     return hit
 
 
-#: (n, rows, K, O, P) → whether the panel-blocked transposed GEMMs reproduce
-#: the per-sample reference contraction bit for bit on this BLAS build.
-_BLOCKED_GEMM_OK: dict = {}
+#: (n, rows, K, O, P) → ``(ulp32, ulp16)``: measured max deviation of the
+#: panel-blocked transposed GEMMs from the per-sample reference contraction
+#: on this BLAS build, in raw fp32 ulps and in fp16 grid steps of the
+#: quantized outputs ((0, 0) = bit-identical).
+_BLOCKED_GEMM_ULP: dict = {}
 
 #: (n, rows, K, O, P) → whether reference-orientation row panels reproduce
 #: the per-sample reference contraction bit for bit on this BLAS build.
 _BLOCKED_REF_GEMM_OK: dict = {}
+
+#: (n, rows, K, O, P) → accepted zero-padded output-channel count (0 = no
+#: padding reproduces the reference bits) for the repacked panel GEMM.
+_BLOCKED_PAD_GEMM_OK: dict = {}
+
+#: Padded output-channel counts the repack probe tries, in order.  Small
+#: multiples of the BLAS micro-kernel register tile: padding O∈{1,2} up to
+#: one of these makes the panel GEMM dispatch the well-shaped kernel.
+_PAD_CHANNELS = (8, 16)
+
+#: Repacking is only attempted for pathologically narrow GEMMs — the two
+#: calibration-rejected transposed-conv shapes have O ∈ {1, 2}.
+_PAD_MAX_O = 2
 
 
 def _panel_cols(K: int, ow: int, m: int) -> int:
@@ -773,7 +984,7 @@ def _panel_cols(K: int, ow: int, m: int) -> int:
     return min(int(rows) * ow, m)
 
 
-def _blocked_gemm_matches(n: int, rows: int, K: int, o: int, P: int) -> bool:
+def _blocked_gemm_ulp(n: int, rows: int, K: int, o: int, P: int) -> tuple[int, int]:
     """Calibrate the panel-blocked GEMM formulation for one problem shape.
 
     The blocked executor runs one ``(O, K) @ (K, P)`` GEMM per gathered
@@ -781,15 +992,22 @@ def _blocked_gemm_matches(n: int, rows: int, K: int, o: int, P: int) -> bool:
     Each output element is the same K-term dot product as the reference
     per-sample contraction, and BLAS's k-accumulation order is a function
     of problem shape only — so one dense-random probe per shape, comparing
-    every panel against the per-sample reference on raw bits, decides
-    whether the blocked formulation may be used.  Behaviour is never traded
-    for speed; the probe costs one reference pass plus the panel GEMMs,
-    once per (batch, shape, panel) — comparable to a single module-path
-    convolution at the same shape.
+    every panel against the per-sample reference on raw bits, measures the
+    formulation's deviation once per (batch, shape, panel) — comparable in
+    cost to a single module-path convolution at the same shape.
+
+    Returns ``(ulp32, ulp16)``: the maximum deviation in grid steps at the
+    probe's scale (:func:`grid_steps_at_scale`) measured on the fp32
+    results and on their fp16-snapped images.  ``ulp32 == 0`` means
+    bit-identical — the only value the default ``precision="bit"`` tier
+    accepts; the opt-in ulp tier bounds the metric of the plan's stored
+    grid (``ulp16`` when the fp16 snap follows, ``ulp32`` otherwise)
+    against :data:`ULP_TIER_MAX_ULP`.  Behaviour is never traded for
+    speed.
     """
 
     key = (n, rows, K, o, P)
-    hit = _BLOCKED_GEMM_OK.get(key)
+    hit = _BLOCKED_GEMM_ULP.get(key)
     if hit is None:
         rng = np.random.default_rng(0xB10C)
         m = n * rows
@@ -801,21 +1019,98 @@ def _blocked_gemm_matches(n: int, rows: int, K: int, o: int, P: int) -> bool:
         bt = np.ascontiguousarray(b.T)
         panel = np.empty((K, P), dtype=np.float32)
         got = np.empty((o, P), dtype=np.float32)
-        hit = True
+        err32 = err16 = 0.0
+        exact = True
         for c0 in range(0, m, P):
             pw = min(P, m - c0)
             if pw == P:
                 np.copyto(panel, a[c0:c0 + P].T)
                 np.dot(bt, panel, out=got)
-                ok = np.array_equal(got.T, ref[c0:c0 + P])
+                gp = got.T
             else:
                 tail = np.ascontiguousarray(a[c0:c0 + pw].T)
-                got_t = np.dot(bt, tail)
-                ok = np.array_equal(got_t.T, ref[c0:c0 + pw])
-            if not ok:
-                hit = False
+                gp = np.dot(bt, tail).T
+            rp = ref[c0:c0 + pw]
+            if not np.array_equal(gp, rp):
+                exact = False
+                err32 = max(err32, float(np.max(np.abs(gp - rp))))
+                # Probe dot products stay far inside the fp16 range
+                # (|x| ≲ 4·√K), so the plain cast is the grid snap.
+                d16 = (gp.astype(np.float16).astype(np.float32)
+                       - rp.astype(np.float16).astype(np.float32))
+                err16 = max(err16, float(np.max(np.abs(d16))))
+        if exact:
+            hit = (0, 0)
+        else:
+            scale = float(np.max(np.abs(ref)))
+            s32 = float(np.spacing(np.float32(scale)))
+            s16 = float(np.spacing(np.float16(min(scale, _FP16_MAX))))
+            # A non-bit-equal probe must report ≥ 1 on the fp32 metric:
+            # ulp32 == 0 is the bit tier's acceptance signal.
+            hit = (max(1, int(np.ceil(err32 / s32))),
+                   int(np.ceil(err16 / s16)))
+        _BLOCKED_GEMM_ULP[key] = hit
+    return hit
+
+
+def _blocked_gemm_matches(n: int, rows: int, K: int, o: int, P: int) -> bool:
+    """Bit-tier gate on :func:`_blocked_gemm_ulp` (deviation must be 0)."""
+
+    return _blocked_gemm_ulp(n, rows, K, o, P)[0] == 0
+
+
+def _blocked_pad_gemm_matches(n: int, rows: int, K: int, o: int, P: int) -> int:
+    """Calibrate the repacked (zero-padded output channel) panel GEMM.
+
+    The two paper-scale transposed-conv GEMMs with O ≤ 2 fail
+    :func:`_blocked_gemm_ulp` because BLAS dispatches a narrow
+    matrix-vector-ish kernel for 1–2 result rows whose k-accumulation
+    differs from the per-sample reference.  Repacking the weight operand as
+    ``(O_pad, K)`` with ``O_pad − O`` zero rows makes the same panels
+    dispatch the well-shaped GEMM kernel; rows ``O..O_pad`` of the result
+    are discarded.  Zero weight rows cannot change the retained rows'
+    dot products — but whether the *padded* dispatch reproduces the
+    reference bits is still decided by this probe, never assumed: each
+    candidate ``O_pad`` in :data:`_PAD_CHANNELS` is compared panel-by-panel
+    against the per-sample reference on raw bits, and the first bit-equal
+    padding wins.  Returns the accepted ``O_pad``, or 0 when none matches
+    (the shape then falls back to reference-orientation row panels).
+    """
+
+    key = (n, rows, K, o, P)
+    hit = _BLOCKED_PAD_GEMM_OK.get(key)
+    if hit is None:
+        rng = np.random.default_rng(0xB10E)
+        m = n * rows
+        a = rng.standard_normal((m, K), dtype=np.float32)
+        b = np.asfortranarray(rng.standard_normal((K, o), dtype=np.float32))
+        ref = np.empty((m, o), dtype=np.float32)
+        for i in range(n):
+            np.dot(a[i * rows:(i + 1) * rows], b, out=ref[i * rows:(i + 1) * rows])
+        bt = np.ascontiguousarray(b.T)
+        panel = np.empty((K, P), dtype=np.float32)
+        hit = 0
+        for opad in _PAD_CHANNELS:
+            wp = np.zeros((opad, K), dtype=np.float32)
+            wp[:o] = bt
+            got = np.empty((opad, P), dtype=np.float32)
+            ok = True
+            for c0 in range(0, m, P):
+                pw = min(P, m - c0)
+                if pw == P:
+                    np.copyto(panel, a[c0:c0 + P].T)
+                    np.dot(wp, panel, out=got)
+                    ok = np.array_equal(got[:o].T, ref[c0:c0 + P])
+                else:
+                    tail = np.ascontiguousarray(a[c0:c0 + pw].T)
+                    got_t = np.dot(wp, tail)
+                    ok = np.array_equal(got_t[:o].T, ref[c0:c0 + pw])
+                if not ok:
+                    break
+            if ok:
+                hit = opad
                 break
-        _BLOCKED_GEMM_OK[key] = hit
+        _BLOCKED_PAD_GEMM_OK[key] = hit
     return hit
 
 
@@ -945,19 +1240,59 @@ class CompiledStagePlan:
         but lose the steady-state reuse.
     prefix:
         Workspace key namespace for this plan's buffers.
+    precision:
+        ``"bit"`` (default): every fast formulation must be proven
+        bit-identical by its calibration probe — behaviour is never traded
+        for speed.  ``"ulp"`` (opt-in serving tier): BN→Conv folds and
+        panel-blocked GEMM formulations whose probe measured a nonzero but
+        bounded deviation (≤ :data:`ULP_TIER_MAX_ULP` fp32 ulps per site)
+        are kept for speed; every engagement is recorded on
+        :attr:`ulp_sites` and checked by the plan verifier's bound chain.
+        Outputs remain deterministic — the same plan produces the same
+        bits on every run at every thread count — they are just no longer
+        the module graph's bits at the relaxed sites.
+    panel_threads:
+        Worker count for the intra-plan panel executor (blocked im2col
+        panels of one GEMM run concurrently; NumPy releases the GIL inside
+        ``np.dot``).  ``None`` reads the ``REPRO_PANEL_THREADS``
+        environment knob, default 1 (serial).  Each thread owns its
+        workspace slabs and panels write disjoint output columns, so
+        results are bit-identical at any thread count.
     """
 
     def __init__(self, stages, half: bool = True,
-                 workspace: Workspace | None = None, prefix: str = "") -> None:
+                 workspace: Workspace | None = None, prefix: str = "",
+                 precision: str = "bit",
+                 panel_threads: int | None = None) -> None:
         kinds = stage_kinds(stages)
         if kinds is None:
             raise TypeError(
                 "stage sequence is outside the compiled vocabulary; "
                 "guard with stage_kinds()"
             )
+        if precision not in PRECISIONS:
+            raise ValueError(
+                f"precision must be one of {PRECISIONS}, got {precision!r}"
+            )
         self.half = bool(half)
+        self.precision = precision
+        self.panel_threads = _resolve_panel_threads(panel_threads)
         self.prefix = prefix
         self._ws = Workspace() if workspace is None else workspace
+        #: Relaxed-numerics engagements of the ulp tier: one record per
+        #: site (BN fold or blocked-GEMM formulation) the bit-equality
+        #: probe rejected but the ulp tier kept, with the probe's measured
+        #: max fp32-ulp deviation.  Always empty under ``precision="bit"``
+        #: — the plan verifier errors otherwise.
+        self.ulp_sites: list[dict] = []
+        #: Per-GEMM-site execution stats (formulation, panel/thread counts)
+        #: recorded by :meth:`_gemm` on each run — see :meth:`plan_stats`.
+        self._gemm_stats: dict = {}
+        #: Lazily created panel executor (``panel_threads − 1`` workers;
+        #: the caller thread always runs slot 0).
+        self._panel_executor: concurrent.futures.ThreadPoolExecutor | None = None
+        #: Zero-padded ``(O_pad, K)`` weight operands for repacked GEMMs.
+        self._wpad: dict = {}
         # Canvases stay fp32 even in half mode: their values are fp16 grid
         # points, but numpy's casting copy of *strided* views is ~7× slower
         # than a same-dtype copy, and the im2col gather reads canvases far
@@ -1061,11 +1396,18 @@ class CompiledStagePlan:
                         k for k in range(i + 1, len(self._ops))
                         if self._ops[k][0] != "identity"
                     )
-                    folded, reason = _try_fold_bn_conv(op, self._ops[j][1],
-                                                       self.half)
+                    folded, reason, fold_ulp = _try_fold_bn_conv(
+                        op, self._ops[j][1], self.half, self.precision
+                    )
                     if folded is not None:
                         self._ops[i] = ("identity", None)
                         self._ops[j] = (self._ops[j][0], folded)
+                        if fold_ulp:
+                            self.ulp_sites.append(
+                                {"site": "bn-fold", "stage": i,
+                                 "placement": "bnorm->conv",
+                                 "max_ulp": fold_ulp}
+                            )
                     self.bn_folds.append(
                         {"stage": i, "site": "bnorm->conv",
                          "folded": folded is not None, "reason": reason}
@@ -1082,11 +1424,18 @@ class CompiledStagePlan:
                     continue
                 bn1, bn2, bn3 = norms
                 if bn1 is not None:
-                    folded, reason = _try_fold_bn_conv(bn1, specs[1],
-                                                       self.half)
+                    folded, reason, fold_ulp = _try_fold_bn_conv(
+                        bn1, specs[1], self.half, self.precision
+                    )
                     if folded is not None:
                         specs = specs[:1] + (folded,) + specs[2:]
                         bn1 = None
+                        if fold_ulp:
+                            self.ulp_sites.append(
+                                {"site": "bn-fold", "stage": i,
+                                 "placement": "norm1->inner-conv",
+                                 "max_ulp": fold_ulp}
+                            )
                     self.bn_folds.append(
                         {"stage": i, "site": "norm1->inner-conv",
                          "folded": folded is not None, "reason": reason}
@@ -1132,6 +1481,38 @@ class CompiledStagePlan:
         """Current workspace footprint (grows to the largest batch seen)."""
 
         return self._ws.nbytes()
+
+    def plan_stats(self) -> dict:
+        """Execution summary: what compiled to what, and what ran how.
+
+        Returns a plain-dict observability record: per-stage kind counts,
+        BN fold decisions, per-GEMM-site formulation/panel/thread stats (as
+        recorded by the most recent :meth:`run` — empty until a run has
+        happened, since panel counts depend on the batch geometry),
+        ulp-tier engagements, and the workspace footprint.  Printed by
+        ``repro-tpc analyze --stats``.
+        """
+
+        kind_counts: dict[str, int] = {}
+        for kind, _op in self._ops:
+            kind_counts[kind] = kind_counts.get(kind, 0) + 1
+        return {
+            "precision": self.precision,
+            "half": self.half,
+            "panel_threads": self.panel_threads,
+            "stage_kinds": kind_counts,
+            "bn_folds": {
+                "folded": sum(1 for d in self.bn_folds if d["folded"]),
+                "kept": sum(1 for d in self.bn_folds if not d["folded"]),
+                "decisions": [dict(d) for d in self.bn_folds],
+            },
+            "gemms": {
+                repr(k): dict(v)
+                for k, v in sorted(self._gemm_stats.items(), key=repr)
+            },
+            "ulp_sites": [dict(s) for s in self.ulp_sites],
+            "workspace_bytes": self.workspace_bytes,
+        }
 
     def input_padding(self) -> tuple[tuple[int, int], ...]:
         """Padding the input canvas needs for the plan's first consumer."""
@@ -1302,17 +1683,48 @@ class CompiledStagePlan:
         # m = n·prod(out_spatial) is a whole multiple of ow by construction,
         # so panels always cover whole innermost-axis rows.
         if m * K * 4 >= _BLOCKED_MIN_BYTES:
-            if _blocked_gemm_matches(n, rows, K, o, P):
+            n_full = m // P
+            n_panels = n_full + (1 if m % P else 0)
+            T = max(1, min(self.panel_threads, n_full))
+
+            def cm_t(arr, n=n, out_spatial=out_spatial):
+                return arr.reshape((arr.shape[0], n) + out_spatial)
+
+            u32, u16 = _blocked_gemm_ulp(n, rows, K, o, P)
+            # The fp16 metric only governs when the fused epilogue actually
+            # snaps this GEMM's output onto the fp16 grid; otherwise the
+            # raw fp32 values flow downstream and the fp32 metric applies.
+            u = u16 if (self.half and epilogue_bound is not None) else u32
+            if u32 == 0 or (self.precision == "ulp" and u <= ULP_TIER_MAX_ULP):
+                if u:
+                    self._note_ulp_site(key, "blocked-gemm", u)
                 y2 = self._blocked_gemm(key, spec, canvas, out_spatial, P,
                                         epilogue_bound)
-
-                def cm(arr, n=n, out_spatial=out_spatial):
-                    return arr.reshape((arr.shape[0], n) + out_spatial)
-
-                return y2, out_spatial, cm, True
+                self._gemm_stats[key] = {
+                    "formulation": "blocked", "m": m, "K": K, "o": o,
+                    "opad": 0, "panels": n_panels, "threads": T,
+                    "max_ulp": int(u),
+                }
+                return y2, out_spatial, cm_t, True
+            opad = (_blocked_pad_gemm_matches(n, rows, K, o, P)
+                    if o <= _PAD_MAX_O else 0)
+            if opad:
+                y2 = self._blocked_gemm(key, spec, canvas, out_spatial, P,
+                                        epilogue_bound, opad=opad)
+                self._gemm_stats[key] = {
+                    "formulation": "blocked_pad", "m": m, "K": K, "o": o,
+                    "opad": opad, "panels": n_panels, "threads": T,
+                    "max_ulp": 0,
+                }
+                return y2, out_spatial, cm_t, True
             if _blocked_ref_gemm_matches(n, rows, K, o, P):
                 y2 = self._blocked_ref_gemm(key, spec, canvas, out_spatial, P,
                                             epilogue_bound)
+                self._gemm_stats[key] = {
+                    "formulation": "blocked_ref", "m": m, "K": K, "o": o,
+                    "opad": 0, "panels": n_panels, "threads": T,
+                    "max_ulp": 0,
+                }
 
                 def cm(arr, n=n, out_spatial=out_spatial, nd=nd):
                     return arr.reshape((n,) + out_spatial + (-1,)).transpose(
@@ -1322,6 +1734,10 @@ class CompiledStagePlan:
                 return y2, out_spatial, cm, True
 
         if _transposed_gemm_matches(n, rows, K, o):
+            self._gemm_stats[key] = {
+                "formulation": "transposed", "m": m, "K": K, "o": o,
+                "opad": 0, "panels": 1, "threads": 1, "max_ulp": 0,
+            }
             atT = self._ws.get((key, "atT"), (K, m))
             cached = self._wins.get(key)
             if cached is None or cached[0] is not canvas or cached[1] is not atT:
@@ -1344,6 +1760,10 @@ class CompiledStagePlan:
             def cm(arr, n=n, out_spatial=out_spatial):
                 return arr.reshape((arr.shape[0], n) + out_spatial)
         else:
+            self._gemm_stats[key] = {
+                "formulation": "reference", "m": m, "K": K, "o": o,
+                "opad": 0, "panels": 1, "threads": 1, "max_ulp": 0,
+            }
             at = self._ws.get((key, "at"), (m, K))
             cached = self._wins.get(key)
             if cached is None or cached[0] is not canvas or cached[1] is not at:
@@ -1374,9 +1794,33 @@ class CompiledStagePlan:
         return y2, out_spatial, cm, False
 
     # ------------------------------------------------------------------
+    def _note_ulp_site(self, key, site: str, max_ulp: int) -> None:
+        """Record one ulp-tier engagement (idempotent per (key, site))."""
+
+        for rec in self.ulp_sites:
+            if rec.get("key") == key and rec["site"] == site:
+                return
+        self.ulp_sites.append(
+            {"site": site, "key": key, "max_ulp": int(max_ulp)}
+        )
+
+    def _panel_pool(self, workers: int) -> concurrent.futures.ThreadPoolExecutor:
+        """The plan's shared panel executor, (re)built for ≥ ``workers``."""
+
+        pool = self._panel_executor
+        if pool is None or getattr(pool, "_repro_workers", 0) < workers:
+            if pool is not None:
+                pool.shutdown(wait=True)
+            pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-panel"
+            )
+            pool._repro_workers = workers
+            self._panel_executor = pool
+        return pool
+
     def _blocked_gemm(self, key, spec: _ConvSpec, canvas: np.ndarray,
                       out_spatial: tuple[int, ...], P: int,
-                      epilogue_bound: float | None) -> np.ndarray:
+                      epilogue_bound: float | None, opad: int = 0) -> np.ndarray:
         """Panel-blocked transposed gather + GEMM with a fused epilogue.
 
         Gathers whole innermost-axis output rows into a cache-sized
@@ -1385,9 +1829,24 @@ class CompiledStagePlan:
         clip (only when the bound says ±65504 is reachable) and the
         fp16-grid snap — while the panel is hot, then writes the finished
         columns into the monolithic ``(O, M)`` result.  Bits are identical
-        to the monolithic formulations (calibrated); only the memory
-        traffic changes: the ``(K, M)`` im2col buffer never exists and the
-        epilogue reads come from cache instead of DRAM.
+        to the calibrated probe formulation; only the memory traffic
+        changes: the ``(K, M)`` im2col buffer never exists and the epilogue
+        reads come from cache instead of DRAM.
+
+        With ``opad > 0`` the repacked weight operand — ``(O_pad, K)`` with
+        zero rows beyond ``O`` — is used so BLAS dispatches its well-shaped
+        GEMM kernel for the two paper-scale O ≤ 2 transposed-conv shapes
+        (probed by :func:`_blocked_pad_gemm_matches`); the epilogue and the
+        store only ever touch the real ``[:O]`` rows.
+
+        Full panels fan out over the plan's panel executor: slot ``s`` of
+        ``T`` owns panels ``s, s+T, s+2T, …`` plus its private workspace
+        slabs (acquired on the caller thread before any worker starts, so
+        the parallel region performs no allocation and no workspace-dict
+        mutation).  Panels write disjoint column ranges of ``y2`` and the
+        panel split is independent of ``T``, so output bits are identical
+        at every thread count; the tail panel (when ``P ∤ M``) runs on the
+        caller thread after the join.
         """
 
         c, n = canvas.shape[:2]
@@ -1416,49 +1875,107 @@ class CompiledStagePlan:
             self._wins[key] = cached
         tvk = cached[1]
 
-        panel = self._ws.get((key, "panel"), ((c,) + kernel + (P,)))
-        panel2 = panel.reshape(K, P)
+        if opad:
+            wt_op = self._wpad.get((key, opad))
+            if wt_op is None:
+                wt_op = np.zeros((opad, K), dtype=np.float32)
+                wt_op[:o] = spec.wtT
+                self._wpad[(key, opad)] = wt_op
+        else:
+            wt_op = spec.wtT
+        oy = opad if opad else o
+
         y2 = self._ws.get((key, "y2B"), (o, m))
         lead = (slice(None),) * (1 + nd)
         snap = self.half and epilogue_bound is not None
         clip = snap and epilogue_bound >= _FP16_MAX
         use_bits = _fast_snap_ok()
 
-        for c0 in range(0, m, P):
-            pw = min(P, m - c0)
-            if pw == P:
-                dst, mat = panel, panel2
-                yp = self._ws.get((key, "yp"), (o, P))
-            else:
-                dst = self._ws.get((key, "panel_t"), ((c,) + kernel + (pw,)))
-                mat = dst.reshape(K, pw)
-                yp = self._ws.get((key, "yp_t"), (o, pw))
-            # Gather whole w-rows: each copy moves a (C, *k, ow) block.
-            for j in range(pw // ow):
+        n_full = m // P
+        tail = m - n_full * P
+        T = max(1, min(self.panel_threads, n_full))
+
+        # Per-slot slabs, all acquired before any worker runs.
+        slots = []
+        for slot in range(T):
+            dst = self._ws.get((key, "panel", slot), ((c,) + kernel + (P,)))
+            yp = self._ws.get((key, "yp", slot), (oy, P))
+            scr = s16 = None
+            if snap:
+                if use_bits:
+                    scr = self._ws.snap_scratch((key, "psnap", slot), (o, P))
+                else:
+                    s16 = self._ws.get((key, "ps16", slot), (o, P), np.float16)
+            slots.append((dst, dst.reshape(K, P), yp, scr, s16))  # lint: allow-alloc — per-slot setup, caller thread
+
+        def run_slot(slot: int) -> None:
+            dst, mat, yp, scr, s16 = slots[slot]
+            for c0 in range(slot * P, n_full * P, T * P):
+                # Gather whole w-rows: each copy moves a (C, *k, ow) block.
+                for j in range(P // ow):
+                    idx = np.unravel_index((c0 + j * ow) // ow, outer_shape)
+                    np.copyto(
+                        dst[lead + (slice(j * ow, (j + 1) * ow),)],
+                        tvk[lead + tuple(idx)],
+                    )
+                np.dot(wt_op, mat, out=yp)
+                ypv = yp[:o]
+                if spec.bias_col is not None:
+                    ypv += spec.bias_col
+                if snap:
+                    if clip:
+                        np.clip(ypv, -_FP16_MAX, _FP16_MAX, out=ypv)
+                    if use_bits:
+                        u, uf, a, mask, d = scr
+                        out = _snap_bits(ypv, u, uf, a, mask, d)
+                    else:
+                        np.copyto(s16, ypv, casting="unsafe")
+                        np.copyto(ypv, s16)
+                        out = ypv
+                    np.copyto(y2[:, c0:c0 + P], out)
+                else:
+                    np.copyto(y2[:, c0:c0 + P], ypv)
+
+        if T == 1:
+            run_slot(0)
+        else:
+            pool = self._panel_pool(T - 1)
+            futures = [pool.submit(run_slot, s) for s in range(1, T)]
+            run_slot(0)
+            for f in futures:
+                f.result()
+
+        if tail:
+            c0 = n_full * P
+            dst = self._ws.get((key, "panel_t"), ((c,) + kernel + (tail,)))
+            mat = dst.reshape(K, tail)
+            yp = self._ws.get((key, "yp_t"), (oy, tail))
+            for j in range(tail // ow):
                 idx = np.unravel_index((c0 + j * ow) // ow, outer_shape)
                 np.copyto(
                     dst[lead + (slice(j * ow, (j + 1) * ow),)],
                     tvk[lead + tuple(idx)],
                 )
-            np.dot(spec.wtT, mat, out=yp)
+            np.dot(wt_op, mat, out=yp)
+            ypv = yp[:o]
             if spec.bias_col is not None:
-                yp += spec.bias_col
+                ypv += spec.bias_col
             if snap:
                 if clip:
-                    np.clip(yp, -_FP16_MAX, _FP16_MAX, out=yp)
+                    np.clip(ypv, -_FP16_MAX, _FP16_MAX, out=ypv)
                 if use_bits:
                     u, uf, a, mask, d = self._ws.snap_scratch(
-                        (key, "psnap", pw), yp.shape
+                        (key, "psnap_t"), ypv.shape
                     )
-                    out = _snap_bits(yp, u, uf, a, mask, d)
+                    np.copyto(y2[:, c0:c0 + tail],
+                              _snap_bits(ypv, u, uf, a, mask, d))
                 else:
-                    s16 = self._ws.get((key, "ps16", pw), yp.shape, np.float16)
-                    np.copyto(s16, yp, casting="unsafe")
-                    np.copyto(yp, s16)
-                    out = yp
-                np.copyto(y2[:, c0:c0 + pw], out)
+                    s16 = self._ws.get((key, "ps16_t"), ypv.shape, np.float16)
+                    np.copyto(s16, ypv, casting="unsafe")
+                    np.copyto(ypv, s16)
+                    np.copyto(y2[:, c0:c0 + tail], ypv)
             else:
-                np.copyto(y2[:, c0:c0 + pw], yp)
+                np.copyto(y2[:, c0:c0 + tail], ypv)
         return y2
 
     # ------------------------------------------------------------------
@@ -1474,6 +1991,12 @@ class CompiledStagePlan:
         the transposed panels fail calibration (tiny output-channel
         counts); bits are identical to the per-sample reference
         (calibrated), only the ``(M, K)`` im2col buffer disappears.
+
+        Parallelized exactly like :meth:`_blocked_gemm`: slot ``s`` of
+        ``T`` owns full panels ``s, s+T, …`` with private slabs acquired
+        before any worker starts, panels write disjoint *row* ranges of
+        ``y2``, and the tail runs on the caller thread after the join —
+        bit-identical at every thread count.
         """
 
         c, n = canvas.shape[:2]
@@ -1501,20 +2024,65 @@ class CompiledStagePlan:
             self._wins[key] = cached
         tv = cached[1]
 
-        panel = self._ws.get((key, "rpanel"), (P, K))
-        pv = panel.reshape((P, c) + kernel)
         y2 = self._ws.get((key, "y2R"), (m, o))
         snap = self.half and epilogue_bound is not None
         clip = snap and epilogue_bound >= _FP16_MAX
         use_bits = _fast_snap_ok()
 
-        for c0 in range(0, m, P):
-            pw = min(P, m - c0)
-            for j in range(pw // ow):
+        n_full = m // P
+        tail = m - n_full * P
+        T = max(1, min(self.panel_threads, n_full))
+
+        # Per-slot slabs, all acquired before any worker runs.
+        slots = []
+        for slot in range(T):
+            panel = self._ws.get((key, "rpanel", slot), (P, K))
+            scr = s16 = None
+            if snap:
+                if use_bits:
+                    scr = self._ws.snap_scratch((key, "rsnap", slot), (P, o))
+                else:
+                    s16 = self._ws.get((key, "rs16", slot), (P, o), np.float16)
+            slots.append((panel, panel.reshape((P, c) + kernel), scr, s16))  # lint: allow-alloc — per-slot setup, caller thread
+
+        def run_slot(slot: int) -> None:
+            panel, pv, scr, s16 = slots[slot]
+            for c0 in range(slot * P, n_full * P, T * P):
+                for j in range(P // ow):
+                    idx = np.unravel_index((c0 + j * ow) // ow, outer_shape)
+                    np.copyto(pv[j * ow:(j + 1) * ow], tv[tuple(idx)])
+                yp = y2[c0:c0 + P]
+                np.dot(panel, spec.wt, out=yp)
+                if spec.bias is not None:
+                    yp += spec.bias
+                if snap:
+                    if clip:
+                        np.clip(yp, -_FP16_MAX, _FP16_MAX, out=yp)
+                    if use_bits:
+                        u, uf, a, mask, d = scr
+                        np.copyto(yp, _snap_bits(yp, u, uf, a, mask, d))
+                    else:
+                        np.copyto(s16, yp, casting="unsafe")
+                        np.copyto(yp, s16)
+
+        if T == 1:
+            run_slot(0)
+        else:
+            pool = self._panel_pool(T - 1)
+            futures = [pool.submit(run_slot, s) for s in range(1, T)]
+            run_slot(0)
+            for f in futures:
+                f.result()
+
+        if tail:
+            c0 = n_full * P
+            panel = self._ws.get((key, "rpanel_t"), (tail, K))
+            pv = panel.reshape((tail, c) + kernel)
+            for j in range(tail // ow):
                 idx = np.unravel_index((c0 + j * ow) // ow, outer_shape)
                 np.copyto(pv[j * ow:(j + 1) * ow], tv[tuple(idx)])
-            yp = y2[c0:c0 + pw]
-            np.dot(panel[:pw] if pw < P else panel, spec.wt, out=yp)
+            yp = y2[c0:c0 + tail]
+            np.dot(panel, spec.wt, out=yp)
             if spec.bias is not None:
                 yp += spec.bias
             if snap:
@@ -1522,11 +2090,11 @@ class CompiledStagePlan:
                     np.clip(yp, -_FP16_MAX, _FP16_MAX, out=yp)
                 if use_bits:
                     u, uf, a, mask, d = self._ws.snap_scratch(
-                        (key, "rsnap", pw), yp.shape
+                        (key, "rsnap_t"), yp.shape
                     )
                     np.copyto(yp, _snap_bits(yp, u, uf, a, mask, d))
                 else:
-                    s16 = self._ws.get((key, "rs16", pw), yp.shape, np.float16)
+                    s16 = self._ws.get((key, "rs16_t"), yp.shape, np.float16)
                     np.copyto(s16, yp, casting="unsafe")
                     np.copyto(yp, s16)
         return y2

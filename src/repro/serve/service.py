@@ -61,6 +61,7 @@ from typing import AsyncIterator, Iterable, Iterator, Sequence
 import numpy as np
 
 from ..core.compressor import BCAECompressor, CompressedWedges
+from ..core.fast_plan import PRECISIONS
 from ..io.codes import split_compressed
 from ..perf.timing import LatencySummary, ThroughputResult, summarize_latencies, throughput_from_batches
 from .batcher import AsyncMicroBatcher, MicroBatch, MicroBatcher
@@ -118,6 +119,16 @@ class ServiceConfig:
         Slab size in MiB for ``transport="shm"``.  One slab serves both
         directions of a unit, so it should fit ``max(input, result)``
         bytes; the ring holds ``inflight`` slabs.
+    precision:
+        Compilation tier of every pooled compressor: ``"bit"`` (default —
+        payload bytes proven identical to the module path) or the opt-in
+        ``"ulp"`` serving tier with its recorded stored-grid error bounds
+        (see :data:`repro.core.fast_plan.ULP_TIER_MAX_ULP`).
+    panel_threads:
+        Intra-plan panel executor width for every pooled compressor
+        (``None`` → the ``REPRO_PANEL_THREADS`` environment knob).  Output
+        bytes are identical at any value; this composes with ``workers``
+        (inter-batch) as the intra-batch parallelism axis.
 
     Example
     -------
@@ -125,7 +136,7 @@ class ServiceConfig:
     >>> ServiceConfig(max_batch=16, workers=4, backend="process").transport
     'shm'
     >>> ServiceConfig(max_delay_s=0.002)          # 2 ms latency budget
-    ServiceConfig(max_batch=8, max_delay_s=0.002, workers=0, backend='thread', half=True, inflight=8, transport='shm', shm_slab_mb=16.0)
+    ServiceConfig(max_batch=8, max_delay_s=0.002, workers=0, backend='thread', half=True, inflight=8, transport='shm', shm_slab_mb=16.0, precision='bit', panel_threads=None)
     """
 
     max_batch: int = 8
@@ -136,10 +147,16 @@ class ServiceConfig:
     inflight: int = 8
     transport: str = "shm"
     shm_slab_mb: float = 16.0
+    precision: str = "bit"
+    panel_threads: int | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.precision not in PRECISIONS:
+            raise ValueError(
+                f"precision must be one of {PRECISIONS}, got {self.precision!r}"
+            )
         if self.inflight < 1:
             raise ValueError(f"inflight must be >= 1, got {self.inflight}")
         if self.backend not in _BACKENDS:
@@ -290,7 +307,7 @@ class ModelPoolService:
         self._pool_lock = threading.Lock()
         prewarm = 1 if self.config.backend == "process" else max(1, self.config.workers)
         self._idle: list[BCAECompressor] = [
-            BCAECompressor(model, half=self.config.half) for _ in range(prewarm)
+            self._build_compressor() for _ in range(prewarm)
         ]
         #: Debug counters of the last process-backend stream's transport
         #: (shm ring name, slab stats, fallback counts) — see
@@ -299,11 +316,17 @@ class ModelPoolService:
         self.last_shm: dict = {}
 
     # ------------------------------------------------------------------
+    def _build_compressor(self) -> BCAECompressor:
+        cfg = self.config
+        return BCAECompressor(self.model, half=cfg.half,
+                              precision=cfg.precision,
+                              panel_threads=cfg.panel_threads)
+
     def _acquire(self) -> BCAECompressor:
         with self._pool_lock:
             if self._idle:
                 return self._idle.pop()
-        return BCAECompressor(self.model, half=self.config.half)
+        return self._build_compressor()
 
     def _release(self, compressors: list[BCAECompressor]) -> None:
         with self._pool_lock:
@@ -732,9 +755,11 @@ _PROCESS_COMPRESSOR: BCAECompressor | None = None
 _PROCESS_RING: SlabRing | None = None
 
 
-def _process_init(model, half: bool, ring_spec=None) -> None:
+def _process_init(model, half: bool, ring_spec=None, precision: str = "bit",
+                  panel_threads: int | None = None) -> None:
     global _PROCESS_COMPRESSOR, _PROCESS_RING
-    _PROCESS_COMPRESSOR = BCAECompressor(model, half=half)
+    _PROCESS_COMPRESSOR = BCAECompressor(model, half=half, precision=precision,
+                                         panel_threads=panel_threads)
     _PROCESS_RING = SlabRing.attach(ring_spec) if ring_spec is not None else None
 
 
@@ -879,8 +904,10 @@ class _ProcessTransport:
             self.ring = SlabRing.create(cfg.inflight, cfg.slab_nbytes)
 
     def initargs(self) -> tuple:
+        cfg = self._service.config
         spec = self.ring.spec() if self.ring is not None else None
-        return (self._service.model, self._service.config.half, spec)
+        return (self._service.model, cfg.half, spec, cfg.precision,
+                cfg.panel_threads)
 
     # -- per-kind payload plumbing --------------------------------------
     def _unit_array(self, item) -> np.ndarray:

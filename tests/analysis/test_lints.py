@@ -110,6 +110,38 @@ class TestHotPathLint:
         """), "m.py")
         assert diags == []
 
+    def test_workspace_get_in_closure_flagged(self):
+        """HP005: slab acquisition inside a panel-worker closure races the
+        other slots — must happen on the caller thread."""
+
+        diags = lint_hotpath(_src("""
+            class Plan:
+                def _blocked_gemm(self, key):
+                    def run_slot(slot):
+                        panel = self._ws.get((key, slot), (4,))
+                        return panel
+                    return run_slot
+        """), "m.py")
+        assert _rules(diags) == ["HP005"]
+        assert "_ws.get" in diags[0].message
+
+    def test_workspace_get_on_caller_thread_clean(self):
+        """The blessed shape: slabs acquired in the method body (caller
+        thread), the closure only indexes the pre-built list."""
+
+        diags = lint_hotpath(_src("""
+            class Plan:
+                def _blocked_gemm(self, key, T):
+                    slots = []
+                    for slot in range(T):
+                        slots.append(self._ws.get((key, slot), (4,)))  # lint: allow-alloc
+
+                    def run_slot(slot):
+                        return slots[slot]
+                    return run_slot
+        """), "m.py")
+        assert diags == []
+
 
 class TestLeaseLint:
     def test_leaked_lease_flagged(self):

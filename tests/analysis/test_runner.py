@@ -75,3 +75,34 @@ class TestJsonReport:
         assert payload["counts"].get("error", 0) == 0
         assert all({"rule", "severity", "location", "message", "fingerprint"}
                    <= set(d) for d in payload["diagnostics"])
+
+
+class TestPlanStatsRecords:
+    def test_records_carry_plan_stats(self, full_report):
+        """Every plan record ships its plan_stats() summary — what
+        ``analyze --stats`` prints."""
+
+        _report, records = full_report
+        assert records
+        for rec in records:
+            stats = rec["stats"]
+            assert stats["precision"] == "bit"
+            assert stats["panel_threads"] >= 1
+            assert stats["stage_kinds"]
+            # Static verification never executes the plan.
+            assert stats["gemms"] == {}
+
+    def test_ulp_precision_threads_through(self):
+        """The ulp tier compiles and verifies clean through the runner
+        (seed-0 folds engage with recorded 1-step bounds)."""
+
+        from repro.analysis import analyze_model_plans
+
+        diags, records = analyze_model_plans(names=["bcae"],
+                                             precision="ulp")
+        assert not [d for d in diags if d.severity == "error"]
+        stats = {rec["label"]: rec["stats"] for rec in records}
+        assert all(s["precision"] == "ulp" for s in stats.values())
+        sites = [s for st in stats.values() for s in st["ulp_sites"]]
+        assert sites and all(s["max_ulp"] <= rec["ulp"]["cap"]
+                             for s in sites for rec in records)
