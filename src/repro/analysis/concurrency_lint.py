@@ -37,9 +37,19 @@ stalled):
     calls, bare ``open()``, or ``Future.result()`` — each blocks the loop;
     use the ``asyncio`` equivalents or hand off to an executor.
 
-The scoped serving sources currently lint clean on both families; the
-compile-time lease orchestration findings (if any) live in the baseline
-like every other pass's.
+**Unbounded pool-future waits** (over every ``serve/*.py`` module; the
+supervision layer's per-unit deadlines only work when no wait can block
+forever):
+
+``CL020`` (warning)
+    A ``.result()`` call with no ``timeout=`` keyword: under a hung
+    worker this wait never returns and wedges the stream.  Pass a
+    timeout (even a generous one) or route the wait through the
+    supervised engine.  Grandfathered call sites live in the baseline.
+
+The scoped serving sources currently lint clean on the first two
+families; the compile-time lease orchestration findings (if any) live in
+the baseline like every other pass's.
 """
 
 from __future__ import annotations
@@ -52,10 +62,13 @@ from .diagnostics import Diagnostic
 __all__ = [
     "default_async_targets",
     "default_lease_targets",
+    "default_result_targets",
     "lint_async_paths",
     "lint_async_source",
     "lint_lease_paths",
     "lint_lease_source",
+    "lint_result_timeout_paths",
+    "lint_result_timeout_source",
 ]
 
 #: Module-level blocking calls disallowed under ``async def`` (CL010).
@@ -84,6 +97,13 @@ def default_async_targets(root: str | Path) -> list[Path]:
     return [root / "serve" / "source.py", root / "serve" / "batcher.py"]
 
 
+def default_result_targets(root: str | Path) -> list[Path]:
+    """Every serving module: any of them may wait on a pool future."""
+
+    root = Path(root)
+    return sorted((root / "serve").glob("*.py"))
+
+
 def lint_lease_paths(paths, rel_to: str | Path | None = None) -> list[Diagnostic]:
     """Lease-discipline rules over source files."""
 
@@ -103,6 +123,19 @@ def lint_async_paths(paths, rel_to: str | Path | None = None) -> list[Diagnostic
         path = Path(path)
         label = str(path.relative_to(rel_to)) if rel_to else str(path)
         out.extend(lint_async_source(path.read_text(), label))
+    return out
+
+
+def lint_result_timeout_paths(
+    paths, rel_to: str | Path | None = None
+) -> list[Diagnostic]:
+    """Unbounded ``.result()`` rule over source files."""
+
+    out: list[Diagnostic] = []
+    for path in paths:
+        path = Path(path)
+        label = str(path.relative_to(rel_to)) if rel_to else str(path)
+        out.extend(lint_result_timeout_source(path.read_text(), label))
     return out
 
 
@@ -332,3 +365,42 @@ def _blocking_token(node: ast.Call) -> str | None:
         if func.attr in BLOCKING_METHODS:
             return f".{func.attr}"
     return None
+
+
+# ----------------------------------------------------------------------
+# Unbounded pool-future waits
+# ----------------------------------------------------------------------
+
+def lint_result_timeout_source(source: str, path: str) -> list[Diagnostic]:
+    """Run the unbounded-``.result()`` rule (CL020) over one module.
+
+    Flags every ``something.result()`` call with neither a positional
+    argument nor a ``timeout=`` keyword — ``Future.result``'s timeout is
+    its only parameter, so any argument bounds the wait.  AST-static, so
+    non-future receivers that happen to have a ``result`` method are
+    flagged too; baseline such sites rather than weakening the rule.
+    """
+
+    tree = ast.parse(source, filename=path)
+    diags: list[Diagnostic] = []
+    for func, qual in _functions(tree):
+        for node in _walk_own_body(func):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "result"):
+                continue
+            if node.args or any(kw.arg == "timeout" for kw in node.keywords):
+                continue
+            receiver = node.func.value
+            token = (f"{receiver.id}.result"
+                     if isinstance(receiver, ast.Name) else ".result")
+            diags.append(Diagnostic(
+                pass_name="concurrency", rule="CL020", severity="warning",
+                location=f"{path}:{node.lineno}",
+                scope=f"{path}:{qual}",
+                message=(f"{token}() without a timeout: a hung worker makes "
+                         "this wait block forever — pass timeout= or route "
+                         "the wait through the supervised engine"),
+                token=token,
+            ))
+    return diags

@@ -129,6 +129,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="intra-plan panel executor width (default: the "
                         "REPRO_PANEL_THREADS env knob; bytes identical at "
                         "any value)")
+    v.add_argument("--unit-timeout-s", type=float, default=None,
+                   help="per-unit completion deadline; a hung worker is "
+                        "killed, the pool rebuilt, and the unit retried "
+                        "(default: no deadline)")
+    v.add_argument("--max-retries", type=int, default=0,
+                   help="resubmissions per unit after a crash or timeout "
+                        "before its error surfaces (default: fail fast)")
+    v.add_argument("--health-port", type=int, default=None,
+                   help="serve GET /health JSON on this localhost port for "
+                        "the stream's lifetime (0 = ephemeral port)")
     v.add_argument("--baseline", action="store_true",
                    help="also time serial single-wedge compress + verify parity")
     v.add_argument("--seed", type=int, default=0)
@@ -417,8 +427,17 @@ def _cmd_serve(args) -> int:
         half=not args.full,
         precision=args.precision,
         panel_threads=args.panel_threads,
+        unit_timeout_s=args.unit_timeout_s,
+        max_retries=args.max_retries,
     )
     service = StreamingCompressionService(model, config)
+    health_server = None
+    if args.health_port is not None:
+        from .serve import start_health_server
+
+        health_server = start_health_server(service, port=args.health_port)
+        print(f"health endpoint: http://127.0.0.1:"
+              f"{health_server.server_address[1]}/health")
     if config.workers == 0 or config.backend == "thread":
         # Warm the pooled parent-side compressors.  Pointless for the
         # process backend: its workers live only as long as one stream's
@@ -436,6 +455,8 @@ def _cmd_serve(args) -> int:
         payloads, stats = asyncio.run(service.run_async(source))
     else:
         payloads, stats = service.run(wedges)
+    if health_server is not None:
+        health_server.shutdown()
     gateway = "async gateway" if args.use_async else "sync service"
     print(f"served {wedges.shape[0]} wedges {wedges.shape[1:]} "
           f"[{args.model}, {'fp32' if args.full else 'fp16'}, {gateway}]")

@@ -26,6 +26,7 @@ from ..nn import Tensor
 __all__ = [
     "ThroughputResult",
     "LatencySummary",
+    "FaultCounters",
     "summarize_latencies",
     "measure_encoder_throughput",
     "measure_compress_throughput",
@@ -75,6 +76,75 @@ def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
         p99_s=p99,
         max_s=float(arr.max()),
     )
+
+
+@dataclasses.dataclass
+class FaultCounters:
+    """Counts of serving faults and the recovery actions they triggered.
+
+    The currency of the supervision layer in :mod:`repro.serve`: one
+    instance rides on each :class:`~repro.serve.ServiceStats` (that
+    stream's faults) and the service accumulates lifetime totals for
+    :meth:`~repro.serve.ModelPoolService.health`.  All zeros means the
+    stream ran fault-free.
+
+    Attributes
+    ----------
+    crashes:
+        Worker deaths observed (a broken pool, or an in-worker
+        ``WorkerCrashError``).
+    timeouts:
+        Units that exceeded ``ServiceConfig.unit_timeout_s``.
+    retries:
+        Attempts re-submitted after a charged failure (bounded by
+        ``ServiceConfig.max_retries`` per unit).
+    rebuilds:
+        Executor teardown-and-rebuild cycles.
+    ring_rebuilds:
+        Shared-memory slab rings quarantined and recreated (a dead writer
+        may leave a slab mid-write, so the whole segment is replaced).
+    degraded:
+        Circuit-breaker backend step-downs (process → thread → inline).
+    failures:
+        Units whose error ultimately surfaced to the caller (retry budget
+        exhausted or retry not legal).
+    """
+
+    crashes: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    rebuilds: int = 0
+    ring_rebuilds: int = 0
+    degraded: int = 0
+    failures: int = 0
+
+    def merge(self, other: "FaultCounters") -> None:
+        """Accumulate ``other``'s counts into this instance (in place)."""
+
+        for field in dataclasses.fields(self):
+            setattr(self, field.name,
+                    getattr(self, field.name) + getattr(other, field.name))
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (the health endpoint's JSON currency)."""
+
+        return dataclasses.asdict(self)
+
+    @property
+    def total(self) -> int:
+        """Total fault events (crashes + timeouts + surfaced failures)."""
+
+        return self.crashes + self.timeouts + self.failures
+
+    def row(self) -> str:
+        """One-line summary for logs and benches."""
+
+        return (
+            f"crashes={self.crashes} timeouts={self.timeouts} "
+            f"retries={self.retries} rebuilds={self.rebuilds} "
+            f"ring_rebuilds={self.ring_rebuilds} degraded={self.degraded} "
+            f"failures={self.failures}"
+        )
 
 
 @dataclasses.dataclass

@@ -44,9 +44,26 @@ slab (``shm_slab_mb``) degrade per-unit to the ``"pickle"`` transport.
 Slabs are released on emission, on worker exception, and at stream close
 (the segment is unlinked; ``service.last_shm`` records the counters).
 
+**Supervision and fault tolerance.**  Serving is supervised: a worker
+process death (SIGKILL/OOM) is detected, the pool is rebuilt and the slab
+ring quarantined, and the failure surfaces only on the owning unit — or
+the unit succeeds transparently via the bounded retry/backoff policy
+(``ServiceConfig.unit_timeout_s`` / ``max_retries`` / ``backoff_base_s``).
+After ``degrade_after`` consecutive crashes a circuit breaker steps the
+effective backend down process → thread → inline instead of dying
+(:exc:`~repro.serve.service.WorkerCrashError` /
+:exc:`~repro.serve.service.UnitTimeoutError` once budgets are spent).
+:meth:`~repro.serve.service.ModelPoolService.health` reports the
+supervision state machine (healthy → retrying → rebuilding → degraded →
+drained) plus slab-ring occupancy and fault totals —
+:func:`~repro.serve.service.start_health_server` serves it as JSON for
+``repro-tpc serve --health-port`` — and
+:meth:`~repro.serve.service.ModelPoolService.drain` stops intake, flushes
+in-flight units and releases every slab.
+
 Output bytes are identical to serial single-call compress/decompress in
-every configuration — batching, pooling, async ingestion and the slab
-transport are all free correctness-wise.
+every configuration — batching, pooling, async ingestion, the slab
+transport and crash recovery are all free correctness-wise.
 """
 
 from .batcher import AsyncMicroBatcher, MicroBatch, MicroBatcher
@@ -58,14 +75,20 @@ from .service import (
     ModelPoolService,
     ProbeItem,
     ServiceConfig,
+    ServiceHealth,
     ServiceStats,
+    ServingFaultError,
     StreamingCompressionService,
+    UnitTimeoutError,
+    WorkerCrashError,
+    start_health_server,
 )
 from .shm import SlabRing, SlabSpec, shm_available
 from .source import (
     AsyncQueueSource,
     AsyncSocketSource,
     AsyncWedgeSource,
+    FrameProtocolError,
     StreamItem,
     aiter_wedges,
     async_replay_stream,
@@ -83,15 +106,21 @@ __all__ = [
     "ModelPoolService",
     "ServiceConfig",
     "ServiceStats",
+    "ServiceHealth",
+    "ServingFaultError",
+    "WorkerCrashError",
+    "UnitTimeoutError",
     "StreamingCompressionService",
     "DecompressionService",
     "HandoffProbeService",
     "ProbeItem",
     "AsyncServingSession",
+    "start_health_server",
     "SlabRing",
     "SlabSpec",
     "shm_available",
     "StreamItem",
+    "FrameProtocolError",
     "iter_wedges",
     "replay_stream",
     "AsyncWedgeSource",

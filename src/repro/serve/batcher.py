@@ -52,7 +52,9 @@ class MicroBatch:
         Stream-time arrival span covered by the batch.
     closed_by:
         Why the batch closed: ``"full"`` (hit ``max_batch``), ``"budget"``
-        (latency budget expired) or ``"eof"`` (stream ended).
+        (latency budget expired), ``"eof"`` (stream ended) or ``"drain"``
+        (the service stopped intake — a graceful drain flushes whatever
+        had accumulated).
     wait_s:
         Wall-clock time the batch accumulated before closing (async
         batcher only; the sync batcher has no wall clock and leaves 0).
@@ -99,8 +101,16 @@ class MicroBatcher:
         self.max_batch = int(max_batch)
         self.max_delay_s = float(max_delay_s)
 
-    def batches(self, source: Iterable[StreamItem]) -> Iterator[MicroBatch]:
-        """Yield :class:`MicroBatch` chunks in stream order."""
+    def batches(
+        self, source: Iterable[StreamItem], stop=None
+    ) -> Iterator[MicroBatch]:
+        """Yield :class:`MicroBatch` chunks in stream order.
+
+        ``stop`` is an optional zero-arg callable polled once per wedge —
+        the serving layer's drain latch.  When it turns true, whatever has
+        accumulated is flushed as a final ``closed_by="drain"`` batch and
+        the source is not pulled again.
+        """
 
         pending: list[StreamItem] = []
         batch_seq = 0
@@ -119,6 +129,9 @@ class MicroBatcher:
             ):
                 yield flush("budget")
             pending.append(item)
+            if stop is not None and stop():
+                yield flush("drain")
+                return
             if len(pending) >= self.max_batch:
                 yield flush("full")
         if pending:
@@ -164,9 +177,14 @@ class AsyncMicroBatcher:
         self.max_delay_s = float(max_delay_s)
 
     async def batches(
-        self, source: AsyncIterable[StreamItem]
+        self, source: AsyncIterable[StreamItem], stop=None
     ) -> AsyncIterator[MicroBatch]:
-        """Yield :class:`MicroBatch` chunks in stream order, on deadline."""
+        """Yield :class:`MicroBatch` chunks in stream order, on deadline.
+
+        ``stop`` mirrors :meth:`MicroBatcher.batches`: a zero-arg drain
+        latch polled per wedge; once true, the accumulated batch flushes
+        as ``closed_by="drain"`` and the source is not pulled again.
+        """
 
         iterator = source.__aiter__()
         pending: list[StreamItem] = []
@@ -220,6 +238,9 @@ class AsyncMicroBatcher:
                     first_receipt = time.monotonic()
                     deadline = first_receipt + self.max_delay_s
                 pending.append(item)
+                if stop is not None and stop():
+                    yield flush("drain")
+                    return
                 if len(pending) >= self.max_batch:
                     yield flush("full")
             if pending:

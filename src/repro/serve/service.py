@@ -53,7 +53,10 @@ import collections
 import concurrent.futures
 import dataclasses
 import itertools
+import logging
 import os
+import random
+import signal
 import threading
 import time
 from typing import AsyncIterator, Iterable, Iterator, Sequence
@@ -63,7 +66,7 @@ import numpy as np
 from ..core.compressor import BCAECompressor, CompressedWedges
 from ..core.fast_plan import PRECISIONS
 from ..io.codes import split_compressed
-from ..perf.timing import LatencySummary, ThroughputResult, summarize_latencies, throughput_from_batches
+from ..perf.timing import FaultCounters, LatencySummary, ThroughputResult, summarize_latencies, throughput_from_batches
 from .batcher import AsyncMicroBatcher, MicroBatch, MicroBatcher
 from .shm import SlabArray, SlabRing, shm_available
 from .source import StreamItem, aiter_wedges, iter_wedges
@@ -72,16 +75,58 @@ __all__ = [
     "ServiceConfig",
     "BatchRecord",
     "ServiceStats",
+    "ServiceHealth",
+    "ServingFaultError",
+    "WorkerCrashError",
+    "UnitTimeoutError",
     "ModelPoolService",
     "StreamingCompressionService",
     "DecompressionService",
     "ProbeItem",
     "HandoffProbeService",
     "AsyncServingSession",
+    "start_health_server",
 ]
+
+_LOG = logging.getLogger("repro.serve")
 
 _BACKENDS = ("thread", "process")
 _TRANSPORTS = ("shm", "pickle")
+#: Ladder levels a supervised stream may execute at, best first.
+_LEVELS = ("process", "thread", "inline")
+#: Fault kinds the probe service can inject (see :class:`ProbeItem`).
+_FAULT_KINDS = ("poison", "kill", "hang", "corrupt-slab")
+
+
+class ServingFaultError(RuntimeError):
+    """Base of the supervision layer's fault exceptions.
+
+    Raised (at the owning unit's stream position) when a unit could not
+    be served within its retry budget; see :class:`WorkerCrashError` and
+    :class:`UnitTimeoutError` for the two concrete causes the supervisor
+    distinguishes from plain worker exceptions.
+    """
+
+
+class WorkerCrashError(ServingFaultError):
+    """A worker died mid-unit.
+
+    On the process level this wraps a broken pool (SIGKILL/OOM of a
+    worker process kills every in-flight future at once — the supervisor
+    re-drives the window serially so only the unit that actually crashes
+    alone is charged).  On the inline/thread levels it is raised directly
+    by the injected ``kill``/``corrupt-slab`` probe faults, since threads
+    cannot be killed from outside.
+    """
+
+
+class UnitTimeoutError(ServingFaultError):
+    """A unit exceeded ``ServiceConfig.unit_timeout_s``.
+
+    The deadline is measured while the stream waits on the unit's
+    emission; a timed-out unit's pool is force-killed (a hung worker also
+    wedges its executor slot) and the unit is charged one attempt.
+    """
 
 
 @dataclasses.dataclass
@@ -129,6 +174,32 @@ class ServiceConfig:
         (``None`` → the ``REPRO_PANEL_THREADS`` environment knob).  Output
         bytes are identical at any value; this composes with ``workers``
         (inter-batch) as the intra-batch parallelism axis.
+    unit_timeout_s:
+        Per-unit deadline in seconds, measured while the stream waits on
+        the unit's emission.  A unit that exceeds it has its worker pool
+        force-killed and rebuilt and is charged one attempt
+        (:class:`UnitTimeoutError` once the retry budget is spent).
+        ``None`` (default) disables deadlines.  The inline level executes
+        at submit time on the caller's thread, so deadlines cannot be
+        enforced there.
+    max_retries:
+        Extra attempts a faulted unit may be charged (worker crash,
+        deadline, or plain worker exception) before its error surfaces at
+        its stream position.  ``0`` (default) preserves fail-fast
+        behaviour.  Retries are legal because compress/decompress/probe
+        units are pure functions of their inputs (see
+        ``ModelPoolService._idempotent``).
+    backoff_base_s:
+        First-retry backoff; retry ``n`` sleeps
+        ``backoff_base_s * 2**(n-1)`` scaled by 0.5–1.5× jitter.  ``0``
+        disables the sleep (deterministic tests).
+    degrade_after:
+        Circuit breaker: after this many *consecutive* worker crashes the
+        effective backend steps down one ladder level (process → thread →
+        inline) instead of rebuilding the same dying pool forever.  Unit
+        successes reset the counter; a step-down is sticky for the
+        service's lifetime and visible in :meth:`ModelPoolService.health`
+        and in stream stats.
 
     Example
     -------
@@ -136,7 +207,7 @@ class ServiceConfig:
     >>> ServiceConfig(max_batch=16, workers=4, backend="process").transport
     'shm'
     >>> ServiceConfig(max_delay_s=0.002)          # 2 ms latency budget
-    ServiceConfig(max_batch=8, max_delay_s=0.002, workers=0, backend='thread', half=True, inflight=8, transport='shm', shm_slab_mb=16.0, precision='bit', panel_threads=None)
+    ServiceConfig(max_batch=8, max_delay_s=0.002, workers=0, backend='thread', half=True, inflight=8, transport='shm', shm_slab_mb=16.0, precision='bit', panel_threads=None, unit_timeout_s=None, max_retries=0, backoff_base_s=0.05, degrade_after=3)
     """
 
     max_batch: int = 8
@@ -149,10 +220,28 @@ class ServiceConfig:
     shm_slab_mb: float = 16.0
     precision: str = "bit"
     panel_threads: int | None = None
+    unit_timeout_s: float | None = None
+    max_retries: int = 0
+    backoff_base_s: float = 0.05
+    degrade_after: int = 3
 
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.unit_timeout_s is not None and self.unit_timeout_s <= 0:
+            raise ValueError(
+                f"unit_timeout_s must be > 0 or None, got {self.unit_timeout_s}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base_s < 0:
+            raise ValueError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if self.degrade_after < 1:
+            raise ValueError(
+                f"degrade_after must be >= 1, got {self.degrade_after}"
+            )
         if self.precision not in PRECISIONS:
             raise ValueError(
                 f"precision must be one of {PRECISIONS}, got {self.precision!r}"
@@ -190,9 +279,12 @@ class BatchRecord:
     transport: str = ""
     #: Wall-clock accumulation time of the batch (async ingestion only).
     wait_s: float = 0.0
-    #: Why the micro-batch closed ("full"/"budget"/"eof"; empty for units
-    #: that never passed through a batcher, e.g. decode chunks).
+    #: Why the micro-batch closed ("full"/"budget"/"eof"/"drain"; empty
+    #: for units that never passed through a batcher, e.g. decode chunks).
     closed_by: str = ""
+    #: Executions charged to this unit (1 = served first try; >1 means
+    #: the supervisor retried it after a crash/timeout/exception).
+    attempts: int = 1
 
 
 @dataclasses.dataclass
@@ -206,6 +298,12 @@ class ServiceStats:
     max_batch: int
     workers: int
     records: list[BatchRecord] = dataclasses.field(default_factory=list)
+    #: Faults observed while serving this stream (all-zero when clean).
+    faults: FaultCounters = dataclasses.field(default_factory=FaultCounters)
+    #: Effective execution level at stream end ("inline"/"thread"/
+    #: "process"); differs from the configured backend after a
+    #: circuit-breaker step-down.
+    level: str = ""
 
     @property
     def wedges_per_second(self) -> float:
@@ -249,13 +347,70 @@ class ServiceStats:
     def row(self) -> str:
         """One-line summary for logs and benches."""
 
-        return (
+        line = (
             f"wedges={self.n_wedges} batches={self.n_batches} "
             f"(mean size {self.mean_batch_size:.1f}) "
             f"throughput={self.wedges_per_second:8.1f} w/s "
             f"batch(mean/p99)={self.mean_batch_s * 1e3:6.2f}/{self.p99_batch_s * 1e3:6.2f} ms "
             f"workers={self.workers}"
         )
+        if self.faults.total or self.faults.retries or self.faults.degraded:
+            line += f" faults[{self.faults.row()}]"
+        return line
+
+
+@dataclasses.dataclass
+class ServiceHealth:
+    """Point-in-time supervision probe of one service.
+
+    Returned by :meth:`ModelPoolService.health` and served as JSON by
+    :func:`start_health_server` (``repro-tpc serve --health-port``).
+
+    Attributes
+    ----------
+    state:
+        The supervision state machine's current node: ``"healthy"`` →
+        ``"retrying"`` (a fault is being retried) → ``"rebuilding"`` (a
+        worker pool is being replaced) → ``"degraded"`` (circuit breaker
+        stepped the backend down) → ``"draining"``/``"drained"``.
+    backend / level / workers:
+        Configured backend, the current effective ladder level (differs
+        from ``backend`` after a step-down), and the configured pool size.
+    active_streams:
+        Streams currently being served.
+    ring_slabs / ring_leased:
+        Slab-ring occupancy summed over active streams (0/0 when no shm
+        transport is in use); ``ring_leased`` equals in-flight shm units.
+    consecutive_crashes:
+        The circuit breaker's counter (reset by any unit success).
+    last_unit_latency_s:
+        Worker compute time of the most recently emitted unit.
+    faults:
+        Lifetime :class:`~repro.perf.timing.FaultCounters` totals across
+        all streams of this service.
+    """
+
+    state: str
+    backend: str
+    level: str
+    workers: int
+    active_streams: int
+    ring_slabs: int
+    ring_leased: int
+    consecutive_crashes: int
+    last_unit_latency_s: float
+    faults: FaultCounters
+
+    @property
+    def ok(self) -> bool:
+        """Liveness verdict: still accepting work (possibly degraded)."""
+
+        return self.state not in ("draining", "drained")
+
+    def to_dict(self) -> dict:
+        """JSON-ready plain-dict form (what the health endpoint serves)."""
+
+        return dataclasses.asdict(self)
 
 
 @dataclasses.dataclass
@@ -290,6 +445,13 @@ class ModelPoolService:
     #: Work dispatch tag for the process backend ("compress"/"decompress").
     _kind = ""
 
+    #: Whether this service's units may legally be re-executed after a
+    #: fault.  Compression, decompression and the probe checksum are pure
+    #: functions of their inputs, so retry and uncharged re-drive are
+    #: safe; a subclass serving units with side effects must set this
+    #: False, which makes every fault terminal at the owning unit.
+    _idempotent = True
+
     def __init__(self, model, config: ServiceConfig | None = None) -> None:
         self.config = config or ServiceConfig()
         # Serving is inference by definition: normalization layers must run
@@ -314,6 +476,14 @@ class ModelPoolService:
         #: :meth:`_ProcessTransport.close`.  Tests use this to assert the
         #: lease/release protocol leaks nothing.
         self.last_shm: dict = {}
+        # Supervision state shared by every stream of this service: the
+        # backend ladder, circuit breaker, drain latch and fault totals.
+        self._supervisor = _Supervisor(self.config)
+        self._streams: set[_SupervisedStream] = set()
+        # Fault counters / effective level of the most recently finished
+        # stream, copied into that stream's ServiceStats by _stats().
+        self._last_faults = FaultCounters()
+        self._last_level = self._supervisor.level
 
     # ------------------------------------------------------------------
     def _build_compressor(self) -> BCAECompressor:
@@ -357,71 +527,73 @@ class ModelPoolService:
 
     # ------------------------------------------------------------------
     def _serve(self, items) -> Iterator[tuple[BatchRecord, object]]:
-        """Run work units through the configured backend, in stream order."""
+        """Run work units through the configured backend, in stream order.
 
-        cfg = self.config
-        if cfg.workers == 0:
-            checkout = _Checkout(self)
-            try:
-                for item in items:
-                    yield self._execute(checkout, item)
-            finally:
-                checkout.release()
-            return
-
-        if cfg.backend == "process":
-            transport = _ProcessTransport(self)
-            try:
-                with concurrent.futures.ProcessPoolExecutor(
-                    cfg.workers,
-                    initializer=_process_init,
-                    initargs=transport.initargs(),
-                ) as pool:
-                    yield from self._drain_ordered(
-                        pool, items, transport.submit,
-                        finalize=transport.finalize, fail=transport.fail,
-                    )
-            finally:
-                transport.close()
-            return
-
-        checkout = _Checkout(self)
-        try:
-            with concurrent.futures.ThreadPoolExecutor(cfg.workers) as pool:
-                yield from self._drain_ordered(
-                    pool, items, lambda p, it: p.submit(self._execute, checkout, it)
-                )
-        finally:
-            checkout.release()
-
-    def _drain_ordered(self, pool, items, submit, finalize=None, fail=None):
-        """Bounded in-flight window: emission order == submission order ==
-        stream order, and the bound is backpressure.
-
-        ``finalize``/``fail`` are the transport's result hooks: materialize
-        a descriptor into an owned object and release the unit's slab (also
-        on worker exception, so a failed unit never strands its slab).
+        Execution is supervised (see :class:`_SupervisedStream`): worker
+        crashes rebuild the backend and quarantine the slab ring, the
+        deadline/retry policy follows :class:`ServiceConfig`, and the
+        circuit breaker may step the effective backend down
+        process → thread → inline.  Raises ``RuntimeError`` once the
+        service is draining/drained.
         """
 
-        window: collections.deque = collections.deque()
-        for item in items:
-            window.append(submit(pool, item))
-            while len(window) >= self.config.inflight:
-                yield self._pop(window, finalize, fail)
-        while window:
-            yield self._pop(window, finalize, fail)
-
-    def _pop(self, window, finalize, fail):
-        future = window.popleft()
+        stream = _SupervisedStream(self, items)
         try:
-            record, result = future.result()
-        except BaseException:
-            if fail is not None:
-                fail(future)
-            raise
-        if finalize is not None:
-            record, result = finalize(future, record, result)
-        return record, result
+            yield from stream.run()
+        finally:
+            stream.close()
+
+    # ------------------------------------------------------------------
+    def health(self) -> ServiceHealth:
+        """Point-in-time supervision probe of this service.
+
+        Reports pool liveness/state, slab-ring occupancy over active
+        streams, the circuit breaker's consecutive-crash counter,
+        last-unit latency and lifetime fault totals.  Cheap and
+        lock-light — safe to call from another thread while streams are
+        being served, which is exactly what the ``--health-port``
+        endpoint (:func:`start_health_server`) does.
+        """
+
+        sup = self._supervisor
+        ring_slabs = 0
+        ring_leased = 0
+        for stream in list(self._streams):
+            ring = stream.ring
+            if ring is not None:
+                occupancy = ring.stats()
+                ring_slabs += occupancy["n_slabs"]
+                ring_leased += occupancy["leased"]
+        return ServiceHealth(
+            state=sup.state(),
+            backend="inline" if self.config.workers == 0 else self.config.backend,
+            level=sup.level,
+            workers=self.config.workers,
+            active_streams=sup.active_streams,
+            ring_slabs=ring_slabs,
+            ring_leased=ring_leased,
+            consecutive_crashes=sup.consecutive_crashes,
+            last_unit_latency_s=sup.last_unit_latency_s,
+            faults=dataclasses.replace(sup.totals),
+        )
+
+    def drain(self, wait: bool = True, timeout: float | None = None) -> bool:
+        """Stop intake, flush in-flight units, release every slab.
+
+        The sync generalization of :meth:`AsyncServingSession.aclose`:
+        after ``drain()`` no stream pulls further items from its source —
+        a partially accumulated micro-batch flushes with
+        ``closed_by="drain"``, every unit already submitted is emitted
+        (or surfaces its error), and each stream's backend and slab ring
+        are torn down on its normal close path, so nothing is orphaned
+        and no slab stays leased.  Draining is terminal for the service:
+        starting a new stream or session afterwards raises
+        ``RuntimeError``.  With ``wait=True`` (default) blocks until all
+        active streams have finished, up to ``timeout`` seconds (``None``
+        = forever); returns True when the service is fully drained.
+        """
+
+        return self._supervisor.drain(wait=wait, timeout=timeout)
 
     # ------------------------------------------------------------------
     def _collect(self, stream, keep: bool) -> tuple[list, ServiceStats]:
@@ -450,6 +622,8 @@ class ModelPoolService:
             max_batch=cfg.max_batch,
             workers=cfg.workers,
             records=records,
+            faults=self._last_faults,
+            level=self._last_level,
         )
 
     # ------------------------------------------------------------------
@@ -502,6 +676,475 @@ class ModelPoolService:
         return results, self._stats(records, n_wedges, time.perf_counter() - t0)
 
 
+# ----------------------------------------------------------------------
+# Supervision: the fault-tolerance layer under _serve.
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _Unit:
+    """One in-flight work unit under supervision."""
+
+    item: object
+    future: object = None
+    attempt: int = 0                    # 0-based; BatchRecord.attempts = attempt + 1
+    done: tuple | None = None           # (record, result) once resolved
+    error: BaseException | None = None  # terminal failure at this position
+
+
+class _Supervisor:
+    """Service-level supervision state shared by every stream.
+
+    Holds the backend ladder and circuit breaker (a step-down is sticky
+    for the service's lifetime), lifetime fault totals, the last-unit
+    latency sample, and the drain latch.  Mutations are guarded by one
+    lock; nothing here sits on the per-unit hot path except
+    :meth:`note_success`, which is three attribute writes.
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        if config.workers == 0:
+            self.ladder: tuple[str, ...] = ("inline",)
+        elif config.backend == "process":
+            self.ladder = _LEVELS
+        else:
+            self.ladder = ("thread", "inline")
+        self.level_index = 0
+        self.transient = "healthy"      # healthy | retrying | rebuilding
+        self.consecutive_crashes = 0
+        self.degrade_after = config.degrade_after
+        self.totals = FaultCounters()
+        self.last_unit_latency_s = 0.0
+        self.draining = False
+        self.active_streams = 0
+
+    @property
+    def level(self) -> str:
+        """Current effective execution level (post step-downs)."""
+
+        return self.ladder[self.level_index]
+
+    def state(self) -> str:
+        """Current node of the supervision state machine."""
+
+        with self._lock:
+            if self.draining:
+                return "drained" if self.active_streams == 0 else "draining"
+            if self.transient != "healthy":
+                return self.transient
+            return "degraded" if self.level_index > 0 else "healthy"
+
+    def drain_requested(self) -> bool:
+        """The intake latch the batcher/stream loops poll."""
+
+        return self.draining
+
+    # -- stream lifecycle ----------------------------------------------
+    def stream_started(self) -> None:
+        with self._lock:
+            if self.draining:
+                raise RuntimeError(
+                    "service is draining/drained — no new streams"
+                )
+            self.active_streams += 1
+
+    def stream_done(self) -> None:
+        with self._idle:
+            self.active_streams -= 1
+            self._idle.notify_all()
+
+    def drain(self, wait: bool = True, timeout: float | None = None) -> bool:
+        self.draining = True
+        if not wait:
+            return self.active_streams == 0
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self.active_streams > 0:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
+    # -- fault accounting ----------------------------------------------
+    def note_success(self, latency_s: float) -> None:
+        self.consecutive_crashes = 0
+        self.transient = "healthy"
+        self.last_unit_latency_s = latency_s
+
+    def note_crash(self) -> bool:
+        """Record one worker crash; True when the breaker trips (the
+        caller must then rebuild at the new, lower ladder level)."""
+
+        with self._lock:
+            self.consecutive_crashes += 1
+            if (self.consecutive_crashes >= self.degrade_after
+                    and self.level_index + 1 < len(self.ladder)):
+                was = self.level
+                self.level_index += 1
+                self.consecutive_crashes = 0
+                _LOG.warning(
+                    "serving degraded: backend %s -> %s after %d "
+                    "consecutive worker crashes", was, self.level,
+                    self.degrade_after,
+                )
+                return True
+        return False
+
+
+class _Engine:
+    """One live execution backend at a given ladder level (rebuildable).
+
+    The supervised stream treats the engine as disposable: on a crash or
+    a hung worker it is shut down (``force=True`` SIGKILLs worker
+    processes outright, or abandons hung threads) and a fresh instance is
+    built at the supervisor's current level.  All three levels expose the
+    same submit/result/fail surface, so the fault policy above is
+    level-agnostic.  The inline level executes at submit time on the
+    caller's thread and hands back an already-resolved future — the
+    degenerate engine every fault path can fall back to.
+    """
+
+    def __init__(self, service: ModelPoolService, level: str,
+                 transport: "_ProcessTransport | None" = None) -> None:
+        cfg = service.config
+        self._service = service
+        self.level = level
+        self._transport = transport
+        self._checkout: _Checkout | None = None
+        self._pool = None
+        if level == "process":
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                cfg.workers,
+                initializer=_process_init,
+                initargs=transport.initargs(),
+            )
+        elif level == "thread":
+            self._checkout = _Checkout(service)
+            self._pool = concurrent.futures.ThreadPoolExecutor(max(1, cfg.workers))
+        else:
+            self._checkout = _Checkout(service)
+
+    def submit(self, item):
+        if self.level == "process":
+            return self._transport.submit(self._pool, item)
+        if self.level == "thread":
+            return self._pool.submit(self._service._execute, self._checkout, item)
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        try:
+            future.set_result(self._service._execute(self._checkout, item))
+        except BaseException as exc:
+            # Inline twin of a worker failure: surfaces at result(), so
+            # the three levels share one fault path.
+            future.set_exception(exc)
+        return future
+
+    def result(self, future, timeout: float | None):
+        record, result = future.result(timeout=timeout)
+        if self.level == "process":
+            record, result = self._transport.finalize(future, record, result)
+        return record, result
+
+    def fail(self, future) -> None:
+        if self.level == "process":
+            self._transport.fail(future)
+
+    def shutdown(self, force: bool = False) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            if force and self.level == "process":
+                # Hung or dead pool: SIGKILL the workers (interrupting any
+                # hung unit) and do not wait for the management thread.
+                for proc in list((getattr(pool, "_processes", None) or {}).values()):
+                    try:
+                        proc.kill()
+                    except Exception:
+                        pass
+                pool.shutdown(wait=False, cancel_futures=True)
+            elif force:
+                # Threads cannot be killed: abandon the pool and leak its
+                # checkouts — a hung thread may still be touching its
+                # compressor, so returning it to the idle pool would hand
+                # a racing workspace to the next stream.
+                pool.shutdown(wait=False, cancel_futures=True)
+                self._checkout = None
+            else:
+                pool.shutdown(wait=True)
+        checkout, self._checkout = self._checkout, None
+        if checkout is not None:
+            checkout.release()
+
+
+class _SupervisedStream:
+    """One supervised served stream: the engine loop under :meth:`_serve`.
+
+    Owns a rebuildable :class:`_Engine` (plus, at the process level, a
+    :class:`_ProcessTransport` whose slab ring it can quarantine), drives
+    the bounded in-flight window in stream order, and implements the
+    fault policy:
+
+    * per-unit deadlines (``unit_timeout_s``) with force-kill + rebuild
+      of a hung pool;
+    * bounded retry with exponential backoff + jitter (``max_retries`` /
+      ``backoff_base_s``), legality gated on ``service._idempotent``;
+    * crash recovery with *serial re-probing*: a broken pool fails every
+      in-flight future at once, so pending units are re-driven one at a
+      time, alone — whatever fails alone is charged to its own retry
+      budget, innocent units are re-submitted uncharged;
+    * the circuit-breaker step-down (process → thread → inline) after
+      ``degrade_after`` consecutive crashes.
+    """
+
+    def __init__(self, service: ModelPoolService, items) -> None:
+        service._supervisor.stream_started()
+        self._service = service
+        self._sup = service._supervisor
+        self._cfg = service.config
+        self._items = items
+        self._window: collections.deque = collections.deque()
+        self._counters = FaultCounters()
+        self._recovering = False
+        self._transport: _ProcessTransport | None = None
+        if self._sup.level == "process":
+            self._transport = _ProcessTransport(service)
+        self._engine = _Engine(service, self._sup.level, self._transport)
+        service._streams.add(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def ring(self):
+        """The stream's slab ring, if the current level uses one."""
+
+        return self._transport.ring if self._transport is not None else None
+
+    def _inflight(self) -> int:
+        # Inline execution completes at submit: a deeper window would only
+        # delay emission, and pull-driven laziness (submit → emit → next
+        # pull) is part of the inline contract.
+        return 1 if self._engine.level == "inline" else self._cfg.inflight
+
+    def run(self) -> Iterator[tuple[BatchRecord, object]]:
+        """Yield ``(record, result)`` in stream order under supervision."""
+
+        for item in self._items:
+            unit = _Unit(item)
+            self._window.append(unit)
+            self._submit(unit)
+            while len(self._window) >= self._inflight():
+                yield self._pop()
+            # Drain check sits *after* the item is in flight: an item the
+            # source already handed over is flushed, not dropped — the
+            # batcher's final closed_by="drain" batch above all.
+            if self._sup.draining:
+                break
+        while self._window:
+            yield self._pop()
+
+    def close(self) -> None:
+        """Shut the engine down, publish transport stats, unregister."""
+
+        try:
+            self._engine.shutdown()
+            if self._transport is not None:
+                self._transport.close()
+        finally:
+            self._service._streams.discard(self)
+            self._service._last_faults = dataclasses.replace(self._counters)
+            self._service._last_level = self._engine.level
+            self._sup.stream_done()
+
+    # ------------------------------------------------------------------
+    def _count(self, field: str, n: int = 1) -> None:
+        """Bump one fault counter on the stream and the service totals."""
+
+        setattr(self._counters, field, getattr(self._counters, field) + n)
+        totals = self._sup.totals
+        setattr(totals, field, getattr(totals, field) + n)
+
+    def _crashed(self) -> None:
+        """Crash bookkeeping shared by every worker-death path."""
+
+        self._count("crashes")
+        if self._sup.note_crash():
+            self._count("degraded")
+
+    def _submit(self, unit: _Unit) -> None:
+        if hasattr(unit.item, "attempt"):
+            unit.item.attempt = unit.attempt  # probe fault hooks see retries
+        try:
+            unit.future = self._engine.submit(unit.item)
+            return
+        except concurrent.futures.BrokenExecutor:
+            # The pool died under an earlier in-flight unit before anyone
+            # waited on it.  Nobody is charged for the submit itself:
+            # rebuild, re-drive the window serially (the real culprit
+            # crashes again alone and is charged there), then submit this
+            # unit on the fresh engine.
+            self._crashed()
+            self._rebuild(force=True)
+            if not self._recovering:
+                self._recover_window(skip=unit)
+        unit.future = self._engine.submit(unit.item)
+
+    def _pop(self) -> tuple[BatchRecord, object]:
+        unit = self._window.popleft()
+        while unit.done is None and unit.error is None:
+            self._await(unit, alone=False)
+        if unit.error is not None:
+            raise unit.error
+        record, result = unit.done
+        record.attempts = unit.attempt + 1
+        self._sup.note_success(record.compress_s)
+        return record, result
+
+    def _await(self, unit: _Unit, alone: bool) -> None:
+        """Wait out one attempt of ``unit``: resolve it, or charge/recover
+        and leave it pending for another spin of the caller's loop.
+
+        ``alone`` marks the serial-recovery context: the unit is the only
+        one running, so a pool-wide failure needs no window recovery (the
+        outer :meth:`_recover_window` loop owns the other units).
+        """
+
+        cfg = self._cfg
+        try:
+            record, result = self._engine.result(unit.future, cfg.unit_timeout_s)
+        except concurrent.futures.TimeoutError:
+            # The deadline clock runs while we wait on the unit's
+            # emission.  A hung worker also wedges its executor slot, so
+            # the engine is force-killed and rebuilt either way.
+            self._count("timeouts")
+            self._sup.transient = "retrying"
+            exc: BaseException = UnitTimeoutError(
+                f"unit seq={getattr(unit.item, 'seq', '?')} exceeded the "
+                f"{cfg.unit_timeout_s}s deadline "
+                f"(attempt {unit.attempt + 1}/{cfg.max_retries + 1})"
+            )
+            self._rebuild(force=True)
+            if not alone:
+                self._recover_window(skip=unit)
+            self._charge(unit, exc)
+            return
+        except concurrent.futures.BrokenExecutor as broken:
+            # Worker process death (SIGKILL/OOM): the pool is unusable and
+            # every in-flight future failed at once.  Only the unit we
+            # were waiting on is charged; the rest re-drive uncharged.
+            self._crashed()
+            self._sup.transient = "retrying"
+            exc = WorkerCrashError(
+                f"worker process died serving unit "
+                f"seq={getattr(unit.item, 'seq', '?')} "
+                f"(attempt {unit.attempt + 1}/{cfg.max_retries + 1})"
+            )
+            exc.__cause__ = broken
+            self._rebuild(force=True)
+            if not alone:
+                self._recover_window(skip=unit)
+            self._charge(unit, exc)
+            return
+        except WorkerCrashError as exc:
+            # In-worker crash with the pool still alive (the inline/thread
+            # levels' injected kill/corrupt-slab faults).  The breaker may
+            # still trip — then the engine is swapped for the lower level
+            # and the window re-driven on it.
+            self._count("crashes")
+            degraded = self._sup.note_crash()
+            self._sup.transient = "retrying"
+            self._engine.fail(unit.future)
+            if degraded:
+                self._count("degraded")
+                self._rebuild(force=False)
+                if not alone:
+                    self._recover_window(skip=unit)
+            self._charge(unit, exc)
+            return
+        except Exception as exc:
+            # Plain worker exception: the unit failed, the pool is fine.
+            self._engine.fail(unit.future)
+            self._sup.transient = "retrying"
+            self._charge(unit, exc)
+            return
+        except BaseException:
+            # KeyboardInterrupt and friends: release the slab, propagate.
+            self._engine.fail(unit.future)
+            raise
+        unit.done = (record, result)
+        self._sup.transient = "healthy"
+
+    def _charge(self, unit: _Unit, exc: BaseException) -> None:
+        """Charge one failed attempt: resubmit within the retry budget, or
+        record the terminal error at the unit's stream position."""
+
+        if not self._service._idempotent or unit.attempt >= self._cfg.max_retries:
+            self._count("failures")
+            unit.error = exc
+            return
+        unit.attempt += 1
+        self._count("retries")
+        self._backoff(unit.attempt)
+        self._submit(unit)
+
+    def _backoff(self, attempt: int) -> None:
+        """Exponential backoff with jitter before retry ``attempt``."""
+
+        base = self._cfg.backoff_base_s
+        if base <= 0:
+            return
+        time.sleep(base * (2 ** (attempt - 1)) * (0.5 + random.random()))
+
+    def _rebuild(self, force: bool) -> None:
+        """Tear the engine down and stand a fresh one up at the current
+        (possibly just-degraded) ladder level; quarantine the slab ring
+        when a process pool died mid-write."""
+
+        self._count("rebuilds")
+        self._sup.transient = "rebuilding"
+        self._engine.shutdown(force=force)
+        level = self._sup.level
+        if self._transport is not None:
+            if level == "process":
+                if self._transport.quarantine_ring():
+                    self._count("ring_rebuilds")
+            else:
+                # Degraded below the process level: no pool will attach
+                # again, so drop the (possibly corrupt) ring outright.
+                self._transport.drop_ring()
+        self._engine = _Engine(self._service, level, self._transport)
+
+    def _recover_window(self, skip: _Unit | None = None) -> None:
+        """Serially re-drive every pending in-flight unit on the rebuilt
+        engine.
+
+        A pool-wide failure kills every in-flight future at once, which
+        says nothing about *which* unit was responsible.  Running the
+        survivors one at a time, alone, pins any further failure on the
+        unit that actually causes it: innocent units are re-submitted
+        uncharged (legal — units are pure), and the original victim
+        (``skip``) is left to its own charged retry by the caller.
+        """
+
+        self._recovering = True
+        try:
+            for unit in list(self._window):
+                if unit is skip or unit.done is not None or unit.error is not None:
+                    continue
+                if not self._service._idempotent:
+                    self._count("failures")
+                    unit.error = WorkerCrashError(
+                        f"in-flight unit seq={getattr(unit.item, 'seq', '?')} "
+                        "was lost to a worker crash and this service's "
+                        "units are not idempotent — not re-run"
+                    )
+                    continue
+                self._submit(unit)
+                while unit.done is None and unit.error is None:
+                    self._await(unit, alone=True)
+        finally:
+            self._recovering = False
+
+
 class StreamingCompressionService(ModelPoolService):
     """Micro-batching, multi-worker wedge compression.
 
@@ -543,7 +1186,9 @@ class StreamingCompressionService(ModelPoolService):
         """
 
         items = _as_stream(source)
-        batches = MicroBatcher(self.config.max_batch, self.config.max_delay_s).batches(items)
+        batches = MicroBatcher(
+            self.config.max_batch, self.config.max_delay_s
+        ).batches(items, stop=self._supervisor.drain_requested)
         yield from self._serve(batches)
 
     # ------------------------------------------------------------------
@@ -577,7 +1222,9 @@ class StreamingCompressionService(ModelPoolService):
         """
 
         batcher = AsyncMicroBatcher(self.config.max_batch, self.config.max_delay_s)
-        return self.serve_async(batcher.batches(aiter_wedges(source)))
+        return self.serve_async(batcher.batches(
+            aiter_wedges(source), stop=self._supervisor.drain_requested
+        ))
 
     async def run_async(
         self, source, keep_payloads: bool = True
@@ -683,24 +1330,94 @@ class DecompressionService(ModelPoolService):
 class ProbeItem:
     """One transport-probe work unit: an array to ship, touch, and ack.
 
-    ``poison=True`` makes the worker raise instead — the fault-injection
-    hook the serving tests use to exercise error containment without
-    corrupting real model state.
+    The deterministic fault-injection hooks the supervision tests drive
+    every recovery path with, on every backend, without corrupting real
+    model state:
+
+    * ``poison`` — the worker raises ``RuntimeError`` (a plain worker
+      exception: the unit fails, the pool survives);
+    * ``fault="kill"`` — the worker SIGKILLs its own process (process
+      backend; on inline/thread, where suicide would take the service
+      down, it raises :class:`WorkerCrashError` instead — the same
+      supervisor path, minus the pool rebuild);
+    * ``fault="hang"`` — the worker sleeps ``hang_s`` before answering,
+      to trip ``unit_timeout_s`` deadlines;
+    * ``fault="corrupt-slab"`` — the worker scribbles over its input
+      slab *and then* crashes like ``kill``, modelling a writer dying
+      mid-write (the supervisor must quarantine the ring).
+
+    ``fail_attempts`` bounds the injection: the fault fires only while
+    ``attempt < fail_attempts`` (``None`` = always), so one item can
+    deterministically crash twice and then succeed on the third try —
+    the retry-succeeds and degraded-fallback matrices.  ``attempt`` is
+    stamped by the supervisor before each submission.
     """
 
     seq: int
     first_seq: int
     payload: np.ndarray
     poison: bool = False
+    #: One of ``"poison"``/``"kill"``/``"hang"``/``"corrupt-slab"``
+    #: (empty = healthy unit); ``poison=True`` is shorthand for "poison".
+    fault: str = ""
+    #: Sleep duration for ``fault="hang"``.
+    hang_s: float = 0.0
+    #: Inject the fault only on attempts ``< fail_attempts`` (None = all).
+    fail_attempts: int | None = None
+    #: Current attempt index (stamped by the supervisor on submission).
+    attempt: int = 0
 
     @property
     def n_wedges(self) -> int:
         return int(self.payload.shape[0]) if self.payload.ndim else 1
 
 
-def _probe_work(payload: np.ndarray, poison: bool):
-    if poison:
-        raise RuntimeError("injected worker fault (poisoned probe unit)")
+#: True only inside a process-pool worker (set by _process_init); the
+#: injected "kill" fault SIGKILLs the process there, but must not shoot
+#: the serving process itself on the inline/thread levels.
+_IN_POOL_WORKER = False
+
+
+def _maybe_injected_kill(seq: int) -> None:
+    """Deterministic worker-death hook for acceptance tests and benches.
+
+    When ``REPRO_SERVE_KILL_FILE`` names an existing file and
+    ``REPRO_SERVE_KILL_SEQ`` matches this unit's seq, the worker unlinks
+    the file (exactly-once arbitration between racing workers) and
+    SIGKILLs itself — a real mid-unit process death on the *real*
+    compress/decompress services, no probe item required.
+    """
+
+    path = os.environ.get("REPRO_SERVE_KILL_FILE")
+    if not path or os.environ.get("REPRO_SERVE_KILL_SEQ") != str(seq):
+        return
+    try:
+        os.unlink(path)
+    except OSError:
+        return  # another attempt already consumed the kill token
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _probe_work(payload: np.ndarray, poison: bool = False, fault: str = "",
+                hang_s: float = 0.0, attempt: int = 0,
+                fail_attempts: int | None = None, ring: SlabRing | None = None,
+                slab: int | None = None):
+    fault = fault or ("poison" if poison else "")
+    if fault and fault not in _FAULT_KINDS:
+        raise ValueError(f"fault must be one of {_FAULT_KINDS}, got {fault!r}")
+    active = bool(fault) and (fail_attempts is None or attempt < fail_attempts)
+    if active:
+        if fault == "poison":
+            raise RuntimeError("injected worker fault (poisoned probe unit)")
+        if fault == "hang":
+            time.sleep(hang_s)
+        else:  # kill / corrupt-slab
+            if fault == "corrupt-slab" and ring is not None and slab is not None:
+                # A writer dying mid-write: scribble over the slab first.
+                ring.view(slab)[:] = b"\xa5" * ring.slab_nbytes
+            if _IN_POOL_WORKER:
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise WorkerCrashError(f"injected worker crash ({fault} probe unit)")
     # Touch every input byte — a real worker reads its whole unit — and
     # return a checksum small enough that the ack cost is the floor.
     return float(np.asarray(payload).sum(dtype=np.float64))
@@ -722,17 +1439,33 @@ class HandoffProbeService(ModelPoolService):
         super().__init__(model=None, config=config)
 
     def _work(self, compressor: BCAECompressor, item: ProbeItem):
-        return _probe_work(item.payload, item.poison)
+        return _probe_work(item.payload, item.poison, fault=item.fault,
+                           hang_s=item.hang_s, attempt=item.attempt,
+                           fail_attempts=item.fail_attempts)
 
     @staticmethod
-    def items(arrays: Sequence[np.ndarray], poison_seqs: Sequence[int] = ()) -> list[ProbeItem]:
-        """Wrap arrays as probe units (optionally poisoning some seqs)."""
+    def items(arrays: Sequence[np.ndarray], poison_seqs: Sequence[int] = (),
+              faults: dict | None = None, hang_s: float = 0.05,
+              fail_attempts: int | None = None) -> list[ProbeItem]:
+        """Wrap arrays as probe units, optionally injecting faults.
 
+        ``poison_seqs`` poisons those seqs (back-compat shorthand);
+        ``faults`` maps ``seq -> kind`` for the full matrix (see
+        :class:`ProbeItem`), with ``hang_s``/``fail_attempts`` applied to
+        every injected unit.
+        """
+
+        kinds = dict(faults or {})
+        for seq in poison_seqs:
+            kinds.setdefault(seq, "poison")
         items, first = [], 0
         for seq, a in enumerate(arrays):
             a = np.asarray(a)
+            fault = kinds.get(seq, "")
             items.append(ProbeItem(seq=seq, first_seq=first, payload=a,
-                                   poison=seq in set(poison_seqs)))
+                                   poison=fault == "poison", fault=fault,
+                                   hang_s=hang_s if fault == "hang" else 0.0,
+                                   fail_attempts=fail_attempts))
             first += int(a.shape[0]) if a.ndim else 1
         return items
 
@@ -757,7 +1490,8 @@ _PROCESS_RING: SlabRing | None = None
 
 def _process_init(model, half: bool, ring_spec=None, precision: str = "bit",
                   panel_threads: int | None = None) -> None:
-    global _PROCESS_COMPRESSOR, _PROCESS_RING
+    global _PROCESS_COMPRESSOR, _PROCESS_RING, _IN_POOL_WORKER
+    _IN_POOL_WORKER = True
     _PROCESS_COMPRESSOR = BCAECompressor(model, half=half, precision=precision,
                                          panel_threads=panel_threads)
     _PROCESS_RING = SlabRing.attach(ring_spec) if ring_spec is not None else None
@@ -780,13 +1514,16 @@ def _process_work(kind: str, item) -> tuple[BatchRecord, object]:
 
     compressor = _PROCESS_COMPRESSOR
     assert compressor is not None, "process pool initializer did not run"
+    _maybe_injected_kill(item.seq)
     t0 = time.perf_counter()
     if kind == "compress":
         result: object = compressor.compress_into(item.wedges)
     elif kind == "decompress":
         result = np.array(compressor.decompress_into(item.compressed))
     else:
-        result = _probe_work(item.payload, item.poison)
+        result = _probe_work(item.payload, item.poison, fault=item.fault,
+                             hang_s=item.hang_s, attempt=item.attempt,
+                             fail_attempts=item.fail_attempts)
     return _record(item, time.perf_counter() - t0), result
 
 
@@ -836,6 +1573,7 @@ def _process_work_shm(work: _ShmWork) -> tuple[BatchRecord, object]:
     compressor = _PROCESS_COMPRESSOR
     ring = _PROCESS_RING
     assert compressor is not None and ring is not None, "shm pool init did not run"
+    _maybe_injected_kill(work.seq)
     t0 = time.perf_counter()
     result: object
     if work.kind == "compress":
@@ -877,8 +1615,11 @@ def _process_work_shm(work: _ShmWork) -> tuple[BatchRecord, object]:
         else:
             result = _SlabFallback(np.array(recon))
     else:
-        (poison,) = work.meta
-        result = _probe_work(ring.read_array(work.array, copy=False), poison)
+        poison, fault, hang_s, attempt, fail_attempts = work.meta
+        result = _probe_work(ring.read_array(work.array, copy=False), poison,
+                             fault=fault, hang_s=hang_s, attempt=attempt,
+                             fail_attempts=fail_attempts, ring=ring,
+                             slab=work.array.slab)
     return _record(work, time.perf_counter() - t0), result
 
 
@@ -900,8 +1641,10 @@ class _ProcessTransport:
         self.ring: SlabRing | None = None
         self.input_fallbacks = 0
         self.result_fallbacks = 0
+        self.ring_rebuilds = 0
         if cfg.transport == "shm" and cfg.workers > 0 and shm_available():
             self.ring = SlabRing.create(cfg.inflight, cfg.slab_nbytes)
+        self._had_ring = self.ring is not None
 
     def initargs(self) -> tuple:
         cfg = self._service.config
@@ -923,7 +1666,8 @@ class _ProcessTransport:
             return (tuple(c.code_shape), c.n_wedges, c.original_horizontal,
                     c.half, c.code_dtype)
         if self._kind == "probe":
-            return (item.poison,)
+            return (item.poison, item.fault, item.hang_s, item.attempt,
+                    item.fail_attempts)
         return ()
 
     # -- submit/finalize hooks ------------------------------------------
@@ -945,10 +1689,15 @@ class _ProcessTransport:
                 )
                 future = pool.submit(_process_work_shm, work)
                 future._slab = slab
+                # Tag the lease's ring: after a quarantine-and-rebuild,
+                # stale futures must not release old-ring indices into
+                # the fresh ring (see finalize/fail guards).
+                future._ring = ring
                 return future
             self.input_fallbacks += 1
         future = pool.submit(_process_work, self._kind, _picklable(item))
         future._slab = None
+        future._ring = None
         return future
 
     def finalize(self, future, record: BatchRecord, result):
@@ -970,33 +1719,68 @@ class _ProcessTransport:
                 result = result.value
             record.transport = "shm" if slab is not None else "pickle"
         finally:
-            if slab is not None:
+            if slab is not None and getattr(future, "_ring", None) is self.ring:
                 self.ring.release(slab)
         return record, result
 
     def fail(self, future) -> None:
-        """Release a failed unit's slab (the worker raised)."""
+        """Release a failed unit's slab (the worker raised).
+
+        A slab leased from a ring that has since been quarantined is left
+        alone — its segment is already destroyed, and its index must not
+        alias a lease in the replacement ring.
+        """
 
         slab = getattr(future, "_slab", None)
-        if slab is not None and self.ring is not None:
+        if (slab is not None and self.ring is not None
+                and getattr(future, "_ring", None) is self.ring):
             self.ring.release(slab)
+
+    # -- crash recovery --------------------------------------------------
+    def quarantine_ring(self) -> bool:
+        """Replace the slab ring after a worker process died (or hung).
+
+        A dead writer may have left any slab mid-write and its leases can
+        never be trusted again, so the whole segment is destroyed
+        (reclaiming every lease) and a fresh ring of the same geometry is
+        created for the rebuilt pool.  Returns True when a ring was
+        actually replaced.
+        """
+
+        if self.ring is None:
+            return False
+        self.ring.destroy()
+        cfg = self._service.config
+        self.ring = SlabRing.create(cfg.inflight, cfg.slab_nbytes)
+        self.ring_rebuilds += 1
+        return True
+
+    def drop_ring(self) -> None:
+        """Destroy the ring with no replacement (degraded below process)."""
+
+        if self.ring is not None:
+            self.ring.destroy()
+            self.ring = None
 
     def close(self) -> None:
         """Publish debug stats and destroy the segment (idempotent)."""
 
         stats = {
-            "transport": "shm" if self.ring is not None else "pickle",
+            "transport": "shm" if (self.ring is not None or self._had_ring)
+            else "pickle",
             "input_fallbacks": self.input_fallbacks,
             "result_fallbacks": self.result_fallbacks,
+            "ring_rebuilds": self.ring_rebuilds,
         }
         if self.ring is not None:
             stats.update(
                 name=self.ring.spec().name,
                 n_slabs=self.ring.n_slabs,
                 slab_nbytes=self.ring.slab_nbytes,
-                leased_at_close=self.ring.leased,
+                leased_at_close=self.ring.leased_count(),
             )
             self.ring.destroy()
+            self.ring = None
         self._service.last_shm = stats
 
 
@@ -1078,6 +1862,8 @@ class AsyncServingSession:
 
     def __init__(self, service: ModelPoolService) -> None:
         cfg = service.config
+        if service._supervisor.drain_requested():
+            raise RuntimeError("service is draining/drained — no new sessions")
         self._service = service
         self._loop = asyncio.get_running_loop()
         self._window: collections.deque = collections.deque()
@@ -1245,3 +2031,58 @@ def _as_stream(source) -> Iterator[StreamItem]:
     if isinstance(first, StreamItem):
         return chained
     return iter_wedges(chained)
+
+
+# ----------------------------------------------------------------------
+# Health endpoint: the supervision probe over HTTP.
+# ----------------------------------------------------------------------
+
+
+def start_health_server(service: ModelPoolService, port: int = 0,
+                        host: str = "127.0.0.1"):
+    """Serve :meth:`ModelPoolService.health` as JSON over HTTP.
+
+    Starts a daemon-threaded HTTP server answering ``GET`` on ``/``,
+    ``/health`` and ``/healthz`` with the service's current
+    :class:`ServiceHealth` as JSON — status 200 while the service accepts
+    work (healthy, retrying, rebuilding or degraded) and 503 once it is
+    draining/drained, so a load balancer's liveness probe needs no body
+    parsing.  ``port=0`` binds an ephemeral port; read the actual one from
+    ``server.server_address[1]``.  Returns the
+    :class:`http.server.ThreadingHTTPServer`; call ``server.shutdown()``
+    to stop it.  This is what ``repro-tpc serve --health-port`` runs.
+
+    Example
+    -------
+    >>> server = start_health_server(service)             # doctest: +SKIP
+    >>> port = server.server_address[1]                   # doctest: +SKIP
+    >>> # curl http://127.0.0.1:$port/healthz
+    >>> server.shutdown()                                 # doctest: +SKIP
+    """
+
+    import http.server
+    import json
+
+    class _Handler(http.server.BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 (http.server API name)
+            if self.path.split("?", 1)[0] not in ("/", "/health", "/healthz"):
+                self.send_error(404)
+                return
+            health = service.health()
+            body = json.dumps(health.to_dict()).encode()
+            self.send_response(200 if health.ok else 503)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args) -> None:
+            pass  # probes are periodic; stay quiet on stderr
+
+    server = http.server.ThreadingHTTPServer((host, port), _Handler)
+    server.daemon_threads = True
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve-health", daemon=True
+    )
+    thread.start()
+    return server

@@ -136,6 +136,47 @@ class SlabRing:
     def leased(self) -> int:
         return len(self._leased)
 
+    def leased_count(self) -> int:
+        """Slabs currently leased (the in-flight shm unit count).
+
+        Zero whenever the lease protocol has balanced — the invariant the
+        leak helpers, the supervision tests, and
+        :meth:`~repro.serve.ModelPoolService.health` all check through
+        this one accessor.
+        """
+
+        return len(self._leased)
+
+    def stats(self) -> dict:
+        """Occupancy snapshot: ``n_slabs``/``slab_nbytes``/``leased``/``free``.
+
+        The shared source of truth for health probes and tests; cheap
+        (four ints, no locks — parent-side lease state only).
+        """
+
+        return {
+            "n_slabs": self.n_slabs,
+            "slab_nbytes": self.slab_nbytes,
+            "leased": len(self._leased),
+            "free": len(self._free),
+        }
+
+    def assert_no_leaks(self, context: str = "") -> None:
+        """Raise ``AssertionError`` naming any slab still leased.
+
+        The post-stream invariant: every lease was balanced by a release
+        on the success path, the failure hook, or the crash-recovery
+        quarantine.  Tests and benches call this instead of re-deriving
+        the check from private state.
+        """
+
+        if self._leased:
+            where = f" after {context}" if context else ""
+            raise AssertionError(
+                f"slab ring leaked {len(self._leased)} lease(s){where}: "
+                f"slabs {sorted(self._leased)} of {self.n_slabs}"
+            )
+
     def try_lease(self) -> int | None:
         """Take a free slab, or ``None`` when the ring is exhausted."""
 

@@ -33,6 +33,7 @@ import numpy as np
 
 __all__ = [
     "StreamItem",
+    "FrameProtocolError",
     "iter_wedges",
     "replay_stream",
     "AsyncWedgeSource",
@@ -43,6 +44,20 @@ __all__ = [
     "write_wedge_frame",
     "read_wedge_frame",
 ]
+
+
+class FrameProtocolError(ValueError):
+    """A wedge frame stream violated the wire protocol.
+
+    The single exception :func:`read_wedge_frame` (and therefore
+    :class:`AsyncSocketSource`) raises for every malformed-input
+    condition: a connection dying mid-frame, a truncated header or body,
+    a bad magic, or an undecodable dtype/shape header.  Callers handle
+    one documented type instead of the raw :class:`asyncio.
+    IncompleteReadError`/:class:`struct.error`/:class:`ConnectionError`
+    zoo (the original cause rides along as ``__cause__``).  Clean EOF at
+    a frame boundary is not an error — it ends the stream normally.
+    """
 
 
 @dataclasses.dataclass
@@ -206,16 +221,24 @@ def write_wedge_frame(writer: asyncio.StreamWriter, wedge: np.ndarray) -> None:
 
 
 async def read_wedge_frame(reader: asyncio.StreamReader) -> np.ndarray | None:
-    """Read one wedge frame; ``None`` on clean EOF at a frame boundary."""
+    """Read one wedge frame; ``None`` on clean EOF at a frame boundary.
+
+    Every malformed-input condition — mid-frame disconnect, truncated
+    header or body, bad magic, undecodable dtype/shape — raises
+    :class:`FrameProtocolError` with the original cause chained, so the
+    ingest loop has exactly one exception to contain.
+    """
 
     try:
         magic = await reader.readexactly(len(_FRAME_MAGIC))
     except asyncio.IncompleteReadError as exc:
         if not exc.partial:
             return None
-        raise ValueError("truncated wedge frame header") from exc
+        raise FrameProtocolError("truncated wedge frame header") from exc
+    except (ConnectionError, OSError) as exc:
+        raise FrameProtocolError("connection lost between wedge frames") from exc
     if magic != _FRAME_MAGIC:
-        raise ValueError(f"bad wedge frame magic {magic!r}")
+        raise FrameProtocolError(f"bad wedge frame magic {magic!r}")
     try:
         (dtype_len,) = struct.unpack("<B", await reader.readexactly(1))
         dtype = np.dtype((await reader.readexactly(dtype_len)).decode("ascii"))
@@ -226,7 +249,11 @@ async def read_wedge_frame(reader: asyncio.StreamReader) -> np.ndarray | None:
     except asyncio.IncompleteReadError as exc:
         # A link that dies anywhere inside a frame is one condition to the
         # caller, wherever the bytes stopped.
-        raise ValueError("truncated wedge frame") from exc
+        raise FrameProtocolError("truncated wedge frame") from exc
+    except (ConnectionError, OSError) as exc:
+        raise FrameProtocolError("connection lost mid wedge frame") from exc
+    except (struct.error, TypeError, UnicodeDecodeError) as exc:
+        raise FrameProtocolError("undecodable wedge frame header") from exc
     return np.frombuffer(data, dtype=dtype).reshape(shape)
 
 
@@ -234,8 +261,11 @@ class AsyncSocketSource(AsyncWedgeSource):
     """Wedge frames from an :class:`asyncio.StreamReader` (socket ingest).
 
     The other end writes frames with :func:`write_wedge_frame`; the stream
-    ends on clean EOF.  Use :meth:`connect` for a TCP client, or wrap the
-    reader an ``asyncio.start_server`` callback hands you.
+    ends on clean EOF.  A peer that dies mid-frame (or sends garbage)
+    surfaces as one :class:`FrameProtocolError` and the socket is closed
+    either way — an abrupt disconnect never leaks the transport.  Use
+    :meth:`connect` for a TCP client, or wrap the reader an
+    ``asyncio.start_server`` callback hands you.
     """
 
     def __init__(

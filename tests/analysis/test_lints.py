@@ -17,6 +17,7 @@ from repro.analysis.hotpath_lint import lint_source as lint_hotpath
 from repro.analysis.concurrency_lint import (
     lint_async_source,
     lint_lease_source,
+    lint_result_timeout_source,
 )
 from repro.analysis.api_lint import audit_source
 
@@ -259,6 +260,39 @@ class TestAsyncBlockingLint:
                 subprocess.run(["ls"])
         """), "m.py")
         assert _rules(diags) == ["CL010", "CL010"]
+
+
+class TestResultTimeoutLint:
+    def test_bare_result_flagged(self):
+        diags = lint_result_timeout_source(_src("""
+            def wait(future):
+                return future.result()
+        """), "m.py")
+        assert _rules(diags) == ["CL020"]
+        assert "timeout" in diags[0].message
+
+    def test_result_with_timeout_clean(self):
+        diags = lint_result_timeout_source(_src("""
+            def wait(future, deadline):
+                return future.result(timeout=deadline)
+        """), "m.py")
+        assert diags == []
+
+    def test_result_with_positional_timeout_clean(self):
+        diags = lint_result_timeout_source(_src("""
+            def wait(future):
+                return future.result(5.0)
+        """), "m.py")
+        assert diags == []
+
+    def test_unrelated_result_attribute_not_called_clean(self):
+        """Only *calls* named ``result`` gate — attribute reads don't."""
+
+        diags = lint_result_timeout_source(_src("""
+            def peek(record):
+                return record.result
+        """), "m.py")
+        assert diags == []
 
 
 class TestApiLint:

@@ -446,6 +446,67 @@ class TestSocketSource:
 
         assert asyncio.run(run()) is None
 
+    def test_malformed_frames_raise_frame_protocol_error(self, wedges):
+        """Every malformed condition is the single documented exception
+        (a ValueError subclass, so older catch sites keep working), with
+        the raw cause chained."""
+
+        from repro.serve import FrameProtocolError
+
+        import io
+
+        buffer = io.BytesIO()
+
+        class _Writer:
+            def write(self, data):
+                buffer.write(data)
+
+        write_wedge_frame(_Writer(), wedges[0])
+        frame = buffer.getvalue()
+
+        async def run(data):
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            with pytest.raises(FrameProtocolError):
+                await read_wedge_frame(reader)
+
+        asyncio.run(run(frame[: len(frame) - 1]))      # truncated payload
+        asyncio.run(run(b"NOPE" + frame[4:]))          # bad magic
+        # Garbage dtype string: header decodes but numpy rejects it.
+        bad = frame[:4] + b"\x03zzz" + frame[8:]
+        asyncio.run(run(bad))
+
+    def test_mid_frame_socket_close_is_frame_protocol_error(self, wedges):
+        """A peer that dies mid-frame surfaces as FrameProtocolError and
+        the source's transport is closed, not leaked."""
+
+        from repro.serve import FrameProtocolError
+
+        async def run():
+            async def handler(reader, writer):
+                write_wedge_frame(writer, wedges[0])
+                # Second frame: cut the connection after the header.
+                writer.write(b"WDG1\x03")
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            source = await AsyncSocketSource.connect("127.0.0.1", port)
+            got = []
+            with pytest.raises(FrameProtocolError):
+                async for item in source:
+                    got.append(item)
+            assert source._writer is None  # transport closed by frames()
+            server.close()
+            await server.wait_closed()
+            return got
+
+        got = asyncio.run(run())
+        assert len(got) == 1  # the complete first frame was delivered
+        np.testing.assert_array_equal(got[0].wedge, wedges[0])
+
     def test_socket_gateway_to_payloads(self, model, wedges, serial_payloads):
         """Socket frames all the way through the compression gateway."""
 
