@@ -28,8 +28,8 @@ from escaped leases:
     (cf. ``finalize``'s ``finally`` plus ``fail``).
 
 **No blocking calls in async code** (over ``serve/source.py`` /
-``serve/batcher.py``, whose deadline math assumes the event loop is never
-stalled):
+``serve/batcher.py`` / ``serve/gateway.py``, whose deadline math and
+session handling assume the event loop is never stalled):
 
 ``CL010`` (error)
     Inside an ``async def``: ``time.sleep``, ``os.system``,
@@ -87,14 +87,16 @@ def default_lease_targets(root: str | Path) -> list[Path]:
     """Files holding lease orchestration: the shm ring and its consumers."""
 
     root = Path(root)
-    return [root / "serve" / "shm.py", root / "serve" / "service.py"]
+    return [root / "serve" / "shm.py", root / "serve" / "service.py",
+            root / "serve" / "gateway.py"]
 
 
 def default_async_targets(root: str | Path) -> list[Path]:
     """The async deadline-sensitive files the blocking check covers."""
 
     root = Path(root)
-    return [root / "serve" / "source.py", root / "serve" / "batcher.py"]
+    return [root / "serve" / "source.py", root / "serve" / "batcher.py",
+            root / "serve" / "gateway.py"]
 
 
 def default_result_targets(root: str | Path) -> list[Path]:

@@ -96,10 +96,14 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="run the micro-batching compression service",
         epilog="transport defaults per backend: --backend process moves "
                "payloads through the shared-memory slab ring "
-               "(--transport shm, sized by --shm-slab-mb; oversized units "
-               "fall back to pickle per unit), while the inline/thread "
-               "backends hand results off in memory and ignore "
-               "--transport/--shm-slab-mb entirely.",
+               "(--transport shm; slabs are sized adaptively from the "
+               "first work unit unless --shm-slab-mb pins them, and "
+               "oversized units fall back to pickle per unit, counted as "
+               "shm_fallbacks), while the inline/thread backends hand "
+               "results off in memory and ignore --transport/"
+               "--shm-slab-mb entirely.  --gateway-port/--shards runs the "
+               "multi-producer sharded gateway front door instead of the "
+               "single in-process stream.",
     )
     v.add_argument("--model", default="bcae_2d")
     v.add_argument("--scale", choices=_SCALES, default="tiny")
@@ -114,8 +118,19 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--transport", choices=("shm", "pickle"), default="shm",
                    help="process-backend payload hand-off (default: shared-"
                         "memory slab ring)")
-    v.add_argument("--shm-slab-mb", type=float, default=16.0,
-                   help="slab size [MiB] of the shm transport ring")
+    v.add_argument("--shm-slab-mb", type=float, default=None,
+                   help="slab size [MiB] of the shm transport ring "
+                        "(default: adaptive — the ring is sized from the "
+                        "first work unit so real units fit)")
+    v.add_argument("--shards", type=int, default=1,
+                   help="number of ModelPoolService shards behind the "
+                        "gateway (>1 implies gateway mode)")
+    v.add_argument("--gateway-port", type=int, default=None,
+                   help="run the multi-producer socket gateway on this "
+                        "TCP port (0 = ephemeral) and feed it over "
+                        "loopback from --producers concurrent clients")
+    v.add_argument("--producers", type=int, default=4,
+                   help="concurrent loopback producers in gateway mode")
     v.add_argument("--async", dest="use_async", action="store_true",
                    help="run the asyncio ingestion gateway (wall-clock "
                         "latency budget, paced arrival replay)")
@@ -153,10 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="decompress an io.codes archive (analysis side)",
         epilog="transport defaults per backend: --backend process moves "
                "payload batches and reconstructions through the shared-"
-               "memory slab ring (--transport shm, sized by --shm-slab-mb; "
-               "oversized units fall back to pickle per unit), while the "
-               "inline/thread backends hand results off in memory and "
-               "ignore --transport/--shm-slab-mb entirely.",
+               "memory slab ring (--transport shm, sized adaptively from "
+               "the first unit unless --shm-slab-mb pins it; oversized "
+               "units fall back to pickle per unit, counted as "
+               "shm_fallbacks), while the inline/thread backends hand "
+               "results off in memory and ignore --transport/"
+               "--shm-slab-mb entirely.",
     )
     x.add_argument("--archive", required=True, help="npz from `serve --archive`")
     x.add_argument("--out", default=None, help="write reconstructions to npz")
@@ -167,8 +184,9 @@ def build_parser() -> argparse.ArgumentParser:
     x.add_argument("--backend", choices=("thread", "process"), default="thread")
     x.add_argument("--transport", choices=("shm", "pickle"), default="shm",
                    help="process-backend payload hand-off")
-    x.add_argument("--shm-slab-mb", type=float, default=16.0,
-                   help="slab size [MiB] of the shm transport ring")
+    x.add_argument("--shm-slab-mb", type=float, default=None,
+                   help="slab size [MiB] of the shm transport ring "
+                        "(default: adaptive — sized from the first unit)")
     x.add_argument("--full", action="store_true", help="fp32 instead of fp16 inference")
     x.add_argument("--precision", choices=("bit", "ulp"), default="bit",
                    help="compilation tier (see `serve --precision`)")
@@ -430,6 +448,8 @@ def _cmd_serve(args) -> int:
         unit_timeout_s=args.unit_timeout_s,
         max_retries=args.max_retries,
     )
+    if args.gateway_port is not None or args.shards > 1:
+        return _run_gateway(args, model, config, wedges)
     service = StreamingCompressionService(model, config)
     health_server = None
     if args.health_port is not None:
@@ -505,6 +525,73 @@ def _cmd_serve(args) -> int:
                                model_name=args.model)
         print(f"archived {sum(p.n_wedges for p in payloads)} wedges -> {path}")
     return 0
+
+
+def _run_gateway(args, model, config, wedges) -> int:
+    """Gateway mode of ``serve``: N shards behind one socket front door,
+    fed over loopback by ``--producers`` concurrent wedge-frame clients."""
+
+    import asyncio
+
+    from .serve import (
+        GatewayConfig,
+        ServingGateway,
+        StreamingCompressionService,
+        read_wedge_frame,
+        write_wedge_frame,
+    )
+
+    shards = max(1, args.shards)
+    services = [StreamingCompressionService(model, config) for _ in range(shards)]
+    gateway = ServingGateway(
+        services, GatewayConfig(port=args.gateway_port or 0)
+    )
+    producers = max(1, args.producers)
+    splits = np.array_split(wedges, producers)
+
+    async def produce(port: int, ws) -> int:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        for w in ws:
+            write_wedge_frame(writer, w)
+            await writer.drain()
+        writer.write_eof()
+        n = 0
+        while True:
+            frame = await read_wedge_frame(reader)
+            if frame is None:
+                break
+            n += 1
+        writer.close()
+        return n
+
+    async def run():
+        import time as _time
+
+        await gateway.start()
+        port = gateway.port
+        print(f"gateway listening on 127.0.0.1:{port} "
+              f"({shards} shard(s), {producers} producer(s))")
+        t0 = _time.perf_counter()
+        answered = await asyncio.gather(
+            *[produce(port, ws) for ws in splits if len(ws)]
+        )
+        elapsed = _time.perf_counter() - t0
+        await gateway.drain()
+        await gateway.aclose()
+        return sum(answered), elapsed
+
+    answered, elapsed = asyncio.run(run())
+    stats = gateway.stats()
+    health = gateway.health()
+    print(f"served {answered}/{wedges.shape[0]} wedges in {elapsed:.2f} s "
+          f"({answered / max(elapsed, 1e-9):.1f} w/s aggregate)")
+    print(f"gateway: {stats.row()}")
+    for i, (shard_stats, shard_health) in enumerate(
+            zip(stats.per_shard, health.shards)):
+        print(f"  shard {i}: state={shard_health.state} "
+              f"level={shard_stats.level or 'inline'} "
+              f"units={shard_stats.n_batches} wedges={shard_stats.n_wedges}")
+    return 0 if answered == wedges.shape[0] else 1
 
 
 def _cmd_decompress(args) -> int:

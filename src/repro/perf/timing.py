@@ -108,6 +108,12 @@ class FaultCounters:
     failures:
         Units whose error ultimately surfaced to the caller (retry budget
         exhausted or retry not legal).
+    shm_fallbacks:
+        Units that silently degraded from the shared-memory slab transport
+        to per-unit pickling (payload larger than its slab, in either
+        direction).  Not a fault — the unit still succeeds — but a
+        throughput signal: a nonzero count under adaptive slab sizing
+        means the sizing arithmetic under-provisioned the ring.
     """
 
     crashes: int = 0
@@ -117,6 +123,7 @@ class FaultCounters:
     ring_rebuilds: int = 0
     degraded: int = 0
     failures: int = 0
+    shm_fallbacks: int = 0
 
     def merge(self, other: "FaultCounters") -> None:
         """Accumulate ``other``'s counts into this instance (in place)."""
@@ -139,12 +146,15 @@ class FaultCounters:
     def row(self) -> str:
         """One-line summary for logs and benches."""
 
-        return (
+        line = (
             f"crashes={self.crashes} timeouts={self.timeouts} "
             f"retries={self.retries} rebuilds={self.rebuilds} "
             f"ring_rebuilds={self.ring_rebuilds} degraded={self.degraded} "
             f"failures={self.failures}"
         )
+        if self.shm_fallbacks:
+            line += f" shm_fallbacks={self.shm_fallbacks}"
+        return line
 
 
 @dataclasses.dataclass

@@ -39,10 +39,29 @@ default ``transport="shm"`` moves payloads through a ring of pre-sized
 :mod:`multiprocessing.shared_memory` slabs (:mod:`repro.serve.shm`): the
 parent leases a slab and memcpys the unit in, the worker reads it in place
 and writes its result back into the *same* slab, and only tiny descriptors
-(slab index + dtype/shape headers) are ever pickled.  Units larger than a
-slab (``shm_slab_mb``) degrade per-unit to the ``"pickle"`` transport.
+(slab index + dtype/shape headers) are ever pickled.  Slab size is
+**adaptive by default** (``shm_slab_mb=None``): the ring is created lazily
+from the first work unit, sized from the service's own arithmetic (input
+*and* result at ``max_batch``, via ``code_shape_for``), so real units fit.
+Units larger than a slab still degrade per-unit to the ``"pickle"``
+transport, but no longer silently: the degradations are counted as
+``FaultCounters.shm_fallbacks`` on the stream's stats and health totals.
 Slabs are released on emission, on worker exception, and at stream close
 (the segment is unlinked; ``service.last_shm`` records the counters).
+
+**Gateway & sharding.**  :class:`~repro.serve.gateway.ServingGateway` is
+the multi-producer front door: ``asyncio.start_server`` accepts N
+concurrent clients speaking the length-prefixed wedge-frame format
+(bounded per frame by :data:`~repro.serve.source.MAX_FRAME_BYTES`), each
+session is micro-batched under the wall-clock budget, and a
+:class:`~repro.serve.gateway.StreamRouter` shards sessions across multiple
+``ModelPoolService`` instances — health-aware placement, per-shard
+backpressure with spill to the least-loaded shard, shard eviction with
+per-session (never global) failure, and one slab ring per shard leased
+across sessions.  :class:`~repro.serve.gateway.GatewayStats` /
+:class:`~repro.serve.gateway.GatewayHealth` aggregate the per-service
+supervision currencies across shards; ``repro-tpc serve --shards N
+--gateway-port P`` runs it from the CLI.
 
 **Supervision and fault tolerance.**  Serving is supervised: a worker
 process death (SIGKILL/OOM) is detected, the pool is rebuilt and the slab
@@ -67,6 +86,14 @@ transport and crash recovery are all free correctness-wise.
 """
 
 from .batcher import AsyncMicroBatcher, MicroBatch, MicroBatcher
+from .gateway import (
+    GatewayConfig,
+    GatewayHealth,
+    GatewayStats,
+    ServingGateway,
+    ShardLostError,
+    StreamRouter,
+)
 from .service import (
     AsyncServingSession,
     BatchRecord,
@@ -85,6 +112,7 @@ from .service import (
 )
 from .shm import SlabRing, SlabSpec, shm_available
 from .source import (
+    MAX_FRAME_BYTES,
     AsyncQueueSource,
     AsyncSocketSource,
     AsyncWedgeSource,
@@ -116,11 +144,18 @@ __all__ = [
     "ProbeItem",
     "AsyncServingSession",
     "start_health_server",
+    "ServingGateway",
+    "StreamRouter",
+    "GatewayConfig",
+    "GatewayStats",
+    "GatewayHealth",
+    "ShardLostError",
     "SlabRing",
     "SlabSpec",
     "shm_available",
     "StreamItem",
     "FrameProtocolError",
+    "MAX_FRAME_BYTES",
     "iter_wedges",
     "replay_stream",
     "AsyncWedgeSource",

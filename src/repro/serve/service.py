@@ -162,8 +162,16 @@ class ServiceConfig:
         the inline/thread backends (no process boundary to cross).
     shm_slab_mb:
         Slab size in MiB for ``transport="shm"``.  One slab serves both
-        directions of a unit, so it should fit ``max(input, result)``
-        bytes; the ring holds ``inflight`` slabs.
+        directions of a unit, so it must fit ``max(input, result)``
+        bytes; the ring holds ``inflight`` slabs.  ``None`` (default) is
+        **adaptive**: the ring is sized from the first work unit using
+        the service's own arithmetic — ``max_batch`` wedges of input
+        versus ``code_shape_for``-sized fp16 codes for compression, the
+        payload versus the reconstruction geometry for decompression —
+        so payloads neither silently degrade to pickle (too small) nor
+        waste address space (too large).  Units that still exceed their
+        slab fall back to pickle per unit, now *counted* on
+        ``ServiceStats.faults.shm_fallbacks``.
     precision:
         Compilation tier of every pooled compressor: ``"bit"`` (default —
         payload bytes proven identical to the module path) or the opt-in
@@ -207,7 +215,7 @@ class ServiceConfig:
     >>> ServiceConfig(max_batch=16, workers=4, backend="process").transport
     'shm'
     >>> ServiceConfig(max_delay_s=0.002)          # 2 ms latency budget
-    ServiceConfig(max_batch=8, max_delay_s=0.002, workers=0, backend='thread', half=True, inflight=8, transport='shm', shm_slab_mb=16.0, precision='bit', panel_threads=None, unit_timeout_s=None, max_retries=0, backoff_base_s=0.05, degrade_after=3)
+    ServiceConfig(max_batch=8, max_delay_s=0.002, workers=0, backend='thread', half=True, inflight=8, transport='shm', shm_slab_mb=None, precision='bit', panel_threads=None, unit_timeout_s=None, max_retries=0, backoff_base_s=0.05, degrade_after=3)
     """
 
     max_batch: int = 8
@@ -217,7 +225,7 @@ class ServiceConfig:
     half: bool = True
     inflight: int = 8
     transport: str = "shm"
-    shm_slab_mb: float = 16.0
+    shm_slab_mb: float | None = None
     precision: str = "bit"
     panel_threads: int | None = None
     unit_timeout_s: float | None = None
@@ -256,11 +264,16 @@ class ServiceConfig:
             raise ValueError(
                 f"transport must be one of {_TRANSPORTS}, got {self.transport!r}"
             )
-        if self.shm_slab_mb <= 0:
+        if self.shm_slab_mb is not None and self.shm_slab_mb <= 0:
             raise ValueError(f"shm_slab_mb must be > 0, got {self.shm_slab_mb}")
 
     @property
     def slab_nbytes(self) -> int:
+        if self.shm_slab_mb is None:
+            raise ValueError(
+                "shm_slab_mb is adaptive (None) — the slab size comes from "
+                "the first work unit, not from the config"
+            )
         return int(self.shm_slab_mb * (1 << 20))
 
 
@@ -445,6 +458,14 @@ class ModelPoolService:
     #: Work dispatch tag for the process backend ("compress"/"decompress").
     _kind = ""
 
+    #: Sentinel item: a supervised stream that pulls this from its source
+    #: drains the whole in-flight window (emitting every pending result in
+    #: order) instead of treating it as work.  Long-lived pull sources —
+    #: the gateway's shard pumps above all — inject it when their queue
+    #: runs dry, so results reach waiting sessions instead of sitting in a
+    #: half-full window until the next unit arrives.
+    _FLUSH = object()
+
     #: Whether this service's units may legally be re-executed after a
     #: fault.  Compression, decompression and the probe checksum are pure
     #: functions of their inputs, so retry and uncharged re-drive are
@@ -526,7 +547,9 @@ class ModelPoolService:
         return record, result
 
     # ------------------------------------------------------------------
-    def _serve(self, items) -> Iterator[tuple[BatchRecord, object]]:
+    def _serve(self, items,
+               transport: "_ProcessTransport | None" = None,
+               ) -> Iterator[tuple[BatchRecord, object]]:
         """Run work units through the configured backend, in stream order.
 
         Execution is supervised (see :class:`_SupervisedStream`): worker
@@ -535,13 +558,42 @@ class ModelPoolService:
         circuit breaker may step the effective backend down
         process → thread → inline.  Raises ``RuntimeError`` once the
         service is draining/drained.
+
+        ``transport`` lends the stream an externally owned
+        :class:`_ProcessTransport` (see :meth:`_make_transport`): its slab
+        ring is *reused* across consecutive streams instead of rebuilt
+        per stream, and the caller — not the stream — closes it.
         """
 
-        stream = _SupervisedStream(self, items)
+        stream = _SupervisedStream(self, items, transport=transport)
         try:
             yield from stream.run()
         finally:
             stream.close()
+
+    def _make_transport(self) -> "_ProcessTransport | None":
+        """A process-backend transport whose ring outlives single streams.
+
+        Returns ``None`` unless the config runs a process pool.  Pass the
+        result to :meth:`_serve` so back-to-back streams (the gateway's
+        shard pumps) lease from one long-lived slab ring instead of
+        creating and destroying a ring per stream; the caller must call
+        ``transport.close()`` when the shard is torn down.
+        """
+
+        cfg = self.config
+        if cfg.workers > 0 and cfg.backend == "process":
+            return _ProcessTransport(self)
+        return None
+
+    def _adaptive_slab_nbytes(self, item) -> int:
+        """Slab bytes that fit this unit's input *and* result at
+        ``max_batch`` (subclass hook for adaptive ``shm_slab_mb``)."""
+
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _adaptive_slab_nbytes "
+            "to use adaptive shm_slab_mb (shm_slab_mb=None)"
+        )
 
     # ------------------------------------------------------------------
     def health(self) -> ServiceHealth:
@@ -897,7 +949,8 @@ class _SupervisedStream:
       ``degrade_after`` consecutive crashes.
     """
 
-    def __init__(self, service: ModelPoolService, items) -> None:
+    def __init__(self, service: ModelPoolService, items,
+                 transport: "_ProcessTransport | None" = None) -> None:
         service._supervisor.stream_started()
         self._service = service
         self._sup = service._supervisor
@@ -906,10 +959,21 @@ class _SupervisedStream:
         self._window: collections.deque = collections.deque()
         self._counters = FaultCounters()
         self._recovering = False
-        self._transport: _ProcessTransport | None = None
-        if self._sup.level == "process":
+        # A borrowed transport (gateway shard pumps) is reused across
+        # streams and closed by its owner, not here.
+        self._owns_transport = transport is None
+        self._transport: _ProcessTransport | None = transport
+        if self._transport is None and self._sup.level == "process":
             self._transport = _ProcessTransport(service)
-        self._engine = _Engine(service, self._sup.level, self._transport)
+        self._fallback_base = (
+            self._transport.fallbacks if self._transport is not None else 0
+        )
+        # Adaptive slab sizing needs the first unit before the ring (and
+        # therefore the pool, whose workers attach the ring at init) can
+        # exist — defer engine creation to the first submit in that case.
+        self._engine: _Engine | None = None
+        if self._transport is None or not self._transport.ring_pending:
+            self._engine = _Engine(service, self._sup.level, self._transport)
         service._streams.add(self)
 
     # ------------------------------------------------------------------
@@ -929,6 +993,13 @@ class _SupervisedStream:
         """Yield ``(record, result)`` in stream order under supervision."""
 
         for item in self._items:
+            if item is ModelPoolService._FLUSH:
+                # The source's queue ran dry: emit everything in flight so
+                # waiting consumers are not held hostage by a half-full
+                # window, then go back for more items.
+                while self._window:
+                    yield self._pop()
+                continue
             unit = _Unit(item)
             self._window.append(unit)
             self._submit(unit)
@@ -946,13 +1017,21 @@ class _SupervisedStream:
         """Shut the engine down, publish transport stats, unregister."""
 
         try:
-            self._engine.shutdown()
+            if self._engine is not None:
+                self._engine.shutdown()
             if self._transport is not None:
-                self._transport.close()
+                fallbacks = self._transport.fallbacks - self._fallback_base
+                if fallbacks > 0:
+                    self._count("shm_fallbacks", fallbacks)
+                if self._owns_transport:
+                    self._transport.close()
         finally:
             self._service._streams.discard(self)
             self._service._last_faults = dataclasses.replace(self._counters)
-            self._service._last_level = self._engine.level
+            self._service._last_level = (
+                self._engine.level if self._engine is not None
+                else self._sup.level
+            )
             self._sup.stream_done()
 
     # ------------------------------------------------------------------
@@ -971,6 +1050,12 @@ class _SupervisedStream:
             self._count("degraded")
 
     def _submit(self, unit: _Unit) -> None:
+        if self._engine is None:
+            # Deferred start (adaptive slab sizing): size the ring from
+            # this first unit, then stand the pool up against it.
+            self._transport.ensure_ring(unit.item)
+            self._engine = _Engine(self._service, self._sup.level,
+                                   self._transport)
         if hasattr(unit.item, "attempt"):
             unit.item.attempt = unit.attempt  # probe fault hooks see retries
         try:
@@ -1175,6 +1260,25 @@ class StreamingCompressionService(ModelPoolService):
         # hand across threads while the worker reuses its workspaces.
         return compressor.compress_into(batch.wedges)
 
+    def _adaptive_slab_nbytes(self, batch: MicroBatch) -> int:
+        """Slab size fitting ``max_batch`` wedges of input and their codes.
+
+        The codes side uses the exact ``code_shape_for`` arithmetic the
+        worker applies (fp16 = 2 bytes/element), so a full-size batch
+        round-trips through one slab with zero pickle fallbacks.
+        """
+
+        wedges = np.asarray(batch.wedges)
+        spatial = wedges.shape[1:]
+        per_input = int(np.prod(spatial)) * wedges.dtype.itemsize
+        compressor = self._acquire()
+        try:
+            code_shape = compressor.code_shape_for(spatial)
+        finally:
+            self._release([compressor])
+        per_codes = int(np.prod(code_shape)) * 2
+        return self.config.max_batch * max(per_input, per_codes)
+
     # ------------------------------------------------------------------
     def compress_stream(
         self, source: Iterable[StreamItem] | Sequence[np.ndarray] | np.ndarray
@@ -1261,6 +1365,29 @@ class DecompressionService(ModelPoolService):
     def _work(self, compressor: BCAECompressor, item: PayloadItem) -> np.ndarray:
         # Copy out of the worker's reused workspace before hand-off.
         return np.array(compressor.decompress_into(item.compressed))
+
+    def _adaptive_slab_nbytes(self, item: PayloadItem) -> int:
+        """Slab size fitting ``max_batch`` wedges of payload and recon.
+
+        The reconstruction dominates: fp32 at the full wedge geometry,
+        recovered from the payload header — 3D models carry their exact
+        input spatial shape; the 2D family's azimuthal extent is
+        ``code_shape[1] * 2**d`` (the encoder's downsampling inverted)
+        over ``in_channels`` radial layers and the unpadded horizontal.
+        """
+
+        c = item.compressed
+        n_wedges = max(1, int(c.n_wedges))
+        per_payload = -(-int(c.nbytes) // n_wedges)
+        encoder = self.model.encoder
+        if hasattr(encoder, "spatial"):
+            per_recon = int(np.prod(encoder.spatial)) * 4
+        else:
+            upsample = 2 ** encoder.d
+            per_recon = (int(encoder.in_channels)
+                         * int(c.code_shape[1]) * upsample
+                         * int(c.original_horizontal) * 4)
+        return self.config.max_batch * max(per_payload, per_recon)
 
     # ------------------------------------------------------------------
     def _as_items(
@@ -1442,6 +1569,12 @@ class HandoffProbeService(ModelPoolService):
         return _probe_work(item.payload, item.poison, fault=item.fault,
                            hang_s=item.hang_s, attempt=item.attempt,
                            fail_attempts=item.fail_attempts)
+
+    def _adaptive_slab_nbytes(self, item: ProbeItem) -> int:
+        """Probe units ship whole arrays; the ack is a float — size the
+        slab to the first unit's payload."""
+
+        return int(np.asarray(item.payload).nbytes)
 
     @staticmethod
     def items(arrays: Sequence[np.ndarray], poison_seqs: Sequence[int] = (),
@@ -1642,9 +1775,42 @@ class _ProcessTransport:
         self.input_fallbacks = 0
         self.result_fallbacks = 0
         self.ring_rebuilds = 0
-        if cfg.transport == "shm" and cfg.workers > 0 and shm_available():
+        self._want_shm = (cfg.transport == "shm" and cfg.workers > 0
+                          and shm_available())
+        if self._want_shm and cfg.shm_slab_mb is not None:
             self.ring = SlabRing.create(cfg.inflight, cfg.slab_nbytes)
+        # Adaptive sizing (shm_slab_mb=None) defers ring creation to
+        # ensure_ring(), fed by the first work unit.
         self._had_ring = self.ring is not None
+
+    @property
+    def fallbacks(self) -> int:
+        """Units that degraded to pickle in either direction (lifetime)."""
+
+        return self.input_fallbacks + self.result_fallbacks
+
+    @property
+    def ring_pending(self) -> bool:
+        """True while the adaptively-sized ring awaits its first unit."""
+
+        return self._want_shm and self.ring is None
+
+    def ensure_ring(self, item) -> None:
+        """Create the adaptively-sized ring from the first unit (no-op
+        once the ring exists or shm is not in play).
+
+        The size comes from the owning service's
+        ``_adaptive_slab_nbytes`` arithmetic — ``max_batch`` wedges of
+        input versus the ``code_shape_for``-sized result — rounded up to
+        4 KiB pages so the kernel-page mapping is never partially used.
+        """
+
+        if not self.ring_pending:
+            return
+        nbytes = int(self._service._adaptive_slab_nbytes(item))
+        nbytes = max(4096, -(-nbytes // 4096) * 4096)
+        self.ring = SlabRing.create(self._service.config.inflight, nbytes)
+        self._had_ring = True
 
     def initargs(self) -> tuple:
         cfg = self._service.config
@@ -1749,15 +1915,18 @@ class _ProcessTransport:
 
         if self.ring is None:
             return False
+        # Replace with the *actual* geometry — under adaptive sizing the
+        # live ring's slab size came from the first unit, not the config.
+        n_slabs, slab_nbytes = self.ring.n_slabs, self.ring.slab_nbytes
         self.ring.destroy()
-        cfg = self._service.config
-        self.ring = SlabRing.create(cfg.inflight, cfg.slab_nbytes)
+        self.ring = SlabRing.create(n_slabs, slab_nbytes)
         self.ring_rebuilds += 1
         return True
 
     def drop_ring(self) -> None:
         """Destroy the ring with no replacement (degraded below process)."""
 
+        self._want_shm = False
         if self.ring is not None:
             self.ring.destroy()
             self.ring = None
@@ -1873,11 +2042,15 @@ class AsyncServingSession:
         self._checkout: _Checkout | None = None
         if cfg.workers > 0 and cfg.backend == "process":
             self._transport = _ProcessTransport(service)
-            self._pool = concurrent.futures.ProcessPoolExecutor(
-                cfg.workers,
-                initializer=_process_init,
-                initargs=self._transport.initargs(),
-            )
+            # Adaptive slab sizing: the ring (and the pool, whose workers
+            # attach the ring at init) wait for the first submitted unit.
+            self._pool = None
+            if not self._transport.ring_pending:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    cfg.workers,
+                    initializer=_process_init,
+                    initargs=self._transport.initargs(),
+                )
         else:
             self._checkout = _Checkout(service)
             self._pool = concurrent.futures.ThreadPoolExecutor(max(1, cfg.workers))
@@ -1910,6 +2083,14 @@ class AsyncServingSession:
         while len(self._window) >= self._service.config.inflight:
             self._emitted.clear()
             await self._emitted.wait()
+        if self._pool is None:
+            cfg = self._service.config
+            self._transport.ensure_ring(item)
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                cfg.workers,
+                initializer=_process_init,
+                initargs=self._transport.initargs(),
+            )
         if self._transport is not None:
             cf = self._transport.submit(self._pool, item)
         else:
@@ -1986,15 +2167,25 @@ class AsyncServingSession:
                 # even that wait is cancelled, fall back to blocking —
                 # the no-orphaned-work guarantee outranks loop liveness.
                 try:
-                    await asyncio.get_running_loop().run_in_executor(
-                        None, lambda: self._pool.shutdown(wait=True)
-                    )
+                    if self._pool is not None:
+                        await asyncio.get_running_loop().run_in_executor(
+                            None, lambda: self._pool.shutdown(wait=True)
+                        )
                 except asyncio.CancelledError as exc:
                     cancelled = exc
                     self._pool.shutdown(wait=True)
             finally:
                 if self._transport is not None:
+                    fallbacks = self._transport.fallbacks
                     self._transport.close()
+                    if fallbacks:
+                        # Surface silent shm→pickle degradation where the
+                        # bench/health layers look: the service's fault
+                        # totals and the most recent stream's counters.
+                        self._service._supervisor.totals.shm_fallbacks += fallbacks
+                        self._service._last_faults = FaultCounters(
+                            shm_fallbacks=fallbacks
+                        )
                 if self._checkout is not None:
                     self._checkout.release()
         if cancelled is not None:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import math
 import struct
 import time
 from typing import AsyncIterator, Iterable, Iterator
@@ -34,6 +35,7 @@ import numpy as np
 __all__ = [
     "StreamItem",
     "FrameProtocolError",
+    "MAX_FRAME_BYTES",
     "iter_wedges",
     "replay_stream",
     "AsyncWedgeSource",
@@ -198,6 +200,11 @@ class AsyncQueueSource(AsyncWedgeSource):
 
 # Wedge frame wire format: magic, dtype tag, shape, then raw bytes.
 _FRAME_MAGIC = b"WDG1"
+#: Default cap on one frame's body, in bytes (64 MiB).  A corrupt or
+#: hostile header can claim up to 255 dims of 2³²-1 each; without a cap
+#: the reader would try to buffer that.  Generous: the largest real unit
+#: (a paper-scale 3D wedge batch) is well under 64 MiB.
+MAX_FRAME_BYTES = 64 << 20
 
 
 def write_wedge_frame(writer: asyncio.StreamWriter, wedge: np.ndarray) -> None:
@@ -205,6 +212,9 @@ def write_wedge_frame(writer: asyncio.StreamWriter, wedge: np.ndarray) -> None:
 
     Frame layout: ``b"WDG1"``, u8 dtype-string length, the numpy dtype
     string, u8 ndim, ndim × u32 dims, then the C-order array bytes.
+    Arrays the header cannot represent — more than 255 dims, or any dim
+    ≥ 2³² — raise :class:`FrameProtocolError` rather than an opaque
+    :class:`struct.error`.
 
     This only queues bytes on the transport; producers streaming many
     frames must ``await writer.drain()`` periodically (per frame or per
@@ -213,6 +223,14 @@ def write_wedge_frame(writer: asyncio.StreamWriter, wedge: np.ndarray) -> None:
     """
 
     wedge = np.ascontiguousarray(wedge)
+    if wedge.ndim > 255:
+        raise FrameProtocolError(
+            f"wedge frame header holds at most 255 dims, got {wedge.ndim}"
+        )
+    if any(dim >= 1 << 32 for dim in wedge.shape):
+        raise FrameProtocolError(
+            f"wedge frame dims must fit u32 (< 2**32), got shape {wedge.shape}"
+        )
     dtype = wedge.dtype.str.encode("ascii")
     header = _FRAME_MAGIC + struct.pack("<B", len(dtype)) + dtype
     header += struct.pack("<B", wedge.ndim)
@@ -220,13 +238,26 @@ def write_wedge_frame(writer: asyncio.StreamWriter, wedge: np.ndarray) -> None:
     writer.write(header + wedge.tobytes())
 
 
-async def read_wedge_frame(reader: asyncio.StreamReader) -> np.ndarray | None:
+async def read_wedge_frame(
+    reader: asyncio.StreamReader,
+    max_frame_bytes: int | None = MAX_FRAME_BYTES,
+) -> np.ndarray | None:
     """Read one wedge frame; ``None`` on clean EOF at a frame boundary.
 
     Every malformed-input condition — mid-frame disconnect, truncated
     header or body, bad magic, undecodable dtype/shape — raises
     :class:`FrameProtocolError` with the original cause chained, so the
     ingest loop has exactly one exception to contain.
+
+    The header is untrusted input: a frame whose declared body exceeds
+    ``max_frame_bytes`` (default :data:`MAX_FRAME_BYTES`; ``None``
+    disables the cap) raises :class:`FrameProtocolError` *before* any
+    body byte is read or buffered, so a corrupt or hostile length field
+    cannot drive an unbounded allocation.
+
+    The returned array is **writable** (the frame bytes are copied into
+    an owned buffer): socket-ingested wedges must behave like every other
+    source under downstream in-place ops.
     """
 
     try:
@@ -244,7 +275,14 @@ async def read_wedge_frame(reader: asyncio.StreamReader) -> np.ndarray | None:
         dtype = np.dtype((await reader.readexactly(dtype_len)).decode("ascii"))
         (ndim,) = struct.unpack("<B", await reader.readexactly(1))
         shape = struct.unpack(f"<{ndim}I", await reader.readexactly(4 * ndim))
-        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        # Python-int math: 255 dims of 2**32-1 each overflows int64.
+        nbytes = math.prod(shape) * dtype.itemsize
+        if max_frame_bytes is not None and nbytes > max_frame_bytes:
+            raise FrameProtocolError(
+                f"wedge frame claims {nbytes} body bytes, over the "
+                f"{max_frame_bytes}-byte cap — corrupt header or hostile "
+                "peer"
+            )
         data = await reader.readexactly(nbytes)
     except asyncio.IncompleteReadError as exc:
         # A link that dies anywhere inside a frame is one condition to the
@@ -254,7 +292,9 @@ async def read_wedge_frame(reader: asyncio.StreamReader) -> np.ndarray | None:
         raise FrameProtocolError("connection lost mid wedge frame") from exc
     except (struct.error, TypeError, UnicodeDecodeError) as exc:
         raise FrameProtocolError("undecodable wedge frame header") from exc
-    return np.frombuffer(data, dtype=dtype).reshape(shape)
+    # One copy into an owned, writable buffer: np.frombuffer over received
+    # `bytes` would hand every socket consumer a read-only array.
+    return np.frombuffer(bytearray(data), dtype=dtype).reshape(shape)
 
 
 class AsyncSocketSource(AsyncWedgeSource):
@@ -266,24 +306,32 @@ class AsyncSocketSource(AsyncWedgeSource):
     either way — an abrupt disconnect never leaks the transport.  Use
     :meth:`connect` for a TCP client, or wrap the reader an
     ``asyncio.start_server`` callback hands you.
+
+    ``max_frame_bytes`` bounds how large a body any one frame may claim
+    (see :func:`read_wedge_frame`); the gateway sets it from its config
+    so untrusted producers cannot drive unbounded buffering.
     """
 
     def __init__(
         self,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter | None = None,
+        max_frame_bytes: int | None = MAX_FRAME_BYTES,
     ) -> None:
         self._reader = reader
         # The writer must stay referenced for the connection's lifetime —
         # dropping it garbage-collects the transport and closes the socket.
         self._writer = writer
+        self._max_frame_bytes = max_frame_bytes
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "AsyncSocketSource":
+    async def connect(cls, host: str, port: int,
+                      max_frame_bytes: int | None = MAX_FRAME_BYTES,
+                      ) -> "AsyncSocketSource":
         """Open a TCP connection and wrap it as a wedge source."""
 
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        return cls(reader, writer, max_frame_bytes=max_frame_bytes)
 
     async def aclose(self) -> None:
         """Close the transport (idempotent; also runs on stream end)."""
@@ -303,7 +351,9 @@ class AsyncSocketSource(AsyncWedgeSource):
         # abandoned iteration doesn't pin the TCP transport open.
         try:
             while True:
-                wedge = await read_wedge_frame(self._reader)
+                wedge = await read_wedge_frame(
+                    self._reader, max_frame_bytes=self._max_frame_bytes
+                )
                 if wedge is None:
                     return
                 yield wedge
