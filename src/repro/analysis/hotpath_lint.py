@@ -77,12 +77,16 @@ SUPPRESS = "lint: allow-alloc"
 
 
 def default_targets(root: str | Path) -> list[Path]:
-    """The scoped hot-path files: ``core/fast_*.py`` and ``serve/*.py``."""
+    """The scoped hot-path files: ``core/fast_*.py``, ``serve/*.py`` and
+    the adaptive rate tier's serving wrapper."""
 
     root = Path(root)
     files = sorted((root / "core").glob("fast_*.py"))
     files += sorted(p for p in (root / "serve").glob("*.py")
                     if p.name != "__init__.py")
+    tier = root / "rate" / "tier.py"
+    if tier.exists():
+        files.append(tier)
     return files
 
 

@@ -19,6 +19,7 @@ from .huffman import HuffmanCode, build_huffman, huffman_decode, huffman_encode
 from .lorenzo import lorenzo_forward, lorenzo_inverse
 from .mgardlike import MGARDLikeCodec
 from .quantize import ErrorBoundedQuantizer, UniformQuantizer
+from .sparse import SparseIndexCodec
 from .szlike import SZLikeCodec
 from .zfplike import ZFPLikeCodec
 
@@ -28,6 +29,7 @@ __all__ = [
     "evaluate_codec",
     "fp16_ratio",
     "SZLikeCodec",
+    "SparseIndexCodec",
     "ZFPLikeCodec",
     "MGARDLikeCodec",
     "DecimationCodec",

@@ -8,6 +8,7 @@ Subcommands mirror the reproduction workflow::
     repro-tpc throughput --model bcae_2d            # roofline + CPU timing
     repro-tpc compare   --data data/wedges.npz      # learning-free baselines
     repro-tpc serve     --wedges 64 --batch 8 --archive codes.npz
+    repro-tpc compress  --wedges 64 --rate-policy occupancy --archive codes.npz
     repro-tpc decompress --archive codes.npz --out recon.npz --verify
 
 Every command runs offline on CPU; ``--scale paper`` switches to the full
@@ -156,12 +157,50 @@ def build_parser() -> argparse.ArgumentParser:
                         "the stream's lifetime (0 = ephemeral port)")
     v.add_argument("--baseline", action="store_true",
                    help="also time serial single-wedge compress + verify parity")
+    v.add_argument("--rate-policy", choices=("occupancy",), default=None,
+                   help="adaptive per-wedge codec selection: route sparse "
+                        "wedges to the classical coordinate-list codec and "
+                        "dense ones to the BCAE, recording a RateDecision "
+                        "per wedge (default: fixed-rate BCAE only)")
+    v.add_argument("--rate-budget-mbps", type=float, default=None,
+                   help="stream bandwidth budget [Mbps] resolved to a "
+                        "stateless per-wedge byte allowance (requires "
+                        "--rate-policy)")
     v.add_argument("--seed", type=int, default=0)
     v.add_argument("--m", type=int, default=4)
     v.add_argument("--n", type=int, default=8)
     v.add_argument("--d", type=int, default=None)
     v.add_argument("--archive", default=None,
                    help="save the served payloads as one io.codes npz archive")
+
+    o = sub.add_parser(
+        "compress",
+        help="one-shot compression of wedges to an io.codes archive",
+        epilog="the batch-mode twin of `serve --archive`: no worker pools "
+               "or gateways, just the compressor (optionally the adaptive "
+               "rate tier) over a dataset or synthetic wedges.",
+    )
+    o.add_argument("--data", default=None,
+                   help="npz from `generate` (default: synthetic wedges)")
+    o.add_argument("--wedges", type=int, default=64,
+                   help="synthetic wedge count when --data is not given")
+    o.add_argument("--scale", choices=_SCALES, default="tiny")
+    o.add_argument("--model", default="bcae_2d")
+    o.add_argument("--batch", type=int, default=8, help="compression batch size")
+    o.add_argument("--full", action="store_true",
+                   help="fp32 instead of fp16 inference")
+    o.add_argument("--rate-policy", choices=("occupancy",), default=None,
+                   help="adaptive per-wedge codec selection (see "
+                        "`serve --rate-policy`)")
+    o.add_argument("--rate-budget-mbps", type=float, default=None,
+                   help="stream bandwidth budget [Mbps] (requires "
+                        "--rate-policy)")
+    o.add_argument("--seed", type=int, default=0)
+    o.add_argument("--m", type=int, default=4)
+    o.add_argument("--n", type=int, default=8)
+    o.add_argument("--d", type=int, default=None)
+    o.add_argument("--archive", required=True,
+                   help="destination io.codes npz archive")
 
     x = sub.add_parser(
         "decompress",
@@ -447,6 +486,8 @@ def _cmd_serve(args) -> int:
         panel_threads=args.panel_threads,
         unit_timeout_s=args.unit_timeout_s,
         max_retries=args.max_retries,
+        rate_policy=args.rate_policy,
+        rate_budget_mbps=args.rate_budget_mbps,
     )
     if args.gateway_port is not None or args.shards > 1:
         return _run_gateway(args, model, config, wedges)
@@ -489,15 +530,50 @@ def _cmd_serve(args) -> int:
         tr = stats.to_throughput_result()
         print(f"best batch: {tr.seconds_per_batch * 1e3:.2f} ms "
               f"(mean {tr.seconds_per_batch_mean * 1e3:.2f} ms)")
+    if args.rate_policy:
+        _print_rate_summary(payloads, wedges.shape[1:])
 
     if args.baseline:
-        compressor = BCAECompressor(model, half=not args.full)
+        if args.rate_policy:
+            from .rate import AdaptiveCompressor, make_policy
+
+            compressor = AdaptiveCompressor(
+                BCAECompressor(model, half=not args.full),
+                make_policy(args.rate_policy,
+                            budget_mbps=args.rate_budget_mbps),
+            )
+        else:
+            compressor = BCAECompressor(model, half=not args.full)
         t0 = time.perf_counter()
         serial = [compressor.compress(w) for w in wedges]
         dt = time.perf_counter() - t0
         serial_wps = wedges.shape[0] / dt
         print(f"serial single-wedge compress: {serial_wps:8.1f} w/s "
               f"-> service speedup {stats.wedges_per_second / serial_wps:.2f}x")
+        if args.rate_policy:
+            # Mixed payloads have no uniform code view; selection is a
+            # pure per-wedge function, so records, codec ids and decision
+            # ledgers must match the serial path byte-for-byte.
+            parity = (
+                b"".join(bytes(p.payload) for p in payloads)
+                == b"".join(bytes(p.payload) for p in serial)
+                and sum((p.codec_ids for p in payloads), ())
+                == sum((p.codec_ids for p in serial), ())
+                and sum((p.decisions for p in payloads), ())
+                == sum((p.decisions for p in serial), ())
+            )
+            print(f"adaptive payload/ledger parity with serial path: "
+                  f"{'OK' if parity else 'MISMATCH'}")
+            if not parity:
+                return 1
+            if args.archive:
+                from .io import concat_compressed, save_compressed
+
+                path = save_compressed(concat_compressed(payloads),
+                                       args.archive, model_name=args.model)
+                print(f"archived {sum(p.n_wedges for p in payloads)} "
+                      f"wedges -> {path}")
+            return 0
         got = np.concatenate([np.asarray(p.codes_view()) for p in payloads])
         ref = np.concatenate([np.asarray(p.codes_view()) for p in serial])
         if args.precision == "ulp":
@@ -524,6 +600,69 @@ def _cmd_serve(args) -> int:
         path = save_compressed(concat_compressed(payloads), args.archive,
                                model_name=args.model)
         print(f"archived {sum(p.n_wedges for p in payloads)} wedges -> {path}")
+    return 0
+
+
+def _print_rate_summary(payloads, wedge_spatial) -> None:
+    """Per-codec routing counts + aggregate ratio of adaptive payloads."""
+
+    from collections import Counter
+
+    from .rate import aggregate_ratio, codec_name
+
+    counts: Counter = Counter()
+    for p in payloads:
+        counts.update(p.codec_ids or ())
+    routed = ", ".join(
+        f"{codec_name(cid)}:{n}" for cid, n in sorted(counts.items())
+    )
+    ratio = aggregate_ratio(payloads, wedge_spatial)
+    print(f"rate tier: routed [{routed}] -> aggregate ratio {ratio:.2f}")
+
+
+def _cmd_compress(args) -> int:
+    """``compress``: one-shot (optionally adaptive) archive production."""
+
+    from .core import BCAECompressor, build_model
+    from .io import concat_compressed, save_compressed
+    from .tpc import generate_wedge_stream
+
+    if args.data:
+        from .tpc import WedgeDataset
+
+        dataset = WedgeDataset.load(args.data)
+        wedges = dataset.wedges
+        spatial = dataset.geometry.wedge_shape
+    else:
+        geometry = _geometry(args.scale)
+        wedges = generate_wedge_stream(args.wedges, geometry=geometry,
+                                       seed=args.seed)
+        spatial = geometry.wedge_shape
+    kwargs = _model_kwargs(args)
+    model = build_model(args.model, wedge_spatial=spatial, seed=args.seed,
+                        **kwargs)
+    model.eval()
+    compressor = BCAECompressor(model, half=not args.full)
+    if args.rate_policy:
+        from .rate import AdaptiveCompressor, make_policy
+
+        compressor = AdaptiveCompressor(
+            compressor,
+            make_policy(args.rate_policy, budget_mbps=args.rate_budget_mbps),
+        )
+    payloads = [
+        compressor.compress(wedges[start:start + args.batch])
+        for start in range(0, wedges.shape[0], max(1, args.batch))
+    ]
+    combined = concat_compressed(payloads)
+    path = save_compressed(combined, args.archive, model_name=args.model)
+    print(f"compressed {combined.n_wedges} wedges {wedges.shape[1:]} "
+          f"[{args.model}, {'fp32' if args.full else 'fp16'}] -> {path}")
+    if args.rate_policy:
+        _print_rate_summary(payloads, wedges.shape[1:])
+    else:
+        ratio = compressor.compression_ratio(wedges.shape[1:])
+        print(f"fixed-rate BCAE: compression ratio {ratio:.3f}")
     return 0
 
 
@@ -665,6 +804,10 @@ def _cmd_decompress(args) -> int:
         half=not args.full,
         precision=args.precision,
         panel_threads=args.panel_threads,
+        # Mixed archives need the adaptive tier on the decode side too —
+        # the policy itself is irrelevant for decoding, but the wrapper
+        # routes each record to its codec.
+        rate_policy="occupancy" if compressed.mixed else None,
     )
     service = DecompressionService(model, config)
     recons, stats = service.run(compressed)
@@ -674,7 +817,15 @@ def _cmd_decompress(args) -> int:
     print(stats.row())
 
     if args.verify:
-        reference = BCAECompressor(model, half=not args.full).decompress(compressed)
+        reference_compressor = BCAECompressor(model, half=not args.full)
+        if compressed.mixed:
+            from .rate import AdaptiveCompressor
+
+            reference = AdaptiveCompressor(
+                reference_compressor
+            ).decompress(compressed)
+        else:
+            reference = reference_compressor.decompress(compressed)
         if args.precision == "ulp":
             from .core.fast_plan import ULP_TIER_RECON_GRID_STEPS, grid_steps_at_scale
 
@@ -772,6 +923,7 @@ def main(argv: list[str] | None = None) -> int:
         "search": _cmd_search,
         "daq": _cmd_daq,
         "serve": _cmd_serve,
+        "compress": _cmd_compress,
         "decompress": _cmd_decompress,
         "analyze": _cmd_analyze,
     }

@@ -80,6 +80,18 @@ class CompressedWedges:
     code_dtype:
         dtype string of the stored codes (``"<f2"`` — kept explicit so
         archives are self-describing and validated on load).
+    codec_ids:
+        Per-wedge codec ids (see :mod:`repro.rate.registry`) when the
+        batch was produced by the adaptive tier; ``None`` (default) means
+        the legacy fixed-size all-BCAE layout.
+    record_sizes:
+        Per-wedge record sizes in bytes (paired with ``codec_ids``): the
+        payload is the concatenation of ``n_wedges`` variable-size
+        records.  ``None`` for the legacy layout.
+    decisions:
+        Per-wedge :class:`repro.rate.RateDecision` ledger (``None`` when
+        absent).  Typed loosely here so :mod:`repro.core` never imports
+        the rate tier.
     """
 
     payload: bytes
@@ -88,12 +100,48 @@ class CompressedWedges:
     original_horizontal: int
     half: bool | None = None
     code_dtype: str = "<f2"
+    codec_ids: tuple[int, ...] | None = None
+    record_sizes: tuple[int, ...] | None = None
+    decisions: tuple | None = None
+
+    def __post_init__(self) -> None:
+        if (self.codec_ids is None) != (self.record_sizes is None):
+            raise ValueError(
+                "codec_ids and record_sizes must be given together "
+                "(both None for the fixed-size BCAE layout)"
+            )
+        if self.codec_ids is not None:
+            if len(self.codec_ids) != self.n_wedges:
+                raise ValueError(
+                    f"codec_ids has {len(self.codec_ids)} entries for "
+                    f"{self.n_wedges} wedges"
+                )
+            if len(self.record_sizes) != self.n_wedges:
+                raise ValueError(
+                    f"record_sizes has {len(self.record_sizes)} entries "
+                    f"for {self.n_wedges} wedges"
+                )
+            if (self.decisions is not None
+                    and len(self.decisions) != self.n_wedges):
+                raise ValueError(
+                    f"decisions has {len(self.decisions)} entries for "
+                    f"{self.n_wedges} wedges"
+                )
 
     @property
     def nbytes(self) -> int:
         """Stored payload size in bytes."""
 
         return len(self.payload)
+
+    @property
+    def mixed(self) -> bool:
+        """True when the payload holds records from more than one codec
+        (variable-size layout; ``codes_view`` refuses such payloads)."""
+
+        return self.codec_ids is not None and any(
+            c != 0 for c in self.codec_ids
+        )
 
     def codes(self) -> np.ndarray:
         """The payload as a *writable* fp16 code array.
@@ -107,8 +155,21 @@ class CompressedWedges:
         return self.codes_view().copy()
 
     def codes_view(self) -> np.ndarray:
-        """Zero-copy *read-only* view of the payload as fp16 codes."""
+        """Zero-copy *read-only* view of the payload as fp16 codes.
 
+        Only meaningful while every record is a BCAE code (the fixed-size
+        layout, or an adaptive batch that routed everything to the BCAE);
+        a genuinely mixed payload has no single code grid to view and
+        raises — decode it through :class:`repro.rate.AdaptiveCompressor`.
+        """
+
+        if self.mixed:
+            raise ValueError(
+                "payload mixes per-wedge codecs "
+                f"(ids {sorted(set(self.codec_ids))}) — there is no "
+                "uniform code view; decompress it through "
+                "repro.rate.AdaptiveCompressor instead"
+            )
         count = self.n_wedges * int(np.prod(self.code_shape))
         # count= tolerates payload buffers larger than the codes (e.g. a
         # caller-owned ring buffer passed to compress_into(out=...)).

@@ -10,10 +10,21 @@ full-precision one would decode silently wrong, so it is recorded on save
 and validated by ``BCAECompressor.decompress``.  Archives written before
 these fields existed keep loading (their mode is ``None`` = unchecked).
 
-:func:`concat_compressed` / :func:`split_compressed` rechunk payload batches
-(codes are fixed-size records, so this is pure byte arithmetic) — the
-decompression service uses them to re-batch archived payloads for the
-compiled decode path.
+**Format version 2** (the adaptive rate tier, :mod:`repro.rate`) adds a
+per-wedge codec record: ``codec_ids`` + ``record_sizes`` describe the
+payload as a concatenation of variable-size records (id 0 = BCAE fp16
+codes, classical ids per the append-only registry), and ``rate_decisions``
+carries the :class:`repro.rate.RateDecision` ledger.  Version-2 archives
+are validated **at load**: every codec id must be known to this build
+(unknown ids are rejected loudly instead of mis-decoding) and the payload
+must hold exactly the declared record bytes.  Version-1 archives —
+everything written before the rate tier — keep loading unchanged.
+
+:func:`concat_compressed` / :func:`split_compressed` rechunk payload
+batches.  Legacy batches are fixed-size records (pure byte arithmetic);
+mixed-codec batches re-index their per-wedge records, and concatenating a
+legacy batch with a mixed one promotes the legacy side to all-BCAE records
+first, so the result stays self-describing.
 """
 
 from __future__ import annotations
@@ -32,6 +43,10 @@ __all__ = [
     "split_compressed",
 ]
 
+#: Archive format written by :func:`save_compressed` when per-wedge codec
+#: records are present (1 = fixed-size BCAE-only, 2 = per-wedge codecs).
+FORMAT_VERSION = 2
+
 
 def save_compressed(
     compressed: CompressedWedges, path: str | Path, model_name: str = ""
@@ -41,8 +56,7 @@ def save_compressed(
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     half_flag = -1 if compressed.half is None else int(bool(compressed.half))
-    np.savez_compressed(
-        path,
+    arrays = dict(
         payload=np.frombuffer(compressed.payload, dtype=np.uint8),
         code_shape=np.array(compressed.code_shape, dtype=np.int64),
         n_wedges=np.array([compressed.n_wedges], dtype=np.int64),
@@ -53,7 +67,52 @@ def save_compressed(
             np.dtype(compressed.code_dtype).str.encode("ascii"), dtype=np.uint8
         ),
     )
+    if compressed.codec_ids is not None:
+        arrays["format_version"] = np.array([FORMAT_VERSION], dtype=np.int64)
+        arrays["codec_ids"] = np.array(compressed.codec_ids, dtype=np.int64)
+        arrays["record_sizes"] = np.array(compressed.record_sizes, dtype=np.int64)
+        decisions = compressed.decisions or ()
+        if decisions:
+            arrays["rate_decisions"] = np.array(
+                [d.as_row() for d in decisions], dtype=np.float64
+            )
+    np.savez_compressed(path, **arrays)
     return path
+
+
+def _load_codec_fields(data, path, n_wedges: int, payload: bytes):
+    """Validate and extract the version-2 per-wedge codec record."""
+
+    codec_ids = tuple(int(v) for v in data["codec_ids"])
+    record_sizes = tuple(int(v) for v in data["record_sizes"])
+    if len(codec_ids) != n_wedges or len(record_sizes) != n_wedges:
+        raise ValueError(
+            f"archive {path} declares {n_wedges} wedges but carries "
+            f"{len(codec_ids)} codec ids / {len(record_sizes)} record sizes"
+        )
+    # Reject ids this build cannot decode *here*, where the archive is
+    # opened, instead of producing garbage at decompress time.
+    from ..rate.registry import validate_codec_ids
+
+    validate_codec_ids(codec_ids, context=f"archive {path}")
+    need = sum(record_sizes)
+    if len(payload) < need:
+        raise ValueError(
+            f"archive {path} is truncated: payload holds {len(payload)} "
+            f"bytes but the per-wedge records declare {need}"
+        )
+    decisions = None
+    if "rate_decisions" in data.files:
+        from ..rate.policy import RateDecision
+
+        rows = np.asarray(data["rate_decisions"], dtype=np.float64)
+        if rows.shape[0] != n_wedges:
+            raise ValueError(
+                f"archive {path} carries {rows.shape[0]} rate decisions "
+                f"for {n_wedges} wedges"
+            )
+        decisions = tuple(RateDecision.from_row(row) for row in rows)
+    return codec_ids, record_sizes, decisions
 
 
 def load_compressed(path: str | Path) -> tuple[CompressedWedges, str]:
@@ -63,7 +122,9 @@ def load_compressed(path: str | Path) -> tuple[CompressedWedges, str]:
     the payload must hold ``n_wedges`` complete code records (a truncated
     or mislabeled archive fails here, not at decode time).  Legacy archives
     without the ``half``/``code_dtype`` fields load with ``half=None``
-    (precision unchecked) and the fp16 default.
+    (precision unchecked) and the fp16 default; version-2 archives
+    additionally validate their per-wedge codec ids against the registry
+    and their payload against the declared record sizes.
     """
 
     with np.load(Path(path)) as data:
@@ -83,13 +144,19 @@ def load_compressed(path: str | Path) -> tuple[CompressedWedges, str]:
         payload = data["payload"].tobytes()
         code_shape = tuple(int(v) for v in data["code_shape"])
         n_wedges = int(data["n_wedges"][0])
-        need = n_wedges * int(np.prod(code_shape)) * dtype.itemsize
-        if len(payload) < need:
-            raise ValueError(
-                f"archive {path} is truncated: payload holds {len(payload)} "
-                f"bytes but {n_wedges} wedges of shape {code_shape} "
-                f"({dtype}) need {need}"
+        codec_ids = record_sizes = decisions = None
+        if "codec_ids" in data.files:
+            codec_ids, record_sizes, decisions = _load_codec_fields(
+                data, path, n_wedges, payload
             )
+        else:
+            need = n_wedges * int(np.prod(code_shape)) * dtype.itemsize
+            if len(payload) < need:
+                raise ValueError(
+                    f"archive {path} is truncated: payload holds {len(payload)} "
+                    f"bytes but {n_wedges} wedges of shape {code_shape} "
+                    f"({dtype}) need {need}"
+                )
         compressed = CompressedWedges(
             payload=payload,
             code_shape=code_shape,
@@ -97,6 +164,9 @@ def load_compressed(path: str | Path) -> tuple[CompressedWedges, str]:
             original_horizontal=int(data["original_horizontal"][0]),
             half=half,
             code_dtype=dtype.str,
+            codec_ids=codec_ids,
+            record_sizes=record_sizes,
+            decisions=decisions,
         )
         model_name = data["model_name"].tobytes().decode("utf-8")
     return compressed, model_name
@@ -106,11 +176,38 @@ def _record_nbytes(compressed: CompressedWedges) -> int:
     return int(np.prod(compressed.code_shape)) * np.dtype(compressed.code_dtype).itemsize
 
 
+def _as_records(compressed: CompressedWedges) -> CompressedWedges:
+    """Promote a legacy fixed-size batch to explicit per-wedge records.
+
+    All-BCAE by definition (codec id 0, uniform record size); payload
+    bytes are reused as-is (trimmed of any ring-buffer overhang).  Mixed
+    batches pass through unchanged.
+    """
+
+    if compressed.codec_ids is not None:
+        return compressed
+    record = _record_nbytes(compressed)
+    import dataclasses
+
+    return dataclasses.replace(
+        compressed,
+        payload=bytes(
+            memoryview(compressed.payload)[: compressed.n_wedges * record]
+        ),
+        codec_ids=(0,) * compressed.n_wedges,
+        record_sizes=(record,) * compressed.n_wedges,
+    )
+
+
 def concat_compressed(batches: Sequence[CompressedWedges]) -> CompressedWedges:
-    """Concatenate payload batches into one (codes are fixed-size records).
+    """Concatenate payload batches into one.
 
     All batches must agree on code shape, horizontal size, precision mode
     and dtype — the metadata under which the payload bytes are meaningful.
+    Legacy fixed-size batches concatenate by byte arithmetic as before;
+    when any batch carries per-wedge codec records, every batch is
+    promoted to record form and the codec ids / record sizes / decision
+    ledgers concatenate alongside the payload.
     """
 
     if not batches:
@@ -121,6 +218,34 @@ def concat_compressed(batches: Sequence[CompressedWedges]) -> CompressedWedges:
         ref = (first.code_shape, first.original_horizontal, first.half, first.code_dtype)
         if meta != ref:
             raise ValueError(f"incompatible compressed batches: {meta} != {ref}")
+
+    if any(b.codec_ids is not None for b in batches):
+        recs = [_as_records(b) for b in batches]
+        codec_ids: tuple[int, ...] = ()
+        record_sizes: tuple[int, ...] = ()
+        decisions: list = []
+        have_decisions = False
+        for b in recs:
+            codec_ids += b.codec_ids
+            record_sizes += b.record_sizes
+            if b.decisions is not None:
+                have_decisions = True
+                decisions.extend(b.decisions)
+            else:
+                decisions.extend([None] * b.n_wedges)
+        return CompressedWedges(
+            payload=b"".join(bytes(memoryview(b.payload)[: sum(b.record_sizes)])
+                             for b in recs),
+            code_shape=first.code_shape,
+            n_wedges=sum(b.n_wedges for b in recs),
+            original_horizontal=first.original_horizontal,
+            half=first.half,
+            code_dtype=first.code_dtype,
+            codec_ids=codec_ids,
+            record_sizes=record_sizes,
+            decisions=tuple(decisions) if have_decisions else None,
+        )
+
     record = _record_nbytes(first)
     payload = b"".join(
         bytes(memoryview(b.payload)[: b.n_wedges * record]) for b in batches
@@ -143,13 +268,36 @@ def split_compressed(
     Zero-copy: each chunk's payload is a memoryview into the original
     buffer.  The inverse of :func:`concat_compressed`; the decompression
     service uses it to feed archived payloads to the worker pool in
-    micro-batches.
+    micro-batches.  Mixed-codec batches slice their per-wedge codec ids,
+    record sizes and decision ledger alongside the payload (offsets come
+    from the cumulative record sizes, still zero-copy).
     """
 
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-    record = _record_nbytes(compressed)
     view = memoryview(compressed.payload)
+
+    if compressed.codec_ids is not None:
+        offsets = [0]
+        for size in compressed.record_sizes:
+            offsets.append(offsets[-1] + int(size))
+        for start in range(0, compressed.n_wedges, batch_size):
+            n = min(batch_size, compressed.n_wedges - start)
+            yield CompressedWedges(
+                payload=view[offsets[start]:offsets[start + n]],
+                code_shape=compressed.code_shape,
+                n_wedges=n,
+                original_horizontal=compressed.original_horizontal,
+                half=compressed.half,
+                code_dtype=compressed.code_dtype,
+                codec_ids=compressed.codec_ids[start:start + n],
+                record_sizes=compressed.record_sizes[start:start + n],
+                decisions=(compressed.decisions[start:start + n]
+                           if compressed.decisions is not None else None),
+            )
+        return
+
+    record = _record_nbytes(compressed)
     for start in range(0, compressed.n_wedges, batch_size):
         n = min(batch_size, compressed.n_wedges - start)
         yield CompressedWedges(

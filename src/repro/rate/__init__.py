@@ -1,0 +1,88 @@
+"""``repro.rate`` — the adaptive per-wedge codec-selection tier.
+
+The variable-rate follow-up to the paper ("Variable Rate Neural
+Compression for Sparse Detector Data", arXiv 2411.11942) observes that
+TPC occupancy varies wildly per wedge, so a fixed-rate BCAE wastes its
+24 576 fp16 code elements on near-empty wedges a classical codec crushes.
+This package is the selection layer binding the repo's existing parts:
+
+* :mod:`~repro.rate.registry` — the append-only codec-id table (id 0 is
+  the BCAE fast path; classical ids map to :mod:`repro.baselines` codecs
+  over the log-ADC domain) plus the loud unknown-id rejection that keeps
+  mixed archives trustworthy;
+* :mod:`~repro.rate.policy` — :class:`OccupancyPolicy` routes each wedge
+  from its occupancy/activity features and records the auditable
+  :class:`RateDecision` (features, codec, estimated vs actual bytes);
+* :mod:`~repro.rate.budget` — :class:`RateBudget` resolves a stream-level
+  Mbps budget into a **stateless** per-wedge byte allowance, keeping
+  decisions batch-invariant (the serving parity contract);
+* :mod:`~repro.rate.tier` — :class:`AdaptiveCompressor`, a drop-in
+  :class:`~repro.core.BCAECompressor` twin the serving stack hosts
+  unchanged (``ServiceConfig.rate_policy`` / ``repro-tpc serve
+  --rate-policy occupancy``);
+* :mod:`~repro.rate.records` — per-wedge record byte arithmetic and the
+  gateway's record wire frame (payload + decision per wedge).
+
+Mixed batches round-trip through :mod:`repro.io` archives
+(``concat_compressed`` / ``split_compressed`` re-index the per-wedge
+records) and BCAE-routed wedges stay byte-identical to the all-BCAE path.
+"""
+
+from .budget import RateBudget
+from .policy import (
+    POLICY_NAMES,
+    OccupancyPolicy,
+    RateDecision,
+    make_policy,
+    wedge_features,
+)
+from .records import (
+    RECORD_FRAME_MAGIC,
+    decode_record_frame,
+    encode_record_frames,
+    is_record_frame,
+    record_offsets,
+    record_views,
+    records_to_compressed,
+)
+from .registry import (
+    BCAE_CODEC_ID,
+    SPARSE_CODEC_ID,
+    SZLIKE_CODEC_ID,
+    CodecEntry,
+    classical_codec,
+    codec_entry,
+    codec_error_bound,
+    codec_name,
+    known_codec_ids,
+    validate_codec_ids,
+)
+from .tier import AdaptiveCompressor, aggregate_ratio
+
+__all__ = [
+    "AdaptiveCompressor",
+    "aggregate_ratio",
+    "RateBudget",
+    "RateDecision",
+    "OccupancyPolicy",
+    "POLICY_NAMES",
+    "make_policy",
+    "wedge_features",
+    "BCAE_CODEC_ID",
+    "SPARSE_CODEC_ID",
+    "SZLIKE_CODEC_ID",
+    "CodecEntry",
+    "classical_codec",
+    "codec_entry",
+    "codec_error_bound",
+    "codec_name",
+    "known_codec_ids",
+    "validate_codec_ids",
+    "RECORD_FRAME_MAGIC",
+    "encode_record_frames",
+    "decode_record_frame",
+    "is_record_frame",
+    "record_offsets",
+    "record_views",
+    "records_to_compressed",
+]

@@ -1,0 +1,63 @@
+"""Stream-level bandwidth budget, enforced as a per-wedge byte allowance.
+
+The follow-up paper's constraint (arXiv 2411.11942) is a link budget: the
+archival stream out of the counting house may not exceed N Mbps.  A naive
+implementation — accumulate bytes, switch codecs when the running total
+crosses the line — makes each wedge's codec depend on *everything that
+came before it*, which destroys the serving tier's core promise that
+payload bytes are independent of batching, sharding and backend (inline,
+process pool, gateway sessions all batch differently).
+
+So the budget is enforced **statelessly**: the Mbps figure divided by the
+stream's nominal wedge rate (sPHENIX: 77 kHz x 24 wedges unless
+configured otherwise) gives a per-wedge byte allowance, and the policy
+must pick a codec whose estimated record fits it.  Every wedge's decision
+is then a pure function of that wedge alone — deterministic and
+batch-invariant by construction, which is exactly what the serving parity
+tests assert.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..daq.simulation import SPHENIX_FRAME_RATE_HZ, WEDGES_PER_FRAME
+
+__all__ = ["RateBudget"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RateBudget:
+    """A bandwidth budget resolved to a deterministic per-wedge allowance.
+
+    Attributes
+    ----------
+    mbps:
+        Stream budget in megabits per second (decimal: 1 Mbps = 1e6 b/s).
+    wedges_per_second:
+        Nominal wedge rate the budget is spread over.  Defaults to the
+        paper's outer-layer-group offered load (77 kHz x 24 wedges); pass
+        the actual deployment rate for real links.
+    """
+
+    mbps: float
+    wedges_per_second: float = SPHENIX_FRAME_RATE_HZ * WEDGES_PER_FRAME
+
+    def __post_init__(self) -> None:
+        if self.mbps <= 0:
+            raise ValueError(f"budget mbps must be > 0, got {self.mbps}")
+        if self.wedges_per_second <= 0:
+            raise ValueError(
+                f"wedges_per_second must be > 0, got {self.wedges_per_second}"
+            )
+
+    @property
+    def per_wedge_bytes(self) -> float:
+        """The stateless allowance: budget bytes/s over nominal wedges/s."""
+
+        return (self.mbps * 1e6 / 8.0) / self.wedges_per_second
+
+    def fits(self, est_bytes: int) -> bool:
+        """Whether an estimated record respects the per-wedge allowance."""
+
+        return est_bytes <= self.per_wedge_bytes

@@ -1,0 +1,154 @@
+"""Per-wedge record plumbing: offsets, slicing and the gateway wire frame.
+
+A mixed-codec payload is a concatenation of variable-size per-wedge
+records described by ``CompressedWedges.codec_ids`` / ``record_sizes``.
+This module owns the byte arithmetic over that layout (offsets, zero-copy
+record views) and the wire format the serving gateway uses to hand a
+routed wedge back to its producer:
+
+Record frame (one per wedge, carried inside an ordinary uint8 wedge
+frame so the existing length-prefixed socket protocol is reused as-is)::
+
+    [4s magic "RRC1"][u16 codec_id]
+    [f64 occupancy][f64 activity][u64 est_bytes][u64 actual_bytes]
+    [u64 record_nbytes][record bytes…]
+
+The decision fields ride next to the payload so a gateway client can
+rebuild not just the archive but the full :class:`RateDecision` ledger —
+the serving parity tests assert the rebuilt ledger equals the inline one.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..core.compressor import CompressedWedges
+from .policy import RateDecision
+from .registry import validate_codec_ids
+
+__all__ = [
+    "RECORD_FRAME_MAGIC",
+    "decode_record_frame",
+    "encode_record_frames",
+    "is_record_frame",
+    "record_offsets",
+    "record_views",
+    "records_to_compressed",
+]
+
+RECORD_FRAME_MAGIC = b"RRC1"
+
+_HEADER = struct.Struct("<4sHddQQQ")
+
+
+def record_offsets(record_sizes: Sequence[int]) -> list[int]:
+    """Byte offset of each record plus the total (len = n_records + 1)."""
+
+    offsets = [0]
+    for size in record_sizes:
+        offsets.append(offsets[-1] + int(size))
+    return offsets
+
+
+def record_views(compressed: CompressedWedges) -> list[memoryview]:
+    """Zero-copy per-wedge record slices of a mixed-codec payload."""
+
+    if compressed.record_sizes is None:
+        raise ValueError(
+            "payload carries no per-wedge codec records — use codes_view()"
+        )
+    view = memoryview(compressed.payload)
+    offsets = record_offsets(compressed.record_sizes)
+    return [view[offsets[i]:offsets[i + 1]]
+            for i in range(compressed.n_wedges)]
+
+
+# ----------------------------------------------------------------------
+# Gateway wire format
+# ----------------------------------------------------------------------
+
+
+def encode_record_frames(compressed: CompressedWedges) -> Iterator[np.ndarray]:
+    """One uint8 record frame per wedge of a mixed-codec payload."""
+
+    decisions = compressed.decisions or ()
+    for i, record in enumerate(record_views(compressed)):
+        d = decisions[i] if i < len(decisions) else None
+        codec_id = int(compressed.codec_ids[i])
+        header = _HEADER.pack(
+            RECORD_FRAME_MAGIC,
+            codec_id,
+            float(d.occupancy) if d else 0.0,
+            float(d.activity) if d else 0.0,
+            int(d.est_bytes) if d else len(record),
+            int(d.actual_bytes) if d else len(record),
+            len(record),
+        )
+        yield np.frombuffer(header + bytes(record), dtype=np.uint8)
+
+
+def is_record_frame(frame: np.ndarray) -> bool:
+    """Whether a received wedge frame is a codec record frame."""
+
+    frame = np.asarray(frame)
+    return (frame.dtype == np.uint8 and frame.ndim == 1
+            and frame.nbytes >= _HEADER.size
+            and bytes(frame[:4].tobytes()) == RECORD_FRAME_MAGIC)
+
+
+def decode_record_frame(frame: np.ndarray) -> tuple[int, RateDecision, bytes]:
+    """Invert :func:`encode_record_frames` for one received frame."""
+
+    raw = np.asarray(frame, dtype=np.uint8).tobytes()
+    if len(raw) < _HEADER.size or raw[:4] != RECORD_FRAME_MAGIC:
+        raise ValueError("not a codec record frame (bad magic/size)")
+    magic, codec_id, occ, act, est, actual, nbytes = _HEADER.unpack_from(raw)
+    record = raw[_HEADER.size:_HEADER.size + nbytes]
+    if len(record) != nbytes:
+        raise ValueError(
+            f"truncated record frame: header promises {nbytes} bytes, "
+            f"frame carries {len(record)}"
+        )
+    validate_codec_ids([codec_id], context="record frame")
+    decision = RateDecision.from_row((codec_id, occ, act, est, actual))
+    return int(codec_id), decision, record
+
+
+def records_to_compressed(
+    frames: Sequence[np.ndarray],
+    code_shape: tuple[int, ...],
+    original_horizontal: int,
+    half: bool | None,
+    code_dtype: str = "<f2",
+) -> CompressedWedges:
+    """Rebuild a mixed-codec batch from received record frames.
+
+    The stream-side metadata (code shape, horizontal size, precision) is
+    not on the wire — producer and consumer already agree on the model —
+    so the caller supplies it, exactly as the archive header would.
+    """
+
+    codec_ids: list[int] = []
+    record_sizes: list[int] = []
+    decisions: list[RateDecision] = []
+    chunks: list[bytes] = []
+    for frame in frames:
+        codec_id, decision, record = decode_record_frame(frame)
+        codec_ids.append(codec_id)
+        record_sizes.append(len(record))
+        decisions.append(decision)
+        chunks.append(record)
+    return CompressedWedges(
+        payload=b"".join(chunks),
+        code_shape=tuple(code_shape),
+        n_wedges=len(chunks),
+        original_horizontal=int(original_horizontal),
+        half=half,
+        code_dtype=code_dtype,
+        codec_ids=tuple(codec_ids),
+        record_sizes=tuple(record_sizes),
+        decisions=tuple(decisions),
+    )

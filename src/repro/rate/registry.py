@@ -1,0 +1,156 @@
+"""Stable codec identity for mixed-codec archives.
+
+A mixed-codec payload is only decodable if producer and consumer agree on
+what each per-wedge codec id *means*, forever: the id is written into
+``io.codes`` archives and crosses the serving wire, so the table below is
+append-only — ids are never reused or renumbered.
+
+Id ``0`` is the BCAE fast path (fp16 codes, fixed-size records); every
+other id is a classical codec from :mod:`repro.baselines` operating on the
+**log-ADC** wedge (``log2(adc + 1)``, unpadded), so classical and neural
+reconstructions land in the same domain.  Each entry also records the
+codec's documented reconstruction guarantee (a hard absolute error bound
+on the log scale, or ``None`` where the family gives none) — the property
+tests assert classical round trips against exactly this number.
+
+:func:`validate_codec_ids` is the loud-failure half of the contract: an
+archive carrying an id this build does not know is rejected at *load*
+time with a clear error instead of being silently mis-decoded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+__all__ = [
+    "BCAE_CODEC_ID",
+    "SZLIKE_CODEC_ID",
+    "SPARSE_CODEC_ID",
+    "CodecEntry",
+    "classical_codec",
+    "codec_entry",
+    "codec_error_bound",
+    "codec_name",
+    "known_codec_ids",
+    "validate_codec_ids",
+]
+
+#: The neural fast path: fp16 codes, fixed-size records, byte-identical
+#: across batch compositions.  The id every pre-rate archive implicitly
+#: carried.
+BCAE_CODEC_ID = 0
+
+#: SZ-family dense predictor codec (hard ``|x - x̂| <= eb`` bound).
+SZLIKE_CODEC_ID = 1
+
+#: The default sparse-wedge route: coordinate-list coding whose payload
+#: scales with occupancy, not wedge volume (same hard error bound).  The
+#: dense baselines all carry a per-voxel floor that exceeds the BCAE
+#: record at full wedge size, so they never win on sparsity alone.
+SPARSE_CODEC_ID = 5
+
+
+@dataclasses.dataclass(frozen=True)
+class CodecEntry:
+    """One row of the append-only codec table."""
+
+    codec_id: int
+    name: str
+    #: Builds a fresh codec instance (classical ids only; ``None`` for the
+    #: BCAE id, whose "codec" is the serving compressor itself).
+    factory: Callable | None
+    #: Documented absolute error bound on the log-ADC scale (``None`` =
+    #: the family documents no hard bound).
+    error_bound: float | None
+
+
+def _table() -> dict[int, CodecEntry]:
+    # Imported lazily so `import repro.rate` does not drag the whole
+    # baselines package in for consumers that only need the ids.
+    from ..baselines import (
+        DecimationCodec,
+        MGARDLikeCodec,
+        SparseIndexCodec,
+        SZLikeCodec,
+        ZFPLikeCodec,
+    )
+
+    eb = 0.25  # the bench's log-scale working point (paper MAE ~0.11-0.2)
+    return {
+        BCAE_CODEC_ID: CodecEntry(BCAE_CODEC_ID, "bcae", None, None),
+        SZLIKE_CODEC_ID: CodecEntry(
+            SZLIKE_CODEC_ID, "sz_like", lambda: SZLikeCodec(error_bound=eb), eb
+        ),
+        2: CodecEntry(2, "zfp_like", lambda: ZFPLikeCodec(rate_bits=2), None),
+        3: CodecEntry(
+            3, "mgard_like", lambda: MGARDLikeCodec(error_bound=eb), eb
+        ),
+        4: CodecEntry(
+            4, "decimate", lambda: DecimationCodec(factors=(1, 2, 2)), None
+        ),
+        SPARSE_CODEC_ID: CodecEntry(
+            SPARSE_CODEC_ID,
+            "sparse",
+            lambda: SparseIndexCodec(error_bound=eb),
+            eb,
+        ),
+    }
+
+
+def known_codec_ids() -> tuple[int, ...]:
+    """Every codec id this build can decode, ascending."""
+
+    return tuple(sorted(_table()))
+
+
+def codec_entry(codec_id: int) -> CodecEntry:
+    """The table row for ``codec_id`` (raises on unknown ids)."""
+
+    table = _table()
+    if codec_id not in table:
+        raise ValueError(
+            f"unknown codec id {codec_id}; this build decodes "
+            f"{known_codec_ids()} — the archive needs a newer repro.rate"
+        )
+    return table[int(codec_id)]
+
+
+def codec_name(codec_id: int) -> str:
+    """Stable short name for a codec id."""
+
+    return codec_entry(codec_id).name
+
+
+def codec_error_bound(codec_id: int) -> float | None:
+    """The codec's documented log-scale error bound (``None`` = no bound)."""
+
+    return codec_entry(codec_id).error_bound
+
+
+def classical_codec(codec_id: int):
+    """A fresh classical codec instance for ``codec_id``.
+
+    Raises for the BCAE id — its records are decoded by the serving
+    compressor, not a baselines codec.
+    """
+
+    entry = codec_entry(codec_id)
+    if entry.factory is None:
+        raise ValueError(
+            f"codec id {codec_id} ({entry.name}) is the neural fast path, "
+            "not a classical codec — decode its records with the compressor"
+        )
+    return entry.factory()
+
+
+def validate_codec_ids(codec_ids, context: str = "payload") -> None:
+    """Reject unknown ids loudly (archive/wire poisoning guard)."""
+
+    known = set(_table())
+    bad = sorted({int(c) for c in codec_ids} - known)
+    if bad:
+        raise ValueError(
+            f"{context} uses unknown codec id(s) {bad}; this build decodes "
+            f"{tuple(sorted(known))} — refusing to guess at the record format"
+        )

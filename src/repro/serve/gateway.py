@@ -730,9 +730,19 @@ class ServingGateway:
                 if future is done:
                     return
                 record, payload = await future
-                codes = payload.codes_view()
-                for i in range(codes.shape[0]):
-                    write_wedge_frame(writer, codes[i])
+                if getattr(payload, "codec_ids", None) is not None:
+                    # Adaptive tier: answer each wedge with a codec record
+                    # frame (payload bytes + the RateDecision fields), so
+                    # the producer can rebuild both the archive and the
+                    # decision ledger byte-for-byte.
+                    from ..rate.records import encode_record_frames
+
+                    for frame in encode_record_frames(payload):
+                        write_wedge_frame(writer, frame)
+                else:
+                    codes = payload.codes_view()
+                    for i in range(codes.shape[0]):
+                        write_wedge_frame(writer, codes[i])
                 await writer.drain()
 
         responder = asyncio.create_task(respond())

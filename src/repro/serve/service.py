@@ -208,6 +208,19 @@ class ServiceConfig:
         successes reset the counter; a step-down is sticky for the
         service's lifetime and visible in :meth:`ModelPoolService.health`
         and in stream stats.
+    rate_policy:
+        Optional adaptive codec-selection policy name (see
+        :data:`repro.rate.POLICY_NAMES`).  ``None`` (default) serves the
+        plain fixed-rate BCAE; a policy name wraps every pooled
+        compressor in :class:`repro.rate.AdaptiveCompressor`, so served
+        payloads carry per-wedge codec records and
+        :class:`~repro.rate.RateDecision` ledgers.  Selection is a pure
+        per-wedge function, so every backend/transport produces identical
+        decisions for identical streams.
+    rate_budget_mbps:
+        Optional stream-level bandwidth budget in Mbps, resolved to a
+        stateless per-wedge byte allowance (see
+        :class:`repro.rate.RateBudget`).  Requires ``rate_policy``.
 
     Example
     -------
@@ -215,7 +228,7 @@ class ServiceConfig:
     >>> ServiceConfig(max_batch=16, workers=4, backend="process").transport
     'shm'
     >>> ServiceConfig(max_delay_s=0.002)          # 2 ms latency budget
-    ServiceConfig(max_batch=8, max_delay_s=0.002, workers=0, backend='thread', half=True, inflight=8, transport='shm', shm_slab_mb=None, precision='bit', panel_threads=None, unit_timeout_s=None, max_retries=0, backoff_base_s=0.05, degrade_after=3)
+    ServiceConfig(max_batch=8, max_delay_s=0.002, workers=0, backend='thread', half=True, inflight=8, transport='shm', shm_slab_mb=None, precision='bit', panel_threads=None, unit_timeout_s=None, max_retries=0, backoff_base_s=0.05, degrade_after=3, rate_policy=None, rate_budget_mbps=None)
     """
 
     max_batch: int = 8
@@ -232,6 +245,8 @@ class ServiceConfig:
     max_retries: int = 0
     backoff_base_s: float = 0.05
     degrade_after: int = 3
+    rate_policy: str | None = None
+    rate_budget_mbps: float | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -266,6 +281,24 @@ class ServiceConfig:
             )
         if self.shm_slab_mb is not None and self.shm_slab_mb <= 0:
             raise ValueError(f"shm_slab_mb must be > 0, got {self.shm_slab_mb}")
+        if self.rate_policy is not None:
+            from ..rate import POLICY_NAMES
+
+            if self.rate_policy not in POLICY_NAMES:
+                raise ValueError(
+                    f"rate_policy must be one of {POLICY_NAMES} or None, "
+                    f"got {self.rate_policy!r}"
+                )
+        if self.rate_budget_mbps is not None:
+            if self.rate_policy is None:
+                raise ValueError(
+                    "rate_budget_mbps requires a rate_policy — the budget "
+                    "is an input to codec selection, not a standalone knob"
+                )
+            if self.rate_budget_mbps <= 0:
+                raise ValueError(
+                    f"rate_budget_mbps must be > 0, got {self.rate_budget_mbps}"
+                )
 
     @property
     def slab_nbytes(self) -> int:
@@ -509,9 +542,9 @@ class ModelPoolService:
     # ------------------------------------------------------------------
     def _build_compressor(self) -> BCAECompressor:
         cfg = self.config
-        return BCAECompressor(self.model, half=cfg.half,
-                              precision=cfg.precision,
-                              panel_threads=cfg.panel_threads)
+        return _make_compressor(self.model, cfg.half, cfg.precision,
+                                cfg.panel_threads, cfg.rate_policy,
+                                cfg.rate_budget_mbps)
 
     def _acquire(self) -> BCAECompressor:
         with self._pool_lock:
@@ -1621,12 +1654,37 @@ _PROCESS_COMPRESSOR: BCAECompressor | None = None
 _PROCESS_RING: SlabRing | None = None
 
 
+def _make_compressor(model, half: bool, precision: str,
+                     panel_threads: int | None,
+                     rate_policy: str | None = None,
+                     rate_budget_mbps: float | None = None):
+    """One pooled compressor — plain BCAE, or the adaptive tier around it.
+
+    Shared by the in-process pool (:meth:`ModelPoolService._build_compressor`)
+    and the process-backend worker initializer, so every execution level
+    hosts the *same* compressor construction (the serving-parity contract).
+    """
+
+    compressor = BCAECompressor(model, half=half, precision=precision,
+                                panel_threads=panel_threads)
+    if rate_policy is None:
+        return compressor
+    from ..rate import AdaptiveCompressor, make_policy
+
+    return AdaptiveCompressor(
+        compressor, make_policy(rate_policy, budget_mbps=rate_budget_mbps)
+    )
+
+
 def _process_init(model, half: bool, ring_spec=None, precision: str = "bit",
-                  panel_threads: int | None = None) -> None:
+                  panel_threads: int | None = None,
+                  rate_policy: str | None = None,
+                  rate_budget_mbps: float | None = None) -> None:
     global _PROCESS_COMPRESSOR, _PROCESS_RING, _IN_POOL_WORKER
     _IN_POOL_WORKER = True
-    _PROCESS_COMPRESSOR = BCAECompressor(model, half=half, precision=precision,
-                                         panel_threads=panel_threads)
+    _PROCESS_COMPRESSOR = _make_compressor(model, half, precision,
+                                           panel_threads, rate_policy,
+                                           rate_budget_mbps)
     _PROCESS_RING = SlabRing.attach(ring_spec) if ring_spec is not None else None
 
 
@@ -1685,6 +1743,12 @@ class _SlabPayload:
     original_horizontal: int
     half: bool | None
     code_dtype: str
+    #: Adaptive-tier extras (None for fixed-rate BCAE payloads).  The
+    #: decision ledger is tiny, so it rides in the pickled descriptor
+    #: while the record bytes cross through the slab.
+    codec_ids: tuple[int, ...] | None = None
+    record_sizes: tuple[int, ...] | None = None
+    decisions: tuple | None = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -1711,29 +1775,54 @@ def _process_work_shm(work: _ShmWork) -> tuple[BatchRecord, object]:
     result: object
     if work.kind == "compress":
         wedges = ring.read_array(work.array, copy=False)
-        code_shape = compressor.code_shape_for(wedges.shape[1:])
-        code_nbytes = wedges.shape[0] * int(np.prod(code_shape)) * 2
-        if code_nbytes <= ring.slab_nbytes:
-            # Zero-copy result: compress_into writes the fp16 codes
-            # straight into the slab (over the consumed input).
-            out = ring.view(work.array.slab)
-            compressed = compressor.compress_into(wedges, out=out)
-            result = _SlabPayload(
-                slab=work.array.slab,
-                nbytes=compressed.nbytes,
-                code_shape=tuple(compressed.code_shape),
-                n_wedges=compressed.n_wedges,
-                original_horizontal=compressed.original_horizontal,
-                half=compressed.half,
-                code_dtype=compressed.code_dtype,
-            )
-        else:
+        if getattr(compressor, "is_adaptive", False):
+            # Adaptive records are variable-size, so the payload is
+            # compressed to owned bytes first and memcpy'd into the slab
+            # when it fits; the tiny decision ledger rides the descriptor.
             compressed = compressor.compress_into(wedges)
-            result = _SlabFallback(dataclasses.replace(
-                compressed, payload=bytes(compressed.payload)
-            ))
+            if compressed.nbytes <= ring.slab_nbytes:
+                ring.view(work.array.slab, compressed.nbytes)[:] = (
+                    compressed.payload
+                )
+                result = _SlabPayload(
+                    slab=work.array.slab,
+                    nbytes=compressed.nbytes,
+                    code_shape=tuple(compressed.code_shape),
+                    n_wedges=compressed.n_wedges,
+                    original_horizontal=compressed.original_horizontal,
+                    half=compressed.half,
+                    code_dtype=compressed.code_dtype,
+                    codec_ids=compressed.codec_ids,
+                    record_sizes=compressed.record_sizes,
+                    decisions=compressed.decisions,
+                )
+            else:
+                result = _SlabFallback(compressed)
+        else:
+            code_shape = compressor.code_shape_for(wedges.shape[1:])
+            code_nbytes = wedges.shape[0] * int(np.prod(code_shape)) * 2
+            if code_nbytes <= ring.slab_nbytes:
+                # Zero-copy result: compress_into writes the fp16 codes
+                # straight into the slab (over the consumed input).
+                out = ring.view(work.array.slab)
+                compressed = compressor.compress_into(wedges, out=out)
+                result = _SlabPayload(
+                    slab=work.array.slab,
+                    nbytes=compressed.nbytes,
+                    code_shape=tuple(compressed.code_shape),
+                    n_wedges=compressed.n_wedges,
+                    original_horizontal=compressed.original_horizontal,
+                    half=compressed.half,
+                    code_dtype=compressed.code_dtype,
+                )
+            else:
+                compressed = compressor.compress_into(wedges)
+                result = _SlabFallback(dataclasses.replace(
+                    compressed, payload=bytes(compressed.payload)
+                ))
     elif work.kind == "decompress":
-        code_shape, n_payload, horizontal, half, code_dtype = work.meta
+        (code_shape, n_payload, horizontal, half, code_dtype,
+         codec_ids, record_sizes, decisions) = work.meta
         compressed = CompressedWedges(
             payload=ring.view(work.array.slab, work.array.nbytes),
             code_shape=code_shape,
@@ -1741,6 +1830,9 @@ def _process_work_shm(work: _ShmWork) -> tuple[BatchRecord, object]:
             original_horizontal=horizontal,
             half=half,
             code_dtype=code_dtype,
+            codec_ids=codec_ids,
+            record_sizes=record_sizes,
+            decisions=decisions,
         )
         recon = compressor.decompress_into(compressed)
         if recon.nbytes <= ring.slab_nbytes:
@@ -1816,7 +1908,7 @@ class _ProcessTransport:
         cfg = self._service.config
         spec = self.ring.spec() if self.ring is not None else None
         return (self._service.model, cfg.half, spec, cfg.precision,
-                cfg.panel_threads)
+                cfg.panel_threads, cfg.rate_policy, cfg.rate_budget_mbps)
 
     # -- per-kind payload plumbing --------------------------------------
     def _unit_array(self, item) -> np.ndarray:
@@ -1830,7 +1922,8 @@ class _ProcessTransport:
         if self._kind == "decompress":
             c = item.compressed
             return (tuple(c.code_shape), c.n_wedges, c.original_horizontal,
-                    c.half, c.code_dtype)
+                    c.half, c.code_dtype, c.codec_ids, c.record_sizes,
+                    c.decisions)
         if self._kind == "probe":
             return (item.poison, item.fault, item.hang_s, item.attempt,
                     item.fail_attempts)
@@ -1877,6 +1970,9 @@ class _ProcessTransport:
                     original_horizontal=result.original_horizontal,
                     half=result.half,
                     code_dtype=result.code_dtype,
+                    codec_ids=result.codec_ids,
+                    record_sizes=result.record_sizes,
+                    decisions=result.decisions,
                 )
             elif isinstance(result, SlabArray):
                 result = self.ring.read_array(result, copy=True)

@@ -1,0 +1,62 @@
+"""Shared fixtures for the adaptive rate tier: fixed-RNG occupancy mix.
+
+Every synthetic stream here is a pure function of a hard-coded seed —
+``test_seed_determinism.py`` pins that property, and the serving-parity
+tests depend on it (two independently built streams must route and
+compress identically).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BCAECompressor, build_model
+from repro.rate import AdaptiveCompressor, make_policy
+
+WEDGE_SPATIAL = (16, 24, 30)
+MIXED_SEED = 7
+
+#: Indices the mixed stream forces sparse (below the 5% default threshold).
+SPARSE_INDICES = (0, 1, 5)
+
+
+def make_mixed_wedges(n: int = 12, seed: int = MIXED_SEED) -> np.ndarray:
+    """A fixed-RNG stream mixing dense, sparse and empty wedges."""
+
+    rng = np.random.default_rng(seed)
+    w = rng.integers(0, 1024, size=(n,) + WEDGE_SPATIAL).astype(np.uint16)
+    w[w < 500] = 0              # dense majority (~51% occupancy)
+    w[0] = 0                    # empty wedge
+    for i in SPARSE_INDICES[1:]:
+        if i >= n:
+            continue
+        mask = rng.random(WEDGE_SPATIAL) < 0.03   # ~3% occupancy
+        hits = rng.integers(1, 1024, size=WEDGE_SPATIAL)
+        w[i] = np.where(mask, hits, 0).astype(np.uint16)
+    return w
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    model = build_model("bcae_2d", wedge_spatial=WEDGE_SPATIAL,
+                        m=2, n=2, d=2, seed=0)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="module")
+def mixed_wedges() -> np.ndarray:
+    return make_mixed_wedges()
+
+
+@pytest.fixture(scope="module")
+def adaptive(small_model) -> AdaptiveCompressor:
+    return AdaptiveCompressor(
+        BCAECompressor(small_model, half=True), make_policy("occupancy")
+    )
+
+
+@pytest.fixture(scope="module")
+def mixed_compressed(adaptive, mixed_wedges):
+    return adaptive.compress(mixed_wedges)

@@ -1,0 +1,139 @@
+"""Backward compatibility of the versioned mixed-codec archive format.
+
+Two promises: archives written before the per-wedge codec record still
+load and decode exactly as before, and a new-format archive carrying a
+codec id this build does not know is rejected with a clear error at load
+time — never silently mis-decoded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import BCAECompressor
+from repro.core.compressor import CompressedWedges
+from repro.io import load_compressed, save_compressed
+from repro.rate import known_codec_ids, validate_codec_ids
+
+
+class TestLegacyArchives:
+    def test_pre_codec_archive_loads_and_decodes(
+        self, small_model, mixed_wedges, tmp_path
+    ):
+        """A raw pre-rate npz (no codec fields at all) still round-trips."""
+
+        comp = BCAECompressor(small_model, half=True)
+        c = comp.compress(mixed_wedges)
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(
+            path,
+            payload=np.frombuffer(c.payload, dtype=np.uint8),
+            code_shape=np.array(c.code_shape, dtype=np.int64),
+            n_wedges=np.array([c.n_wedges], dtype=np.int64),
+            original_horizontal=np.array([c.original_horizontal], dtype=np.int64),
+            model_name=np.frombuffer(b"bcae_2d", dtype=np.uint8),
+        )
+        loaded, name = load_compressed(path)
+        assert name == "bcae_2d"
+        assert loaded.codec_ids is None
+        assert loaded.record_sizes is None
+        assert loaded.decisions is None
+        assert not loaded.mixed
+        np.testing.assert_array_equal(comp.decompress(loaded), comp.decompress(c))
+
+    def test_adaptive_tier_decodes_legacy_payloads(
+        self, adaptive, small_model, mixed_wedges
+    ):
+        """The tier passes codec-field-free payloads to the inner BCAE."""
+
+        comp = BCAECompressor(small_model, half=True)
+        c = comp.compress(mixed_wedges)
+        np.testing.assert_array_equal(adaptive.decompress(c), comp.decompress(c))
+
+    def test_fixed_rate_archive_written_today_has_no_codec_fields(
+        self, small_model, mixed_wedges, tmp_path
+    ):
+        """Plain BCAE payloads keep writing the version-1 layout."""
+
+        c = BCAECompressor(small_model, half=True).compress(mixed_wedges)
+        path = save_compressed(c, tmp_path / "v1.npz")
+        with np.load(path) as data:
+            assert "codec_ids" not in data.files
+            assert "format_version" not in data.files
+
+
+class TestUnknownCodecIds:
+    def _poison_archive(self, mixed_compressed, tmp_path, bad_id: int):
+        path = save_compressed(mixed_compressed, tmp_path / "mixed.npz")
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        ids = arrays["codec_ids"].copy()
+        ids[-1] = bad_id
+        arrays["codec_ids"] = ids
+        np.savez_compressed(path, **arrays)
+        return path
+
+    def test_unknown_id_rejected_at_load(self, mixed_compressed, tmp_path):
+        path = self._poison_archive(mixed_compressed, tmp_path, bad_id=99)
+        with pytest.raises(ValueError, match="unknown codec id"):
+            load_compressed(path)
+
+    def test_error_names_the_known_ids(self, mixed_compressed, tmp_path):
+        path = self._poison_archive(mixed_compressed, tmp_path, bad_id=99)
+        with pytest.raises(ValueError, match=str(tuple(known_codec_ids()))):
+            load_compressed(path)
+
+    def test_unknown_id_rejected_at_decompress(self, adaptive, mixed_compressed):
+        bad = dataclasses.replace(
+            mixed_compressed,
+            codec_ids=mixed_compressed.codec_ids[:-1] + (99,),
+        )
+        with pytest.raises(ValueError, match="unknown codec id"):
+            adaptive.decompress(bad)
+
+    def test_validate_codec_ids_accepts_known(self):
+        validate_codec_ids(known_codec_ids())
+
+
+class TestRecordFieldValidation:
+    def test_codec_ids_require_record_sizes(self, mixed_compressed):
+        with pytest.raises(ValueError, match="record_sizes"):
+            dataclasses.replace(mixed_compressed, record_sizes=None)
+
+    def test_field_length_must_match_wedge_count(self, mixed_compressed):
+        with pytest.raises(ValueError, match="codec_ids"):
+            dataclasses.replace(
+                mixed_compressed, codec_ids=mixed_compressed.codec_ids[:-1]
+            )
+
+    def test_truncated_mixed_archive_fails_at_load(
+        self, mixed_compressed, tmp_path
+    ):
+        bad = dataclasses.replace(
+            mixed_compressed, payload=mixed_compressed.payload[:-8]
+        )
+        path = save_compressed(bad, tmp_path / "trunc.npz")
+        with pytest.raises(ValueError, match="truncated"):
+            load_compressed(path)
+
+    def test_codes_view_refuses_mixed_payloads(self, mixed_compressed):
+        assert mixed_compressed.mixed
+        with pytest.raises(ValueError, match="AdaptiveCompressor"):
+            mixed_compressed.codes_view()
+
+    def test_all_bcae_adaptive_payload_still_has_code_view(self, adaptive):
+        dense = make_dense(4)
+        c = adaptive.compress(dense)
+        assert c.codec_ids == (0,) * 4
+        assert not c.mixed
+        assert c.codes_view().shape[0] == 4
+
+
+def make_dense(n: int) -> np.ndarray:
+    rng = np.random.default_rng(3)
+    w = rng.integers(0, 1024, size=(n, 16, 24, 30)).astype(np.uint16)
+    w[w < 500] = 0
+    return w

@@ -1,0 +1,184 @@
+"""Mixed-codec batches through the archive layer: save/load, concat, split.
+
+``concat_compressed`` / ``split_compressed`` must preserve and re-index
+per-wedge codec records across arbitrary batch compositions — including
+legacy-batch promotion, single-wedge batches and the empty batch.  The
+n=0 decompress path in the tier is covered here too (it was a real bug:
+``np.stack`` of an empty record list).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BCAECompressor
+from repro.io import (
+    concat_compressed,
+    load_compressed,
+    save_compressed,
+    split_compressed,
+)
+from repro.rate import BCAE_CODEC_ID
+
+from conftest import WEDGE_SPATIAL, make_mixed_wedges
+
+
+class TestArchiveRoundTrip:
+    def test_mixed_save_load_round_trip(
+        self, adaptive, mixed_compressed, tmp_path
+    ):
+        path = save_compressed(mixed_compressed, tmp_path / "mixed.npz",
+                               model_name="bcae_2d")
+        loaded, name = load_compressed(path)
+        assert name == "bcae_2d"
+        assert loaded.codec_ids == mixed_compressed.codec_ids
+        assert loaded.record_sizes == mixed_compressed.record_sizes
+        assert bytes(loaded.payload) == bytes(mixed_compressed.payload)
+        np.testing.assert_array_equal(
+            adaptive.decompress(loaded), adaptive.decompress(mixed_compressed)
+        )
+
+    def test_decision_ledger_survives_the_archive(
+        self, mixed_compressed, tmp_path
+    ):
+        path = save_compressed(mixed_compressed, tmp_path / "mixed.npz")
+        loaded, _ = load_compressed(path)
+        assert loaded.decisions == mixed_compressed.decisions
+
+    def test_archive_is_versioned(self, mixed_compressed, tmp_path):
+        path = save_compressed(mixed_compressed, tmp_path / "mixed.npz")
+        with np.load(path) as data:
+            assert int(data["format_version"][0]) == 2
+
+
+class TestConcat:
+    def test_concat_mixed_batches_reindexes(self, adaptive, mixed_wedges):
+        a = adaptive.compress(mixed_wedges[:5])
+        b = adaptive.compress(mixed_wedges[5:])
+        cat = concat_compressed([a, b])
+        assert cat.n_wedges == len(mixed_wedges)
+        assert cat.codec_ids == a.codec_ids + b.codec_ids
+        assert cat.record_sizes == a.record_sizes + b.record_sizes
+        assert cat.decisions == a.decisions + b.decisions
+        assert bytes(cat.payload) == bytes(a.payload) + bytes(b.payload)
+        np.testing.assert_array_equal(
+            adaptive.decompress(cat),
+            np.concatenate([adaptive.decompress(a), adaptive.decompress(b)]),
+        )
+
+    def test_concat_promotes_legacy_batches(
+        self, adaptive, small_model, mixed_wedges
+    ):
+        """legacy + mixed concatenates: the legacy batch becomes explicit
+        all-BCAE records and both decode through the tier."""
+
+        legacy = BCAECompressor(small_model, half=True).compress(
+            mixed_wedges[6:9]
+        )
+        assert legacy.codec_ids is None
+        mixed = adaptive.compress(mixed_wedges[:6])
+        cat = concat_compressed([legacy, mixed])
+        assert cat.codec_ids == (BCAE_CODEC_ID,) * 3 + mixed.codec_ids
+        record = legacy.nbytes // legacy.n_wedges
+        assert cat.record_sizes[:3] == (record,) * 3
+        # Promoted wedges have no decisions; routed ones keep theirs.
+        assert cat.decisions[:3] == (None,) * 3
+        assert cat.decisions[3:] == mixed.decisions
+        recon = adaptive.decompress(cat)
+        np.testing.assert_array_equal(
+            recon[:3], adaptive.decompress(legacy)
+        )
+        np.testing.assert_array_equal(
+            recon[3:], adaptive.decompress(mixed)
+        )
+
+    def test_concat_single_wedge_batches(self, adaptive, mixed_wedges):
+        singles = [adaptive.compress(w[None]) for w in mixed_wedges]
+        cat = concat_compressed(singles)
+        whole = adaptive.compress(mixed_wedges)
+        assert cat.codec_ids == whole.codec_ids
+        assert cat.record_sizes == whole.record_sizes
+        assert bytes(cat.payload) == bytes(whole.payload)
+
+    def test_concat_with_empty_batch(self, adaptive, mixed_wedges):
+        empty = adaptive.compress(
+            np.zeros((0,) + WEDGE_SPATIAL, dtype=np.uint16)
+        )
+        assert empty.n_wedges == 0
+        assert empty.codec_ids == ()
+        mixed = adaptive.compress(mixed_wedges[:4])
+        cat = concat_compressed([empty, mixed, empty])
+        assert cat.n_wedges == 4
+        assert cat.codec_ids == mixed.codec_ids
+        assert bytes(cat.payload) == bytes(mixed.payload)
+
+
+class TestSplit:
+    def test_split_then_reassemble_is_byte_exact(self, mixed_compressed):
+        chunks = list(split_compressed(mixed_compressed, 5))
+        assert [c.n_wedges for c in chunks] == [5, 5, 2]
+        cat = concat_compressed(chunks)
+        assert cat.codec_ids == mixed_compressed.codec_ids
+        assert cat.record_sizes == mixed_compressed.record_sizes
+        assert cat.decisions == mixed_compressed.decisions
+        assert bytes(cat.payload) == bytes(mixed_compressed.payload)
+
+    def test_split_chunks_decode_independently(
+        self, adaptive, mixed_compressed
+    ):
+        whole = adaptive.decompress(mixed_compressed)
+        parts = [adaptive.decompress(c)
+                 for c in split_compressed(mixed_compressed, 4)]
+        np.testing.assert_array_equal(np.concatenate(parts), whole)
+
+    def test_split_to_single_wedges(self, adaptive, mixed_compressed):
+        chunks = list(split_compressed(mixed_compressed, 1))
+        assert len(chunks) == mixed_compressed.n_wedges
+        for i, c in enumerate(chunks):
+            assert c.n_wedges == 1
+            assert c.codec_ids == (mixed_compressed.codec_ids[i],)
+            assert c.record_sizes == (mixed_compressed.record_sizes[i],)
+            assert len(bytes(c.payload)) == c.record_sizes[0]
+
+    def test_split_empty_batch_yields_nothing(self, adaptive):
+        empty = adaptive.compress(
+            np.zeros((0,) + WEDGE_SPATIAL, dtype=np.uint16)
+        )
+        assert list(split_compressed(empty, 3)) == []
+
+    def test_split_is_zero_copy(self, mixed_compressed):
+        chunk = next(split_compressed(mixed_compressed, 4))
+        assert isinstance(chunk.payload, memoryview)
+
+
+class TestEmptyBatchEdges:
+    def test_empty_batch_decompresses_to_zero_wedges(self, adaptive):
+        """Regression: n=0 mixed decompress used to np.stack([]) and die."""
+
+        empty = adaptive.compress(
+            np.zeros((0,) + WEDGE_SPATIAL, dtype=np.uint16)
+        )
+        recon = adaptive.decompress(empty)
+        assert recon.shape == (0,) + WEDGE_SPATIAL
+        assert recon.dtype == np.float32
+
+    def test_empty_batch_archives(self, adaptive, tmp_path):
+        empty = adaptive.compress(
+            np.zeros((0,) + WEDGE_SPATIAL, dtype=np.uint16)
+        )
+        path = save_compressed(empty, tmp_path / "empty.npz")
+        loaded, _ = load_compressed(path)
+        assert loaded.n_wedges == 0
+        assert loaded.codec_ids == ()
+        assert adaptive.decompress(loaded).shape == (0,) + WEDGE_SPATIAL
+
+    def test_single_wedge_batch_round_trip(self, adaptive, tmp_path):
+        one = adaptive.compress(make_mixed_wedges(1))  # the empty wedge
+        assert one.n_wedges == 1
+        assert one.codec_ids != (BCAE_CODEC_ID,)  # routed sparse
+        path = save_compressed(one, tmp_path / "one.npz")
+        loaded, _ = load_compressed(path)
+        np.testing.assert_array_equal(
+            adaptive.decompress(loaded), adaptive.decompress(one)
+        )

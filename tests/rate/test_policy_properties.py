@@ -1,0 +1,167 @@
+"""Property tests of the selection policy and the adaptive round trip.
+
+The three contracts the ISSUE names:
+
+* **Determinism** — selection is a pure per-wedge function: the same
+  wedge gets the same decision whether compressed alone, in a batch, or
+  by an independently constructed policy instance.
+* **BCAE byte identity** — records of BCAE-routed wedges are
+  byte-identical to the all-BCAE path, across all four Table-1 models ×
+  both precisions (the repo's batch-invariance property lifted through
+  the tier).
+* **Classical error bound** — classical-routed wedges reconstruct within
+  the registry's documented log-scale bound, with zeros exact for the
+  sparse coordinate-list codec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BCAECompressor, build_model
+from repro.rate import (
+    BCAE_CODEC_ID,
+    SPARSE_CODEC_ID,
+    AdaptiveCompressor,
+    OccupancyPolicy,
+    RateBudget,
+    codec_error_bound,
+    make_policy,
+    wedge_features,
+)
+from repro.rate.records import record_views
+from repro.tpc import log_transform
+
+from conftest import SPARSE_INDICES, make_mixed_wedges
+
+
+class TestDeterminism:
+    def test_selection_is_batch_invariant(self, adaptive, mixed_wedges):
+        """Whole-batch and one-wedge-at-a-time compressions agree exactly."""
+
+        batch = adaptive.compress(mixed_wedges)
+        singles = [adaptive.compress(w[None]) for w in mixed_wedges]
+        assert batch.codec_ids == sum((s.codec_ids for s in singles), ())
+        assert batch.decisions == sum((s.decisions for s in singles), ())
+        assert bytes(batch.payload) == b"".join(
+            bytes(s.payload) for s in singles
+        )
+
+    def test_independent_policies_agree(self, small_model, mixed_wedges):
+        a = AdaptiveCompressor(
+            BCAECompressor(small_model, half=True), make_policy("occupancy")
+        )
+        b = AdaptiveCompressor(
+            BCAECompressor(small_model, half=True), make_policy("occupancy")
+        )
+        ca, cb = a.compress(mixed_wedges), b.compress(mixed_wedges)
+        assert ca.decisions == cb.decisions
+        assert bytes(ca.payload) == bytes(cb.payload)
+
+    def test_expected_routing_of_the_mixed_stream(self, mixed_compressed):
+        for i, codec_id in enumerate(mixed_compressed.codec_ids):
+            expected = (SPARSE_CODEC_ID if i in SPARSE_INDICES
+                        else BCAE_CODEC_ID)
+            assert codec_id == expected, f"wedge {i}"
+
+    def test_features_are_pure(self, mixed_wedges):
+        for w in mixed_wedges:
+            assert wedge_features(w) == wedge_features(np.array(w))
+
+    def test_budget_fallback_is_deterministic(self, small_model, mixed_wedges):
+        """A budget too tight for any sparse estimate still routes purely
+        per wedge (argmin of the candidate estimates)."""
+
+        tight = OccupancyPolicy(budget=RateBudget(0.001))
+        a = AdaptiveCompressor(BCAECompressor(small_model, half=True), tight)
+        c1, c2 = a.compress(mixed_wedges), a.compress(mixed_wedges)
+        assert c1.codec_ids == c2.codec_ids
+        assert c1.decisions == c2.decisions
+        # The fallback picks the smaller estimate; for sparse wedges that
+        # is still the classical codec, and the decision records both.
+        for d in c1.decisions:
+            assert d.est_bytes > 0
+
+    def test_decision_ledger_records_actual_bytes(self, mixed_compressed):
+        for d, size in zip(mixed_compressed.decisions,
+                           mixed_compressed.record_sizes):
+            assert d.actual_bytes == size
+
+
+class TestBCAEByteIdentity:
+    @pytest.mark.parametrize("name,kwargs", [
+        ("bcae_2d", dict(m=2, n=2, d=2)),
+        ("bcae_pp", {}),
+        ("bcae_ht", {}),
+        ("bcae", {}),
+    ])
+    @pytest.mark.parametrize("half", [True, False])
+    def test_bcae_records_byte_identical_across_zoo(self, name, kwargs, half):
+        """Routed-wedge records equal the all-BCAE payload, per model ×
+        precision — and reconstruct to the same bytes."""
+
+        wedges = make_mixed_wedges(6)
+        model = build_model(name, wedge_spatial=wedges.shape[1:], seed=0,
+                            **kwargs)
+        model.eval()  # BatchNorm variants must not use batch statistics
+        inner = BCAECompressor(model, half=half)
+        adaptive = AdaptiveCompressor(
+            BCAECompressor(model, half=half), make_policy("occupancy")
+        )
+        mixed = adaptive.compress(wedges)
+        full = inner.compress(wedges)
+        record = int(np.prod(full.code_shape)) * 2
+        views = record_views(mixed)
+        routed = [i for i, c in enumerate(mixed.codec_ids)
+                  if c == BCAE_CODEC_ID]
+        assert routed, "the mixed stream must route some wedges to the BCAE"
+        payload = bytes(full.payload)
+        for i in routed:
+            assert bytes(views[i]) == payload[i * record:(i + 1) * record], (
+                f"{name} half={half} wedge {i}"
+            )
+        # And the round trip through the tier matches the plain path on
+        # exactly those wedges.
+        recon = adaptive.decompress(mixed)
+        reference = inner.decompress(full)
+        np.testing.assert_array_equal(recon[routed], reference[routed])
+
+
+class TestClassicalErrorBound:
+    def test_sparse_records_respect_documented_bound(
+        self, adaptive, mixed_wedges, mixed_compressed
+    ):
+        recon = adaptive.decompress(mixed_compressed)
+        logged = log_transform(mixed_wedges)
+        for i, codec_id in enumerate(mixed_compressed.codec_ids):
+            if codec_id == BCAE_CODEC_ID:
+                continue
+            bound = codec_error_bound(codec_id)
+            assert bound is not None
+            err = float(np.abs(recon[i] - logged[i]).max())
+            # One float32 ulp of slack on top of the exact-arithmetic
+            # bound (see ErrorBoundedQuantizer's docstring).
+            assert err <= bound * (1 + 1e-5) + 1e-6, f"wedge {i}"
+
+    def test_sparse_codec_keeps_zeros_exact(
+        self, adaptive, mixed_wedges, mixed_compressed
+    ):
+        recon = adaptive.decompress(mixed_compressed)
+        for i, codec_id in enumerate(mixed_compressed.codec_ids):
+            if codec_id == SPARSE_CODEC_ID:
+                assert np.all(recon[i][mixed_wedges[i] == 0] == 0.0)
+
+    def test_empty_wedge_record_is_tiny(self, mixed_compressed):
+        # Wedge 0 is all-zero: its coordinate-list record is a bare
+        # header, orders of magnitude below the BCAE record.
+        bcae_record = max(mixed_compressed.record_sizes)
+        assert mixed_compressed.record_sizes[0] < bcae_record // 10
+
+    def test_decompress_adc_round_trip(self, adaptive, mixed_wedges):
+        c = adaptive.compress(mixed_wedges)
+        adc = adaptive.decompress_adc(c)
+        assert adc.shape == mixed_wedges.shape
+        assert adc.dtype == np.uint16
+        # Empty wedge reconstructs empty through the sparse route.
+        assert np.all(adc[0] == 0)
